@@ -1,0 +1,166 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section and prints the reports, optionally writing them to
+// a file (the source of EXPERIMENTS.md's measured numbers).
+//
+// Usage:
+//
+//	experiments [-only figure4,table1] [-ops N] [-seed N] [-out path]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"rafiki/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		only = flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
+		ops  = flag.Int("ops", 100_000, "operations per benchmark sample")
+		seed = flag.Int64("seed", 1, "base seed")
+		out  = flag.String("out", "", "also write rendered reports to this file")
+	)
+	flag.Parse()
+
+	selected := make(map[string]bool)
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(id)] = true
+		}
+	}
+	want := func(id string) bool { return len(selected) == 0 || selected[id] }
+
+	var sinks []io.Writer
+	sinks = append(sinks, os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sinks = append(sinks, f)
+	}
+	w := io.MultiWriter(sinks...)
+
+	opts := bench.DefaultPipelineOptions()
+	opts.Env.SampleOps = *ops
+	opts.Env.Seed = *seed
+
+	emit := func(rep bench.Report, err error, elapsed time.Duration) error {
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s\n(elapsed %s)\n\n", rep.Render(), elapsed.Round(time.Millisecond))
+		return nil
+	}
+	timed := func(f func() (bench.Report, error)) (bench.Report, error, time.Duration) {
+		start := time.Now()
+		rep, err := f()
+		return rep, err, time.Since(start)
+	}
+
+	// Experiments that do not need the trained pipeline.
+	if want("figure3") {
+		if err := emit(timed(func() (bench.Report, error) { return bench.Figure3(opts.Env) })); err != nil {
+			return err
+		}
+	}
+	if want("figure5") {
+		if err := emit(timed(func() (bench.Report, error) { return bench.Figure5(opts.Env) })); err != nil {
+			return err
+		}
+	}
+	if want("figure6") {
+		if err := emit(timed(func() (bench.Report, error) { return bench.Figure6(opts.Env) })); err != nil {
+			return err
+		}
+	}
+	if want("figure10") {
+		if err := emit(timed(func() (bench.Report, error) { return bench.Figure10(opts.Env) })); err != nil {
+			return err
+		}
+	}
+
+	pipelineWanted := false
+	for _, id := range []string{"figure4", "figure7", "figure8", "figure9", "table1", "table2", "table3", "searchspeed", "ablation-search", "ablation-trainer", "ablation-model", "ablation-surrogate-search", "crossworkload", "dynamic"} {
+		if want(id) {
+			pipelineWanted = true
+			break
+		}
+	}
+	if pipelineWanted {
+		log.Printf("building Cassandra pipeline (%d samples)...", len(opts.Collect.Workloads)*opts.Collect.Configs)
+		start := time.Now()
+		p, err := bench.NewCassandraPipeline(opts)
+		if err != nil {
+			return err
+		}
+		log.Printf("pipeline ready in %s", time.Since(start).Round(time.Millisecond))
+
+		steps := []struct {
+			id string
+			fn func(*bench.Pipeline) (bench.Report, error)
+		}{
+			{"figure4", bench.Figure4},
+			{"table1", bench.Table1},
+			{"table2", bench.Table2},
+			{"figure7", bench.Figure7},
+			{"figure8", bench.Figure8},
+			{"figure9", bench.Figure9},
+			{"searchspeed", bench.SearchSpeed},
+			{"table3", bench.Table3},
+			{"ablation-search", bench.AblationSearch},
+			{"ablation-trainer", bench.AblationTrainer},
+			{"ablation-model", bench.AblationModel},
+			{"ablation-surrogate-search", bench.AblationSurrogateSearch},
+			{"crossworkload", bench.CrossWorkloadPenalty},
+			{"dynamic", bench.DynamicTrace},
+		}
+		for _, s := range steps {
+			if !want(s.id) {
+				continue
+			}
+			log.Printf("running %s...", s.id)
+			if err := emit(timed(func() (bench.Report, error) { return s.fn(p) })); err != nil {
+				return fmt.Errorf("%s: %w", s.id, err)
+			}
+		}
+	}
+
+	if want("table4") || want("table2-scylla") {
+		log.Print("building ScyllaDB pipeline...")
+		sp, err := bench.NewScyllaPipeline(opts)
+		if err != nil {
+			return err
+		}
+		if want("table4") {
+			if err := emit(timed(func() (bench.Report, error) { return bench.Table4(sp) })); err != nil {
+				return fmt.Errorf("table4: %w", err)
+			}
+		}
+		if want("table2-scylla") {
+			rep, err, elapsed := timed(func() (bench.Report, error) { return bench.Table2(sp) })
+			rep.ID = "table2-scylla"
+			rep.Title = "Surrogate prediction performance on ScyllaDB"
+			rep.Notes = append(rep.Notes, "paper: ScyllaDB prediction error 6.9-7.8% — worse than Cassandra's because the auto-tuner makes throughput noisy (Figure 10)")
+			if err := emit(rep, err, elapsed); err != nil {
+				return fmt.Errorf("table2-scylla: %w", err)
+			}
+		}
+	}
+	return nil
+}

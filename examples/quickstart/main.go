@@ -1,0 +1,68 @@
+// Quickstart: tune the simulated Cassandra datastore for a read-heavy
+// workload with Rafiki's full pipeline (collect -> train -> GA search)
+// and verify the recommendation against a real benchmark run.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rafiki"
+)
+
+func main() {
+	log.SetFlags(0)
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	space := rafiki.CassandraSpace()
+
+	// A Collector benchmarks one (workload, configuration) point on a
+	// fresh simulated server — the analog of the paper's 5-minute YCSB
+	// run against a reset Docker container.
+	collector := rafiki.NewSimulatorCollector(rafiki.SimulatorConfig{
+		SampleOps: 60_000,
+		Seed:      1,
+	})
+
+	// Size the offline pipeline down a little so the example runs in
+	// about a minute; rafiki.DefaultTunerOptions() mirrors the paper.
+	opts := rafiki.DefaultTunerOptions()
+	opts.SkipIdentify = true // use the paper's published key parameters
+	opts.Collect.Configs = 12
+	opts.Model.EnsembleSize = 8
+	opts.Model.BR.Epochs = 60
+
+	tuner, err := rafiki.NewTuner(collector, space, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println("collecting training data and fitting the surrogate...")
+	if err := tuner.Prepare(); err != nil {
+		return err
+	}
+
+	const readRatio = 0.9
+	rec, err := tuner.Recommend(readRatio)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recommended configuration for RR=%.0f%%: %s\n", readRatio*100, space.Describe(rec.Config))
+	fmt.Printf("surrogate predicts %.0f ops/s after %d surrogate evaluations\n", rec.Predicted, rec.Evaluations)
+
+	// Check the recommendation against the ground truth.
+	defTput, err := collector.Sample(readRatio, rafiki.Config{}, 900_001)
+	if err != nil {
+		return err
+	}
+	recTput, err := collector.Sample(readRatio, rec.Config, 900_002)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("measured: default %.0f ops/s -> tuned %.0f ops/s (%+.1f%%)\n",
+		defTput, recTput, 100*(recTput/defTput-1))
+	return nil
+}

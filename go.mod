@@ -1,0 +1,3 @@
+module rafiki
+
+go 1.22

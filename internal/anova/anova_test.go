@@ -1,0 +1,182 @@
+package anova
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOneWayKnownValues(t *testing.T) {
+	// Classic textbook example: three groups with clearly different
+	// means and small within-group spread.
+	groups := [][]float64{
+		{6, 8, 4, 5, 3, 4},
+		{8, 12, 9, 11, 6, 8},
+		{13, 9, 11, 8, 7, 12},
+	}
+	tab, err := OneWay("factor", groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.N != 18 || tab.Groups != 3 || tab.DFB != 2 || tab.DFW != 15 {
+		t.Errorf("shape: %+v", tab)
+	}
+	// Hand-computed: means 5, 9, 10; grand mean 8.
+	wantSSB := 6.0 * (9 + 1 + 4)
+	if math.Abs(tab.SSB-wantSSB) > 1e-9 {
+		t.Errorf("SSB = %v, want %v", tab.SSB, wantSSB)
+	}
+	if tab.F <= 0 {
+		t.Errorf("F = %v, want positive", tab.F)
+	}
+	if tab.P <= 0 || tab.P >= 0.05 {
+		t.Errorf("P = %v, want significant (< 0.05)", tab.P)
+	}
+}
+
+func TestOneWayNoEffect(t *testing.T) {
+	groups := [][]float64{
+		{10, 11, 9, 10},
+		{10, 9, 11, 10},
+	}
+	tab, err := OneWay("nil-effect", groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.P < 0.5 {
+		t.Errorf("P = %v; identical groups should not be significant", tab.P)
+	}
+	if tab.ResponseStdDev > 0.5 {
+		t.Errorf("response stddev %v too large", tab.ResponseStdDev)
+	}
+}
+
+func TestOneWaySingleSamplePerLevel(t *testing.T) {
+	// The paper's protocol: one benchmark run per sweep value. F is
+	// undefined; the ranking signal is the stddev of level means.
+	tab, err := OneWay("sweep", [][]float64{{100}, {140}, {120}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.F != 0 || tab.P != 1 {
+		t.Errorf("degenerate F/P = %v/%v, want 0/1", tab.F, tab.P)
+	}
+	if tab.ResponseStdDev != 20 {
+		t.Errorf("ResponseStdDev = %v, want 20", tab.ResponseStdDev)
+	}
+}
+
+func TestOneWayErrors(t *testing.T) {
+	if _, err := OneWay("x", [][]float64{{1}}); err == nil {
+		t.Error("single level should error")
+	}
+	if _, err := OneWay("x", [][]float64{{1}, {}}); err == nil {
+		t.Error("empty level should error")
+	}
+}
+
+func TestOneWayZeroWithinVariance(t *testing.T) {
+	tab, err := OneWay("x", [][]float64{{5, 5}, {9, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.F != 0 || tab.P != 1 {
+		t.Errorf("zero SSW should degrade gracefully, got F=%v P=%v", tab.F, tab.P)
+	}
+}
+
+func TestRankOrdersByResponseStdDev(t *testing.T) {
+	sweeps := map[string][][]float64{
+		"weak":   {{100}, {102}, {101}},
+		"strong": {{100}, {200}, {150}},
+		"medium": {{100}, {130}, {110}},
+	}
+	r, err := Rank(sweeps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"strong", "medium", "weak"}
+	got := r.TopK(3)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank = %v, want %v", got, want)
+		}
+	}
+	if top := r.TopK(1); len(top) != 1 || top[0] != "strong" {
+		t.Errorf("TopK(1) = %v", top)
+	}
+	if over := r.TopK(10); len(over) != 3 {
+		t.Errorf("TopK over-length = %v", over)
+	}
+}
+
+func TestRankPropagatesErrors(t *testing.T) {
+	if _, err := Rank(map[string][][]float64{"bad": {{1}}}); err == nil {
+		t.Error("bad sweep should error")
+	}
+}
+
+func TestRankDeterministicTies(t *testing.T) {
+	sweeps := map[string][][]float64{
+		"b": {{100}, {120}},
+		"a": {{100}, {120}},
+		"c": {{100}, {120}},
+	}
+	var first []string
+	for i := 0; i < 5; i++ {
+		r, err := Rank(sweeps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := r.TopK(3)
+		if first == nil {
+			first = got
+			continue
+		}
+		for j := range got {
+			if got[j] != first[j] {
+				t.Fatalf("tie order unstable: %v vs %v", got, first)
+			}
+		}
+	}
+	if first[0] != "a" || first[1] != "b" || first[2] != "c" {
+		t.Errorf("ties should break alphabetically, got %v", first)
+	}
+}
+
+func TestElbow(t *testing.T) {
+	// Five strong parameters, then a cliff — the paper's k=5 situation.
+	sweeps := map[string][][]float64{
+		"p1": {{0}, {2000}},
+		"p2": {{0}, {1500}},
+		"p3": {{0}, {1200}},
+		"p4": {{0}, {1000}},
+		"p5": {{0}, {800}},
+		"p6": {{0}, {50}},
+		"p7": {{0}, {40}},
+		"p8": {{0}, {30}},
+	}
+	r, err := Rank(sweeps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Elbow(2, 7); got != 5 {
+		t.Errorf("Elbow = %d, want 5", got)
+	}
+}
+
+func TestElbowBounds(t *testing.T) {
+	sweeps := map[string][][]float64{
+		"p1": {{0}, {100}},
+		"p2": {{0}, {10}},
+	}
+	r, err := Rank(sweeps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Elbow(1, 10); got != 1 {
+		t.Errorf("Elbow with clamped max = %d, want 1", got)
+	}
+	if got := r.Elbow(5, 10); got != 2 {
+		t.Errorf("Elbow with minK beyond entries = %d, want 2", got)
+	}
+}

@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"fmt"
+
+	"rafiki/internal/cluster"
+	"rafiki/internal/config"
+	"rafiki/internal/core"
+	"rafiki/internal/nosql"
+	"rafiki/internal/workload"
+)
+
+// Env fixes the experimental environment: how long each benchmark
+// sample runs, the key-reuse profile, and the base seed. A fresh engine
+// backs every sample, matching the paper's container reset between
+// data-collection events.
+type Env struct {
+	// Seed is the base seed; all derived seeds are deterministic.
+	Seed int64
+	// SampleOps is the number of operations per benchmark sample (the
+	// analog of the paper's 5-minute measurement window).
+	SampleOps int
+	// KRDFraction sets the key-reuse-distance mean as a fraction of the
+	// key space; MG-RAST's KRD is large (Section 3.3).
+	KRDFraction float64
+	// PreloadVersions controls the preloaded dataset's overlap depth.
+	PreloadVersions int
+}
+
+// DefaultEnv returns the environment used by the experiment suite.
+func DefaultEnv() Env {
+	return Env{
+		Seed:            1,
+		SampleOps:       100_000,
+		KRDFraction:     2.0,
+		PreloadVersions: 3,
+	}
+}
+
+// Validate reports sizing errors.
+func (e Env) Validate() error {
+	if e.SampleOps <= 0 {
+		return fmt.Errorf("bench: sample ops must be positive, got %d", e.SampleOps)
+	}
+	if e.KRDFraction < 0 {
+		return fmt.Errorf("bench: negative KRD fraction %v", e.KRDFraction)
+	}
+	if e.PreloadVersions < 1 {
+		return fmt.Errorf("bench: preload versions must be >= 1, got %d", e.PreloadVersions)
+	}
+	return nil
+}
+
+// CassandraSample benchmarks one (workload, config) point on a fresh
+// Cassandra engine.
+func (e Env) CassandraSample(rr float64, cfg config.Config, seed int64) (float64, error) {
+	eng, err := nosql.New(nosql.Options{
+		Space:  config.Cassandra(),
+		Config: cfg,
+		Seed:   e.Seed ^ seed,
+	})
+	if err != nil {
+		return 0, err
+	}
+	eng.Preload(e.PreloadVersions)
+	res, err := workload.Run(eng, workload.Spec{
+		ReadRatio: rr,
+		KRDMean:   e.KRDFraction * float64(eng.KeySpace()),
+		Ops:       e.SampleOps,
+		Seed:      seed + 101,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.Throughput, nil
+}
+
+// CassandraCollector adapts CassandraSample to the middleware.
+func (e Env) CassandraCollector() core.Collector {
+	return core.CollectorFunc(e.CassandraSample)
+}
+
+// CassandraLatencySample benchmarks one point and returns the inverse
+// of the p99 epoch latency (1/seconds) — the alternative performance
+// metric of Section 3.8, where the DBA tunes for tail latency instead
+// of throughput. Higher is better, as the middleware expects.
+func (e Env) CassandraLatencySample(rr float64, cfg config.Config, seed int64) (float64, error) {
+	eng, err := nosql.New(nosql.Options{
+		Space:  config.Cassandra(),
+		Config: cfg,
+		Seed:   e.Seed ^ seed,
+	})
+	if err != nil {
+		return 0, err
+	}
+	eng.Preload(e.PreloadVersions)
+	if _, err := workload.Run(eng, workload.Spec{
+		ReadRatio: rr,
+		KRDMean:   e.KRDFraction * float64(eng.KeySpace()),
+		Ops:       e.SampleOps,
+		Seed:      seed + 101,
+	}); err != nil {
+		return 0, err
+	}
+	p99 := eng.Metrics().LatencyPercentile(0.99)
+	if p99 <= 0 {
+		return 0, fmt.Errorf("bench: no latency samples collected")
+	}
+	return 1 / p99, nil
+}
+
+// CassandraLatencyCollector adapts CassandraLatencySample.
+func (e Env) CassandraLatencyCollector() core.Collector {
+	return core.CollectorFunc(e.CassandraLatencySample)
+}
+
+// ScyllaSample benchmarks one point on a fresh ScyllaDB engine.
+func (e Env) ScyllaSample(rr float64, cfg config.Config, seed int64) (float64, error) {
+	eng, err := nosql.NewScylla(nosql.ScyllaOptions{
+		Config: cfg,
+		Seed:   e.Seed ^ seed,
+	})
+	if err != nil {
+		return 0, err
+	}
+	eng.Preload(e.PreloadVersions)
+	res, err := workload.Run(eng, workload.Spec{
+		ReadRatio: rr,
+		KRDMean:   e.KRDFraction * float64(eng.KeySpace()),
+		Ops:       e.SampleOps,
+		Seed:      seed + 101,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.Throughput, nil
+}
+
+// ScyllaCollector adapts ScyllaSample to the middleware.
+func (e Env) ScyllaCollector() core.Collector {
+	return core.CollectorFunc(e.ScyllaSample)
+}
+
+// ClusterSample benchmarks one point on a fresh multi-node cluster with
+// the given node count and replication factor.
+func (e Env) ClusterSample(nodes, rf int, rr float64, cfg config.Config, seed int64) (float64, error) {
+	c, err := cluster.New(cluster.Options{
+		Nodes:             nodes,
+		ReplicationFactor: rf,
+		Space:             config.Cassandra(),
+		Config:            cfg,
+		Seed:              e.Seed ^ seed,
+	})
+	if err != nil {
+		return 0, err
+	}
+	c.Preload(e.PreloadVersions)
+	res, err := workload.Run(c, workload.Spec{
+		ReadRatio: rr,
+		KRDMean:   e.KRDFraction * float64(c.KeySpace()),
+		Ops:       e.SampleOps,
+		Seed:      seed + 101,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.Throughput, nil
+}

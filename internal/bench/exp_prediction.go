@@ -1,0 +1,289 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rafiki/internal/core"
+	"rafiki/internal/nn"
+	"rafiki/internal/stats"
+)
+
+// predictionEval summarizes surrogate quality on a held-out set.
+type predictionEval struct {
+	MAPE, R2, RMSE float64
+	// Errors holds signed percentage errors for histogramming.
+	Errors []float64
+}
+
+// evalSplit trains a fresh surrogate on train and scores it on test.
+func evalSplit(space *Pipeline, train, test core.Dataset, modelCfg nn.ModelConfig) (predictionEval, error) {
+	sur, err := core.TrainSurrogate(train, space.Space, modelCfg)
+	if err != nil {
+		return predictionEval{}, err
+	}
+	xs, ys, err := test.Features(space.Space)
+	if err != nil {
+		return predictionEval{}, err
+	}
+	preds, err := sur.Model.PredictBatch(xs)
+	if err != nil {
+		return predictionEval{}, err
+	}
+	mape, err := stats.MAPE(preds, ys)
+	if err != nil {
+		return predictionEval{}, err
+	}
+	r2, err := stats.R2(preds, ys)
+	if err != nil {
+		return predictionEval{}, err
+	}
+	rmse, err := stats.RMSE(preds, ys)
+	if err != nil {
+		return predictionEval{}, err
+	}
+	errsPct, err := stats.PercentErrors(preds, ys)
+	if err != nil {
+		return predictionEval{}, err
+	}
+	return predictionEval{MAPE: mape, R2: r2, RMSE: rmse, Errors: errsPct}, nil
+}
+
+// splitConfigs holds out ~fraction of the configurations (every sample
+// of a held-out configuration goes to test), Section 4.3's protocol.
+func splitConfigs(p *Pipeline, fraction float64, seed int64) (train, test core.Dataset) {
+	keys := p.Dataset.ConfigKeys(p.Space)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	n := int(float64(len(keys)) * fraction)
+	if n < 1 {
+		n = 1
+	}
+	held := make(map[string]bool, n)
+	for _, k := range keys[:n] {
+		held[k] = true
+	}
+	return p.Dataset.SplitByConfig(p.Space, held)
+}
+
+// splitWorkloads holds out ~fraction of the read ratios.
+func splitWorkloads(p *Pipeline, fraction float64, seed int64) (train, test core.Dataset) {
+	ws := p.Dataset.Workloads()
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(ws), func(i, j int) { ws[i], ws[j] = ws[j], ws[i] })
+	n := int(float64(len(ws)) * fraction)
+	if n < 1 {
+		n = 1
+	}
+	held := make(map[float64]bool, n)
+	for _, w := range ws[:n] {
+		held[w] = true
+	}
+	return p.Dataset.SplitByWorkload(held)
+}
+
+// PredictionTrials controls the validation experiments' repetition
+// count (the paper runs 10 randomized trials; the suite default trades
+// a few for runtime).
+const PredictionTrials = 4
+
+// Table2 regenerates the prediction-model performance comparison:
+// ensemble (20 nets, pruned to 14) vs a single net, on unseen
+// configurations and unseen workloads (Section 4.7).
+func Table2(p *Pipeline) (Report, error) {
+	type cell struct{ mape, r2, rmse float64 }
+	run := func(ensembleSize int, byConfig bool) (cell, []float64, error) {
+		var agg cell
+		var allErrs []float64
+		for trial := 0; trial < PredictionTrials; trial++ {
+			var train, test core.Dataset
+			if byConfig {
+				train, test = splitConfigs(p, 0.25, p.Opts.Env.Seed+int64(trial)*13)
+			} else {
+				train, test = splitWorkloads(p, 0.25, p.Opts.Env.Seed+int64(trial)*17)
+			}
+			cfg := p.Opts.Model
+			cfg.EnsembleSize = ensembleSize
+			if ensembleSize == 1 {
+				cfg.PruneFraction = 0
+			}
+			cfg.Seed = p.Opts.Model.Seed + int64(trial)*101
+			ev, err := evalSplit(p, train, test, cfg)
+			if err != nil {
+				return cell{}, nil, err
+			}
+			agg.mape += ev.MAPE
+			agg.r2 += ev.R2
+			agg.rmse += ev.RMSE
+			allErrs = append(allErrs, ev.Errors...)
+		}
+		n := float64(PredictionTrials)
+		return cell{agg.mape / n, agg.r2 / n, agg.rmse / n}, allErrs, nil
+	}
+
+	ens20Cfg, _, err := run(20, true)
+	if err != nil {
+		return Report{}, err
+	}
+	ens20WL, _, err := run(20, false)
+	if err != nil {
+		return Report{}, err
+	}
+	ens1Cfg, _, err := run(1, true)
+	if err != nil {
+		return Report{}, err
+	}
+	ens1WL, _, err := run(1, false)
+	if err != nil {
+		return Report{}, err
+	}
+
+	t := Table{
+		Title:  "Prediction model performance (averaged over randomized 75/25 splits)",
+		Header: []string{"metric", "20 nets / config", "20 nets / workload", "1 net / config", "1 net / workload"},
+		Rows: [][]string{
+			{"prediction error (MAPE)", f1(ens20Cfg.mape) + "%", f1(ens20WL.mape) + "%", f1(ens1Cfg.mape) + "%", f1(ens1WL.mape) + "%"},
+			{"R2", f2(ens20Cfg.r2), f2(ens20WL.r2), f2(ens1Cfg.r2), f2(ens1WL.r2)},
+			{"avg RMSE (ops/s)", f0(ens20Cfg.rmse), f0(ens20WL.rmse), f0(ens1Cfg.rmse), f0(ens1WL.rmse)},
+		},
+	}
+	return Report{
+		ID:     "table2",
+		Title:  "Surrogate prediction performance: ensemble vs single network",
+		Tables: []Table{t},
+		Notes: []string{
+			"paper: 20 nets -> 7.5% error / R2 0.74 (unseen configs), 5.6% / 0.75 (unseen workloads); 1 net -> 10.1% / 0.51 and 5.95% / 0.73",
+			"shape under test: the ensemble beats the single net, and unseen workloads predict better than unseen configurations",
+			fmt.Sprintf("suite runs %d trials per cell (paper: 10)", PredictionTrials),
+		},
+	}, nil
+}
+
+// Figure7 regenerates the learning curve: prediction error vs number of
+// training samples, for unseen configurations and unseen workloads
+// (Section 4.7.1); error should level off near the full dataset size.
+func Figure7(p *Pipeline) (Report, error) {
+	sizes := []int{36, 72, 108, 144, 180}
+	t := Table{
+		Title:  "Prediction error (MAPE %) vs number of training samples",
+		Header: []string{"training samples", "unseen configs", "unseen workloads"},
+	}
+	cfgTrainFull, cfgTest := splitConfigs(p, 0.25, p.Opts.Env.Seed+31)
+	wlTrainFull, wlTest := splitWorkloads(p, 0.25, p.Opts.Env.Seed+37)
+
+	subsample := func(ds core.Dataset, n int, seed int64) core.Dataset {
+		if n >= len(ds.Samples) {
+			return ds
+		}
+		idx := rand.New(rand.NewSource(seed)).Perm(len(ds.Samples))[:n]
+		var out core.Dataset
+		for _, i := range idx {
+			out.Samples = append(out.Samples, ds.Samples[i])
+		}
+		return out
+	}
+
+	modelCfg := p.Opts.Model
+	// The learning curve retrains many models; a leaner ensemble keeps
+	// the suite fast while preserving the curve's shape.
+	if modelCfg.EnsembleSize > 6 {
+		modelCfg.EnsembleSize = 6
+	}
+
+	var prevCfgErr float64
+	for i, n := range sizes {
+		evCfg, err := evalSplit(p, subsample(cfgTrainFull, n, int64(n)), cfgTest, modelCfg)
+		if err != nil {
+			return Report{}, err
+		}
+		evWL, err := evalSplit(p, subsample(wlTrainFull, n, int64(n)*3), wlTest, modelCfg)
+		if err != nil {
+			return Report{}, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n), f1(evCfg.MAPE), f1(evWL.MAPE),
+		})
+		if i == len(sizes)-1 {
+			prevCfgErr = evCfg.MAPE
+		}
+	}
+	_ = prevCfgErr
+	return Report{
+		ID:     "figure7",
+		Title:  "Learning curve of the surrogate model",
+		Tables: []Table{t},
+		Notes: []string{
+			"paper: error decreases with more samples and levels off around 180, reaching ~7.5% (unseen configs) and ~5.6% (unseen workloads)",
+		},
+	}, nil
+}
+
+// Figure8 regenerates the unseen-configuration error histogram
+// (Section 4.7.2): near-zero mean, most mass within |5|%.
+func Figure8(p *Pipeline) (Report, error) {
+	return errorHistogram(p, "figure8", "Prediction-error distribution for unseen configurations", true)
+}
+
+// Figure9 is the unseen-workload error histogram.
+func Figure9(p *Pipeline) (Report, error) {
+	return errorHistogram(p, "figure9", "Prediction-error distribution for unseen workloads", false)
+}
+
+func errorHistogram(p *Pipeline, id, title string, byConfig bool) (Report, error) {
+	var all []float64
+	for trial := 0; trial < PredictionTrials; trial++ {
+		var train, test core.Dataset
+		if byConfig {
+			train, test = splitConfigs(p, 0.25, p.Opts.Env.Seed+int64(trial)*13)
+		} else {
+			train, test = splitWorkloads(p, 0.25, p.Opts.Env.Seed+int64(trial)*17)
+		}
+		cfg := p.Opts.Model
+		cfg.Seed = p.Opts.Model.Seed + int64(trial)*101
+		ev, err := evalSplit(p, train, test, cfg)
+		if err != nil {
+			return Report{}, err
+		}
+		all = append(all, ev.Errors...)
+	}
+	h, err := stats.NewHistogram(-20, 20, 16)
+	if err != nil {
+		return Report{}, err
+	}
+	h.AddAll(all)
+
+	var absSum, sum float64
+	for _, e := range all {
+		sum += e
+		if e < 0 {
+			absSum -= e
+		} else {
+			absSum += e
+		}
+	}
+	mean := sum / float64(len(all))
+	absMean := absSum / float64(len(all))
+
+	hist := Table{
+		Title:  "Histogram of signed prediction errors (percent)",
+		Header: []string{"distribution"},
+		Rows:   [][]string{{"\n" + h.Render(40)}},
+	}
+	summary := Table{
+		Title:  "Error summary",
+		Header: []string{"metric", "value"},
+		Rows: [][]string{
+			{"validations", fmt.Sprintf("%d", len(all))},
+			{"mean signed error", f2(mean) + "%"},
+			{"mean absolute error", f2(absMean) + "%"},
+		},
+	}
+	return Report{
+		ID:     id,
+		Title:  title,
+		Tables: []Table{summary, hist},
+		Notes: []string{
+			"paper: average absolute error 7.5% (configs) / 5.6% (workloads), most mass within |5|%, little bias (mean near zero)",
+		},
+	}, nil
+}

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"fmt"
+
+	"rafiki/internal/config"
+)
+
+// Table4 regenerates the ScyllaDB tuning comparison: Rafiki's
+// recommended configuration vs a measured grid search, both scored as
+// gains over ScyllaDB's default (auto-tuned) configuration, at 70% and
+// 100% reads (Section 4.10).
+func Table4(p *Pipeline) (Report, error) {
+	if p.Space.Name != "scylladb" {
+		return Report{}, fmt.Errorf("bench: Table4 needs a ScyllaDB pipeline, got %q", p.Space.Name)
+	}
+	workloads := []float64{0.7, 1.0}
+	grid, err := scyllaGrid(p.Space)
+	if err != nil {
+		return Report{}, err
+	}
+
+	t := Table{
+		Title:  "ScyllaDB: Rafiki vs measured grid search (gains over default)",
+		Header: []string{"workload", "default", "rafiki", "rafiki gain", "grid best", "grid gain"},
+	}
+	seed := p.Opts.Env.Seed + 120_000
+	for _, rr := range workloads {
+		seed += 500
+		def, err := p.MeasureDefault(rr, seed)
+		if err != nil {
+			return Report{}, err
+		}
+		_, raf, err := p.RecommendAndMeasure(rr, seed+1)
+		if err != nil {
+			return Report{}, err
+		}
+		gr, err := GridSearch(p.Collector, rr, grid, seed+2)
+		if err != nil {
+			return Report{}, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("R=%.0f%%", rr*100),
+			f0(def), f0(raf), pct(raf/def - 1),
+			f0(gr.BestThroughput), pct(gr.BestThroughput/def - 1),
+		})
+	}
+	return Report{
+		ID:     "table4",
+		Title:  "ScyllaDB performance tuning",
+		Tables: []Table{t},
+		Notes: []string{
+			"paper: WL1 (R=70%): Rafiki +12.29% vs grid +21.8%; WL2 (R=100%): Rafiki +9% vs grid +4.57%",
+			"shape under test: ScyllaDB's internal auto-tuner leaves much less headroom than Cassandra's defaults (~9-12% vs ~41%), and its throughput variance makes tuning noisier",
+		},
+	}, nil
+}
+
+// scyllaGrid builds an 80-point grid over ScyllaDB's key parameters.
+func scyllaGrid(space *config.Space) ([]config.Config, error) {
+	keys, err := space.KeyParams()
+	if err != nil {
+		return nil, err
+	}
+	// Per-parameter levels sized to multiply to 80: 2 x 2 x 5 x 2 x 2.
+	levels := [][]float64{
+		{config.CompactionSizeTiered, config.CompactionLeveled}, // compaction_strategy
+		{32, 64},                     // concurrent_writes
+		{0.05, 0.11, 0.2, 0.35, 0.5}, // memtable_cleanup_threshold
+		{16, 128},                    // compaction_throughput_mb_per_sec
+		{1024, 4096},                 // memtable_heap_space_in_mb
+	}
+	if len(levels) != len(keys) {
+		return nil, fmt.Errorf("bench: scylla grid levels mismatch: %d vs %d key params", len(levels), len(keys))
+	}
+	var out []config.Config
+	var walk func(i int, cfg config.Config)
+	walk = func(i int, cfg config.Config) {
+		if i == len(keys) {
+			out = append(out, cfg.Clone())
+			return
+		}
+		for _, v := range levels[i] {
+			cfg[keys[i].Name] = v
+			walk(i+1, cfg)
+		}
+		delete(cfg, keys[i].Name)
+	}
+	walk(0, config.Config{})
+	return out, nil
+}

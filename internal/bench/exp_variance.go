@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"fmt"
+
+	"rafiki/internal/config"
+	"rafiki/internal/nosql"
+	"rafiki/internal/stats"
+	"rafiki/internal/workload"
+)
+
+// Figure10 regenerates the throughput-variance comparison: Cassandra
+// and ScyllaDB under an identical stationary 70%-read workload with
+// default configurations, sampled over time (Section 4.10). ScyllaDB's
+// internal auto-tuner makes its throughput fluctuate — sometimes by
+// ~60% for extended periods — which is what degrades its surrogate's
+// accuracy relative to Cassandra's.
+func Figure10(env Env) (Report, error) {
+	const rr = 0.7
+	ops := env.SampleOps * 3 // longer run to expose the slow wander
+
+	runCassandra := func() ([]float64, error) {
+		eng, err := nosql.New(nosql.Options{Space: config.Cassandra(), Seed: env.Seed + 11})
+		if err != nil {
+			return nil, err
+		}
+		eng.Preload(env.PreloadVersions)
+		if _, err := workload.Run(eng, workload.Spec{
+			ReadRatio: rr,
+			KRDMean:   env.KRDFraction * float64(eng.KeySpace()),
+			Ops:       ops,
+			Seed:      env.Seed + 12,
+		}); err != nil {
+			return nil, err
+		}
+		return eng.Metrics().EpochThroughputs, nil
+	}
+	runScylla := func() ([]float64, error) {
+		eng, err := nosql.NewScylla(nosql.ScyllaOptions{Seed: env.Seed + 11})
+		if err != nil {
+			return nil, err
+		}
+		eng.Preload(env.PreloadVersions)
+		if _, err := workload.Run(eng, workload.Spec{
+			ReadRatio: rr,
+			KRDMean:   env.KRDFraction * float64(eng.KeySpace()),
+			Ops:       ops,
+			Seed:      env.Seed + 12,
+		}); err != nil {
+			return nil, err
+		}
+		return eng.Metrics().EpochThroughputs, nil
+	}
+
+	cSeries, err := runCassandra()
+	if err != nil {
+		return Report{}, err
+	}
+	sSeries, err := runScylla()
+	if err != nil {
+		return Report{}, err
+	}
+
+	describe := func(name string, series []float64) []string {
+		mean := stats.Mean(series)
+		sd := stats.StdDev(series)
+		mn, _ := stats.Min(series)
+		mx, _ := stats.Max(series)
+		cv := 0.0
+		if mean > 0 {
+			cv = sd / mean
+		}
+		// Local variability separates the auto-tuner's sample-to-sample
+		// jitter from slow trends like compaction-debt warm-up, which
+		// both engines share.
+		var local float64
+		for i := 1; i < len(series); i++ {
+			d := series[i] - series[i-1]
+			if d < 0 {
+				d = -d
+			}
+			local += d
+		}
+		if len(series) > 1 && mean > 0 {
+			local = local / float64(len(series)-1) / mean
+		}
+		return []string{
+			name,
+			fmt.Sprintf("%d", len(series)),
+			f0(mean), f0(sd), pct(cv), pct(local), f0(mn), f0(mx),
+			pct((mx - mn) / mean),
+		}
+	}
+	t := Table{
+		Title:  "Throughput over time at RR=70% (default configurations)",
+		Header: []string{"engine", "samples", "mean", "std dev", "CV", "local var", "min", "max", "peak-to-trough"},
+		Rows: [][]string{
+			describe("Cassandra", cSeries),
+			describe("ScyllaDB", sSeries),
+		},
+	}
+
+	spark := func(series []float64) string {
+		if len(series) == 0 {
+			return ""
+		}
+		mn, _ := stats.Min(series)
+		mx, _ := stats.Max(series)
+		glyphs := []rune("_.-=*#")
+		var out []rune
+		step := len(series) / 60
+		if step < 1 {
+			step = 1
+		}
+		for i := 0; i < len(series); i += step {
+			frac := 0.0
+			if mx > mn {
+				frac = (series[i] - mn) / (mx - mn)
+			}
+			idx := int(frac * float64(len(glyphs)-1))
+			out = append(out, glyphs[idx])
+		}
+		return string(out)
+	}
+	timeline := Table{
+		Title:  "Throughput sparklines (time left to right)",
+		Header: []string{"engine", "series"},
+		Rows: [][]string{
+			{"Cassandra", spark(cSeries)},
+			{"ScyllaDB", spark(sSeries)},
+		},
+	}
+
+	return Report{
+		ID:     "figure10",
+		Title:  "Throughput stability: Cassandra vs ScyllaDB",
+		Tables: []Table{t, timeline},
+		Notes: []string{
+			"paper: Cassandra's throughput is stable; ScyllaDB's fluctuates substantially (up to ~60% for ~40 seconds), making its throughput harder to predict",
+			"shape under test: ScyllaDB's coefficient of variation and peak-to-trough swing exceed Cassandra's by a wide margin",
+		},
+	}, nil
+}

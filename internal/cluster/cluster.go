@@ -1,0 +1,228 @@
+// Package cluster deploys several simulated storage engines as a
+// peer-to-peer cluster, the paper's multi-server setup (Section 4.9):
+// keys are placed by a hash partitioner, writes go to every replica,
+// and reads are balanced across replicas. Multiple client "shooters"
+// are modeled by letting node clocks advance independently — the
+// cluster is as slow as its busiest node.
+package cluster
+
+import (
+	"fmt"
+
+	"rafiki/internal/config"
+	"rafiki/internal/nosql"
+)
+
+// Options configures a cluster.
+type Options struct {
+	// Nodes is the number of server instances.
+	Nodes int
+	// ReplicationFactor is how many nodes hold each key. The paper's
+	// two-server experiment raises RF so each instance stores the same
+	// number of keys as the single-server case.
+	ReplicationFactor int
+	// Space and Config configure every node identically.
+	Space  *config.Space
+	Config config.Config
+	// Hardware and Model pass through to each engine; zero values use
+	// defaults.
+	Hardware nosql.Hardware
+	Model    nosql.CostModel
+	// Seed derives per-node seeds.
+	Seed int64
+	// EpochOps passes through to each engine.
+	EpochOps int
+}
+
+// Cluster is a set of replicated engines behind a coordinator.
+type Cluster struct {
+	nodes []*nosql.Engine
+	rf    int
+	// reads are rotated across replicas per key.
+	rotation uint64
+	// down marks failed nodes; hints buffers mutations owed to them.
+	down   []bool
+	hints  [][]hint
+	readCL ConsistencyLevel
+	stats  Stats
+}
+
+// New builds a cluster of identical nodes.
+func New(opts Options) (*Cluster, error) {
+	if opts.Nodes <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one node, got %d", opts.Nodes)
+	}
+	if opts.ReplicationFactor <= 0 || opts.ReplicationFactor > opts.Nodes {
+		return nil, fmt.Errorf("cluster: replication factor %d out of [1, %d]", opts.ReplicationFactor, opts.Nodes)
+	}
+	c := &Cluster{
+		rf:     opts.ReplicationFactor,
+		down:   make([]bool, opts.Nodes),
+		hints:  make([][]hint, opts.Nodes),
+		readCL: ConsistencyOne,
+	}
+	for i := 0; i < opts.Nodes; i++ {
+		eng, err := nosql.New(nosql.Options{
+			Space:    opts.Space,
+			Config:   opts.Config,
+			Hardware: opts.Hardware,
+			Model:    opts.Model,
+			Seed:     opts.Seed + int64(i)*1_000_003,
+			EpochOps: opts.EpochOps,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+		c.nodes = append(c.nodes, eng)
+	}
+	return c, nil
+}
+
+// Nodes returns the node count.
+func (c *Cluster) Nodes() int { return len(c.nodes) }
+
+// Preload installs the dataset on every node. Preloaded data is
+// replicated everywhere (the paper's two-server setup stores an
+// equivalent number of keys per instance); runtime writes respect the
+// replica placement.
+func (c *Cluster) Preload(versions int) {
+	for _, n := range c.nodes {
+		n.Preload(versions)
+	}
+}
+
+// Apply reconfigures every node.
+func (c *Cluster) Apply(cfg config.Config) error {
+	for i, n := range c.nodes {
+		if err := n.Apply(cfg); err != nil {
+			return fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// replicas returns the node indexes holding key, primary first.
+func (c *Cluster) replicas(key uint64) []int {
+	// Multiplicative hashing stands in for the ring's token ownership.
+	h := key * 0x9E3779B97F4A7C15
+	primary := int(h % uint64(len(c.nodes)))
+	out := make([]int, 0, c.rf)
+	for i := 0; i < c.rf; i++ {
+		out = append(out, (primary+i)%len(c.nodes))
+	}
+	return out
+}
+
+// hint is a mutation buffered for a down replica.
+type hint struct {
+	key       uint64
+	tombstone bool
+}
+
+// Write routes a write to every replica. A down replica's write is
+// buffered as a hint on the coordinator (hinted handoff) and replayed
+// when the node recovers; a write with no live replica at all counts as
+// unavailable.
+func (c *Cluster) Write(key uint64) {
+	c.mutate(key, false)
+}
+
+// Delete routes a tombstone write to every replica, with the same
+// hinted-handoff semantics as Write.
+func (c *Cluster) Delete(key uint64) {
+	c.mutate(key, true)
+}
+
+func (c *Cluster) mutate(key uint64, tombstone bool) {
+	anyLive := false
+	for _, idx := range c.replicas(key) {
+		if c.down[idx] {
+			c.hints[idx] = append(c.hints[idx], hint{key: key, tombstone: tombstone})
+			c.stats.HintsStored++
+			continue
+		}
+		if tombstone {
+			c.nodes[idx].Delete(key)
+		} else {
+			c.nodes[idx].Write(key)
+		}
+		anyLive = true
+	}
+	if !anyLive {
+		c.stats.UnavailableWrites++
+	}
+}
+
+// Read serves a read from as many live replicas as the configured
+// consistency level requires, starting from a rotated offset so load
+// balances (the LCG rotation avoids correlating with key-sequence
+// patterns). A read that cannot reach enough live replicas counts as
+// unavailable.
+func (c *Cluster) Read(key uint64) {
+	reps := c.replicas(key)
+	var live []int
+	for _, idx := range reps {
+		if !c.down[idx] {
+			live = append(live, idx)
+		}
+	}
+	need := c.readCL.replicasNeeded(c.rf)
+	if len(live) < need {
+		c.stats.UnavailableReads++
+		return
+	}
+	c.rotation = c.rotation*6364136223846793005 + 1442695040888963407
+	start := int((c.rotation >> 33) % uint64(len(live)))
+	for i := 0; i < need; i++ {
+		c.nodes[live[(start+i)%len(live)]].Read(key)
+	}
+}
+
+// FinishEpoch closes accounting on every node.
+func (c *Cluster) FinishEpoch() {
+	for _, n := range c.nodes {
+		n.FinishEpoch()
+	}
+}
+
+// Clock returns the busiest node's virtual time: shooters drive nodes
+// in parallel, so the cluster finishes when its slowest member does.
+func (c *Cluster) Clock() float64 {
+	var maxClock float64
+	for _, n := range c.nodes {
+		if t := n.Clock(); t > maxClock {
+			maxClock = t
+		}
+	}
+	return maxClock
+}
+
+// KeySpace returns the logical key space (shared by all nodes).
+func (c *Cluster) KeySpace() int { return c.nodes[0].KeySpace() }
+
+// Metrics aggregates node counters.
+func (c *Cluster) Metrics() nosql.Metrics {
+	var agg nosql.Metrics
+	for _, n := range c.nodes {
+		m := n.Metrics()
+		agg.Reads += m.Reads
+		agg.Writes += m.Writes
+		agg.Flushes += m.Flushes
+		agg.ForcedFlushes += m.ForcedFlushes
+		agg.Compactions += m.Compactions
+		agg.CompactionBytes += m.CompactionBytes
+		agg.StallSeconds += m.StallSeconds
+		agg.SSTables += m.SSTables
+		agg.MaxSSTables += m.MaxSSTables
+		agg.DiskBlockReads += m.DiskBlockReads
+		agg.FileCacheHits += m.FileCacheHits
+		agg.RowCacheHits += m.RowCacheHits
+		agg.BloomChecks += m.BloomChecks
+		agg.MemtableHits += m.MemtableHits
+		agg.CompactionBacklogBytes += m.CompactionBacklogBytes
+		if m.VirtualSeconds > agg.VirtualSeconds {
+			agg.VirtualSeconds = m.VirtualSeconds
+		}
+	}
+	return agg
+}

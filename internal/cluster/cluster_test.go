@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"testing"
+
+	"rafiki/internal/config"
+	"rafiki/internal/workload"
+)
+
+func newTestCluster(t *testing.T, nodes, rf int, cfg config.Config) *Cluster {
+	t.Helper()
+	c, err := New(Options{
+		Nodes:             nodes,
+		ReplicationFactor: rf,
+		Space:             config.Cassandra(),
+		Config:            cfg,
+		Seed:              7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	space := config.Cassandra()
+	if _, err := New(Options{Nodes: 0, ReplicationFactor: 1, Space: space}); err == nil {
+		t.Error("zero nodes should error")
+	}
+	if _, err := New(Options{Nodes: 2, ReplicationFactor: 0, Space: space}); err == nil {
+		t.Error("zero RF should error")
+	}
+	if _, err := New(Options{Nodes: 2, ReplicationFactor: 3, Space: space}); err == nil {
+		t.Error("RF > nodes should error")
+	}
+	if _, err := New(Options{Nodes: 1, ReplicationFactor: 1}); err == nil {
+		t.Error("missing space should error")
+	}
+}
+
+func TestReplicaPlacement(t *testing.T) {
+	c := newTestCluster(t, 4, 2, nil)
+	seen := make(map[int]bool)
+	for key := uint64(0); key < 1000; key++ {
+		reps := c.replicas(key)
+		if len(reps) != 2 {
+			t.Fatalf("key %d has %d replicas", key, len(reps))
+		}
+		if reps[0] == reps[1] {
+			t.Fatalf("key %d replicas collide", key)
+		}
+		seen[reps[0]] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("primary placement uses %d of 4 nodes", len(seen))
+	}
+}
+
+func TestWritesReachAllReplicas(t *testing.T) {
+	c := newTestCluster(t, 2, 2, nil)
+	for k := uint64(0); k < 10_000; k++ {
+		c.Write(k % uint64(c.KeySpace()))
+	}
+	c.FinishEpoch()
+	m := c.Metrics()
+	if m.Writes != 20_000 {
+		t.Errorf("aggregate writes = %d, want 20000 (RF=2)", m.Writes)
+	}
+}
+
+func TestReadsBalanceAcrossReplicas(t *testing.T) {
+	c := newTestCluster(t, 2, 2, nil)
+	c.Preload(1)
+	for k := uint64(0); k < 10_000; k++ {
+		c.Read(k % uint64(c.KeySpace()))
+	}
+	c.FinishEpoch()
+	for i, n := range c.nodes {
+		reads := n.Metrics().Reads
+		if reads < 4000 || reads > 6000 {
+			t.Errorf("node %d served %d reads, want ~5000", i, reads)
+		}
+	}
+}
+
+func TestTwoServerReadScaling(t *testing.T) {
+	// The point of the paper's Table 3 setup: a second server with an
+	// extra shooter lifts read-heavy throughput.
+	single := newTestCluster(t, 1, 1, nil)
+	single.Preload(3)
+	resSingle, err := workload.Run(single, workload.Spec{ReadRatio: 1, KRDMean: float64(single.KeySpace()) / 2, Ops: 60_000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	double := newTestCluster(t, 2, 2, nil)
+	double.Preload(3)
+	resDouble, err := workload.Run(double, workload.Spec{ReadRatio: 1, KRDMean: float64(double.KeySpace()) / 2, Ops: 60_000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resDouble.Throughput < resSingle.Throughput*1.3 {
+		t.Errorf("two servers should scale reads: %v vs %v", resDouble.Throughput, resSingle.Throughput)
+	}
+}
+
+func TestApplyPropagates(t *testing.T) {
+	c := newTestCluster(t, 2, 1, nil)
+	if err := c.Apply(config.Config{config.ParamCompactionStrategy: config.CompactionLeveled}); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range c.nodes {
+		if got := n.Params()[config.ParamCompactionStrategy]; got != config.CompactionLeveled {
+			t.Errorf("node %d strategy = %v", i, got)
+		}
+	}
+	if err := c.Apply(config.Config{"bogus": 1}); err == nil {
+		t.Error("bad config should error")
+	}
+}
+
+func TestClockIsBusiestNode(t *testing.T) {
+	c := newTestCluster(t, 2, 1, nil)
+	// Route traffic to whatever node owns key 0's shard only.
+	for i := 0; i < 50_000; i++ {
+		c.Write(0)
+	}
+	c.FinishEpoch()
+	var clocks []float64
+	for _, n := range c.nodes {
+		clocks = append(clocks, n.Clock())
+	}
+	want := clocks[0]
+	if clocks[1] > want {
+		want = clocks[1]
+	}
+	if got := c.Clock(); got != want {
+		t.Errorf("Clock = %v, want max %v", got, want)
+	}
+}
+
+func TestNodesAccessor(t *testing.T) {
+	c := newTestCluster(t, 3, 1, nil)
+	if c.Nodes() != 3 {
+		t.Errorf("Nodes = %d", c.Nodes())
+	}
+}

@@ -1,0 +1,112 @@
+package cluster
+
+import "fmt"
+
+// ConsistencyLevel selects how many replicas a read must consult.
+type ConsistencyLevel int
+
+// Supported read consistency levels. The paper's throughput-oriented
+// benchmarks run at ONE; QUORUM and ALL trade throughput for recency,
+// and their cost shows up directly in the simulator because every
+// consulted replica performs the read.
+const (
+	ConsistencyOne ConsistencyLevel = iota + 1
+	ConsistencyQuorum
+	ConsistencyAll
+)
+
+// String implements fmt.Stringer.
+func (cl ConsistencyLevel) String() string {
+	switch cl {
+	case ConsistencyOne:
+		return "ONE"
+	case ConsistencyQuorum:
+		return "QUORUM"
+	case ConsistencyAll:
+		return "ALL"
+	default:
+		return fmt.Sprintf("ConsistencyLevel(%d)", int(cl))
+	}
+}
+
+// replicasNeeded returns how many live replicas a read requires.
+func (cl ConsistencyLevel) replicasNeeded(rf int) int {
+	switch cl {
+	case ConsistencyQuorum:
+		return rf/2 + 1
+	case ConsistencyAll:
+		return rf
+	default:
+		return 1
+	}
+}
+
+// Stats counts cluster-level availability events.
+type Stats struct {
+	// UnavailableReads/Writes count operations that could not reach the
+	// required replicas.
+	UnavailableReads, UnavailableWrites uint64
+	// HintsStored counts writes buffered for a down replica and
+	// HintsReplayed those delivered on recovery.
+	HintsStored, HintsReplayed uint64
+}
+
+// SetReadConsistency selects the read consistency level (default ONE).
+func (c *Cluster) SetReadConsistency(cl ConsistencyLevel) error {
+	switch cl {
+	case ConsistencyOne, ConsistencyQuorum, ConsistencyAll:
+		c.readCL = cl
+		return nil
+	default:
+		return fmt.Errorf("cluster: unknown consistency level %d", int(cl))
+	}
+}
+
+// Stats returns the availability counters.
+func (c *Cluster) Stats() Stats { return c.stats }
+
+// FailNode marks node i down: reads route around it, writes destined
+// for it are buffered as hints on the coordinator (hinted handoff).
+func (c *Cluster) FailNode(i int) error {
+	if i < 0 || i >= len(c.nodes) {
+		return fmt.Errorf("cluster: no node %d", i)
+	}
+	if c.down[i] {
+		return fmt.Errorf("cluster: node %d is already down", i)
+	}
+	c.down[i] = true
+	return nil
+}
+
+// RecoverNode brings node i back and replays its buffered hints as
+// writes, restoring replica convergence.
+func (c *Cluster) RecoverNode(i int) error {
+	if i < 0 || i >= len(c.nodes) {
+		return fmt.Errorf("cluster: no node %d", i)
+	}
+	if !c.down[i] {
+		return fmt.Errorf("cluster: node %d is not down", i)
+	}
+	c.down[i] = false
+	for _, h := range c.hints[i] {
+		if h.tombstone {
+			c.nodes[i].Delete(h.key)
+		} else {
+			c.nodes[i].Write(h.key)
+		}
+		c.stats.HintsReplayed++
+	}
+	c.hints[i] = nil
+	return nil
+}
+
+// LiveNodes returns how many nodes are up.
+func (c *Cluster) LiveNodes() int {
+	n := 0
+	for _, d := range c.down {
+		if !d {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func TestConsistencyLevelString(t *testing.T) {
+	tests := []struct {
+		give ConsistencyLevel
+		want string
+	}{
+		{ConsistencyOne, "ONE"},
+		{ConsistencyQuorum, "QUORUM"},
+		{ConsistencyAll, "ALL"},
+		{ConsistencyLevel(9), "ConsistencyLevel(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestReplicasNeeded(t *testing.T) {
+	tests := []struct {
+		cl   ConsistencyLevel
+		rf   int
+		want int
+	}{
+		{ConsistencyOne, 3, 1},
+		{ConsistencyQuorum, 3, 2},
+		{ConsistencyQuorum, 2, 2},
+		{ConsistencyAll, 3, 3},
+	}
+	for _, tt := range tests {
+		if got := tt.cl.replicasNeeded(tt.rf); got != tt.want {
+			t.Errorf("%v.replicasNeeded(%d) = %d, want %d", tt.cl, tt.rf, got, tt.want)
+		}
+	}
+}
+
+func TestSetReadConsistencyValidation(t *testing.T) {
+	c := newTestCluster(t, 3, 3, nil)
+	if err := c.SetReadConsistency(ConsistencyQuorum); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetReadConsistency(ConsistencyLevel(42)); err == nil {
+		t.Error("unknown level should error")
+	}
+}
+
+func TestQuorumReadsCostMoreReplicas(t *testing.T) {
+	one := newTestCluster(t, 3, 3, nil)
+	one.Preload(1)
+	for k := uint64(0); k < 5000; k++ {
+		one.Read(k % uint64(one.KeySpace()))
+	}
+	one.FinishEpoch()
+
+	quorum := newTestCluster(t, 3, 3, nil)
+	if err := quorum.SetReadConsistency(ConsistencyQuorum); err != nil {
+		t.Fatal(err)
+	}
+	quorum.Preload(1)
+	for k := uint64(0); k < 5000; k++ {
+		quorum.Read(k % uint64(quorum.KeySpace()))
+	}
+	quorum.FinishEpoch()
+
+	oneReads := one.Metrics().Reads
+	quorumReads := quorum.Metrics().Reads
+	if quorumReads != 2*oneReads {
+		t.Errorf("quorum issued %d replica reads, want 2x ONE's %d", quorumReads, oneReads)
+	}
+}
+
+func TestFailNodeValidation(t *testing.T) {
+	c := newTestCluster(t, 2, 2, nil)
+	if err := c.FailNode(-1); err == nil {
+		t.Error("bad index should error")
+	}
+	if err := c.FailNode(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FailNode(0); err == nil {
+		t.Error("double-fail should error")
+	}
+	if err := c.RecoverNode(1); err == nil {
+		t.Error("recovering a live node should error")
+	}
+	if err := c.RecoverNode(5); err == nil {
+		t.Error("bad index should error")
+	}
+	if got := c.LiveNodes(); got != 1 {
+		t.Errorf("LiveNodes = %d, want 1", got)
+	}
+}
+
+func TestHintedHandoff(t *testing.T) {
+	c := newTestCluster(t, 2, 2, nil)
+	if err := c.FailNode(1); err != nil {
+		t.Fatal(err)
+	}
+	const writes = 1000
+	for k := uint64(0); k < writes; k++ {
+		c.Write(k)
+	}
+	c.FinishEpoch()
+	st := c.Stats()
+	if st.HintsStored != writes {
+		t.Errorf("HintsStored = %d, want %d (RF=2, one node down)", st.HintsStored, writes)
+	}
+	if st.UnavailableWrites != 0 {
+		t.Errorf("UnavailableWrites = %d; one live replica suffices", st.UnavailableWrites)
+	}
+	// The down node received nothing yet.
+	if got := c.nodes[1].Metrics().Writes; got != 0 {
+		t.Errorf("down node saw %d writes", got)
+	}
+
+	if err := c.RecoverNode(1); err != nil {
+		t.Fatal(err)
+	}
+	c.FinishEpoch()
+	if got := c.Stats().HintsReplayed; got != writes {
+		t.Errorf("HintsReplayed = %d, want %d", got, writes)
+	}
+	// Replica convergence: the recovered node now holds the writes.
+	if got := c.nodes[1].Metrics().Writes; got != writes {
+		t.Errorf("recovered node has %d writes, want %d", got, writes)
+	}
+	// Replaying twice is impossible: hints are drained.
+	if err := c.FailNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RecoverNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().HintsReplayed; got != writes {
+		t.Errorf("hints replayed twice: %d", got)
+	}
+}
+
+func TestReadsRouteAroundFailedNode(t *testing.T) {
+	c := newTestCluster(t, 2, 2, nil)
+	c.Preload(1)
+	if err := c.FailNode(0); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 2000; k++ {
+		c.Read(k % uint64(c.KeySpace()))
+	}
+	c.FinishEpoch()
+	if got := c.Stats().UnavailableReads; got != 0 {
+		t.Errorf("UnavailableReads = %d; the live replica should serve all", got)
+	}
+	if got := c.nodes[0].Metrics().Reads; got != 0 {
+		t.Errorf("down node served %d reads", got)
+	}
+	if got := c.nodes[1].Metrics().Reads; got != 2000 {
+		t.Errorf("live node served %d reads, want 2000", got)
+	}
+}
+
+func TestQuorumUnavailableUnderFailure(t *testing.T) {
+	c := newTestCluster(t, 2, 2, nil)
+	c.Preload(1)
+	if err := c.SetReadConsistency(ConsistencyQuorum); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FailNode(0); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 100; k++ {
+		c.Read(k)
+	}
+	if got := c.Stats().UnavailableReads; got != 100 {
+		t.Errorf("UnavailableReads = %d, want 100 (quorum=2, one node down)", got)
+	}
+}
+
+func TestAllReplicasDownWritesUnavailable(t *testing.T) {
+	c := newTestCluster(t, 2, 2, nil)
+	if err := c.FailNode(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FailNode(1); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 50; k++ {
+		c.Write(k)
+	}
+	if got := c.Stats().UnavailableWrites; got != 50 {
+		t.Errorf("UnavailableWrites = %d, want 50", got)
+	}
+}
+
+func TestClusterDeletesAndHintedTombstones(t *testing.T) {
+	c := newTestCluster(t, 2, 2, nil)
+	c.Write(5)
+	c.Delete(5)
+	// Both replicas saw the delete.
+	for i, n := range c.nodes {
+		if n.Lookup(5) {
+			t.Errorf("node %d still resolves key 5 live", i)
+		}
+	}
+
+	// Delete while one replica is down: the tombstone is hinted and
+	// replayed so the recovered node converges to "deleted".
+	c.Write(6)
+	if err := c.FailNode(1); err != nil {
+		t.Fatal(err)
+	}
+	c.Delete(6)
+	if err := c.RecoverNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if c.nodes[1].Lookup(6) {
+		t.Error("hinted tombstone not replayed; replicas diverged")
+	}
+}

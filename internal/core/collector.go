@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rafiki/internal/config"
+)
+
+// CollectOptions tunes the training-data collection stage.
+type CollectOptions struct {
+	// Workloads lists the read ratios to benchmark; the paper uses 11
+	// values spanning 0%..100% in 10% steps.
+	Workloads []float64
+	// Configs is the number of configurations (20 in the paper, for
+	// 220 total samples).
+	Configs int
+	// Seed drives config sampling and per-sample seeds.
+	Seed int64
+	// DropRate simulates faulted samples removed from the dataset (the
+	// paper drops 20 of 220 for client faults); 0 keeps everything.
+	DropRate float64
+}
+
+// DefaultCollectOptions mirrors the paper's data-collection setup.
+func DefaultCollectOptions() CollectOptions {
+	ws := make([]float64, 0, 11)
+	for rr := 0.0; rr <= 1.0001; rr += 0.1 {
+		ws = append(ws, math.Round(rr*10)/10)
+	}
+	return CollectOptions{Workloads: ws, Configs: 20}
+}
+
+// SampleConfigs draws the configuration set C for data collection
+// following Section 3.5: the default configuration is included, every
+// key parameter's minimum and maximum each occur at least once, and the
+// remaining configurations are random — but not fully combinatorial.
+func SampleConfigs(space *config.Space, n int, seed int64) ([]config.Config, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: need at least one configuration, got %d", n)
+	}
+	keys, err := space.KeyParams()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	randomValue := func(p config.Parameter) float64 {
+		v := p.Min + rng.Float64()*(p.Max-p.Min)
+		return p.Clamp(v)
+	}
+	randomConfig := func() config.Config {
+		cfg := make(config.Config, len(keys))
+		for _, p := range keys {
+			cfg[p.Name] = randomValue(p)
+		}
+		return cfg
+	}
+
+	out := make([]config.Config, 0, n)
+	out = append(out, config.Config{}) // the default configuration
+
+	// Coverage: one config pinning each key parameter at min, one at
+	// max, with the other parameters random.
+	for _, p := range keys {
+		for _, v := range []float64{p.Min, p.Max} {
+			if len(out) >= n {
+				break
+			}
+			cfg := randomConfig()
+			cfg[p.Name] = p.Clamp(v)
+			out = append(out, cfg)
+		}
+	}
+	for len(out) < n {
+		out = append(out, randomConfig())
+	}
+	return out[:n], nil
+}
+
+// Collect benchmarks every workload against every sampled
+// configuration, producing the surrogate's training dataset.
+func Collect(c Collector, space *config.Space, opts CollectOptions) (Dataset, error) {
+	if len(opts.Workloads) == 0 {
+		return Dataset{}, fmt.Errorf("core: no workloads to collect")
+	}
+	for _, rr := range opts.Workloads {
+		if rr < 0 || rr > 1 {
+			return Dataset{}, fmt.Errorf("core: workload read ratio %v out of [0,1]", rr)
+		}
+	}
+	if opts.DropRate < 0 || opts.DropRate >= 1 {
+		return Dataset{}, fmt.Errorf("core: drop rate %v out of [0,1)", opts.DropRate)
+	}
+	configs, err := SampleConfigs(space, opts.Configs, opts.Seed)
+	if err != nil {
+		return Dataset{}, err
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + 1))
+
+	var ds Dataset
+	seed := opts.Seed + 1000
+	for _, cfg := range configs {
+		for _, rr := range opts.Workloads {
+			seed++
+			if opts.DropRate > 0 && rng.Float64() < opts.DropRate {
+				// A faulted load generator: the sample is discarded, as
+				// in the paper's cleanup of 20 noisy samples.
+				ds.Dropped++
+				continue
+			}
+			tput, err := c.Sample(rr, cfg, seed)
+			if err != nil {
+				return Dataset{}, fmt.Errorf("core: sampling %s at RR=%v: %w", space.Describe(cfg), rr, err)
+			}
+			ds.Samples = append(ds.Samples, Sample{ReadRatio: rr, Config: cfg.Clone(), Throughput: tput})
+		}
+	}
+	return ds, nil
+}

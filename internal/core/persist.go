@@ -1,0 +1,70 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"rafiki/internal/config"
+	"rafiki/internal/nn"
+)
+
+// surrogateFile is the on-disk format of a trained surrogate. The
+// offline pipeline costs hours of benchmarking; persisting its output
+// lets the online stage start instantly on the next run.
+type surrogateFile struct {
+	Datastore string          `json:"datastore"`
+	KeyNames  []string        `json:"keyNames"`
+	Model     json.RawMessage `json:"model"`
+}
+
+// Save writes the surrogate to path as JSON.
+func (s *Surrogate) Save(path string) error {
+	modelBlob, err := json.Marshal(s.Model)
+	if err != nil {
+		return fmt.Errorf("core: encoding surrogate model: %w", err)
+	}
+	blob, err := json.MarshalIndent(surrogateFile{
+		Datastore: s.Space.Name,
+		KeyNames:  s.Space.KeyNames,
+		Model:     modelBlob,
+	}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("core: encoding surrogate: %w", err)
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return fmt.Errorf("core: writing surrogate: %w", err)
+	}
+	return nil
+}
+
+// LoadSurrogate reads a surrogate saved by Save and binds it to space,
+// validating that the datastore and key-parameter layout match — a
+// surrogate trained for one feature encoding must not silently predict
+// for another.
+func LoadSurrogate(path string, space *config.Space) (*Surrogate, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading surrogate: %w", err)
+	}
+	var sf surrogateFile
+	if err := json.Unmarshal(blob, &sf); err != nil {
+		return nil, fmt.Errorf("core: decoding surrogate: %w", err)
+	}
+	if sf.Datastore != space.Name {
+		return nil, fmt.Errorf("core: surrogate was trained for %q, not %q", sf.Datastore, space.Name)
+	}
+	if len(sf.KeyNames) != len(space.KeyNames) {
+		return nil, fmt.Errorf("core: surrogate has %d key parameters, space has %d", len(sf.KeyNames), len(space.KeyNames))
+	}
+	for i, n := range sf.KeyNames {
+		if n != space.KeyNames[i] {
+			return nil, fmt.Errorf("core: key parameter %d is %q in the surrogate but %q in the space", i, n, space.KeyNames[i])
+		}
+	}
+	var model nn.Model
+	if err := json.Unmarshal(sf.Model, &model); err != nil {
+		return nil, fmt.Errorf("core: decoding surrogate model: %w", err)
+	}
+	return &Surrogate{Model: &model, Space: space}, nil
+}

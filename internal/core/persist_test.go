@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"rafiki/internal/config"
+)
+
+func TestSurrogateSaveLoadRoundTrip(t *testing.T) {
+	space := config.Cassandra()
+	ds, err := Collect(analyticCollector(space), space, CollectOptions{
+		Workloads: []float64{0, 0.5, 1},
+		Configs:   8,
+		Seed:      41,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sur, err := TrainSurrogate(ds, space, fastModelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "surrogate.json")
+	if err := sur.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadSurrogate(path, config.Cassandra())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, rr := range []float64{0.1, 0.5, 0.9} {
+		a, err := sur.Predict(rr, config.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := back.Predict(rr, config.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a-b) > 1e-12 {
+			t.Fatalf("prediction drifted: %v vs %v", a, b)
+		}
+	}
+
+	// The reloaded surrogate must still drive the GA.
+	rec, err := back.Optimize(0.9, fastGAOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := config.Cassandra().Validate(rec.Config); err != nil {
+		t.Errorf("recommendation invalid: %v", err)
+	}
+}
+
+func TestLoadSurrogateValidation(t *testing.T) {
+	space := config.Cassandra()
+	ds, err := Collect(analyticCollector(space), space, CollectOptions{
+		Workloads: []float64{0, 1},
+		Configs:   6,
+		Seed:      43,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sur, err := TrainSurrogate(ds, space, fastModelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "surrogate.json")
+	if err := sur.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong datastore.
+	if _, err := LoadSurrogate(path, config.ScyllaDB()); err == nil {
+		t.Error("loading a cassandra surrogate into scylladb should error")
+	}
+	// Mismatched key layout.
+	mutated := config.Cassandra()
+	mutated.KeyNames = mutated.KeyNames[:4]
+	if _, err := LoadSurrogate(path, mutated); err == nil {
+		t.Error("mismatched key count should error")
+	}
+	reordered := config.Cassandra()
+	reordered.KeyNames[0], reordered.KeyNames[1] = reordered.KeyNames[1], reordered.KeyNames[0]
+	if _, err := LoadSurrogate(path, reordered); err == nil {
+		t.Error("reordered key names should error")
+	}
+	// Missing file.
+	if _, err := LoadSurrogate(filepath.Join(t.TempDir(), "nope.json"), space); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestTunerUseSurrogate(t *testing.T) {
+	space := config.Cassandra()
+	ds, err := Collect(analyticCollector(space), space, CollectOptions{
+		Workloads: []float64{0, 1},
+		Configs:   6,
+		Seed:      45,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sur, err := TrainSurrogate(ds, space, fastModelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner, err := NewTuner(analyticCollector(space), config.Cassandra(), TunerOptions{
+		SkipIdentify: true,
+		GA:           fastGAOptions(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tuner.UseSurrogate(sur); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tuner.Recommend(0.5); err != nil {
+		t.Errorf("Recommend after UseSurrogate: %v", err)
+	}
+	if err := tuner.UseSurrogate(nil); err == nil {
+		t.Error("nil surrogate should error")
+	}
+	scyllaTuner, err := NewTuner(analyticCollector(space), config.ScyllaDB(), TunerOptions{SkipIdentify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := scyllaTuner.UseSurrogate(sur); err == nil {
+		t.Error("cross-datastore surrogate should error")
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"rafiki/internal/config"
+	"rafiki/internal/forecast"
+)
+
+// ProactiveController extends the reactive Controller with the paper's
+// future-work workload prediction (Section 6): instead of tuning for
+// the window just observed — which is already over — it tunes for the
+// forecast of the next window, so the configuration is in place when
+// the regime switch arrives.
+type ProactiveController struct {
+	tuner      *Tuner
+	applier    Applier
+	forecaster forecast.Forecaster
+	threshold  float64
+
+	haveTuned   bool
+	lastTunedRR float64
+	current     config.Config
+	retunes     int
+}
+
+// NewProactiveController wires a forecaster-driven controller.
+func NewProactiveController(t *Tuner, a Applier, f forecast.Forecaster, threshold float64) (*ProactiveController, error) {
+	if t == nil || a == nil || f == nil {
+		return nil, errors.New("core: proactive controller needs a tuner, an applier, and a forecaster")
+	}
+	if threshold < 0 || threshold > 1 {
+		return nil, fmt.Errorf("core: threshold %v out of [0,1]", threshold)
+	}
+	return &ProactiveController{tuner: t, applier: a, forecaster: f, threshold: threshold}, nil
+}
+
+// Observe feeds one window's measured read ratio, forecasts the next
+// window, and re-tunes when the forecast departs from the last tuning
+// point. It returns whether a reconfiguration was applied.
+func (c *ProactiveController) Observe(readRatio float64) (bool, error) {
+	c.forecaster.Observe(readRatio)
+	next := c.forecaster.Predict()
+	if next < 0 {
+		next = 0
+	}
+	if next > 1 {
+		next = 1
+	}
+	if c.haveTuned && abs(next-c.lastTunedRR) < c.threshold {
+		return false, nil
+	}
+	rec, err := c.tuner.Recommend(next)
+	if err != nil {
+		return false, err
+	}
+	if err := c.applier.Apply(rec.Config); err != nil {
+		return false, fmt.Errorf("core: applying proactive recommendation: %w", err)
+	}
+	c.haveTuned = true
+	c.lastTunedRR = next
+	c.current = rec.Config
+	c.retunes++
+	return true, nil
+}
+
+// Current returns the most recently applied configuration.
+func (c *ProactiveController) Current() config.Config { return c.current }
+
+// Retunes counts applied reconfigurations.
+func (c *ProactiveController) Retunes() int { return c.retunes }

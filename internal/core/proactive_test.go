@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"rafiki/internal/config"
+	"rafiki/internal/forecast"
+)
+
+func preparedTuner(t *testing.T) *Tuner {
+	t.Helper()
+	space := config.Cassandra()
+	tuner, err := NewTuner(analyticCollector(space), space, TunerOptions{
+		SkipIdentify: true,
+		Collect:      CollectOptions{Workloads: []float64{0, 0.25, 0.5, 0.75, 1}, Configs: 12, Seed: 21},
+		Model:        fastModelConfig(),
+		GA:           fastGAOptions(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tuner.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	return tuner
+}
+
+func TestProactiveControllerValidation(t *testing.T) {
+	space := config.Cassandra()
+	tuner, _ := NewTuner(analyticCollector(space), space, DefaultTunerOptions())
+	f, _ := forecast.NewEWMA(0.5)
+	if _, err := NewProactiveController(nil, &recordingApplier{}, f, 0.1); err == nil {
+		t.Error("nil tuner should error")
+	}
+	if _, err := NewProactiveController(tuner, nil, f, 0.1); err == nil {
+		t.Error("nil applier should error")
+	}
+	if _, err := NewProactiveController(tuner, &recordingApplier{}, nil, 0.1); err == nil {
+		t.Error("nil forecaster should error")
+	}
+	if _, err := NewProactiveController(tuner, &recordingApplier{}, f, 2); err == nil {
+		t.Error("bad threshold should error")
+	}
+}
+
+func TestProactiveControllerTracksForecast(t *testing.T) {
+	tuner := preparedTuner(t)
+	markov, err := forecast.NewMarkov(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := &recordingApplier{}
+	ctrl, err := NewProactiveController(tuner, app, markov, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	retuned, err := ctrl.Observe(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !retuned {
+		t.Error("first observation should tune")
+	}
+	// Let the Markov prior wash out while the workload is stable; early
+	// retunes during convergence are acceptable.
+	for i := 0; i < 10; i++ {
+		if _, err := ctrl.Observe(0.9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warmRetunes := ctrl.Retunes()
+	// A converged forecaster on a stable stream must not retune.
+	for i := 0; i < 5; i++ {
+		retuned, err = ctrl.Observe(0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if retuned {
+			t.Fatalf("stable workload retuned at step %d", i)
+		}
+	}
+	// A sustained write regime moves the forecast and forces a retune.
+	var flipped bool
+	for i := 0; i < 6; i++ {
+		retuned, err = ctrl.Observe(0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flipped = flipped || retuned
+	}
+	if !flipped {
+		t.Error("sustained regime change should retune")
+	}
+	if ctrl.Retunes() <= warmRetunes || len(app.applied) != ctrl.Retunes() {
+		t.Errorf("retunes = %d, applied = %d", ctrl.Retunes(), len(app.applied))
+	}
+	if ctrl.Current() == nil {
+		t.Error("Current should return the live config")
+	}
+}

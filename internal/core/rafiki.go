@@ -1,0 +1,216 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"rafiki/internal/config"
+	"rafiki/internal/ga"
+	"rafiki/internal/nn"
+)
+
+// TunerOptions configures the end-to-end Rafiki workflow.
+type TunerOptions struct {
+	// Identify tunes the ANOVA stage. Set SkipIdentify to reuse the
+	// space's published key parameters instead of re-deriving them.
+	Identify     IdentifyOptions
+	SkipIdentify bool
+	// Collect tunes training-data collection.
+	Collect CollectOptions
+	// Model tunes the surrogate's architecture and training.
+	Model nn.ModelConfig
+	// GA tunes the online configuration search.
+	GA ga.Options
+}
+
+// DefaultTunerOptions mirrors the paper end to end.
+func DefaultTunerOptions() TunerOptions {
+	return TunerOptions{
+		Identify: DefaultIdentifyOptions(),
+		Collect:  DefaultCollectOptions(),
+		Model:    nn.DefaultModelConfig(),
+		GA:       ga.DefaultOptions(),
+	}
+}
+
+// Tuner is the Rafiki middleware: it owns the offline pipeline
+// (identify -> collect -> train) and answers online Recommend queries
+// from the trained surrogate.
+//
+// The DBA-level inputs of Section 3.8 map onto the constructor: the
+// performance metric is whatever the Collector measures, the parameter
+// list with valid ranges is the Space, and the representative trace
+// informs the workloads in CollectOptions.
+type Tuner struct {
+	space     *config.Space
+	collector Collector
+	opts      TunerOptions
+
+	identification *Identification
+	dataset        Dataset
+	surrogate      *Surrogate
+}
+
+// ErrNotPrepared is returned by online queries before Prepare has run.
+var ErrNotPrepared = errors.New("core: tuner is not prepared; run Prepare first")
+
+// NewTuner wires a tuner for a datastore described by space, using c to
+// benchmark it during the offline phases.
+func NewTuner(c Collector, space *config.Space, opts TunerOptions) (*Tuner, error) {
+	if c == nil {
+		return nil, errors.New("core: nil collector")
+	}
+	if space == nil {
+		return nil, errors.New("core: nil space")
+	}
+	return &Tuner{space: space, collector: c, opts: opts}, nil
+}
+
+// Prepare runs the offline pipeline: key-parameter identification (or
+// adoption of the space's published set), data collection, and
+// surrogate training.
+func (t *Tuner) Prepare() error {
+	if !t.opts.SkipIdentify {
+		id, err := IdentifyKeyParameters(t.collector, t.space, t.opts.Identify)
+		if err != nil {
+			return fmt.Errorf("core: identify stage: %w", err)
+		}
+		t.identification = &id
+		t.space.KeyNames = id.KeyNames
+	}
+	if len(t.space.KeyNames) == 0 {
+		return errors.New("core: no key parameters selected")
+	}
+
+	ds, err := Collect(t.collector, t.space, t.opts.Collect)
+	if err != nil {
+		return fmt.Errorf("core: collect stage: %w", err)
+	}
+	t.dataset = ds
+
+	sur, err := TrainSurrogate(ds, t.space, t.opts.Model)
+	if err != nil {
+		return fmt.Errorf("core: train stage: %w", err)
+	}
+	t.surrogate = sur
+	return nil
+}
+
+// Identification returns the ANOVA outcome, or nil when identification
+// was skipped.
+func (t *Tuner) Identification() *Identification { return t.identification }
+
+// Dataset returns the collected training data.
+func (t *Tuner) Dataset() Dataset { return t.dataset }
+
+// Surrogate returns the trained model, or nil before Prepare.
+func (t *Tuner) Surrogate() *Surrogate { return t.surrogate }
+
+// UseSurrogate installs a previously trained (e.g. persisted) surrogate,
+// making the tuner ready to Recommend without re-running Prepare. The
+// surrogate must be bound to a space with the same datastore name and
+// key-parameter layout.
+func (t *Tuner) UseSurrogate(s *Surrogate) error {
+	if s == nil || s.Model == nil || s.Space == nil {
+		return errors.New("core: nil surrogate")
+	}
+	if s.Space.Name != t.space.Name {
+		return fmt.Errorf("core: surrogate datastore %q does not match tuner %q", s.Space.Name, t.space.Name)
+	}
+	if len(s.Space.KeyNames) != len(t.space.KeyNames) {
+		return fmt.Errorf("core: surrogate key layout mismatch")
+	}
+	for i, n := range s.Space.KeyNames {
+		if n != t.space.KeyNames[i] {
+			return fmt.Errorf("core: surrogate key %d is %q, tuner has %q", i, n, t.space.KeyNames[i])
+		}
+	}
+	t.surrogate = s
+	return nil
+}
+
+// Space returns the tuner's configuration space.
+func (t *Tuner) Space() *config.Space { return t.space }
+
+// Recommend searches for the best configuration for the observed read
+// ratio. This is the online stage: it costs only surrogate calls.
+func (t *Tuner) Recommend(readRatio float64) (OptimizeResult, error) {
+	if t.surrogate == nil {
+		return OptimizeResult{}, ErrNotPrepared
+	}
+	if readRatio < 0 || readRatio > 1 {
+		return OptimizeResult{}, fmt.Errorf("core: read ratio %v out of [0,1]", readRatio)
+	}
+	return t.surrogate.Optimize(readRatio, t.opts.GA)
+}
+
+// Applier receives recommended configurations — typically the live
+// datastore engine (or cluster) being tuned.
+type Applier interface {
+	Apply(cfg config.Config) error
+}
+
+// Controller is the online reconfiguration loop: it watches the
+// workload's read ratio per observation window and re-tunes the
+// datastore when the workload moves materially, the behaviour that
+// lets Rafiki track MG-RAST's abrupt regime switches (Figure 3).
+type Controller struct {
+	tuner   *Tuner
+	applier Applier
+	// threshold is the minimum |RR - lastTunedRR| that triggers a
+	// re-tune; small jitters are ignored to avoid reconfiguration
+	// downtime.
+	threshold float64
+
+	haveTuned   bool
+	lastTunedRR float64
+	current     config.Config
+	retunes     int
+}
+
+// NewController builds a controller with the given re-tune threshold.
+func NewController(t *Tuner, a Applier, threshold float64) (*Controller, error) {
+	if t == nil || a == nil {
+		return nil, errors.New("core: controller needs a tuner and an applier")
+	}
+	if threshold < 0 || threshold > 1 {
+		return nil, fmt.Errorf("core: threshold %v out of [0,1]", threshold)
+	}
+	return &Controller{tuner: t, applier: a, threshold: threshold}, nil
+}
+
+// Observe reports one workload window's read ratio. When the workload
+// has moved beyond the threshold since the last tuning point, a new
+// configuration is searched and applied; Observe returns whether a
+// reconfiguration happened.
+func (c *Controller) Observe(readRatio float64) (bool, error) {
+	if c.haveTuned && abs(readRatio-c.lastTunedRR) < c.threshold {
+		return false, nil
+	}
+	rec, err := c.tuner.Recommend(readRatio)
+	if err != nil {
+		return false, err
+	}
+	if err := c.applier.Apply(rec.Config); err != nil {
+		return false, fmt.Errorf("core: applying recommendation: %w", err)
+	}
+	c.haveTuned = true
+	c.lastTunedRR = readRatio
+	c.current = rec.Config
+	c.retunes++
+	return true, nil
+}
+
+// Current returns the configuration applied most recently (nil before
+// the first tune).
+func (c *Controller) Current() config.Config { return c.current }
+
+// Retunes counts applied reconfigurations.
+func (c *Controller) Retunes() int { return c.retunes }
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+
+	"rafiki/internal/config"
+	"rafiki/internal/ga"
+	"rafiki/internal/nn"
+)
+
+// Surrogate is the trained performance model fnet(RR, C) of Equation
+// (2), plus the configuration-space metadata needed to encode and
+// decode feature vectors.
+type Surrogate struct {
+	// Model is the underlying pruned DNN ensemble.
+	Model *nn.Model
+	// Space supplies the key-parameter encoding.
+	Space *config.Space
+}
+
+// TrainSurrogate fits the DNN ensemble to a dataset.
+func TrainSurrogate(ds Dataset, space *config.Space, cfg nn.ModelConfig) (*Surrogate, error) {
+	xs, ys, err := ds.Features(space)
+	if err != nil {
+		return nil, err
+	}
+	model, err := nn.Fit(xs, ys, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: training surrogate: %w", err)
+	}
+	return &Surrogate{Model: model, Space: space}, nil
+}
+
+// Predict returns the surrogate's throughput estimate for a workload
+// and configuration. One call costs microseconds, which is what makes
+// GA search over the surrogate ~4 orders of magnitude faster than
+// benchmarking real configurations (Section 4.8).
+func (s *Surrogate) Predict(readRatio float64, cfg config.Config) (float64, error) {
+	vec, err := s.Space.FeatureVector(readRatio, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return s.Model.Predict(vec)
+}
+
+// OptimizeResult is the outcome of a configuration search.
+type OptimizeResult struct {
+	// Config is the recommended (feasible) configuration.
+	Config config.Config
+	// Predicted is the surrogate's throughput estimate for Config.
+	Predicted float64
+	// Evaluations counts surrogate calls spent searching.
+	Evaluations int
+	// History is the best surrogate value per GA generation.
+	History []float64
+}
+
+// Optimize searches the key-parameter space for the configuration that
+// maximizes predicted throughput at the given read ratio (Equation 4),
+// using the genetic algorithm of Section 3.7.2.
+func (s *Surrogate) Optimize(readRatio float64, opts ga.Options) (OptimizeResult, error) {
+	keys, err := s.Space.KeyParams()
+	if err != nil {
+		return OptimizeResult{}, err
+	}
+	bounds := make([]ga.Bound, len(keys))
+	for i, p := range keys {
+		bounds[i] = ga.Bound{
+			Min:     p.Min,
+			Max:     p.Max,
+			Integer: p.Kind != config.Continuous,
+		}
+	}
+	problem := ga.Problem{
+		Bounds: bounds,
+		Fitness: func(genes []float64) (float64, error) {
+			vec := make([]float64, 0, len(genes)+1)
+			vec = append(vec, readRatio)
+			vec = append(vec, genes...)
+			return s.Model.Predict(vec)
+		},
+	}
+	res, err := ga.Run(problem, opts)
+	if err != nil {
+		return OptimizeResult{}, fmt.Errorf("core: GA search: %w", err)
+	}
+	cfg, err := s.Space.ConfigFromVector(res.Best)
+	if err != nil {
+		return OptimizeResult{}, err
+	}
+	return OptimizeResult{
+		Config:      cfg,
+		Predicted:   res.BestFitness,
+		Evaluations: res.Evaluations,
+		History:     res.History,
+	}, nil
+}

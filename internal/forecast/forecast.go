@@ -1,0 +1,171 @@
+// Package forecast implements workload prediction, the future-work item
+// of Section 6 ("we are also developing a prediction model for the
+// workloads"): given the observed read-ratio window series, predict the
+// next window so the controller can re-tune proactively instead of
+// reacting one window late.
+//
+// Two predictors are provided: an exponentially-weighted moving average
+// (the baseline) and a discretized Markov chain that learns the
+// regime-switching structure of MG-RAST-like traces online.
+package forecast
+
+import "fmt"
+
+// Forecaster consumes a read-ratio series one observation at a time and
+// predicts the next value.
+type Forecaster interface {
+	// Observe feeds one window's read ratio.
+	Observe(rr float64)
+	// Predict returns the expected next read ratio. Before any
+	// observation it returns a neutral 0.5.
+	Predict() float64
+}
+
+// Persistence predicts "same as last window" — the implicit model of a
+// reactive controller, used as the comparison baseline.
+type Persistence struct {
+	last float64
+	seen bool
+}
+
+var _ Forecaster = (*Persistence)(nil)
+
+// Observe implements Forecaster.
+func (p *Persistence) Observe(rr float64) {
+	p.last = rr
+	p.seen = true
+}
+
+// Predict implements Forecaster.
+func (p *Persistence) Predict() float64 {
+	if !p.seen {
+		return 0.5
+	}
+	return p.last
+}
+
+// EWMA is an exponentially-weighted moving average predictor.
+type EWMA struct {
+	// Alpha is the smoothing factor in (0, 1]; larger reacts faster.
+	alpha float64
+	value float64
+	seen  bool
+}
+
+var _ Forecaster = (*EWMA)(nil)
+
+// NewEWMA builds an EWMA with smoothing factor alpha.
+func NewEWMA(alpha float64) (*EWMA, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("forecast: alpha %v out of (0, 1]", alpha)
+	}
+	return &EWMA{alpha: alpha}, nil
+}
+
+// Observe implements Forecaster.
+func (e *EWMA) Observe(rr float64) {
+	if !e.seen {
+		e.value = rr
+		e.seen = true
+		return
+	}
+	e.value = e.alpha*rr + (1-e.alpha)*e.value
+}
+
+// Predict implements Forecaster.
+func (e *EWMA) Predict() float64 {
+	if !e.seen {
+		return 0.5
+	}
+	return e.value
+}
+
+// Markov discretizes the read ratio into bins and learns the bin
+// transition matrix online (with add-one smoothing); the prediction is
+// the expected next-bin center given the current bin. On traces with
+// regime structure it learns, e.g., that write bursts are short and
+// revert to read-heavy.
+type Markov struct {
+	bins   int
+	counts [][]float64
+	cur    int
+	seen   bool
+}
+
+var _ Forecaster = (*Markov)(nil)
+
+// NewMarkov builds a predictor with the given bin count (>= 2).
+func NewMarkov(bins int) (*Markov, error) {
+	if bins < 2 {
+		return nil, fmt.Errorf("forecast: need >= 2 bins, got %d", bins)
+	}
+	counts := make([][]float64, bins)
+	for i := range counts {
+		counts[i] = make([]float64, bins)
+		for j := range counts[i] {
+			counts[i][j] = 0.5 // smoothing prior
+		}
+	}
+	return &Markov{bins: bins, counts: counts}, nil
+}
+
+func (m *Markov) bin(rr float64) int {
+	if rr < 0 {
+		rr = 0
+	}
+	if rr > 1 {
+		rr = 1
+	}
+	b := int(rr * float64(m.bins))
+	if b == m.bins {
+		b--
+	}
+	return b
+}
+
+func (m *Markov) center(bin int) float64 {
+	return (float64(bin) + 0.5) / float64(m.bins)
+}
+
+// Observe implements Forecaster.
+func (m *Markov) Observe(rr float64) {
+	b := m.bin(rr)
+	if m.seen {
+		m.counts[m.cur][b]++
+	}
+	m.cur = b
+	m.seen = true
+}
+
+// Predict implements Forecaster.
+func (m *Markov) Predict() float64 {
+	if !m.seen {
+		return 0.5
+	}
+	row := m.counts[m.cur]
+	var total, acc float64
+	for j, c := range row {
+		total += c
+		acc += c * m.center(j)
+	}
+	return acc / total
+}
+
+// Evaluate replays a series through a fresh run of f and returns the
+// mean squared one-step-ahead prediction error.
+func Evaluate(f Forecaster, series []float64) (float64, error) {
+	if len(series) < 2 {
+		return 0, fmt.Errorf("forecast: need at least 2 observations, got %d", len(series))
+	}
+	var sse float64
+	var n int
+	for i, rr := range series {
+		if i > 0 {
+			d := f.Predict() - rr
+			sse += d * d
+			n++
+		}
+		f.Observe(rr)
+	}
+	return sse / float64(n), nil
+}

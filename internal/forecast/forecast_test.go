@@ -1,0 +1,141 @@
+package forecast
+
+import (
+	"math"
+	"testing"
+
+	"rafiki/internal/workload"
+)
+
+func TestPersistence(t *testing.T) {
+	var p Persistence
+	if got := p.Predict(); got != 0.5 {
+		t.Errorf("cold Predict = %v, want 0.5", got)
+	}
+	p.Observe(0.9)
+	if got := p.Predict(); got != 0.9 {
+		t.Errorf("Predict = %v, want 0.9", got)
+	}
+}
+
+func TestEWMAValidation(t *testing.T) {
+	for _, alpha := range []float64{0, -0.1, 1.5} {
+		if _, err := NewEWMA(alpha); err == nil {
+			t.Errorf("alpha %v should error", alpha)
+		}
+	}
+}
+
+func TestEWMASmoothing(t *testing.T) {
+	e, err := NewEWMA(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Predict(); got != 0.5 {
+		t.Errorf("cold Predict = %v", got)
+	}
+	e.Observe(1)
+	e.Observe(0)
+	if got := e.Predict(); got != 0.5 {
+		t.Errorf("EWMA(1, 0) = %v, want 0.5", got)
+	}
+	e.Observe(0)
+	if got := e.Predict(); got != 0.25 {
+		t.Errorf("EWMA = %v, want 0.25", got)
+	}
+}
+
+func TestMarkovValidation(t *testing.T) {
+	if _, err := NewMarkov(1); err == nil {
+		t.Error("1 bin should error")
+	}
+}
+
+func TestMarkovLearnsAlternation(t *testing.T) {
+	// A strictly alternating series 0.9, 0.1, 0.9, ... — the Markov
+	// model must learn to predict the flip; persistence cannot.
+	m, err := NewMarkov(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := make([]float64, 200)
+	for i := range series {
+		if i%2 == 0 {
+			series[i] = 0.9
+		} else {
+			series[i] = 0.1
+		}
+	}
+	mseM, err := Evaluate(m, series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mseP, err := Evaluate(&Persistence{}, series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mseM >= mseP/2 {
+		t.Errorf("Markov MSE %v should crush persistence %v on alternation", mseM, mseP)
+	}
+}
+
+func TestMarkovBinEdges(t *testing.T) {
+	m, err := NewMarkov(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-range observations clamp instead of panicking.
+	m.Observe(-0.5)
+	m.Observe(1.5)
+	got := m.Predict()
+	if got < 0 || got > 1 {
+		t.Errorf("Predict = %v out of [0,1]", got)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	if _, err := Evaluate(&Persistence{}, []float64{0.5}); err == nil {
+		t.Error("short series should error")
+	}
+}
+
+func TestMarkovOnSynthesizedTrace(t *testing.T) {
+	// On the MG-RAST-like regime-switching trace, the learned Markov
+	// model should at least match EWMA and not be far behind
+	// persistence in one-step MSE.
+	trace, err := workload.SynthesizeTrace(workload.DefaultTraceSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := make([]float64, len(trace))
+	for i, w := range trace {
+		series[i] = w.ReadRatio
+	}
+	m, err := NewMarkov(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEWMA(0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mseMarkov, err := Evaluate(m, series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mseEWMA, err := Evaluate(e, series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msePersist, err := Evaluate(&Persistence{}, series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("MSE: markov=%.4f ewma=%.4f persistence=%.4f", mseMarkov, mseEWMA, msePersist)
+	if mseMarkov > mseEWMA*1.05 {
+		t.Errorf("Markov (%.4f) should not lose to EWMA (%.4f)", mseMarkov, mseEWMA)
+	}
+	if math.IsNaN(mseMarkov) || mseMarkov <= 0 {
+		t.Errorf("implausible MSE %v", mseMarkov)
+	}
+}

@@ -1,0 +1,135 @@
+package ga
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// AnnealOptions tunes the simulated-annealing searcher, an alternative
+// stochastic optimizer over the same bounded problems the GA solves.
+// It exists for the search-strategy ablation: the paper chose a GA for
+// robustness to local maxima; annealing is the classic single-chain
+// competitor.
+type AnnealOptions struct {
+	// Steps is the number of proposal evaluations.
+	Steps int
+	// TempInit and TempFinal bound the exponential cooling schedule, in
+	// units of the fitness function.
+	TempInit, TempFinal float64
+	// StepSigma is the proposal step as a fraction of each gene range.
+	StepSigma float64
+	// PenaltyCoeff scales constraint violations, as in the GA.
+	PenaltyCoeff float64
+	// Seed drives the chain.
+	Seed int64
+}
+
+// DefaultAnnealOptions roughly matches the GA's evaluation budget.
+func DefaultAnnealOptions() AnnealOptions {
+	return AnnealOptions{
+		Steps:        3300,
+		TempInit:     0.1,
+		TempFinal:    1e-4,
+		StepSigma:    0.15,
+		PenaltyCoeff: 2.0,
+	}
+}
+
+// Anneal maximizes p.Fitness with simulated annealing and returns the
+// best feasible (repaired) candidate found.
+func Anneal(p Problem, opts AnnealOptions) (Result, error) {
+	if len(p.Bounds) == 0 {
+		return Result{}, fmt.Errorf("ga: anneal: no bounds")
+	}
+	if p.Fitness == nil {
+		return Result{}, fmt.Errorf("ga: anneal: nil fitness function")
+	}
+	if opts.Steps < 1 {
+		return Result{}, fmt.Errorf("ga: anneal: steps must be >= 1, got %d", opts.Steps)
+	}
+	if opts.TempInit <= 0 || opts.TempFinal <= 0 || opts.TempFinal > opts.TempInit {
+		return Result{}, fmt.Errorf("ga: anneal: invalid temperature schedule [%v, %v]", opts.TempInit, opts.TempFinal)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var res Result
+
+	score := func(genes []float64) (raw, s float64, err error) {
+		raw, err = p.Fitness(genes)
+		if err != nil {
+			return 0, 0, err
+		}
+		v := violation(genes, p.Bounds)
+		return raw, raw - opts.PenaltyCoeff*v*(1+math.Abs(raw)), nil
+	}
+
+	cur := make([]float64, len(p.Bounds))
+	for i, b := range p.Bounds {
+		cur[i] = b.Min + rng.Float64()*(b.Max-b.Min)
+	}
+	_, curScore, err := score(cur)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Evaluations++
+
+	bestRepaired := Repair(cur, p.Bounds)
+	bestFitness, err := p.Fitness(bestRepaired)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Evaluations++
+
+	// The score scale normalizes temperatures: fitness units vary by
+	// problem, so temperatures are relative to the first score's
+	// magnitude.
+	scale := math.Abs(curScore)
+	if scale < 1 {
+		scale = 1
+	}
+	cooling := math.Pow(opts.TempFinal/opts.TempInit, 1/float64(opts.Steps))
+	temp := opts.TempInit * scale
+
+	proposal := make([]float64, len(cur))
+	for step := 0; step < opts.Steps; step++ {
+		copy(proposal, cur)
+		// Perturb one gene per step; occasionally reset it to explore.
+		i := rng.Intn(len(p.Bounds))
+		b := p.Bounds[i]
+		span := b.Max - b.Min
+		if span > 0 {
+			if rng.Float64() < 0.1 {
+				proposal[i] = b.Min + rng.Float64()*span
+			} else {
+				proposal[i] += rng.NormFloat64() * opts.StepSigma * span
+			}
+		}
+		_, propScore, err := score(proposal)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Evaluations++
+
+		if propScore >= curScore || rng.Float64() < math.Exp((propScore-curScore)/temp) {
+			copy(cur, proposal)
+			curScore = propScore
+
+			repaired := Repair(cur, p.Bounds)
+			rf, err := p.Fitness(repaired)
+			if err != nil {
+				return Result{}, err
+			}
+			res.Evaluations++
+			if rf > bestFitness {
+				bestFitness = rf
+				bestRepaired = repaired
+			}
+		}
+		res.History = append(res.History, curScore)
+		temp *= cooling
+	}
+
+	res.Best = bestRepaired
+	res.BestFitness = bestFitness
+	return res, nil
+}

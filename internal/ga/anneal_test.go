@@ -1,0 +1,86 @@
+package ga
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAnnealFindsSphereOptimum(t *testing.T) {
+	res, err := Anneal(sphereProblem(3), DefaultAnnealOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestFitness < 98 {
+		t.Errorf("best fitness %v, want >= 98", res.BestFitness)
+	}
+	want := []float64{1, 2, 3}
+	for i, v := range res.Best {
+		if math.Abs(v-want[i]) > 1 {
+			t.Errorf("gene %d = %v, want ~%v", i, v, want[i])
+		}
+	}
+}
+
+func TestAnnealRespectsConstraints(t *testing.T) {
+	p := Problem{
+		Bounds: []Bound{{Min: 0, Max: 10, Integer: true}},
+		Fitness: func(x []float64) (float64, error) {
+			return -(x[0] - 6.3) * (x[0] - 6.3), nil
+		},
+	}
+	res, err := Anneal(p, DefaultAnnealOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best[0] != 6 {
+		t.Errorf("integer optimum = %v, want 6", res.Best[0])
+	}
+}
+
+func TestAnnealValidation(t *testing.T) {
+	valid := sphereProblem(2)
+	tests := []struct {
+		name string
+		p    Problem
+		opts AnnealOptions
+	}{
+		{"no bounds", Problem{Fitness: valid.Fitness}, DefaultAnnealOptions()},
+		{"nil fitness", Problem{Bounds: valid.Bounds}, DefaultAnnealOptions()},
+		{"zero steps", valid, AnnealOptions{TempInit: 1, TempFinal: 0.1}},
+		{"inverted temps", valid, AnnealOptions{Steps: 10, TempInit: 0.1, TempFinal: 1}},
+		{"zero temp", valid, AnnealOptions{Steps: 10, TempInit: 0, TempFinal: 0}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Anneal(tt.p, tt.opts); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestAnnealDeterminism(t *testing.T) {
+	a, err := Anneal(sphereProblem(3), DefaultAnnealOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Anneal(sphereProblem(3), DefaultAnnealOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BestFitness != b.BestFitness {
+		t.Errorf("same seed diverged: %v vs %v", a.BestFitness, b.BestFitness)
+	}
+}
+
+func TestAnnealEvaluationBudget(t *testing.T) {
+	opts := DefaultAnnealOptions()
+	res, err := Anneal(sphereProblem(4), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Proposals plus repaired-champion evaluations: at most ~2x steps.
+	if res.Evaluations > 2*opts.Steps+10 {
+		t.Errorf("evaluations %d exceed budget", res.Evaluations)
+	}
+}

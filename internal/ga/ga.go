@@ -1,0 +1,302 @@
+// Package ga implements the real-coded genetic algorithm Rafiki uses to
+// search the configuration space over the trained surrogate (Section
+// 3.7.2): uniform-random initialization within bounds, tournament
+// selection with elitism, the paper's random-weighted-average
+// interpolating crossover, gaussian mutation, and Deb-style penalty
+// handling of constraint violations (bounds and integrality).
+package ga
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Bound constrains one gene.
+type Bound struct {
+	// Min and Max are the inclusive limits.
+	Min, Max float64
+	// Integer marks genes that must take integral values (the paper's
+	// integer and categorical parameters).
+	Integer bool
+}
+
+// Problem is a maximization problem over a bounded real vector.
+type Problem struct {
+	// Bounds defines the search box, one entry per gene.
+	Bounds []Bound
+	// Fitness scores a candidate; higher is better. It is called on
+	// raw (possibly infeasible) vectors; the GA applies penalties
+	// separately.
+	Fitness func([]float64) (float64, error)
+}
+
+// Options tunes the search.
+type Options struct {
+	// Population and Generations size the search. The paper's run uses
+	// roughly 3,350 surrogate evaluations per workload.
+	Population, Generations int
+	// CrossoverProb is the chance a child is produced by crossover
+	// rather than cloned from a parent.
+	CrossoverProb float64
+	// MutationProb is the per-gene mutation probability and
+	// MutationSigma the gaussian step as a fraction of the gene range.
+	MutationProb, MutationSigma float64
+	// Elite is the number of top candidates copied unchanged.
+	Elite int
+	// TournamentK is the tournament selection size.
+	TournamentK int
+	// PenaltyCoeff scales the constraint-violation penalty, normalized
+	// by the observed fitness spread (Deb 2000).
+	PenaltyCoeff float64
+	// Seed drives the search.
+	Seed int64
+}
+
+// DefaultOptions sizes the search to about 3.5k evaluations, matching
+// Section 4.8.
+func DefaultOptions() Options {
+	return Options{
+		Population:    50,
+		Generations:   66,
+		CrossoverProb: 0.85,
+		MutationProb:  0.15,
+		MutationSigma: 0.12,
+		Elite:         2,
+		TournamentK:   3,
+		PenaltyCoeff:  2.0,
+	}
+}
+
+// Result reports the best solution found.
+type Result struct {
+	// Best is the best feasible (repaired) candidate.
+	Best []float64
+	// BestFitness is the fitness of Best.
+	BestFitness float64
+	// Evaluations counts fitness-function calls.
+	Evaluations int
+	// History is the best raw score per generation.
+	History []float64
+}
+
+// Run executes the genetic algorithm.
+func Run(p Problem, opts Options) (Result, error) {
+	if len(p.Bounds) == 0 {
+		return Result{}, fmt.Errorf("ga: no bounds")
+	}
+	if p.Fitness == nil {
+		return Result{}, fmt.Errorf("ga: nil fitness function")
+	}
+	for i, b := range p.Bounds {
+		if b.Max < b.Min {
+			return Result{}, fmt.Errorf("ga: gene %d has inverted bounds [%v, %v]", i, b.Min, b.Max)
+		}
+	}
+	if opts.Population < 2 {
+		return Result{}, fmt.Errorf("ga: population must be >= 2, got %d", opts.Population)
+	}
+	if opts.Generations < 1 {
+		return Result{}, fmt.Errorf("ga: generations must be >= 1, got %d", opts.Generations)
+	}
+	if opts.Elite < 0 || opts.Elite >= opts.Population {
+		return Result{}, fmt.Errorf("ga: elite %d out of range", opts.Elite)
+	}
+	if opts.TournamentK < 1 {
+		opts.TournamentK = 2
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	res := Result{}
+
+	// score = raw fitness minus scaled violation (Deb-style penalty: a
+	// candidate violating constraints can still carry information, but
+	// feasible candidates dominate as the penalty grows with spread).
+	type indiv struct {
+		genes []float64
+		score float64
+		raw   float64
+	}
+
+	eval := func(genes []float64) (raw, score float64, err error) {
+		raw, err = p.Fitness(genes)
+		if err != nil {
+			return 0, 0, err
+		}
+		v := violation(genes, p.Bounds)
+		score = raw - opts.PenaltyCoeff*v*(1+math.Abs(raw))
+		return raw, score, nil
+	}
+
+	pop := make([]indiv, opts.Population)
+	for i := range pop {
+		genes := make([]float64, len(p.Bounds))
+		for j, b := range p.Bounds {
+			genes[j] = b.Min + rng.Float64()*(b.Max-b.Min)
+		}
+		raw, score, err := eval(genes)
+		if err != nil {
+			return Result{}, err
+		}
+		pop[i] = indiv{genes: genes, score: score, raw: raw}
+		res.Evaluations++
+	}
+
+	var bestRepaired []float64
+	bestRepairedFitness := math.Inf(-1)
+
+	tournament := func() indiv {
+		best := pop[rng.Intn(len(pop))]
+		for k := 1; k < opts.TournamentK; k++ {
+			c := pop[rng.Intn(len(pop))]
+			if c.score > best.score {
+				best = c
+			}
+		}
+		return best
+	}
+
+	for gen := 0; gen < opts.Generations; gen++ {
+		// Track the generation's champion, repaired to feasibility.
+		genBest := pop[0]
+		for _, ind := range pop[1:] {
+			if ind.score > genBest.score {
+				genBest = ind
+			}
+		}
+		res.History = append(res.History, genBest.raw)
+
+		repaired := Repair(genBest.genes, p.Bounds)
+		rf, err := p.Fitness(repaired)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Evaluations++
+		if rf > bestRepairedFitness {
+			bestRepairedFitness = rf
+			bestRepaired = repaired
+		}
+
+		if gen == opts.Generations-1 {
+			break
+		}
+
+		next := make([]indiv, 0, opts.Population)
+		// Elitism: carry the top candidates by score.
+		order := make([]int, len(pop))
+		for i := range order {
+			order[i] = i
+		}
+		for i := 0; i < opts.Elite; i++ {
+			bi := i
+			for j := i + 1; j < len(order); j++ {
+				if pop[order[j]].score > pop[order[bi]].score {
+					bi = j
+				}
+			}
+			order[i], order[bi] = order[bi], order[i]
+			next = append(next, pop[order[i]])
+		}
+
+		for len(next) < opts.Population {
+			a := tournament()
+			child := append([]float64(nil), a.genes...)
+			if rng.Float64() < opts.CrossoverProb {
+				b := tournament()
+				child = crossover(rng, a.genes, b.genes)
+			}
+			mutate(rng, child, p.Bounds, opts.MutationProb, opts.MutationSigma)
+			raw, score, err := eval(child)
+			if err != nil {
+				return Result{}, err
+			}
+			res.Evaluations++
+			next = append(next, indiv{genes: child, score: score, raw: raw})
+		}
+		pop = next
+	}
+
+	res.Best = bestRepaired
+	res.BestFitness = bestRepairedFitness
+	return res, nil
+}
+
+// crossover is the paper's interpolating operator: each child gene is a
+// random-weighted average of the parents', keeping children inside the
+// population's convex hull (interpolation rather than extrapolation).
+// (Section 3.7.2 prints an extra /2 in its example; taken literally
+// that would collapse the population toward the origin, so the standard
+// weighted-average form is used.)
+func crossover(rng *rand.Rand, a, b []float64) []float64 {
+	child := make([]float64, len(a))
+	for i := range child {
+		r := rng.Float64()
+		child[i] = r*a[i] + (1-r)*b[i]
+	}
+	return child
+}
+
+// mutate perturbs genes in place. Most mutations are gaussian steps
+// scaled to the gene range; a fraction are uniform resets, which keep
+// categorical/integer genes able to jump between basins after the
+// interpolating crossover has contracted the population's hull.
+func mutate(rng *rand.Rand, genes []float64, bounds []Bound, prob, sigma float64) {
+	const resetFraction = 0.3
+	for i, b := range bounds {
+		if rng.Float64() >= prob {
+			continue
+		}
+		span := b.Max - b.Min
+		if span == 0 {
+			continue
+		}
+		if rng.Float64() < resetFraction {
+			genes[i] = b.Min + rng.Float64()*span
+			continue
+		}
+		genes[i] += rng.NormFloat64() * sigma * span
+	}
+}
+
+// violation measures how far genes sit outside the feasible set: bound
+// overflow (normalized by range) plus integrality gaps.
+func violation(genes []float64, bounds []Bound) float64 {
+	var v float64
+	for i, b := range bounds {
+		g := genes[i]
+		span := b.Max - b.Min
+		if span <= 0 {
+			span = 1
+		}
+		if g < b.Min {
+			v += (b.Min - g) / span
+		}
+		if g > b.Max {
+			v += (g - b.Max) / span
+		}
+		if b.Integer {
+			v += math.Abs(g - math.Round(g))
+		}
+	}
+	return v
+}
+
+// Repair clamps genes into bounds and rounds integer genes, producing
+// the feasible configuration actually applied to the datastore.
+func Repair(genes []float64, bounds []Bound) []float64 {
+	out := make([]float64, len(genes))
+	for i, b := range bounds {
+		g := genes[i]
+		if b.Integer {
+			g = math.Round(g)
+		}
+		if g < b.Min {
+			g = b.Min
+		}
+		if g > b.Max {
+			g = b.Max
+		}
+		out[i] = g
+	}
+	return out
+}

@@ -1,0 +1,318 @@
+// Package linalg implements the small amount of dense linear algebra
+// that Rafiki's Levenberg-Marquardt / Bayesian-regularization neural
+// network trainer needs: matrix products, transposes, symmetric
+// positive-definite solves via Cholesky, and traces. Matrices are dense
+// row-major float64.
+//
+// The networks involved are tiny (on the order of 10^2 weights), so
+// clarity is preferred over blocking or SIMD tricks.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotSPD is returned when a Cholesky factorization encounters a
+// non-positive pivot, i.e. the matrix is not (numerically) symmetric
+// positive definite.
+var ErrNotSPD = errors.New("linalg: matrix is not positive definite")
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a zero matrix with the given shape.
+func New(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices, which must all have equal
+// length. The data is copied.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, errors.New("linalg: empty rows")
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			return nil, fmt.Errorf("linalg: ragged row %d: len %d, want %d", i, len(r), m.Cols)
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m, nil
+}
+
+// Identity returns the n-by-n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Mul returns m * other.
+func (m *Matrix) Mul(other *Matrix) (*Matrix, error) {
+	if m.Cols != other.Rows {
+		return nil, fmt.Errorf("linalg: mul shape mismatch %dx%d * %dx%d", m.Rows, m.Cols, other.Rows, other.Cols)
+	}
+	out := New(m.Rows, other.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			rowK := other.Data[k*other.Cols : (k+1)*other.Cols]
+			rowOut := out.Data[i*out.Cols : (i+1)*out.Cols]
+			for j, b := range rowK {
+				rowOut[j] += a * b
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns m * v for a column vector v.
+func (m *Matrix) MulVec(v []float64) ([]float64, error) {
+	if m.Cols != len(v) {
+		return nil, fmt.Errorf("linalg: mulvec shape mismatch %dx%d * %d", m.Rows, m.Cols, len(v))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var sum float64
+		for j, a := range row {
+			sum += a * v[j]
+		}
+		out[i] = sum
+	}
+	return out, nil
+}
+
+// Transpose returns a new matrix that is the transpose of m.
+func (m *Matrix) Transpose() *Matrix {
+	t := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// AtA returns mᵀ * m, the Gram matrix, computed symmetrically. This is
+// the Gauss-Newton approximation JᵀJ used by the LM trainer.
+func (m *Matrix) AtA() *Matrix {
+	out := New(m.Cols, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for a := 0; a < m.Cols; a++ {
+			va := row[a]
+			if va == 0 {
+				continue
+			}
+			outRow := out.Data[a*m.Cols : (a+1)*m.Cols]
+			for b := a; b < m.Cols; b++ {
+				outRow[b] += va * row[b]
+			}
+		}
+	}
+	// Mirror the upper triangle.
+	for a := 0; a < m.Cols; a++ {
+		for b := a + 1; b < m.Cols; b++ {
+			out.Set(b, a, out.At(a, b))
+		}
+	}
+	return out
+}
+
+// AtVec returns mᵀ * v (the Jᵀe product in LM updates).
+func (m *Matrix) AtVec(v []float64) ([]float64, error) {
+	if m.Rows != len(v) {
+		return nil, fmt.Errorf("linalg: atvec shape mismatch %dx%d with %d", m.Rows, m.Cols, len(v))
+	}
+	out := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		vi := v[i]
+		if vi == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, a := range row {
+			out[j] += a * vi
+		}
+	}
+	return out, nil
+}
+
+// AddDiagonal adds v to every diagonal element in place (the LM damping
+// term mu*I). The matrix must be square.
+func (m *Matrix) AddDiagonal(v float64) error {
+	if m.Rows != m.Cols {
+		return fmt.Errorf("linalg: AddDiagonal on non-square %dx%d", m.Rows, m.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		m.Data[i*m.Cols+i] += v
+	}
+	return nil
+}
+
+// Trace returns the sum of the diagonal of a square matrix.
+func (m *Matrix) Trace() (float64, error) {
+	if m.Rows != m.Cols {
+		return 0, fmt.Errorf("linalg: trace of non-square %dx%d", m.Rows, m.Cols)
+	}
+	var t float64
+	for i := 0; i < m.Rows; i++ {
+		t += m.At(i, i)
+	}
+	return t, nil
+}
+
+// Cholesky computes the lower-triangular factor L with m = L*Lᵀ. It
+// returns ErrNotSPD when m is not positive definite.
+func (m *Matrix) Cholesky() (*Matrix, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("linalg: cholesky of non-square %dx%d", m.Rows, m.Cols)
+	}
+	n := m.Rows
+	l := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := m.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return nil, ErrNotSPD
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// SolveSPD solves m*x = b for symmetric positive-definite m via
+// Cholesky factorization.
+func (m *Matrix) SolveSPD(b []float64) ([]float64, error) {
+	if m.Rows != len(b) {
+		return nil, fmt.Errorf("linalg: solve shape mismatch %dx%d with %d", m.Rows, m.Cols, len(b))
+	}
+	l, err := m.Cholesky()
+	if err != nil {
+		return nil, err
+	}
+	n := m.Rows
+	// Forward substitution: L*y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l.At(i, k) * y[k]
+		}
+		y[i] = sum / l.At(i, i)
+	}
+	// Back substitution: Lᵀ*x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := y[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l.At(k, i) * x[k]
+		}
+		x[i] = sum / l.At(i, i)
+	}
+	return x, nil
+}
+
+// TraceInverseSPD returns tr(m⁻¹) for symmetric positive-definite m
+// without forming the inverse: with m = L*Lᵀ,
+// tr(m⁻¹) = ||L⁻¹||_F², accumulated one forward substitution per
+// column. This is the quantity MacKay's evidence update needs.
+func (m *Matrix) TraceInverseSPD() (float64, error) {
+	n := m.Rows
+	l, err := m.Cholesky()
+	if err != nil {
+		return 0, err
+	}
+	y := make([]float64, n)
+	var trace float64
+	for j := 0; j < n; j++ {
+		for i := j; i < n; i++ {
+			var sum float64
+			if i == j {
+				sum = 1
+			}
+			for k := j; k < i; k++ {
+				sum -= l.At(i, k) * y[k]
+			}
+			y[i] = sum / l.At(i, i)
+			trace += y[i] * y[i]
+		}
+	}
+	return trace, nil
+}
+
+// InverseSPD returns the inverse of a symmetric positive-definite
+// matrix. Used for the trace term in MacKay's evidence update. The
+// matrix is factored once; each column then costs two triangular
+// substitutions.
+func (m *Matrix) InverseSPD() (*Matrix, error) {
+	n := m.Rows
+	l, err := m.Cholesky()
+	if err != nil {
+		return nil, err
+	}
+	inv := New(n, n)
+	y := make([]float64, n)
+	x := make([]float64, n)
+	for j := 0; j < n; j++ {
+		// Forward substitution of the j-th unit vector: L*y = e_j.
+		for i := 0; i < n; i++ {
+			var sum float64
+			if i == j {
+				sum = 1
+			}
+			for k := 0; k < i; k++ {
+				sum -= l.At(i, k) * y[k]
+			}
+			y[i] = sum / l.At(i, i)
+		}
+		// Back substitution: Lᵀ*x = y.
+		for i := n - 1; i >= 0; i-- {
+			sum := y[i]
+			for k := i + 1; k < n; k++ {
+				sum -= l.At(k, i) * x[k]
+			}
+			x[i] = sum / l.At(i, i)
+		}
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, x[i])
+		}
+	}
+	return inv, nil
+}

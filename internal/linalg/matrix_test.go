@@ -1,0 +1,313 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func matEqual(a, b *Matrix, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func randomMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0) != 3 || m.At(0, 1) != 2 {
+		t.Errorf("unexpected layout: %+v", m)
+	}
+	if _, err := FromRows(nil); err == nil {
+		t.Error("empty rows should error")
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged rows should error")
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := randomMatrix(rng, 4, 4)
+	id := Identity(4)
+	got, err := m.Mul(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matEqual(got, m, 1e-12) {
+		t.Error("M*I != M")
+	}
+	got, err = id.Mul(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matEqual(got, m, 1e-12) {
+		t.Error("I*M != M")
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	b, _ := FromRows([][]float64{{7, 8}, {9, 10}, {11, 12}})
+	want, _ := FromRows([][]float64{{58, 64}, {139, 154}})
+	got, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matEqual(got, want, 1e-12) {
+		t.Errorf("Mul = %+v, want %+v", got, want)
+	}
+	if _, err := a.Mul(a); err == nil {
+		t.Error("shape mismatch should error")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	got, err := a.MulVec([]float64{5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 17 || got[1] != 39 {
+		t.Errorf("MulVec = %v", got)
+	}
+	if _, err := a.MulVec([]float64{1}); err == nil {
+		t.Error("shape mismatch should error")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := randomMatrix(rng, 3, 5)
+	tt := m.Transpose()
+	if tt.Rows != 5 || tt.Cols != 3 {
+		t.Fatalf("transpose shape %dx%d", tt.Rows, tt.Cols)
+	}
+	if !matEqual(tt.Transpose(), m, 0) {
+		t.Error("double transpose != original")
+	}
+}
+
+func TestAtAMatchesExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randomMatrix(rng, 6, 4)
+	fast := m.AtA()
+	slow, err := m.Transpose().Mul(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matEqual(fast, slow, 1e-10) {
+		t.Error("AtA != Transpose * M")
+	}
+}
+
+func TestAtVecMatchesExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := randomMatrix(rng, 6, 4)
+	v := make([]float64, 6)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	fast, err := m.AtVec(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := m.Transpose().MulVec(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fast {
+		if math.Abs(fast[i]-slow[i]) > 1e-10 {
+			t.Fatalf("AtVec[%d] = %v, want %v", i, fast[i], slow[i])
+		}
+	}
+	if _, err := m.AtVec([]float64{1}); err == nil {
+		t.Error("shape mismatch should error")
+	}
+}
+
+func TestAddDiagonalAndTrace(t *testing.T) {
+	m := Identity(3)
+	if err := m.AddDiagonal(2); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := m.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr != 9 {
+		t.Errorf("Trace = %v, want 9", tr)
+	}
+	rect := New(2, 3)
+	if err := rect.AddDiagonal(1); err == nil {
+		t.Error("AddDiagonal on rectangular should error")
+	}
+	if _, err := rect.Trace(); err == nil {
+		t.Error("Trace on rectangular should error")
+	}
+}
+
+func TestCholeskyAndSolve(t *testing.T) {
+	// A known SPD matrix.
+	a, _ := FromRows([][]float64{
+		{4, 12, -16},
+		{12, 37, -43},
+		{-16, -43, 98},
+	})
+	l, err := a.Cholesky()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantL, _ := FromRows([][]float64{
+		{2, 0, 0},
+		{6, 1, 0},
+		{-8, 5, 3},
+	})
+	if !matEqual(l, wantL, 1e-10) {
+		t.Errorf("Cholesky = %+v, want %+v", l, wantL)
+	}
+
+	x, err := a.SolveSPD([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := a.MulVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{1, 2, 3} {
+		if math.Abs(back[i]-want) > 1e-8 {
+			t.Fatalf("A*x[%d] = %v, want %v", i, back[i], want)
+		}
+	}
+}
+
+func TestCholeskyNotSPD(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := a.Cholesky(); !errors.Is(err, ErrNotSPD) {
+		t.Errorf("want ErrNotSPD, got %v", err)
+	}
+	rect := New(2, 3)
+	if _, err := rect.Cholesky(); err == nil {
+		t.Error("rectangular cholesky should error")
+	}
+}
+
+func TestSolveSPDRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(10)
+		j := randomMatrix(rng, n+3, n)
+		a := j.AtA() // SPD with probability 1
+		if err := a.AddDiagonal(0.1); err != nil {
+			t.Fatal(err)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := a.SolveSPD(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := a.MulVec(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range b {
+			if math.Abs(back[i]-b[i]) > 1e-6 {
+				t.Fatalf("trial %d: residual %v", trial, math.Abs(back[i]-b[i]))
+			}
+		}
+	}
+}
+
+func TestInverseSPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	j := randomMatrix(rng, 8, 5)
+	a := j.AtA()
+	if err := a.AddDiagonal(0.5); err != nil {
+		t.Fatal(err)
+	}
+	inv, err := a.InverseSPD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, err := a.Mul(inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matEqual(prod, Identity(5), 1e-8) {
+		t.Error("A * A^-1 != I")
+	}
+}
+
+func TestSolveShapeMismatch(t *testing.T) {
+	a := Identity(3)
+	if _, err := a.SolveSPD([]float64{1, 2}); err == nil {
+		t.Error("shape mismatch should error")
+	}
+}
+
+func TestClone(t *testing.T) {
+	m := Identity(2)
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0, 1) should panic")
+		}
+	}()
+	New(0, 1)
+}
+
+func TestTraceInverseSPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	j := randomMatrix(rng, 10, 6)
+	a := j.AtA()
+	if err := a.AddDiagonal(0.3); err != nil {
+		t.Fatal(err)
+	}
+	inv, err := a.InverseSPD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTr, err := inv.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.TraceInverseSPD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-wantTr) > 1e-8 {
+		t.Errorf("TraceInverseSPD = %v, want %v", got, wantTr)
+	}
+	notSPD, _ := FromRows([][]float64{{1, 2}, {2, 1}})
+	if _, err := notSPD.TraceInverseSPD(); err == nil {
+		t.Error("non-SPD should error")
+	}
+}

@@ -1,0 +1,224 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Trainer selects the fitting algorithm for Model.
+type Trainer int
+
+// Available trainers.
+const (
+	// TrainerBR is Levenberg-Marquardt with Bayesian regularization,
+	// the paper's choice (MATLAB trainbr).
+	TrainerBR Trainer = iota + 1
+	// TrainerGD is stochastic gradient descent, kept as an ablation
+	// baseline.
+	TrainerGD
+)
+
+// ModelConfig configures the end-to-end surrogate model.
+type ModelConfig struct {
+	// Hidden is the hidden-layer architecture; the paper uses [14, 4].
+	Hidden []int
+	// EnsembleSize is how many networks to train from different
+	// initializations (20 in the paper).
+	EnsembleSize int
+	// PruneFraction removes the worst-by-training-error networks
+	// (0.3 in the paper, leaving 14 of 20).
+	PruneFraction float64
+	// Trainer picks the algorithm (default TrainerBR).
+	Trainer Trainer
+	// BR and GD carry trainer-specific options; zero values use the
+	// package defaults.
+	BR BROptions
+	GD GDOptions
+	// Seed derives each member's initialization.
+	Seed int64
+}
+
+// DefaultModelConfig mirrors the paper's setup.
+func DefaultModelConfig() ModelConfig {
+	return ModelConfig{
+		Hidden:        []int{14, 4},
+		EnsembleSize:  20,
+		PruneFraction: 0.3,
+		Trainer:       TrainerBR,
+		BR:            DefaultBROptions(),
+		GD:            DefaultGDOptions(),
+	}
+}
+
+// Model is a trained, normalized surrogate: it owns the input/output
+// scalers and the surviving ensemble members, and predicts raw-scale
+// throughput from raw-scale feature vectors.
+type Model struct {
+	inNorm  *Normalizer
+	outNorm *ScalarNormalizer
+	nets    []*Network
+	results []TrainResult
+}
+
+// Fit trains a surrogate on raw feature rows xs and raw targets ys.
+func Fit(xs [][]float64, ys []float64, cfg ModelConfig) (*Model, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return nil, fmt.Errorf("nn: bad training set: %d inputs, %d targets", len(xs), len(ys))
+	}
+	if cfg.EnsembleSize <= 0 {
+		return nil, fmt.Errorf("nn: ensemble size must be positive, got %d", cfg.EnsembleSize)
+	}
+	if cfg.PruneFraction < 0 || cfg.PruneFraction >= 1 {
+		return nil, fmt.Errorf("nn: prune fraction %v out of [0,1)", cfg.PruneFraction)
+	}
+	if len(cfg.Hidden) == 0 {
+		cfg.Hidden = []int{14, 4}
+	}
+	if cfg.Trainer == 0 {
+		cfg.Trainer = TrainerBR
+	}
+	if cfg.BR.Epochs == 0 {
+		cfg.BR = DefaultBROptions()
+	}
+	if cfg.GD.Epochs == 0 {
+		cfg.GD = DefaultGDOptions()
+	}
+
+	inNorm, err := FitNormalizer(xs)
+	if err != nil {
+		return nil, err
+	}
+	outNorm, err := FitScalar(ys)
+	if err != nil {
+		return nil, err
+	}
+	normX := make([][]float64, len(xs))
+	for i, x := range xs {
+		nx, err := inNorm.Apply(x)
+		if err != nil {
+			return nil, err
+		}
+		normX[i] = nx
+	}
+	normY := make([]float64, len(ys))
+	for i, y := range ys {
+		normY[i] = outNorm.Apply(y)
+	}
+
+	type member struct {
+		net *Network
+		res TrainResult
+	}
+	members := make([]member, 0, cfg.EnsembleSize)
+	for k := 0; k < cfg.EnsembleSize; k++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(k)*7919))
+		net, err := NewNetwork(len(xs[0]), cfg.Hidden, rng)
+		if err != nil {
+			return nil, err
+		}
+		var res TrainResult
+		switch cfg.Trainer {
+		case TrainerBR:
+			res, err = TrainBR(net, normX, normY, cfg.BR)
+		case TrainerGD:
+			gd := cfg.GD
+			gd.Seed = cfg.Seed + int64(k)
+			res, err = TrainGD(net, normX, normY, gd)
+		default:
+			err = fmt.Errorf("nn: unknown trainer %d", cfg.Trainer)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("nn: training member %d: %w", k, err)
+		}
+		members = append(members, member{net: net, res: res})
+	}
+
+	// Simple ensemble pruning: drop the PruneFraction of members with
+	// the highest training error (Section 3.6.2).
+	sort.SliceStable(members, func(i, j int) bool {
+		return members[i].res.MSE < members[j].res.MSE
+	})
+	keep := len(members) - int(float64(len(members))*cfg.PruneFraction)
+	if keep < 1 {
+		keep = 1
+	}
+	m := &Model{inNorm: inNorm, outNorm: outNorm}
+	for _, mem := range members[:keep] {
+		m.nets = append(m.nets, mem.net)
+		m.results = append(m.results, mem.res)
+	}
+	return m, nil
+}
+
+// Size returns the surviving ensemble member count.
+func (m *Model) Size() int { return len(m.nets) }
+
+// Results returns the surviving members' training summaries.
+func (m *Model) Results() []TrainResult {
+	return append([]TrainResult(nil), m.results...)
+}
+
+// Predict returns the ensemble-mean prediction for a raw feature row.
+// One surrogate call costs microseconds — the property that lets the GA
+// explore thousands of configurations per second (Section 4.8).
+func (m *Model) Predict(x []float64) (float64, error) {
+	nx, err := m.inNorm.Apply(x)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, net := range m.nets {
+		out, err := net.Forward(nx)
+		if err != nil {
+			return 0, err
+		}
+		sum += out
+	}
+	return m.outNorm.Invert(sum / float64(len(m.nets))), nil
+}
+
+// PredictBatch predicts every row, reusing the normalization.
+func (m *Model) PredictBatch(xs [][]float64) ([]float64, error) {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		p, err := m.Predict(x)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// PredictWithStd returns the ensemble-mean prediction and the standard
+// deviation across surviving members (in raw output units) — a
+// confidence signal: disagreement flags regions of the configuration
+// space the training data barely covers.
+func (m *Model) PredictWithStd(x []float64) (mean, std float64, err error) {
+	nx, err := m.inNorm.Apply(x)
+	if err != nil {
+		return 0, 0, err
+	}
+	outs := make([]float64, len(m.nets))
+	var sum float64
+	for i, net := range m.nets {
+		out, err := net.Forward(nx)
+		if err != nil {
+			return 0, 0, err
+		}
+		outs[i] = m.outNorm.Invert(out)
+		sum += outs[i]
+	}
+	mean = sum / float64(len(outs))
+	if len(outs) < 2 {
+		return mean, 0, nil
+	}
+	var ss float64
+	for _, o := range outs {
+		d := o - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(outs)-1)), nil
+}

@@ -1,0 +1,169 @@
+// Package nn implements the surrogate performance model of Section 3.6:
+// small feed-forward neural networks (the paper's [6, 14, 4, 1]
+// architecture) trained with Levenberg-Marquardt plus MacKay Bayesian
+// regularization (MATLAB's trainbr), ensembled with worst-30% pruning.
+// A plain gradient-descent trainer is included as an ablation baseline.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Network is a fully-connected feed-forward network with tanh hidden
+// units and a linear output. Weights are stored flat, layer by layer,
+// each layer as a (out x in) weight block followed by out biases.
+type Network struct {
+	// Sizes lists layer widths, inputs first, output last.
+	Sizes []int
+	// Weights is the flat parameter vector.
+	Weights []float64
+
+	// offsets[i] is where layer i's block starts in Weights.
+	offsets []int
+}
+
+// NewNetwork builds a network with the given input width, hidden layer
+// widths, and a single linear output, with weights initialized by
+// Nguyen-Widrow-style scaled uniform draws from rng.
+func NewNetwork(inputs int, hidden []int, rng *rand.Rand) (*Network, error) {
+	if inputs <= 0 {
+		return nil, fmt.Errorf("nn: inputs must be positive, got %d", inputs)
+	}
+	sizes := make([]int, 0, len(hidden)+2)
+	sizes = append(sizes, inputs)
+	for _, h := range hidden {
+		if h <= 0 {
+			return nil, fmt.Errorf("nn: hidden width must be positive, got %d", h)
+		}
+		sizes = append(sizes, h)
+	}
+	sizes = append(sizes, 1)
+
+	n := &Network{Sizes: sizes}
+	n.offsets = make([]int, len(sizes)-1)
+	total := 0
+	for l := 0; l < len(sizes)-1; l++ {
+		n.offsets[l] = total
+		total += sizes[l+1]*sizes[l] + sizes[l+1]
+	}
+	n.Weights = make([]float64, total)
+	for l := 0; l < len(sizes)-1; l++ {
+		scale := 0.7 * math.Pow(float64(sizes[l+1]), 1/float64(sizes[l]))
+		w, b := n.layer(l)
+		for i := range w {
+			w[i] = scale * (2*rng.Float64() - 1) / math.Sqrt(float64(sizes[l]))
+		}
+		for i := range b {
+			b[i] = 0.1 * (2*rng.Float64() - 1)
+		}
+	}
+	return n, nil
+}
+
+// NumWeights returns the parameter count.
+func (n *Network) NumWeights() int { return len(n.Weights) }
+
+// layer returns the weight and bias slices of layer l, viewing into the
+// flat parameter vector.
+func (n *Network) layer(l int) (w, b []float64) {
+	in, out := n.Sizes[l], n.Sizes[l+1]
+	start := n.offsets[l]
+	w = n.Weights[start : start+out*in]
+	b = n.Weights[start+out*in : start+out*in+out]
+	return w, b
+}
+
+// Clone returns an independent copy.
+func (n *Network) Clone() *Network {
+	c := &Network{
+		Sizes:   append([]int(nil), n.Sizes...),
+		Weights: append([]float64(nil), n.Weights...),
+		offsets: append([]int(nil), n.offsets...),
+	}
+	return c
+}
+
+// Forward runs the network, returning the scalar output.
+func (n *Network) Forward(x []float64) (float64, error) {
+	acts, err := n.forwardActivations(x)
+	if err != nil {
+		return 0, err
+	}
+	return acts[len(acts)-1][0], nil
+}
+
+// forwardActivations returns the activation vector of every layer
+// (including the input).
+func (n *Network) forwardActivations(x []float64) ([][]float64, error) {
+	if len(x) != n.Sizes[0] {
+		return nil, fmt.Errorf("nn: input width %d, want %d", len(x), n.Sizes[0])
+	}
+	acts := make([][]float64, len(n.Sizes))
+	acts[0] = x
+	for l := 0; l < len(n.Sizes)-1; l++ {
+		in, out := n.Sizes[l], n.Sizes[l+1]
+		w, b := n.layer(l)
+		next := make([]float64, out)
+		prev := acts[l]
+		for o := 0; o < out; o++ {
+			sum := b[o]
+			row := w[o*in : (o+1)*in]
+			for i, v := range prev {
+				sum += row[i] * v
+			}
+			if l < len(n.Sizes)-2 {
+				sum = math.Tanh(sum)
+			}
+			next[o] = sum
+		}
+		acts[l+1] = next
+	}
+	return acts, nil
+}
+
+// Gradient computes d(output)/d(weights) at x via backpropagation,
+// writing into grad (length NumWeights). It returns the output value.
+func (n *Network) Gradient(x []float64, grad []float64) (float64, error) {
+	if len(grad) != n.NumWeights() {
+		return 0, fmt.Errorf("nn: gradient buffer %d, want %d", len(grad), n.NumWeights())
+	}
+	acts, err := n.forwardActivations(x)
+	if err != nil {
+		return 0, err
+	}
+	layers := len(n.Sizes) - 1
+
+	// delta starts as d(out)/d(preact of output) = 1 (linear output).
+	delta := []float64{1}
+	for l := layers - 1; l >= 0; l-- {
+		in, out := n.Sizes[l], n.Sizes[l+1]
+		w, _ := n.layer(l)
+		start := n.offsets[l]
+		prev := acts[l]
+		for o := 0; o < out; o++ {
+			d := delta[o]
+			gRow := grad[start+o*in : start+(o+1)*in]
+			for i, v := range prev {
+				gRow[i] = d * v
+			}
+			grad[start+out*in+o] = d
+		}
+		if l == 0 {
+			break
+		}
+		// Propagate delta to the previous (tanh) layer.
+		nextDelta := make([]float64, in)
+		for i := 0; i < in; i++ {
+			var sum float64
+			for o := 0; o < out; o++ {
+				sum += delta[o] * w[o*in+i]
+			}
+			a := acts[l][i]
+			nextDelta[i] = sum * (1 - a*a)
+		}
+		delta = nextDelta
+	}
+	return acts[len(acts)-1][0], nil
+}

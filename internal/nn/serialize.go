@@ -1,0 +1,97 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// modelJSON is the serialized form of a trained Model. The offline
+// phase (data collection + training) costs hours while the online phase
+// answers in seconds, so deployments persist the surrogate between the
+// two.
+type modelJSON struct {
+	InMin   []float64     `json:"inputMin"`
+	InMax   []float64     `json:"inputMax"`
+	OutMin  float64       `json:"outputMin"`
+	OutMax  float64       `json:"outputMax"`
+	Nets    []networkJSON `json:"nets"`
+	Results []TrainResult `json:"results"`
+}
+
+type networkJSON struct {
+	Sizes   []int     `json:"sizes"`
+	Weights []float64 `json:"weights"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	out := modelJSON{
+		InMin:   m.inNorm.Min,
+		InMax:   m.inNorm.Max,
+		OutMin:  m.outNorm.Min,
+		OutMax:  m.outNorm.Max,
+		Results: m.results,
+	}
+	for _, net := range m.nets {
+		out.Nets = append(out.Nets, networkJSON{Sizes: net.Sizes, Weights: net.Weights})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var in modelJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("nn: decoding model: %w", err)
+	}
+	if len(in.Nets) == 0 {
+		return fmt.Errorf("nn: serialized model has no networks")
+	}
+	if len(in.InMin) == 0 || len(in.InMin) != len(in.InMax) {
+		return fmt.Errorf("nn: serialized model has bad normalizer shapes")
+	}
+	nets := make([]*Network, 0, len(in.Nets))
+	for i, nj := range in.Nets {
+		net, err := rebuildNetwork(nj)
+		if err != nil {
+			return fmt.Errorf("nn: network %d: %w", i, err)
+		}
+		if net.Sizes[0] != len(in.InMin) {
+			return fmt.Errorf("nn: network %d input width %d, normalizer %d", i, net.Sizes[0], len(in.InMin))
+		}
+		nets = append(nets, net)
+	}
+	m.inNorm = &Normalizer{Min: in.InMin, Max: in.InMax}
+	m.outNorm = &ScalarNormalizer{Min: in.OutMin, Max: in.OutMax}
+	m.nets = nets
+	m.results = in.Results
+	return nil
+}
+
+// rebuildNetwork reconstructs a Network from its serialized shape,
+// validating the weight count.
+func rebuildNetwork(nj networkJSON) (*Network, error) {
+	if len(nj.Sizes) < 2 {
+		return nil, fmt.Errorf("too few layers: %v", nj.Sizes)
+	}
+	if nj.Sizes[len(nj.Sizes)-1] != 1 {
+		return nil, fmt.Errorf("output layer width %d, want 1", nj.Sizes[len(nj.Sizes)-1])
+	}
+	for _, w := range nj.Sizes {
+		if w <= 0 {
+			return nil, fmt.Errorf("non-positive layer width in %v", nj.Sizes)
+		}
+	}
+	net := &Network{Sizes: append([]int(nil), nj.Sizes...)}
+	net.offsets = make([]int, len(net.Sizes)-1)
+	total := 0
+	for l := 0; l < len(net.Sizes)-1; l++ {
+		net.offsets[l] = total
+		total += net.Sizes[l+1]*net.Sizes[l] + net.Sizes[l+1]
+	}
+	if len(nj.Weights) != total {
+		return nil, fmt.Errorf("weight count %d, want %d for sizes %v", len(nj.Weights), total, nj.Sizes)
+	}
+	net.Weights = append([]float64(nil), nj.Weights...)
+	return net, nil
+}

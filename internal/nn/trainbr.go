@@ -1,0 +1,202 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"rafiki/internal/linalg"
+)
+
+// BROptions tunes the Bayesian-regularized Levenberg-Marquardt trainer.
+type BROptions struct {
+	// Epochs caps outer iterations; the paper trains "until convergence
+	// or 200 epochs, whichever comes first".
+	Epochs int
+	// MuInit, MuInc, MuDec, MuMax control the LM damping schedule.
+	MuInit, MuInc, MuDec, MuMax float64
+	// MinGrad stops training when the gradient norm falls below it.
+	MinGrad float64
+}
+
+// DefaultBROptions mirrors MATLAB trainbr defaults.
+func DefaultBROptions() BROptions {
+	return BROptions{
+		Epochs:  200,
+		MuInit:  0.005,
+		MuInc:   10,
+		MuDec:   0.1,
+		MuMax:   1e10,
+		MinGrad: 1e-7,
+	}
+}
+
+// TrainResult summarizes a training run.
+type TrainResult struct {
+	// Epochs is how many outer iterations ran.
+	Epochs int
+	// MSE is the final mean squared error on the (normalized) training
+	// set.
+	MSE float64
+	// Alpha and Beta are the final regularization hyperparameters.
+	Alpha, Beta float64
+	// EffectiveParams is MacKay's gamma — how many weights the data
+	// actually supports (the regularizer suppresses the rest).
+	EffectiveParams float64
+	// Converged reports whether a stopping criterion other than the
+	// epoch cap fired.
+	Converged bool
+}
+
+// TrainBR fits net to (xs, ys) with Levenberg-Marquardt steps on the
+// regularized objective F = beta*Ed + alpha*Ew, re-estimating alpha and
+// beta each epoch by MacKay's evidence procedure. Inputs must already
+// be normalized; see Model for the end-to-end wrapper.
+func TrainBR(net *Network, xs [][]float64, ys []float64, opts BROptions) (TrainResult, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return TrainResult{}, fmt.Errorf("nn: bad training set: %d inputs, %d targets", len(xs), len(ys))
+	}
+	if opts.Epochs <= 0 {
+		return TrainResult{}, errors.New("nn: epochs must be positive")
+	}
+	var (
+		nSamples = len(xs)
+		nWeights = net.NumWeights()
+		mu       = opts.MuInit
+		alpha    = 0.0
+		beta     = 1.0
+		res      TrainResult
+	)
+
+	jac := linalg.New(nSamples, nWeights)
+	errs := make([]float64, nSamples)
+	grad := make([]float64, nWeights)
+
+	// computeJacobian fills jac and errs for the current weights and
+	// returns (Ed, Ew).
+	computeJacobian := func() (float64, float64, error) {
+		var ed float64
+		for i, x := range xs {
+			out, err := net.Gradient(x, jac.Data[i*nWeights:(i+1)*nWeights])
+			if err != nil {
+				return 0, 0, err
+			}
+			e := ys[i] - out
+			errs[i] = e
+			ed += e * e
+		}
+		var ew float64
+		for _, w := range net.Weights {
+			ew += w * w
+		}
+		return ed, ew, nil
+	}
+
+	ed, ew, err := computeJacobian()
+	if err != nil {
+		return TrainResult{}, err
+	}
+
+	for epoch := 1; epoch <= opts.Epochs; epoch++ {
+		res.Epochs = epoch
+
+		// Gradient of F: -2*beta*Jt*e + 2*alpha*w.
+		jte, err := jac.AtVec(errs)
+		if err != nil {
+			return TrainResult{}, err
+		}
+		var gradNorm float64
+		for i := range grad {
+			grad[i] = -2*beta*jte[i] + 2*alpha*net.Weights[i]
+			gradNorm += grad[i] * grad[i]
+		}
+		gradNorm = math.Sqrt(gradNorm)
+		if gradNorm < opts.MinGrad {
+			res.Converged = true
+			break
+		}
+
+		jtj := jac.AtA()
+		fCur := beta*ed + alpha*ew
+
+		improved := false
+		for mu <= opts.MuMax {
+			// Solve (beta*JtJ + (alpha+mu)*I) step = beta*Jt*e - alpha*w.
+			h := jtj.Clone()
+			for i := range h.Data {
+				h.Data[i] *= beta
+			}
+			if err := h.AddDiagonal(alpha + mu); err != nil {
+				return TrainResult{}, err
+			}
+			rhs := make([]float64, nWeights)
+			for i := range rhs {
+				rhs[i] = beta*jte[i] - alpha*net.Weights[i]
+			}
+			step, err := h.SolveSPD(rhs)
+			if err != nil {
+				// Not positive definite at this damping: raise mu.
+				mu *= opts.MuInc
+				continue
+			}
+			backup := append([]float64(nil), net.Weights...)
+			for i := range net.Weights {
+				net.Weights[i] += step[i]
+			}
+			newEd, newEw, err := computeJacobian()
+			if err != nil {
+				return TrainResult{}, err
+			}
+			if beta*newEd+alpha*newEw < fCur {
+				ed, ew = newEd, newEw
+				mu = math.Max(mu*opts.MuDec, 1e-20)
+				improved = true
+				break
+			}
+			copy(net.Weights, backup)
+			// Restore jac/errs for the rejected step's weights.
+			if _, _, err := computeJacobian(); err != nil {
+				return TrainResult{}, err
+			}
+			mu *= opts.MuInc
+		}
+		if !improved {
+			res.Converged = true
+			break
+		}
+
+		// MacKay evidence update of alpha and beta using the Gauss-
+		// Newton Hessian at the new point.
+		jtj = jac.AtA()
+		h := jtj.Clone()
+		for i := range h.Data {
+			h.Data[i] *= beta
+		}
+		if err := h.AddDiagonal(alpha + 1e-12); err != nil {
+			return TrainResult{}, err
+		}
+		gamma := float64(nWeights)
+		if tr, err := h.TraceInverseSPD(); err == nil {
+			gamma = float64(nWeights) - alpha*tr
+		}
+		if gamma < 0 {
+			gamma = 0
+		}
+		if gamma > float64(nWeights) {
+			gamma = float64(nWeights)
+		}
+		if ew > 0 {
+			alpha = gamma / (2 * ew)
+		}
+		denom := 2 * ed
+		if denom > 0 && float64(nSamples) > gamma {
+			beta = (float64(nSamples) - gamma) / denom
+		}
+		res.EffectiveParams = gamma
+	}
+
+	res.MSE = ed / float64(nSamples)
+	res.Alpha = alpha
+	res.Beta = beta
+	return res, nil
+}

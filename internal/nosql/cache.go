@@ -1,0 +1,169 @@
+package nosql
+
+// blockCache is an exact LRU cache over SSTable block identifiers. It
+// models Cassandra's file cache (file_cache_size_in_mb): reads that hit
+// a cached block avoid the disk seek, and compaction naturally churns
+// the cache because merged output lives in new blocks.
+//
+// The implementation is a hand-rolled intrusive doubly-linked list over
+// map entries so that Get/Put are O(1) without per-op allocation.
+type blockCache struct {
+	capacity int
+	entries  map[blockID]*cacheNode
+	head     *cacheNode // most recently used
+	tail     *cacheNode // least recently used
+	hits     uint64
+	misses   uint64
+}
+
+// blockID identifies one block of one SSTable. Table identifiers are
+// unique for the lifetime of an engine, so block IDs never collide
+// across compaction generations.
+type blockID struct {
+	table uint64
+	block uint32
+}
+
+type cacheNode struct {
+	id         blockID
+	prev, next *cacheNode
+}
+
+// newBlockCache returns a cache holding at most capacity blocks. A zero
+// or negative capacity yields a cache that never hits.
+func newBlockCache(capacity int) *blockCache {
+	return &blockCache{
+		capacity: capacity,
+		entries:  make(map[blockID]*cacheNode, max(capacity, 1)),
+	}
+}
+
+// Len returns the number of cached blocks.
+func (c *blockCache) Len() int { return len(c.entries) }
+
+// HitRate returns the fraction of Touch calls that hit, or 0 before any
+// traffic.
+func (c *blockCache) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// Touch records an access to id. It returns true on a cache hit; on a
+// miss the block is admitted (evicting the LRU block if full).
+func (c *blockCache) Touch(id blockID) bool {
+	if n, ok := c.entries[id]; ok {
+		c.hits++
+		c.moveToFront(n)
+		return true
+	}
+	c.misses++
+	if c.capacity <= 0 {
+		return false
+	}
+	n := &cacheNode{id: id}
+	c.entries[id] = n
+	c.pushFront(n)
+	if len(c.entries) > c.capacity {
+		c.evict()
+	}
+	return false
+}
+
+// Admit inserts id without recording a hit or miss — used when a flush
+// writes fresh blocks that land in the page cache for free.
+func (c *blockCache) Admit(id blockID) {
+	if c.capacity <= 0 {
+		return
+	}
+	if n, ok := c.entries[id]; ok {
+		c.moveToFront(n)
+		return
+	}
+	n := &cacheNode{id: id}
+	c.entries[id] = n
+	c.pushFront(n)
+	if len(c.entries) > c.capacity {
+		c.evict()
+	}
+}
+
+// Remove drops id from the cache if present (a write invalidating a
+// cached row).
+func (c *blockCache) Remove(id blockID) {
+	if n, ok := c.entries[id]; ok {
+		c.unlink(n)
+		delete(c.entries, id)
+	}
+}
+
+// InvalidateTable drops every cached block belonging to table. Called
+// when compaction deletes an input SSTable.
+func (c *blockCache) InvalidateTable(table uint64) {
+	for id, n := range c.entries {
+		if id.table == table {
+			c.unlink(n)
+			delete(c.entries, id)
+		}
+	}
+}
+
+// Resize changes capacity, evicting LRU entries if shrinking.
+func (c *blockCache) Resize(capacity int) {
+	c.capacity = capacity
+	for len(c.entries) > max(capacity, 0) {
+		c.evict()
+	}
+}
+
+func (c *blockCache) evict() {
+	if c.tail == nil {
+		return
+	}
+	victim := c.tail
+	c.unlink(victim)
+	delete(c.entries, victim.id)
+}
+
+func (c *blockCache) pushFront(n *cacheNode) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *blockCache) moveToFront(n *cacheNode) {
+	if c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}
+
+func (c *blockCache) unlink(n *cacheNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else if c.head == n {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else if c.tail == n {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

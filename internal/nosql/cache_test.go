@@ -1,0 +1,284 @@
+package nosql
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBlockCacheBasicHitMiss(t *testing.T) {
+	c := newBlockCache(2)
+	a := blockID{table: 1, block: 1}
+	b := blockID{table: 1, block: 2}
+	if c.Touch(a) {
+		t.Error("first touch should miss")
+	}
+	if !c.Touch(a) {
+		t.Error("second touch should hit")
+	}
+	if c.Touch(b) {
+		t.Error("new block should miss")
+	}
+	if got := c.Len(); got != 2 {
+		t.Errorf("Len = %d, want 2", got)
+	}
+	if got := c.HitRate(); got != 1.0/3.0 {
+		t.Errorf("HitRate = %v, want 1/3", got)
+	}
+}
+
+func TestBlockCacheLRUEviction(t *testing.T) {
+	c := newBlockCache(2)
+	a := blockID{table: 1, block: 1}
+	b := blockID{table: 1, block: 2}
+	d := blockID{table: 1, block: 3}
+	c.Touch(a)
+	c.Touch(b)
+	c.Touch(a) // a is now MRU
+	c.Touch(d) // evicts b (LRU)
+	if !c.Touch(a) {
+		t.Error("a should still be cached")
+	}
+	if c.Touch(b) {
+		t.Error("b should have been evicted")
+	}
+}
+
+func TestBlockCacheZeroCapacity(t *testing.T) {
+	c := newBlockCache(0)
+	a := blockID{table: 1, block: 1}
+	if c.Touch(a) || c.Touch(a) {
+		t.Error("zero-capacity cache must never hit")
+	}
+	if c.Len() != 0 {
+		t.Error("zero-capacity cache must stay empty")
+	}
+	c.Admit(a)
+	if c.Len() != 0 {
+		t.Error("Admit must be a no-op at zero capacity")
+	}
+}
+
+func TestBlockCacheAdmit(t *testing.T) {
+	c := newBlockCache(2)
+	a := blockID{table: 1, block: 1}
+	c.Admit(a)
+	if c.hits != 0 || c.misses != 0 {
+		t.Error("Admit must not count as traffic")
+	}
+	if !c.Touch(a) {
+		t.Error("admitted block should hit")
+	}
+	// Admitting an existing entry refreshes recency.
+	b := blockID{table: 1, block: 2}
+	d := blockID{table: 1, block: 3}
+	c.Touch(b)
+	c.Admit(a) // a MRU again
+	c.Admit(d) // evicts b
+	if c.Touch(b) {
+		t.Error("b should have been evicted after Admit refreshed a")
+	}
+}
+
+func TestBlockCacheInvalidateTable(t *testing.T) {
+	c := newBlockCache(10)
+	for i := uint32(0); i < 4; i++ {
+		c.Touch(blockID{table: 7, block: i})
+		c.Touch(blockID{table: 8, block: i})
+	}
+	c.InvalidateTable(7)
+	if got := c.Len(); got != 4 {
+		t.Errorf("Len after invalidate = %d, want 4", got)
+	}
+	if c.Touch(blockID{table: 7, block: 0}) {
+		t.Error("invalidated block should miss")
+	}
+	if !c.Touch(blockID{table: 8, block: 0}) {
+		t.Error("other table's block should still hit")
+	}
+}
+
+func TestBlockCacheResize(t *testing.T) {
+	c := newBlockCache(4)
+	for i := uint32(0); i < 4; i++ {
+		c.Touch(blockID{table: 1, block: i})
+	}
+	c.Resize(2)
+	if got := c.Len(); got != 2 {
+		t.Errorf("Len after shrink = %d, want 2", got)
+	}
+	// The two most recent survive.
+	if !c.Touch(blockID{table: 1, block: 3}) {
+		t.Error("MRU should survive shrink")
+	}
+	if c.Touch(blockID{table: 1, block: 0}) {
+		t.Error("LRU should be evicted by shrink")
+	}
+	c.Resize(0)
+	if c.Len() != 0 {
+		t.Error("resize to zero should drain the cache")
+	}
+}
+
+func TestBlockCacheHitRateEmpty(t *testing.T) {
+	c := newBlockCache(1)
+	if got := c.HitRate(); got != 0 {
+		t.Errorf("HitRate with no traffic = %v, want 0", got)
+	}
+}
+
+// TestBlockCacheStress cross-checks the intrusive list against a naive
+// model under random traffic.
+func TestBlockCacheStress(t *testing.T) {
+	const capacity = 8
+	c := newBlockCache(capacity)
+	rng := rand.New(rand.NewSource(99))
+
+	// Naive reference: slice ordered MRU-first.
+	var ref []blockID
+	refTouch := func(id blockID) bool {
+		for i, e := range ref {
+			if e == id {
+				ref = append(ref[:i], ref[i+1:]...)
+				ref = append([]blockID{id}, ref...)
+				return true
+			}
+		}
+		ref = append([]blockID{id}, ref...)
+		if len(ref) > capacity {
+			ref = ref[:capacity]
+		}
+		return false
+	}
+
+	for i := 0; i < 20000; i++ {
+		id := blockID{table: uint64(rng.Intn(3)), block: uint32(rng.Intn(8))}
+		got := c.Touch(id)
+		want := refTouch(id)
+		if got != want {
+			t.Fatalf("step %d: Touch(%v) = %v, want %v", i, id, got, want)
+		}
+		if c.Len() != len(ref) {
+			t.Fatalf("step %d: Len = %d, want %d", i, c.Len(), len(ref))
+		}
+	}
+}
+
+func TestMemtable(t *testing.T) {
+	m := newMemtable(100)
+	if m.Len() != 0 || m.Bytes() != 0 {
+		t.Error("fresh memtable should be empty")
+	}
+	m.Insert(1)
+	m.Insert(2)
+	m.Insert(1) // overwrite dedups keys but still accounts bytes
+	if m.Len() != 2 {
+		t.Errorf("Len = %d, want 2", m.Len())
+	}
+	if m.Bytes() != 300 {
+		t.Errorf("Bytes = %v, want 300", m.Bytes())
+	}
+	if !m.Contains(1) || m.Contains(3) {
+		t.Error("Contains is wrong")
+	}
+	keys, tombs := m.Drain()
+	if len(keys) != 2 {
+		t.Errorf("Drain returned %d keys, want 2", len(keys))
+	}
+	if len(tombs) != 0 {
+		t.Errorf("Drain returned %d tombstones, want 0", len(tombs))
+	}
+	if m.Len() != 0 || m.Bytes() != 0 || m.Contains(1) {
+		t.Error("Drain should empty the memtable")
+	}
+}
+
+func TestSSTableBasics(t *testing.T) {
+	tb := newSSTable(5, []uint64{0, 1, 2, 3}, 1024, 2, 100)
+	if !tb.Contains(2) || tb.Contains(9) {
+		t.Error("Contains is wrong")
+	}
+	if tb.Len() != 4 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+	if tb.Bytes() != 4*1024 {
+		t.Errorf("Bytes = %v", tb.Bytes())
+	}
+	// 4 keys at 2 keys/block = 2 physical blocks over 100-key space:
+	// span = 50.
+	if tb.blockSpan != 50 {
+		t.Errorf("blockSpan = %d, want 50", tb.blockSpan)
+	}
+	b0 := tb.BlockFor(10)
+	b1 := tb.BlockFor(60)
+	if b0.table != 5 || b1.table != 5 {
+		t.Error("BlockFor table mismatch")
+	}
+	if b0.block == b1.block {
+		t.Error("distant keys should map to different blocks")
+	}
+	if tb.BlockFor(10) != tb.BlockFor(12) {
+		t.Error("nearby keys should share a block")
+	}
+}
+
+func TestMergeTablesDeduplicates(t *testing.T) {
+	a := newSSTable(1, []uint64{1, 2, 3}, 1024, 2, 100)
+	b := newSSTable(2, []uint64{3, 4}, 1024, 2, 100)
+	out := mergeTables(3, []*ssTable{a, b}, 1, 1024, 2, 100)
+	if out.Len() != 4 {
+		t.Errorf("merged Len = %d, want 4 (dedup)", out.Len())
+	}
+	if out.level != 1 {
+		t.Errorf("merged level = %d, want 1", out.level)
+	}
+	for _, k := range []uint64{1, 2, 3, 4} {
+		if !out.Contains(k) {
+			t.Errorf("merged table missing key %d", k)
+		}
+	}
+}
+
+func TestTableSet(t *testing.T) {
+	var s tableSet
+	a := newSSTable(1, []uint64{1}, 1024, 2, 100)
+	b := newSSTable(2, []uint64{2, 3}, 1024, 2, 100)
+	c := newSSTable(3, []uint64{4}, 1024, 2, 100)
+	c.level = 2
+	s.Add(a)
+	s.Add(b)
+	s.Add(c)
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if got := s.TotalBytes(); got != 4*1024 {
+		t.Errorf("TotalBytes = %v", got)
+	}
+	if got := len(s.AtLevel(0)); got != 2 {
+		t.Errorf("AtLevel(0) = %d tables, want 2", got)
+	}
+	if got := s.MaxLevel(); got != 2 {
+		t.Errorf("MaxLevel = %d, want 2", got)
+	}
+	removed := s.Remove(map[uint64]bool{1: true, 99: true})
+	if removed != 1 || s.Len() != 2 {
+		t.Errorf("Remove: removed=%d len=%d", removed, s.Len())
+	}
+	if s.Remove(nil) != 0 {
+		t.Error("Remove(nil) should be a no-op")
+	}
+}
+
+func TestBlockCacheRemove(t *testing.T) {
+	c := newBlockCache(4)
+	a := blockID{table: 1, block: 1}
+	c.Touch(a)
+	c.Remove(a)
+	if c.Touch(a) {
+		t.Error("removed block should miss")
+	}
+	// Removing an absent block is a no-op.
+	c.Remove(blockID{table: 9, block: 9})
+	if c.Len() != 1 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}

@@ -1,0 +1,141 @@
+package nosql_test
+
+// Calibration harness: runs the engine across the paper's workload grid
+// and prints the curves that correspond to Figure 4 / Table 1 inputs.
+// Run with `go test -run Calibration -v ./internal/nosql` to inspect.
+
+import (
+	"fmt"
+	"testing"
+
+	"rafiki/internal/config"
+	"rafiki/internal/nosql"
+	"rafiki/internal/workload"
+)
+
+const calOps = 120_000
+
+func runConfig(t *testing.T, space *config.Space, cfg config.Config, rr float64, seed int64) float64 {
+	t.Helper()
+	eng, err := nosql.New(nosql.Options{Space: space, Config: cfg, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Preload(3)
+	res, err := workload.Run(eng, workload.Spec{
+		ReadRatio: rr,
+		KRDMean:   2 * float64(eng.KeySpace()),
+		Ops:       calOps,
+		Seed:      seed + 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Throughput
+}
+
+func TestCalibrationDefaultCurve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration report")
+	}
+	space := config.Cassandra()
+	for rr := 0.0; rr <= 1.001; rr += 0.1 {
+		tput := runConfig(t, space, space.Default(), rr, 42)
+		t.Logf("default RR=%3.0f%%  throughput=%8.0f ops/s", rr*100, tput)
+	}
+}
+
+func TestCalibrationKeyParamSweeps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration report")
+	}
+	space := config.Cassandra()
+	for _, rr := range []float64{0.1, 0.5, 0.9} {
+		for _, name := range space.KeyNames {
+			p := space.MustParam(name)
+			line := fmt.Sprintf("RR=%2.0f%% %-28s", rr*100, name)
+			for _, v := range p.Sweep {
+				cfg := config.Config{name: v}
+				tput := runConfig(t, space, cfg, rr, 7)
+				line += fmt.Sprintf("  %s=%-7.0f", p.ValueName(v), tput)
+			}
+			t.Log(line)
+		}
+	}
+}
+
+// TestCalibrationShapes asserts the qualitative paper shapes the
+// simulator is calibrated to, guarding them against cost-model
+// regressions. Each assertion names the paper artifact it protects.
+func TestCalibrationShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration shapes are slow")
+	}
+	space := config.Cassandra()
+	def := space.Default()
+
+	// Figure 4 / Section 4.4: the default configuration degrades as the
+	// read proportion rises; the write-to-read swing exceeds 25%.
+	rr10 := runConfig(t, space, def, 0.1, 42)
+	rr50 := runConfig(t, space, def, 0.5, 42)
+	rr90 := runConfig(t, space, def, 0.9, 42)
+	if !(rr10 > rr50 && rr50 > rr90) {
+		t.Errorf("default curve not declining: %0.f > %0.f > %0.f expected", rr10, rr50, rr90)
+	}
+	if swing := (rr10 - rr90) / rr10; swing < 0.25 {
+		t.Errorf("write-to-read swing %.1f%% below 25%%", swing*100)
+	}
+	// Absolute band: the paper's measurements live in 40k-110k ops/s.
+	for _, v := range []float64{rr10, rr50, rr90} {
+		if v < 35_000 || v > 120_000 {
+			t.Errorf("throughput %.0f outside the paper's band", v)
+		}
+	}
+
+	// Section 2.2.2: leveled beats size-tiered read-heavy by a wide
+	// margin, and loses write-heavy.
+	leveled := config.Config{config.ParamCompactionStrategy: config.CompactionLeveled}
+	lcs90 := runConfig(t, space, leveled, 0.9, 42)
+	if lcs90 < rr90*1.15 {
+		t.Errorf("leveled at RR=90 (%0.f) should beat default by >15%% (%0.f)", lcs90, rr90)
+	}
+	lcs10 := runConfig(t, space, leveled, 0.1, 42)
+	if lcs10 >= rr10 {
+		t.Errorf("leveled at RR=10 (%0.f) should lose to size-tiered (%0.f)", lcs10, rr10)
+	}
+
+	// Figure 5 / Table 1: file cache size moves read-heavy throughput
+	// strongly in both directions.
+	smallFCZ := runConfig(t, space, config.Config{config.ParamFileCacheSize: 32}, 0.9, 42)
+	bigFCZ := runConfig(t, space, config.Config{config.ParamFileCacheSize: 2048}, 0.9, 42)
+	if smallFCZ >= rr90 {
+		t.Errorf("starving the file cache should hurt reads: %0.f vs %0.f", smallFCZ, rr90)
+	}
+	if bigFCZ <= rr90 {
+		t.Errorf("a big file cache should help reads: %0.f vs %0.f", bigFCZ, rr90)
+	}
+	// ...but a big file cache costs heap on write-heavy workloads.
+	bigFCZWrite := runConfig(t, space, config.Config{config.ParamFileCacheSize: 2048}, 0.1, 42)
+	if bigFCZWrite >= rr10 {
+		t.Errorf("oversized file cache should hurt write-heavy: %0.f vs %0.f", bigFCZWrite, rr10)
+	}
+
+	// Section 3.4.1: memtable_cleanup_threshold is non-monotonic; the
+	// extreme 0.6 must lose to the mid-range at mixed workloads.
+	mtMid := runConfig(t, space, config.Config{config.ParamMemtableCleanup: 0.3}, 0.5, 42)
+	mtHigh := runConfig(t, space, config.Config{config.ParamMemtableCleanup: 0.6}, 0.5, 42)
+	if mtHigh >= mtMid {
+		t.Errorf("MT=0.6 (%0.f) should lose to MT=0.3 (%0.f) at RR=50", mtHigh, mtMid)
+	}
+
+	// Concurrent writes: starving the write pool hurts write-heavy
+	// workloads; oversubscribing it thrashes the scheduler.
+	cwTiny := runConfig(t, space, config.Config{config.ParamConcurrentWrites: 16}, 0.1, 42)
+	cwHuge := runConfig(t, space, config.Config{config.ParamConcurrentWrites: 128}, 0.1, 42)
+	if cwTiny > rr10*0.75 {
+		t.Errorf("CW=16 at RR=10 (%0.f) should clearly lose to default (%0.f)", cwTiny, rr10)
+	}
+	if cwHuge >= rr10 {
+		t.Errorf("CW=128 at RR=10 (%0.f) should contend vs default (%0.f)", cwHuge, rr10)
+	}
+}

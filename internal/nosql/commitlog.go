@@ -1,0 +1,70 @@
+package nosql
+
+// commitLog models Cassandra's segmented commit log as a real record
+// store: every write appends a record, segments roll as they fill, and
+// the records accumulated since the last memtable flush are exactly
+// what crash recovery must replay (Section 2.2.1's "disk-based file
+// where uncommitted queries are saved for recovery/replay").
+type commitLog struct {
+	segmentBytes float64
+	rowBytes     float64
+
+	// pending holds the records written since the last flush mark — the
+	// replay set after a crash.
+	pending []logRecord
+	bytes   float64
+	// segmentsRolled counts segment rollovers (each costs a seek).
+	segmentsRolled uint64
+}
+
+// logRecord is one durable mutation: a write or a delete.
+type logRecord struct {
+	key       uint64
+	tombstone bool
+}
+
+func newCommitLog(segmentBytes, rowBytes float64) *commitLog {
+	if segmentBytes <= 0 {
+		segmentBytes = 1
+	}
+	return &commitLog{segmentBytes: segmentBytes, rowBytes: rowBytes}
+}
+
+// Append records one write or delete.
+func (l *commitLog) Append(key uint64, tombstone bool) {
+	l.pending = append(l.pending, logRecord{key: key, tombstone: tombstone})
+	before := l.bytes
+	size := l.rowBytes
+	if tombstone {
+		size /= 8
+	}
+	l.bytes += size
+	if int(before/l.segmentBytes) != int(l.bytes/l.segmentBytes) {
+		l.segmentsRolled++
+	}
+}
+
+// Bytes returns the unflushed commit-log size.
+func (l *commitLog) Bytes() float64 { return l.bytes }
+
+// MarkFlushed discards replay state covered by a completed memtable
+// flush (segment recycling).
+func (l *commitLog) MarkFlushed() {
+	l.pending = l.pending[:0]
+	l.bytes = 0
+}
+
+// Replay returns the records that must be re-applied after a crash, in
+// append order.
+func (l *commitLog) Replay() []logRecord {
+	out := make([]logRecord, len(l.pending))
+	copy(out, l.pending)
+	return out
+}
+
+// Resize updates the segment size on reconfiguration.
+func (l *commitLog) Resize(segmentBytes float64) {
+	if segmentBytes > 0 {
+		l.segmentBytes = segmentBytes
+	}
+}

@@ -1,0 +1,1028 @@
+package nosql
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"rafiki/internal/config"
+)
+
+// CostModel groups the coefficients that translate structural events
+// (probes, flushes, merges) into virtual time. Defaults are calibrated
+// so the default Cassandra configuration lands in the paper's 40k-110k
+// ops/s band with the paper's qualitative shapes; see the calibration
+// tests in engine_calibration_test.go.
+type CostModel struct {
+	// WriteCPUSeconds is the CPU cost of one write (request parsing,
+	// memtable insert, commit-log append).
+	WriteCPUSeconds float64
+	// WritePathWaitSeconds is the per-write latency (commit-log group
+	// commit, stage hand-offs) hidden by concurrent_writes threads.
+	WritePathWaitSeconds float64
+	// ReadCPUSeconds is the base CPU cost of one read.
+	ReadCPUSeconds float64
+	// BloomCheckCPUSeconds is charged per SSTable consulted.
+	BloomCheckCPUSeconds float64
+	// IndexCPUSeconds is the partition-index lookup cost per table that
+	// may hold the key; the key cache elides part of it.
+	IndexCPUSeconds float64
+	// MemtableDepthCoeff scales the log2(len) skiplist-depth term of
+	// memtable inserts (the mechanism that penalizes very large
+	// memtable_cleanup_threshold values).
+	MemtableDepthCoeff float64
+	// MergeCPUSecondsPerByte is compaction/flush merge CPU.
+	MergeCPUSecondsPerByte float64
+	// CommitLogWriteAmp is the ratio of commit-log device traffic to
+	// payload bytes (fsync padding, segment headers, mirrored writes).
+	CommitLogWriteAmp float64
+	// ReadOverlap is the effective number of concurrently-served disk
+	// block fetches (mirrored spindles + request reordering).
+	ReadOverlap float64
+	// MissTransferBytes is the data actually moved on a file-cache
+	// miss; the OS page cache in front of the array means a miss rarely
+	// pays for the full 64 KiB chunk.
+	MissTransferBytes float64
+	// CacheBlockBytes is the effective per-block footprint used when
+	// converting file_cache_size_in_mb into block slots (cached blocks
+	// are hot and partially resident, so it sits between
+	// MissTransferBytes and the full chunk size).
+	CacheBlockBytes float64
+	// ThreadsPerCore is the oversubscription knee: beyond
+	// cores*ThreadsPerCore runnable threads, contention grows (the
+	// paper's "8 x number of CPU cores" guidance for CW).
+	ThreadsPerCore float64
+	// ContentionCoeff scales the quadratic oversubscription penalty.
+	ContentionCoeff float64
+	// InterferenceCoeff scales how much background disk traffic
+	// (flush/compaction) inflates foreground disk time.
+	InterferenceCoeff float64
+	// CompactorInterferenceCoeff adds per-active-compactor seek
+	// interference: many simultaneous merges fragment the disk's access
+	// pattern.
+	CompactorInterferenceCoeff float64
+	// CompactorRateMBps is one compactor thread's merge throughput.
+	CompactorRateMBps float64
+	// FlushRateMBps is one flush writer's sequential write throughput.
+	FlushRateMBps float64
+	// SizeTieredMinThreshold is the similar-size table count that
+	// triggers a size-tiered merge (4 in Cassandra, 2 in ScyllaDB).
+	SizeTieredMinThreshold int
+	// LeveledBaseBytes is the L1 target size (scaled bytes).
+	LeveledBaseBytes float64
+	// TimeWindowSeconds is the time-window compaction bucket width in
+	// virtual seconds.
+	TimeWindowSeconds float64
+	// DebtLimitBytes is the compaction backlog the engine absorbs
+	// before write backpressure kicks in (real engines throttle writes
+	// when compaction falls behind; leveled compaction's ~10x write
+	// amplification is what makes it lose on write-heavy workloads).
+	DebtLimitBytes float64
+	// DebtStallSecondsPerWrite is the per-write throttle applied per
+	// unit of backlog overshoot.
+	DebtStallSecondsPerWrite float64
+	// HeapFileCacheCoeff scales the GC/heap-pressure slowdown of
+	// oversized file caches (beyond the recommended min(heap/4, 512MB)).
+	HeapFileCacheCoeff float64
+	// HeapMemtableCoeff scales the GC pressure of large
+	// memtable_cleanup_threshold values (huge memtables churn the heap).
+	HeapMemtableCoeff float64
+	// HeapRowCacheCoeff scales the heap cost of the row cache, which
+	// stores whole rows on-heap.
+	HeapRowCacheCoeff float64
+	// ClientConcurrency is the closed-loop client count used to derive
+	// latency from throughput (Little's law: latency = clients/rate).
+	ClientConcurrency float64
+	// NoiseSigma is the log-normal epoch noise (measurement jitter).
+	NoiseSigma float64
+	// ReconfigDowntimeSeconds is charged when Apply changes the
+	// configuration at runtime. Scaled like the capacities: a real
+	// reconfiguration costs tens of seconds of a 15-minute window; the
+	// scaled default keeps the same proportion of a scaled window.
+	ReconfigDowntimeSeconds float64
+}
+
+// DefaultCostModel returns the calibrated coefficients.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		WriteCPUSeconds:            55e-6,
+		WritePathWaitSeconds:       280e-6,
+		ReadCPUSeconds:             50e-6,
+		BloomCheckCPUSeconds:       1.0e-6,
+		IndexCPUSeconds:            4e-6,
+		MemtableDepthCoeff:         0.035,
+		MergeCPUSecondsPerByte:     8e-9,
+		CommitLogWriteAmp:          1.5,
+		ReadOverlap:                6,
+		MissTransferBytes:          8192,
+		CacheBlockBytes:            20480,
+		ThreadsPerCore:             6,
+		ContentionCoeff:            0.55,
+		InterferenceCoeff:          0.5,
+		CompactorInterferenceCoeff: 0.045,
+		CompactorRateMBps:          6,
+		FlushRateMBps:              120,
+		SizeTieredMinThreshold:     4,
+		LeveledBaseBytes:           4 * 1024 * 1024,
+		TimeWindowSeconds:          0.5,
+		DebtLimitBytes:             72 * 1024 * 1024,
+		DebtStallSecondsPerWrite:   2.5e-6,
+		HeapFileCacheCoeff:         0.55,
+		HeapMemtableCoeff:          0.35,
+		HeapRowCacheCoeff:          0.15,
+		ClientConcurrency:          64,
+		NoiseSigma:                 0.015,
+		ReconfigDowntimeSeconds:    0.05,
+	}
+}
+
+// debugEpochs dumps per-epoch cost terms (debug builds only).
+var debugEpochs = false
+
+// params is the engine's resolved view of a configuration.
+type params struct {
+	compaction           int
+	concurrentWrites     float64
+	fileCacheMB          float64
+	memtableCleanup      float64
+	concurrentCompactors float64
+
+	concurrentReads       float64
+	flushWriters          float64
+	memHeapMB             float64
+	memOffheapMB          float64
+	compactionThroughput  float64
+	commitlogSyncPeriodMs float64
+	commitlogSegmentMB    float64
+	commitlogTotalMB      float64
+	keyCacheMB            float64
+	rowCacheMB            float64
+	columnIndexKB         float64
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Space defines the parameter space (config.Cassandra() or
+	// config.ScyllaDB()).
+	Space *config.Space
+	// Config holds the initial settings; missing keys use defaults.
+	Config config.Config
+	// Hardware is the simulated server; zero value uses DefaultHardware.
+	Hardware Hardware
+	// Model holds cost coefficients; zero value uses DefaultCostModel.
+	Model CostModel
+	// Seed drives all stochastic behaviour.
+	Seed int64
+	// EpochOps is the accounting epoch length in operations (default
+	// 1024).
+	EpochOps int
+}
+
+// Engine is the simulated storage engine. It is not safe for concurrent
+// use; the benchmark drivers are single-goroutine and deterministic.
+type Engine struct {
+	space *config.Space
+	hw    Hardware
+	model CostModel
+	rng   *rand.Rand
+
+	epochOps int
+	p        params
+	strategy compactionStrategy
+
+	mem       *memtable
+	tables    tableSet
+	fileCache *blockCache
+	rowCache  *blockCache
+
+	flushQ      []*backgroundTask
+	compQ       []*backgroundTask
+	nextTableID uint64
+
+	clock float64
+	log   *commitLog
+
+	// Background activity observed over the previous epoch, feeding the
+	// interference and contention terms of the next one.
+	bgDiskBusyFrac float64
+	bgCPUFrac      float64
+
+	ep epochAcc
+	m  Metrics
+
+	// throughputFactor, when set, scales each epoch's duration; the
+	// ScyllaDB auto-tuner variance hooks in here.
+	throughputFactor func(dt float64) float64
+}
+
+// epochAcc accumulates one epoch's foreground demand.
+type epochAcc struct {
+	ops, reads, writes int
+	writeCPU, readCPU  float64
+	commitBytes        float64
+	readMissBlocks     int
+	stallSeconds       float64
+}
+
+// New constructs an engine.
+func New(opts Options) (*Engine, error) {
+	if opts.Space == nil {
+		return nil, fmt.Errorf("nosql: Options.Space is required")
+	}
+	hw := opts.Hardware
+	if hw == (Hardware{}) {
+		hw = DefaultHardware()
+	}
+	if err := hw.Validate(); err != nil {
+		return nil, err
+	}
+	model := opts.Model
+	if model == (CostModel{}) {
+		model = DefaultCostModel()
+	}
+	epochOps := opts.EpochOps
+	if epochOps <= 0 {
+		epochOps = 1024
+	}
+	e := &Engine{
+		space:    opts.Space,
+		hw:       hw,
+		model:    model,
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+		epochOps: epochOps,
+		mem:      newMemtable(hw.RowBytes),
+	}
+	e.log = newCommitLog(hw.ScaledBytes(32), float64(hw.RowBytes))
+	cfg := opts.Config
+	if cfg == nil {
+		cfg = opts.Space.Default()
+	}
+	if err := e.configure(cfg); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// configure resolves cfg into params and rebuilds strategy and caches.
+func (e *Engine) configure(cfg config.Config) error {
+	if err := e.space.Validate(cfg); err != nil {
+		return err
+	}
+	get := func(name string) float64 {
+		v, err := e.space.Value(cfg, name)
+		if err != nil {
+			// Space mismatch would have failed Validate; a missing
+			// parameter here means the space itself lacks it.
+			panic(fmt.Sprintf("nosql: space %q missing parameter %q", e.space.Name, name))
+		}
+		return v
+	}
+	p := params{
+		compaction:            int(get(config.ParamCompactionStrategy)),
+		concurrentWrites:      get(config.ParamConcurrentWrites),
+		fileCacheMB:           get(config.ParamFileCacheSize),
+		memtableCleanup:       get(config.ParamMemtableCleanup),
+		concurrentCompactors:  get(config.ParamConcurrentCompactors),
+		concurrentReads:       get(config.ParamConcurrentReads),
+		flushWriters:          get(config.ParamMemtableFlushWriters),
+		memHeapMB:             get(config.ParamMemtableHeapSpace),
+		memOffheapMB:          get(config.ParamMemtableOffheapSpace),
+		compactionThroughput:  get(config.ParamCompactionThroughput),
+		commitlogSyncPeriodMs: get(config.ParamCommitlogSyncPeriod),
+		commitlogSegmentMB:    get(config.ParamCommitlogSegmentSize),
+		commitlogTotalMB:      get(config.ParamCommitlogTotalSpace),
+		keyCacheMB:            get(config.ParamKeyCacheSize),
+		rowCacheMB:            get(config.ParamRowCacheSize),
+		columnIndexKB:         get(config.ParamColumnIndexSize),
+	}
+	e.p = p
+
+	strategy, err := newStrategy(p.compaction, e)
+	if err != nil {
+		return err
+	}
+	e.strategy = strategy
+
+	// Capacity is accounted at miss-transfer granularity: the cache
+	// keeps hot row segments, not whole chunks.
+	fileBlocks := int(e.hw.ScaledBytes(p.fileCacheMB) / e.model.CacheBlockBytes)
+	if e.fileCache == nil {
+		e.fileCache = newBlockCache(fileBlocks)
+	} else {
+		e.fileCache.Resize(fileBlocks)
+	}
+	// Row-cache entries hold whole partitions, several rows wide in the
+	// MG-RAST schema, so far fewer entries fit than raw row math says.
+	const partitionRows = 8
+	rowEntries := int(e.hw.ScaledBytes(p.rowCacheMB) / float64(partitionRows*e.hw.RowBytes))
+	if e.log != nil {
+		e.log.Resize(e.hw.ScaledBytes(p.commitlogSegmentMB))
+	}
+	if e.rowCache == nil {
+		e.rowCache = newBlockCache(rowEntries)
+	} else {
+		e.rowCache.Resize(rowEntries)
+	}
+	return nil
+}
+
+// Apply reconfigures the engine at runtime (Rafiki's online stage). It
+// charges the reconfiguration downtime and re-plans compaction under
+// the new strategy.
+func (e *Engine) Apply(cfg config.Config) error {
+	if err := e.configure(cfg); err != nil {
+		return err
+	}
+	e.clock += e.model.ReconfigDowntimeSeconds
+	e.m.VirtualSeconds += e.model.ReconfigDowntimeSeconds
+	e.enqueueTasks(e.strategy.Plan(e))
+	return nil
+}
+
+// Config returns a copy of the engine's effective key-parameter values.
+func (e *Engine) Params() map[string]float64 {
+	return map[string]float64{
+		config.ParamCompactionStrategy:   float64(e.p.compaction),
+		config.ParamConcurrentWrites:     e.p.concurrentWrites,
+		config.ParamFileCacheSize:        e.p.fileCacheMB,
+		config.ParamMemtableCleanup:      e.p.memtableCleanup,
+		config.ParamConcurrentCompactors: e.p.concurrentCompactors,
+	}
+}
+
+// KeySpace returns the scaled number of distinct keys.
+func (e *Engine) KeySpace() int { return e.hw.ScaledKeySpace() }
+
+// Clock returns the virtual time in seconds.
+func (e *Engine) Clock() float64 { return e.clock }
+
+// Metrics returns a snapshot of counters (epoch series is copied).
+func (e *Engine) Metrics() Metrics {
+	m := e.m
+	m.SSTables = e.tables.Len()
+	for _, task := range e.compQ {
+		m.CompactionBacklogBytes += task.remaining
+	}
+	series := make([]float64, len(e.m.EpochThroughputs))
+	copy(series, e.m.EpochThroughputs)
+	m.EpochThroughputs = series
+	lats := make([]float64, len(e.m.EpochLatencies))
+	copy(lats, e.m.EpochLatencies)
+	m.EpochLatencies = lats
+	return m
+}
+
+// Preload installs an initial on-disk dataset without charging time:
+// every key exists, spread over overlapping generations so that reads
+// start with realistic amplification. versions >= 1 controls overlap.
+func (e *Engine) Preload(versions int) {
+	if versions < 1 {
+		versions = 1
+	}
+	n := uint64(e.hw.ScaledKeySpace())
+	if e.p.compaction == config.CompactionLeveled {
+		// Dataset lives in the level whose target size fits it, plus a
+		// sparse L1 run, mirroring a leveled tree at rest.
+		all := make([]uint64, 0, n)
+		for k := uint64(0); k < n; k++ {
+			all = append(all, k)
+		}
+		t := newSSTable(e.newTableID(), all, e.hw.RowBytes, e.hw.KeysPerBlock(), e.hw.ScaledKeySpace())
+		t.level = e.restingLevel(t.Bytes())
+		e.tables.Add(t)
+		var l1 []uint64
+		for k := uint64(0); k < n; k += 32 {
+			l1 = append(l1, k)
+		}
+		t1 := newSSTable(e.newTableID(), l1, e.hw.RowBytes, e.hw.KeysPerBlock(), e.hw.ScaledKeySpace())
+		t1.level = 1
+		e.tables.Add(t1)
+	} else {
+		// A size-tiered steady state: one full-coverage table plus
+		// geometrically smaller overlapping generations. The sizes are
+		// >2x apart so no bucket reaches the merge threshold — a server
+		// at rest has already digested its history.
+		all := make([]uint64, 0, n)
+		for k := uint64(0); k < n; k++ {
+			all = append(all, k)
+		}
+		e.tables.Add(newSSTable(e.newTableID(), all, e.hw.RowBytes, e.hw.KeysPerBlock(), e.hw.ScaledKeySpace()))
+		for g := 1; g < versions+1; g++ {
+			stride := uint64(1) << uint(2*g) // 4^g
+			var keys []uint64
+			for k := uint64(0); k < n; k++ {
+				if (k*2654435761+uint64(g)*97)%stride == 0 {
+					keys = append(keys, k)
+				}
+			}
+			if len(keys) == 0 {
+				continue
+			}
+			e.tables.Add(newSSTable(e.newTableID(), keys, e.hw.RowBytes, e.hw.KeysPerBlock(), e.hw.ScaledKeySpace()))
+		}
+	}
+	if e.tables.Len() > e.m.MaxSSTables {
+		e.m.MaxSSTables = e.tables.Len()
+	}
+}
+
+// restingLevel returns the shallowest leveled-compaction level whose
+// target size accommodates bytes.
+func (e *Engine) restingLevel(bytes float64) int {
+	level := 1
+	target := e.model.LeveledBaseBytes
+	for bytes > target && level < 8 {
+		level++
+		target *= 10
+	}
+	return level
+}
+
+// Write applies one write operation.
+func (e *Engine) Write(key uint64) {
+	e.ep.writes++
+	e.ep.ops++
+	depth := 1 + e.model.MemtableDepthCoeff*math.Log2(float64(e.mem.Len()+2))
+	e.ep.writeCPU += e.model.WriteCPUSeconds * depth
+	e.ep.commitBytes += float64(e.hw.RowBytes)
+	e.log.Append(key, false)
+	e.mem.Insert(key)
+	e.m.Writes++
+
+	if e.rowCache.capacity > 0 {
+		// A write invalidates the cached row; the cache refills only on
+		// a subsequent read. Combined with MG-RAST's large key reuse
+		// distance this is why the row cache is of limited value
+		// (Section 3.3).
+		e.rowCache.Remove(blockID{table: key})
+	}
+
+	flushThreshold := e.p.memtableCleanup * e.hw.ScaledBytes(e.p.memHeapMB+e.p.memOffheapMB)
+	if e.mem.Bytes() >= flushThreshold {
+		e.flush(false)
+	} else if e.log.Bytes() >= e.hw.ScaledBytes(e.p.commitlogTotalMB) {
+		e.flush(true)
+	}
+	if e.ep.ops >= e.epochOps {
+		e.closeEpoch()
+	}
+}
+
+// Read applies one read operation.
+func (e *Engine) Read(key uint64) {
+	e.ep.reads++
+	e.ep.ops++
+	e.m.Reads++
+	cpu := e.model.ReadCPUSeconds
+
+	if e.rowCache.capacity > 0 && e.rowCache.Touch(blockID{table: key}) {
+		e.m.RowCacheHits++
+		e.ep.readCPU += cpu * 0.25
+		if e.ep.ops >= e.epochOps {
+			e.closeEpoch()
+		}
+		return
+	}
+	// A memtable hit supplies the freshest cell but does not end the
+	// read: Cassandra must still merge the row's older versions from
+	// every SSTable that holds it.
+	if e.mem.Contains(key) {
+		e.m.MemtableHits++
+	}
+
+	// Probe every live SSTable that might hold the key. Bloom filters
+	// cost CPU per table; tables that (appear to) contain the key cost
+	// an index lookup and a block fetch through the file cache.
+	keyCacheHit := e.keyCacheHitProb()
+	indexCPU := e.model.IndexCPUSeconds * (64 / math.Max(e.p.columnIndexKB, 32))
+	for _, t := range e.tables.tables {
+		cpu += e.model.BloomCheckCPUSeconds
+		e.m.BloomChecks++
+		if !t.MayContain(key) {
+			continue
+		}
+		contains := t.Contains(key)
+		if !contains {
+			e.m.BloomFalsePositives++
+		}
+		cpu += indexCPU * (1 - keyCacheHit)
+		block := t.BlockFor(key)
+		if e.fileCache.Touch(block) {
+			e.m.FileCacheHits++
+		} else {
+			e.m.DiskBlockReads++
+			e.ep.readMissBlocks++
+		}
+	}
+	e.ep.readCPU += cpu
+	if e.ep.ops >= e.epochOps {
+		e.closeEpoch()
+	}
+}
+
+// FinishEpoch closes a partially-filled accounting epoch; benchmark
+// drivers call it once at the end of a run.
+func (e *Engine) FinishEpoch() {
+	if e.ep.ops > 0 {
+		e.closeEpoch()
+	}
+}
+
+// keyCacheHitProb estimates the chance a key's index position is cached:
+// entries follow an LRU over a uniform key space, approximated by the
+// coverage ratio.
+func (e *Engine) keyCacheHitProb() float64 {
+	const entryBytes = 64
+	entries := e.hw.ScaledBytes(e.p.keyCacheMB) / entryBytes
+	ks := float64(e.hw.ScaledKeySpace())
+	if ks <= 0 {
+		return 0
+	}
+	p := entries / ks
+	if p > 0.95 {
+		p = 0.95
+	}
+	if p < 0 {
+		p = 0
+	}
+	return p
+}
+
+func (e *Engine) newTableID() uint64 {
+	e.nextTableID++
+	return e.nextTableID
+}
+
+// flush drains the memtable into a new level-0 SSTable and enqueues the
+// background disk write, then lets the strategy plan compactions.
+func (e *Engine) flush(forced bool) {
+	keys, tombstones := e.mem.Drain()
+	e.log.MarkFlushed()
+	if len(keys) == 0 {
+		return
+	}
+	t := newSSTable(e.newTableID(), keys, e.hw.RowBytes, e.hw.KeysPerBlock(), e.hw.ScaledKeySpace())
+	t.markTombstones(tombstones)
+	t.createdAt = e.clock
+	e.tables.Add(t)
+	if e.tables.Len() > e.m.MaxSSTables {
+		e.m.MaxSSTables = e.tables.Len()
+	}
+	e.m.Flushes++
+	if forced {
+		e.m.ForcedFlushes++
+	}
+
+	task := &backgroundTask{
+		kind:       taskFlush,
+		diskBytes:  t.Bytes(),
+		remaining:  t.Bytes(),
+		cpuSeconds: e.model.MergeCPUSecondsPerByte * t.Bytes(),
+	}
+	e.flushQ = append(e.flushQ, task)
+
+	// Some freshly written blocks stay hot in the page cache; under
+	// write pressure the kernel evicts the rest quickly, so only a
+	// fraction is admitted. Admission is in sorted block order so runs
+	// are deterministic regardless of map iteration order.
+	blockSet := make(map[uint32]struct{}, t.Len()/e.hw.KeysPerBlock()+1)
+	for k := range t.keys {
+		blockSet[t.BlockFor(k).block] = struct{}{}
+	}
+	blocks := make([]uint32, 0, len(blockSet))
+	for b := range blockSet {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	for i, b := range blocks {
+		if i%2 == 0 {
+			e.fileCache.Admit(blockID{table: t.id, block: b})
+		}
+	}
+
+	// Writes stall when flushes outnumber flush writers: the memtable
+	// that should absorb them has nowhere to drain.
+	if excess := len(e.flushQ) - int(e.p.flushWriters); excess > 0 {
+		var backlog float64
+		for _, ft := range e.flushQ[:excess] {
+			backlog += ft.remaining
+		}
+		rate := e.model.FlushRateMBps * 1024 * 1024
+		e.ep.stallSeconds += 0.5 * backlog / rate
+	}
+
+	e.enqueueTasks(e.strategy.Plan(e))
+}
+
+// newCompactionTask claims inputs and precomputes the merged output.
+func (e *Engine) newCompactionTask(inputs []*ssTable, outputLevel int) *backgroundTask {
+	var inBytes float64
+	for _, t := range inputs {
+		t.compacting = true
+		inBytes += t.Bytes()
+	}
+	out := mergeTables(e.newTableID(), inputs, outputLevel, e.hw.RowBytes, e.hw.KeysPerBlock(), e.hw.ScaledKeySpace())
+	// Tombstone eviction (Section 2.2.1): a delete marker can disappear
+	// once no table outside the merge may still hold an older version.
+	if len(out.tombs) > 0 {
+		inputIDs := make(map[uint64]bool, len(inputs))
+		for _, in := range inputs {
+			inputIDs[in.id] = true
+		}
+		var evicted uint64
+		for k := range out.tombs {
+			shadowed := false
+			for _, other := range e.tables.tables {
+				if !inputIDs[other.id] && other.Contains(k) {
+					shadowed = true
+					break
+				}
+			}
+			if !shadowed {
+				out.dropCell(k)
+				evicted++
+			}
+		}
+		if evicted > 0 {
+			out.rebuild(e.hw.ScaledKeySpace())
+			e.m.TombstonesEvicted += evicted
+		}
+	}
+	disk := inBytes + out.Bytes()
+	return &backgroundTask{
+		kind:        taskCompaction,
+		inputs:      inputs,
+		output:      out,
+		outputLevel: outputLevel,
+		diskBytes:   disk,
+		remaining:   disk,
+		cpuSeconds:  e.model.MergeCPUSecondsPerByte * disk,
+	}
+}
+
+func (e *Engine) enqueueTasks(tasks []*backgroundTask) {
+	e.compQ = append(e.compQ, tasks...)
+}
+
+// closeEpoch converts the epoch's accumulated demand into elapsed
+// virtual time and advances background work by that much.
+func (e *Engine) closeEpoch() {
+	acc := e.ep
+	e.ep = epochAcc{}
+	if acc.ops == 0 {
+		return
+	}
+	hw, model, p := e.hw, e.model, e.p
+
+	writeShare := float64(acc.writes) / float64(acc.ops)
+	perByte := hw.DiskSecondsPerByte()
+	seek := hw.SeekMicros * 1e-6
+
+	// Foreground disk demand: commit-log appends are sequential; read
+	// misses pay a seek plus a block transfer, overlapped across
+	// spindles/queue depth.
+	commitDisk := acc.commitBytes * perByte * model.CommitLogWriteAmp
+	readDisk := float64(acc.readMissBlocks) * (seek + model.MissTransferBytes*perByte) / model.ReadOverlap
+	// Configured compactor threads poll and seek whenever merges are
+	// pending, fragmenting the foreground access pattern even when the
+	// queue is shorter than the thread count.
+	compactorLoad := 0.0
+	if len(e.compQ) > 0 {
+		compactorLoad = math.Max(0, p.concurrentCompactors-2)
+	}
+	interference := 1 + model.InterferenceCoeff*e.bgDiskBusyFrac +
+		model.CompactorInterferenceCoeff*compactorLoad
+	tDisk := (commitDisk + readDisk) * interference
+
+	// CPU: background merge work eats cores; oversubscribed thread
+	// pools add a quadratic contention penalty.
+	activeComp := math.Min(p.concurrentCompactors, float64(len(e.compQ)))
+	activeFlush := math.Min(p.flushWriters, float64(len(e.flushQ)))
+	threads := p.concurrentWrites*writeShare + p.concurrentReads*(1-writeShare) + activeComp + activeFlush
+	over := threads/(float64(hw.Cores)*model.ThreadsPerCore) - 1
+	contention := 1.0
+	if over > 0 {
+		contention += model.ContentionCoeff * over * over
+	}
+	cpuAvail := float64(hw.Cores) * (1 - math.Min(e.bgCPUFrac, 0.6))
+	tCPU := (acc.writeCPU + acc.readCPU) / cpuAvail
+
+	// Write path: wall time per write divided over useful writer
+	// threads. Background CPU load shrinks how many threads help.
+	tWritePath := 0.0
+	if acc.writes > 0 {
+		wall := model.WriteCPUSeconds + model.WritePathWaitSeconds
+		maxUseful := float64(hw.Cores) * wall / (model.WriteCPUSeconds * (1 + 2*e.bgCPUFrac))
+		effW := math.Min(p.concurrentWrites, maxUseful)
+		if effW < 1 {
+			effW = 1
+		}
+		tWritePath = float64(acc.writes) * wall / effW
+	}
+
+	// Oversubscribed thread pools thrash schedulers and caches; the
+	// contention penalty inflates the whole epoch, whichever resource
+	// binds.
+	dt := math.Max(tDisk, math.Max(tCPU, tWritePath)) * contention
+	if debugEpochs {
+		fmt.Printf("epoch ops=%d tDisk=%.1fus tCPU=%.1fus tW=%.1fus inter=%.2f bgBusy=%.2f bgCPU=%.2f cont=%.2f wCPU=%.1f rCPU=%.1f miss=%d\n",
+			acc.ops, tDisk/float64(acc.ops)*1e6, tCPU/float64(acc.ops)*1e6, tWritePath/float64(acc.ops)*1e6,
+			interference, e.bgDiskBusyFrac, e.bgCPUFrac, contention,
+			acc.writeCPU/float64(acc.ops)*1e6, acc.readCPU/float64(acc.ops)*1e6, acc.readMissBlocks)
+	}
+
+	// Commit-log fsyncs: every sync period costs a seek.
+	if acc.writes > 0 && p.commitlogSyncPeriodMs > 0 {
+		period := p.commitlogSyncPeriodMs / 1000
+		dt += (dt / period) * seek * 0.5
+		// Segment recycling: smaller segments roll over more often.
+		segBytes := hw.ScaledBytes(p.commitlogSegmentMB)
+		if segBytes > 0 {
+			dt += acc.commitBytes / segBytes * seek * 0.25
+		}
+	}
+
+	// Compaction-debt backpressure: once the pending merge backlog
+	// exceeds the debt limit, writes are throttled proportionally.
+	if acc.writes > 0 {
+		var backlog float64
+		for _, task := range e.compQ {
+			backlog += task.remaining
+		}
+		if over := backlog/model.DebtLimitBytes - 1; over > 0 {
+			if over > 1.5 {
+				over = 1.5
+			}
+			stall := float64(acc.writes) * model.DebtStallSecondsPerWrite * over
+			dt += stall
+			acc.stallSeconds += stall
+		}
+	}
+
+	// Heap/GC pressure: oversized file caches and huge memtables churn
+	// the heap, inflating everything.
+	heapFactor := 1.0
+	if excess := (p.fileCacheMB - 512) / 1536; excess > 0 {
+		heapFactor += model.HeapFileCacheCoeff * excess
+	}
+	if excess := (p.memtableCleanup - 0.25) / 0.35; excess > 0 {
+		heapFactor += model.HeapMemtableCoeff * excess
+	}
+	if p.rowCacheMB > 0 {
+		heapFactor += model.HeapRowCacheCoeff * p.rowCacheMB / 2048
+	}
+	dt *= heapFactor
+
+	dt += acc.stallSeconds
+	e.m.StallSeconds += acc.stallSeconds
+
+	// Measurement jitter.
+	if model.NoiseSigma > 0 {
+		dt *= math.Exp(e.rng.NormFloat64() * model.NoiseSigma)
+	}
+	if e.throughputFactor != nil {
+		f := e.throughputFactor(dt)
+		if f > 0 {
+			dt *= f
+		}
+	}
+
+	e.clock += dt
+	e.m.VirtualSeconds += dt
+	rate := float64(acc.ops) / dt
+	e.m.EpochThroughputs = append(e.m.EpochThroughputs, rate)
+	// Little's law over the closed-loop client pool: the epoch's mean
+	// operation latency is clients/throughput.
+	if model.ClientConcurrency > 0 {
+		e.m.EpochLatencies = append(e.m.EpochLatencies, model.ClientConcurrency/rate)
+	}
+
+	foreUtil := math.Min(1, (commitDisk+readDisk)/dt)
+	e.advanceBackground(dt, foreUtil)
+}
+
+// advanceBackground spends dt seconds of background capacity on flush
+// and compaction queues, completing tasks and re-planning.
+func (e *Engine) advanceBackground(dt, foreUtil float64) {
+	hw, model, p := e.hw, e.model, e.p
+
+	bgShare := 1 - 0.75*foreUtil
+	if bgShare < 0.15 {
+		bgShare = 0.15
+	}
+	bgRate := hw.DiskBandwidthMBps * 1024 * 1024 * bgShare
+
+	var processed float64
+	var cpuSpent float64
+
+	// Flushes drain first (they gate the write path).
+	flushRate := math.Min(bgRate, p.flushWriters*model.FlushRateMBps*1024*1024)
+	budget := flushRate * dt
+	for budget > 0 && len(e.flushQ) > 0 {
+		t := e.flushQ[0]
+		use := math.Min(budget, t.remaining)
+		t.remaining -= use
+		budget -= use
+		processed += use
+		cpuSpent += t.cpuSeconds * use / t.diskBytes
+		if t.remaining > 1e-9 {
+			break
+		}
+		e.flushQ = e.flushQ[1:]
+	}
+
+	// Compaction: capped by concurrent compactors, the configured
+	// throughput throttle, and leftover disk share.
+	compRate := math.Min(
+		p.concurrentCompactors*model.CompactorRateMBps,
+		p.compactionThroughput,
+	) * 1024 * 1024
+	compRate = math.Min(compRate, bgRate)
+	budget = compRate * dt
+	var completed bool
+	// The budget is shared round-robin over the first CC tasks, as CC
+	// concurrent compactor threads would: one huge merge cannot starve
+	// the small ones behind it.
+	for budget > 1e-9 && len(e.compQ) > 0 {
+		lanes := int(p.concurrentCompactors)
+		if lanes < 1 {
+			lanes = 1
+		}
+		if lanes > len(e.compQ) {
+			lanes = len(e.compQ)
+		}
+		slice := budget / float64(lanes)
+		var spent float64
+		kept := e.compQ[:0]
+		for i, t := range e.compQ {
+			if i < lanes {
+				use := math.Min(slice, t.remaining)
+				t.remaining -= use
+				spent += use
+				processed += use
+				cpuSpent += t.cpuSeconds * use / t.diskBytes
+				if t.remaining <= 1e-9 {
+					e.completeCompaction(t)
+					completed = true
+					continue
+				}
+			}
+			kept = append(kept, t)
+		}
+		e.compQ = kept
+		budget -= spent
+		if spent <= 1e-12 {
+			break
+		}
+	}
+	if completed {
+		e.enqueueTasks(e.strategy.Plan(e))
+	}
+
+	e.bgDiskBusyFrac = math.Min(1, processed*hw.DiskSecondsPerByte()/dt/bgShare)
+	e.bgCPUFrac = math.Min(0.9, cpuSpent/(dt*float64(hw.Cores)))
+}
+
+// completeCompaction publishes a finished merge: inputs disappear (and
+// their cached blocks with them), the output becomes live.
+func (e *Engine) completeCompaction(t *backgroundTask) {
+	ids := make(map[uint64]bool, len(t.inputs))
+	for _, in := range t.inputs {
+		ids[in.id] = true
+		e.fileCache.InvalidateTable(in.id)
+	}
+	e.tables.Remove(ids)
+	e.tables.Add(t.output)
+	if e.tables.Len() > e.m.MaxSSTables {
+		e.m.MaxSSTables = e.tables.Len()
+	}
+	e.m.Compactions++
+	e.m.CompactionBytes += t.diskBytes
+}
+
+// Restart simulates a crash-and-restart of the server process: all
+// in-memory state (memtable, file and row caches) is lost, the commit
+// log's unflushed records are replayed into a fresh memtable, and the
+// startup plus replay time is charged to the virtual clock. Durability
+// comes from the commit log: no acknowledged write disappears.
+func (e *Engine) Restart() {
+	records := e.log.Replay()
+
+	// RAM state is gone.
+	e.mem = newMemtable(e.hw.RowBytes)
+	e.fileCache.Resize(0)
+	e.rowCache.Resize(0)
+	// Re-establish configured capacities on the now-cold caches.
+	fileBlocks := int(e.hw.ScaledBytes(e.p.fileCacheMB) / e.model.CacheBlockBytes)
+	e.fileCache.Resize(fileBlocks)
+	const partitionRows = 8
+	rowEntries := int(e.hw.ScaledBytes(e.p.rowCacheMB) / float64(partitionRows*e.hw.RowBytes))
+	e.rowCache.Resize(rowEntries)
+
+	// Replay: sequential read of the commit log plus re-inserts.
+	replayBytes := float64(len(records) * e.hw.RowBytes)
+	replaySeconds := replayBytes*e.hw.DiskSecondsPerByte() +
+		float64(len(records))*e.model.WriteCPUSeconds/float64(e.hw.Cores)
+	for _, rec := range records {
+		if rec.tombstone {
+			e.mem.Tombstone(rec.key)
+		} else {
+			e.mem.Insert(rec.key)
+		}
+	}
+
+	downtime := e.model.ReconfigDowntimeSeconds + replaySeconds
+	e.clock += downtime
+	e.m.VirtualSeconds += downtime
+	e.m.Restarts++
+	e.m.ReplayedRecords += uint64(len(records))
+}
+
+// Delete applies one delete operation: a tombstone is written through
+// the commit log and memtable exactly like a write; compaction
+// eventually evicts it along with the shadowed versions.
+func (e *Engine) Delete(key uint64) {
+	e.ep.writes++
+	e.ep.ops++
+	depth := 1 + e.model.MemtableDepthCoeff*math.Log2(float64(e.mem.Len()+2))
+	e.ep.writeCPU += e.model.WriteCPUSeconds * depth
+	e.ep.commitBytes += float64(e.hw.RowBytes) / 8
+	e.log.Append(key, true)
+	e.mem.Tombstone(key)
+	e.m.Deletes++
+
+	if e.rowCache.capacity > 0 {
+		e.rowCache.Remove(blockID{table: key})
+	}
+	flushThreshold := e.p.memtableCleanup * e.hw.ScaledBytes(e.p.memHeapMB+e.p.memOffheapMB)
+	if e.mem.Bytes() >= flushThreshold {
+		e.flush(false)
+	} else if e.log.Bytes() >= e.hw.ScaledBytes(e.p.commitlogTotalMB) {
+		e.flush(true)
+	}
+	if e.ep.ops >= e.epochOps {
+		e.closeEpoch()
+	}
+}
+
+// Lookup performs a read and additionally reports whether a live
+// (non-deleted) version of key exists after merging the memtable and
+// every table's newest cell.
+func (e *Engine) Lookup(key uint64) bool {
+	alive := e.resolve(key)
+	e.Read(key)
+	return alive
+}
+
+// resolve returns whether the newest cell for key is live.
+func (e *Engine) resolve(key uint64) bool {
+	if e.mem.Contains(key) {
+		return !e.mem.IsTombstone(key)
+	}
+	var newest *ssTable
+	for _, t := range e.tables.tables {
+		if t.Contains(key) && (newest == nil || t.seq > newest.seq) {
+			newest = t
+		}
+	}
+	return newest != nil && !newest.IsTombstone(key)
+}
+
+// CompactAll schedules a major compaction: every idle SSTable is merged
+// into one (the nodetool-compact operation operators run to reset
+// read amplification before a read-heavy phase). The merge runs through
+// the normal background machinery and competes for the same disk.
+func (e *Engine) CompactAll() {
+	var idle []*ssTable
+	for _, t := range e.tables.tables {
+		if !t.compacting {
+			idle = append(idle, t)
+		}
+	}
+	if len(idle) < 2 {
+		return
+	}
+	e.enqueueTasks([]*backgroundTask{e.newCompactionTask(idle, 0)})
+}
+
+// DrainBackground runs the background machinery for the given virtual
+// duration with no foreground load — an idle period in which flushes
+// and compactions catch up. Time is charged to the clock.
+func (e *Engine) DrainBackground(seconds float64) {
+	if seconds <= 0 {
+		return
+	}
+	const step = 0.05
+	remaining := seconds
+	for remaining > 0 {
+		dt := step
+		if remaining < dt {
+			dt = remaining
+		}
+		e.advanceBackground(dt, 0)
+		e.clock += dt
+		e.m.VirtualSeconds += dt
+		remaining -= dt
+	}
+}

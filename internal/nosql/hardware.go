@@ -1,0 +1,106 @@
+// Package nosql implements a structural simulator of a Cassandra-style
+// NoSQL storage engine: commit log, memtable, SSTables, size-tiered and
+// leveled compaction, a block-granularity file cache, and a virtual-clock
+// resource model (CPU cores + disk) that converts the structural
+// behaviour into throughput (operations per second).
+//
+// The simulator exists because Rafiki treats the datastore as a black
+// box mapping (workload, configuration) -> throughput; what the paper's
+// method needs from the box is that the mapping be non-linear,
+// non-monotonic, and interdependent for the mechanistic reasons the
+// paper names (compaction strategy and frequency, flush behaviour,
+// cache sizing, thread-pool contention). The engine implements those
+// mechanisms for real rather than interpolating a response surface.
+package nosql
+
+import "fmt"
+
+// Hardware describes the simulated server, modeled on the paper's Dell
+// PowerEdge R430 testbed (2x4 cores, 32 GB RAM, mirrored magnetic
+// disks). Byte-capacity fields are expressed at scale 1 and divided by
+// Scale so that short simulated benchmarks exercise the same
+// flush/compaction dynamics as long real ones.
+type Hardware struct {
+	// Cores is the number of physical CPU cores.
+	Cores int
+	// DiskBandwidthMBps is the sequential throughput of the disk array.
+	DiskBandwidthMBps float64
+	// SeekMicros is the effective cost of a random block fetch that
+	// misses every cache layer (amortized over the OS page cache that
+	// fronts a magnetic array).
+	SeekMicros float64
+	// RowBytes is the average row payload size.
+	RowBytes int
+	// BlockBytes is the SSTable block (chunk) size; the file cache
+	// operates at this granularity.
+	BlockBytes int
+	// KeySpace is the number of distinct logical keys at scale 1.
+	KeySpace int
+	// Scale divides all byte capacities (key space, memtable space,
+	// caches) so that simulated runs are short while preserving the
+	// capacity ratios that drive hit rates and flush frequencies.
+	Scale int
+}
+
+// DefaultHardware returns the R430-like model used by all experiments.
+func DefaultHardware() Hardware {
+	return Hardware{
+		Cores:             8,
+		DiskBandwidthMBps: 300,
+		SeekMicros:        75,
+		RowBytes:          1024,
+		BlockBytes:        64 * 1024,
+		KeySpace:          6_000_000,
+		Scale:             64,
+	}
+}
+
+// Validate reports configuration errors in the hardware model.
+func (h Hardware) Validate() error {
+	switch {
+	case h.Cores <= 0:
+		return fmt.Errorf("nosql: hardware needs cores > 0, got %d", h.Cores)
+	case h.DiskBandwidthMBps <= 0:
+		return fmt.Errorf("nosql: disk bandwidth must be positive, got %v", h.DiskBandwidthMBps)
+	case h.SeekMicros < 0:
+		return fmt.Errorf("nosql: negative seek cost %v", h.SeekMicros)
+	case h.RowBytes <= 0:
+		return fmt.Errorf("nosql: row bytes must be positive, got %d", h.RowBytes)
+	case h.BlockBytes < h.RowBytes:
+		return fmt.Errorf("nosql: block bytes %d smaller than row bytes %d", h.BlockBytes, h.RowBytes)
+	case h.KeySpace <= 0:
+		return fmt.Errorf("nosql: key space must be positive, got %d", h.KeySpace)
+	case h.Scale <= 0:
+		return fmt.Errorf("nosql: scale must be positive, got %d", h.Scale)
+	}
+	return nil
+}
+
+// ScaledKeySpace returns the number of distinct keys after scaling.
+func (h Hardware) ScaledKeySpace() int {
+	n := h.KeySpace / h.Scale
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// ScaledBytes converts a scale-1 capacity in megabytes to scaled bytes.
+func (h Hardware) ScaledBytes(mb float64) float64 {
+	return mb * 1024 * 1024 / float64(h.Scale)
+}
+
+// KeysPerBlock returns how many rows share one SSTable block; the file
+// cache's unit of admission.
+func (h Hardware) KeysPerBlock() int {
+	n := h.BlockBytes / h.RowBytes
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// DiskSecondsPerByte converts bytes of sequential transfer to seconds.
+func (h Hardware) DiskSecondsPerByte() float64 {
+	return 1 / (h.DiskBandwidthMBps * 1024 * 1024)
+}

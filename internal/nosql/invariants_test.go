@@ -1,0 +1,166 @@
+package nosql_test
+
+// Property-based invariant checks on the engine: random operation
+// sequences and configurations must never violate the structural or
+// accounting invariants, whatever the workload shape.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rafiki/internal/config"
+	"rafiki/internal/nosql"
+)
+
+// randomFeasibleConfig draws a random feasible key-parameter config.
+func randomFeasibleConfig(space *config.Space, rng *rand.Rand) config.Config {
+	keys, err := space.KeyParams()
+	if err != nil {
+		panic(err)
+	}
+	cfg := make(config.Config, len(keys))
+	for _, p := range keys {
+		cfg[p.Name] = p.Clamp(p.Min + rng.Float64()*(p.Max-p.Min))
+	}
+	return cfg
+}
+
+func TestEngineInvariantsUnderRandomOps(t *testing.T) {
+	f := func(seed int64, rrByte uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		space := config.Cassandra()
+		cfg := randomFeasibleConfig(space, rng)
+		eng, err := nosql.New(nosql.Options{Space: space, Config: cfg, Seed: seed})
+		if err != nil {
+			t.Logf("engine construction failed: %v", err)
+			return false
+		}
+		eng.Preload(1 + rng.Intn(3))
+
+		rr := float64(rrByte) / 255
+		keySpace := uint64(eng.KeySpace())
+		prevClock := eng.Clock()
+		const ops = 8000
+		var reads, writes uint64
+		for i := 0; i < ops; i++ {
+			key := rng.Uint64() % keySpace
+			if rng.Float64() < rr {
+				eng.Read(key)
+				reads++
+			} else {
+				eng.Write(key)
+				writes++
+			}
+			// The virtual clock never runs backwards.
+			if c := eng.Clock(); c < prevClock {
+				t.Logf("clock regressed: %v -> %v", prevClock, c)
+				return false
+			} else {
+				prevClock = c
+			}
+		}
+		eng.FinishEpoch()
+
+		m := eng.Metrics()
+		switch {
+		case m.Reads != reads || m.Writes != writes:
+			t.Logf("op accounting mismatch: %d/%d vs %d/%d", m.Reads, m.Writes, reads, writes)
+			return false
+		case m.VirtualSeconds <= 0:
+			t.Logf("no virtual time elapsed")
+			return false
+		case m.Throughput() <= 0:
+			t.Logf("non-positive throughput")
+			return false
+		case m.SSTables <= 0:
+			t.Logf("preloaded engine lost all tables")
+			return false
+		case m.MaxSSTables < m.SSTables:
+			t.Logf("max tables %d below current %d", m.MaxSSTables, m.SSTables)
+			return false
+		case m.FileCacheHitRate() < 0 || m.FileCacheHitRate() > 1:
+			t.Logf("hit rate %v out of range", m.FileCacheHitRate())
+			return false
+		case m.ForcedFlushes > m.Flushes:
+			t.Logf("forced flushes exceed flushes")
+			return false
+		case m.BloomFalsePositives > m.BloomChecks:
+			t.Logf("false positives exceed checks")
+			return false
+		}
+		// Sanity band: throughput within the plausible simulator range.
+		if tput := m.Throughput(); tput < 1000 || tput > 2_000_000 {
+			t.Logf("throughput %v outside sanity band", tput)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEngineDatasetNeverShrinksBelowKeySpace(t *testing.T) {
+	// After preload every key exists; flush/compaction must never lose
+	// coverage: a read of any key must find at least one version
+	// (observable as bloom-positive disk/cache traffic or memtable hit).
+	eng, err := nosql.New(nosql.Options{Space: config.Cassandra(), Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Preload(2)
+	rng := rand.New(rand.NewSource(78))
+	keySpace := uint64(eng.KeySpace())
+	for i := 0; i < 60_000; i++ {
+		if rng.Float64() < 0.5 {
+			eng.Read(rng.Uint64() % keySpace)
+		} else {
+			eng.Write(rng.Uint64() % keySpace)
+		}
+	}
+	eng.FinishEpoch()
+	before := eng.Metrics()
+
+	// Probe a sample of keys: every probe must touch either the
+	// memtable or at least one table (hit or disk read).
+	touchesBefore := before.FileCacheHits + before.DiskBlockReads + before.MemtableHits
+	const probes = 2000
+	for k := uint64(0); k < probes; k++ {
+		eng.Read(k * (keySpace / probes) % keySpace)
+	}
+	eng.FinishEpoch()
+	after := eng.Metrics()
+	touches := (after.FileCacheHits + after.DiskBlockReads + after.MemtableHits) - touchesBefore
+	if touches < probes {
+		t.Errorf("%d probes produced only %d data touches; keys lost", probes, touches)
+	}
+}
+
+func TestApplyPreservesData(t *testing.T) {
+	// Runtime reconfiguration (including a strategy switch) must not
+	// lose data: keys written before Apply stay readable after.
+	eng, err := nosql.New(nosql.Options{Space: config.Cassandra(), Seed: 79})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Preload(1)
+	for k := uint64(0); k < 20_000; k++ {
+		eng.Write(k % uint64(eng.KeySpace()))
+	}
+	eng.FinishEpoch()
+	if err := eng.Apply(config.Config{config.ParamCompactionStrategy: config.CompactionLeveled}); err != nil {
+		t.Fatal(err)
+	}
+	before := eng.Metrics()
+	touchesBefore := before.FileCacheHits + before.DiskBlockReads + before.MemtableHits
+	for k := uint64(0); k < 1000; k++ {
+		eng.Read(k)
+	}
+	eng.FinishEpoch()
+	after := eng.Metrics()
+	touches := (after.FileCacheHits + after.DiskBlockReads + after.MemtableHits) - touchesBefore
+	if touches < 1000 {
+		t.Errorf("after Apply only %d of 1000 probes touched data", touches)
+	}
+}

@@ -1,0 +1,66 @@
+package nosql
+
+// memtable is the in-memory write-back cache of rows (Section 2.2.1).
+// Writes are batched here until the cleanup threshold triggers a flush
+// that turns the contents into an immutable SSTable.
+type memtable struct {
+	// keys maps a key to whether its newest cell is a tombstone.
+	keys     map[uint64]bool
+	rowBytes int
+	bytes    float64
+}
+
+func newMemtable(rowBytes int) *memtable {
+	return &memtable{
+		keys:     make(map[uint64]bool, 1024),
+		rowBytes: rowBytes,
+	}
+}
+
+// Insert records a write of key. Re-writing a key overwrites in place
+// (the memtable deduplicates), but still accounts bytes because the
+// commit-log entry and cell versions occupy space until flush.
+func (m *memtable) Insert(key uint64) {
+	m.keys[key] = false
+	m.bytes += float64(m.rowBytes)
+}
+
+// Tombstone records a delete of key (Section 2.2.1: compaction later
+// "evicts tombstones").
+func (m *memtable) Tombstone(key uint64) {
+	m.keys[key] = true
+	m.bytes += float64(m.rowBytes) / 8 // tombstones are small cells
+}
+
+// Contains reports whether key has been written since the last flush.
+func (m *memtable) Contains(key uint64) bool {
+	_, ok := m.keys[key]
+	return ok
+}
+
+// IsTombstone reports whether the memtable's newest cell for key is a
+// delete marker.
+func (m *memtable) IsTombstone(key uint64) bool {
+	return m.keys[key]
+}
+
+// Bytes returns the accounted size of the memtable.
+func (m *memtable) Bytes() float64 { return m.bytes }
+
+// Len returns the number of distinct keys held.
+func (m *memtable) Len() int { return len(m.keys) }
+
+// Drain empties the memtable and returns its distinct keys plus the
+// subset that are tombstones, ready to become an SSTable.
+func (m *memtable) Drain() (keys []uint64, tombstones []uint64) {
+	keys = make([]uint64, 0, len(m.keys))
+	for k, dead := range m.keys {
+		keys = append(keys, k)
+		if dead {
+			tombstones = append(tombstones, k)
+		}
+	}
+	m.keys = make(map[uint64]bool, len(keys))
+	m.bytes = 0
+	return keys, tombstones
+}

@@ -1,0 +1,239 @@
+package nosql
+
+// ssTable is an immutable on-disk sorted table. The simulator tracks the
+// exact key set of every table so that read amplification — how many
+// tables actually hold a version of a key — is mechanistic rather than
+// estimated.
+type ssTable struct {
+	id uint64
+	// keys holds every physically present cell, live or tombstone;
+	// tombs marks the subset that are delete markers.
+	keys  map[uint64]struct{}
+	tombs map[uint64]struct{}
+	// seq is the logical recency of the table's cells: flush order for
+	// fresh tables, the max input seq for merged ones. Conflict
+	// resolution across tables picks the highest seq.
+	seq   uint64
+	level int // 0 for size-tiered and L0; >0 for leveled runs
+	// compacting marks tables already claimed by a pending compaction
+	// task so that the strategy does not claim them twice.
+	compacting bool
+
+	rowBytes     int
+	keysPerBlock int
+	// blockSpan maps a key to its physical block: tables are sorted, so
+	// a table holding len keys out of keySpace occupies about
+	// len/keysPerBlock physical blocks, and uniformly-spread keys land
+	// in block key/blockSpan.
+	blockSpan uint64
+	// bloom is the table's real Bloom filter; reads consult it before
+	// paying for index and block fetches.
+	bloom *bloomFilter
+	// createdAt is the virtual flush time, bucketing tables for the
+	// time-window compaction strategy.
+	createdAt float64
+}
+
+func newSSTable(id uint64, keys []uint64, rowBytes, keysPerBlock, keySpace int) *ssTable {
+	t := &ssTable{
+		id:           id,
+		keys:         make(map[uint64]struct{}, len(keys)),
+		tombs:        make(map[uint64]struct{}),
+		seq:          id,
+		rowBytes:     rowBytes,
+		keysPerBlock: keysPerBlock,
+	}
+	for _, k := range keys {
+		t.keys[k] = struct{}{}
+	}
+	t.setBlockSpan(keySpace)
+	t.buildBloom()
+	return t
+}
+
+// markTombstones flags the given keys as delete markers; they must
+// already be present in the table's cell set.
+func (t *ssTable) markTombstones(keys []uint64) {
+	for _, k := range keys {
+		t.tombs[k] = struct{}{}
+	}
+}
+
+// IsTombstone reports whether the table's cell for key is a delete
+// marker.
+func (t *ssTable) IsTombstone(key uint64) bool {
+	_, ok := t.tombs[key]
+	return ok
+}
+
+// dropCell removes a cell entirely (tombstone garbage collection).
+func (t *ssTable) dropCell(key uint64) {
+	delete(t.keys, key)
+	delete(t.tombs, key)
+}
+
+// rebuild refreshes the derived structures after cells changed.
+func (t *ssTable) rebuild(keySpace int) {
+	t.setBlockSpan(keySpace)
+	t.buildBloom()
+}
+
+// buildBloom (re)constructs the table's Bloom filter from its key set.
+func (t *ssTable) buildBloom() {
+	t.bloom = newBloomFilter(len(t.keys), defaultBloomFPRate)
+	for k := range t.keys {
+		t.bloom.Add(k)
+	}
+}
+
+// defaultBloomFPRate matches Cassandra's size-tiered default target.
+const defaultBloomFPRate = 0.01
+
+// MayContain consults the Bloom filter: false means definitely absent.
+func (t *ssTable) MayContain(key uint64) bool {
+	return t.bloom.MayContain(key)
+}
+
+// setBlockSpan recomputes the key-to-physical-block divisor from the
+// table's density within the key space.
+func (t *ssTable) setBlockSpan(keySpace int) {
+	physBlocks := (len(t.keys) + t.keysPerBlock - 1) / t.keysPerBlock
+	if physBlocks < 1 {
+		physBlocks = 1
+	}
+	span := uint64(keySpace / physBlocks)
+	if span < 1 {
+		span = 1
+	}
+	t.blockSpan = span
+}
+
+// Contains reports whether the table holds a version of key.
+func (t *ssTable) Contains(key uint64) bool {
+	_, ok := t.keys[key]
+	return ok
+}
+
+// Bytes returns the table's on-disk size; tombstone cells are small.
+func (t *ssTable) Bytes() float64 {
+	live := len(t.keys) - len(t.tombs)
+	return float64(live*t.rowBytes) + float64(len(t.tombs)*t.rowBytes)/8
+}
+
+// Len returns the number of distinct keys in the table.
+func (t *ssTable) Len() int { return len(t.keys) }
+
+// BlockFor returns the cache block holding key within this table.
+// Tables are sorted by key, so adjacent keys share blocks; a compacted
+// output is a new table with new block IDs, which is exactly the cache
+// churn real compaction causes.
+func (t *ssTable) BlockFor(key uint64) blockID {
+	return blockID{table: t.id, block: uint32(key / t.blockSpan)}
+}
+
+// mergeTables merges the cells of tables into a single new table at
+// the given level. This is the logical effect of compaction: per key,
+// only the newest cell (by table seq) survives — "merges keys, combines
+// columns, evicts [shadowed] data" (Section 2.2.1). Tombstone cells
+// survive the merge; whether they can be evicted entirely depends on
+// tables outside the merge and is decided by the engine.
+func mergeTables(id uint64, tables []*ssTable, level, rowBytes, keysPerBlock, keySpace int) *ssTable {
+	total := 0
+	var maxSeq uint64
+	for _, t := range tables {
+		total += t.Len()
+		if t.seq > maxSeq {
+			maxSeq = t.seq
+		}
+	}
+	out := &ssTable{
+		id:           id,
+		keys:         make(map[uint64]struct{}, total),
+		tombs:        make(map[uint64]struct{}),
+		seq:          maxSeq,
+		level:        level,
+		rowBytes:     rowBytes,
+		keysPerBlock: keysPerBlock,
+	}
+	newest := make(map[uint64]*ssTable, total)
+	for _, t := range tables {
+		for k := range t.keys {
+			if cur, ok := newest[k]; !ok || t.seq > cur.seq {
+				newest[k] = t
+			}
+		}
+	}
+	for k, src := range newest {
+		out.keys[k] = struct{}{}
+		if src.IsTombstone(k) {
+			out.tombs[k] = struct{}{}
+		}
+	}
+	out.setBlockSpan(keySpace)
+	out.buildBloom()
+	return out
+}
+
+// tableSet is the collection of live SSTables, maintained per engine.
+type tableSet struct {
+	tables []*ssTable
+}
+
+// Add appends a table.
+func (s *tableSet) Add(t *ssTable) {
+	s.tables = append(s.tables, t)
+}
+
+// Remove drops the tables with the given IDs and returns how many were
+// removed.
+func (s *tableSet) Remove(ids map[uint64]bool) int {
+	if len(ids) == 0 {
+		return 0
+	}
+	kept := s.tables[:0]
+	removed := 0
+	for _, t := range s.tables {
+		if ids[t.id] {
+			removed++
+			continue
+		}
+		kept = append(kept, t)
+	}
+	s.tables = kept
+	return removed
+}
+
+// Len returns the number of live tables.
+func (s *tableSet) Len() int { return len(s.tables) }
+
+// TotalBytes sums the on-disk size of all live tables.
+func (s *tableSet) TotalBytes() float64 {
+	var b float64
+	for _, t := range s.tables {
+		b += t.Bytes()
+	}
+	return b
+}
+
+// AtLevel returns the live tables at the given level, preserving age
+// order (oldest first).
+func (s *tableSet) AtLevel(level int) []*ssTable {
+	var out []*ssTable
+	for _, t := range s.tables {
+		if t.level == level {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// MaxLevel returns the highest populated level.
+func (s *tableSet) MaxLevel() int {
+	maxL := 0
+	for _, t := range s.tables {
+		if t.level > maxL {
+			maxL = t.level
+		}
+	}
+	return maxL
+}

@@ -1,0 +1,119 @@
+package nosql_test
+
+import (
+	"testing"
+
+	"rafiki/internal/config"
+	"rafiki/internal/nosql"
+)
+
+func TestDeleteShadowsWrites(t *testing.T) {
+	eng := newTestEngine(t, nil, 50)
+	eng.Write(7)
+	if !eng.Lookup(7) {
+		t.Fatal("written key should resolve live")
+	}
+	eng.Delete(7)
+	if eng.Lookup(7) {
+		t.Fatal("deleted key should resolve dead")
+	}
+	eng.Write(7)
+	if !eng.Lookup(7) {
+		t.Fatal("re-written key should resolve live again")
+	}
+	eng.FinishEpoch()
+	if eng.Metrics().Deletes != 1 {
+		t.Errorf("Deletes = %d", eng.Metrics().Deletes)
+	}
+}
+
+func TestDeleteSurvivesFlush(t *testing.T) {
+	eng := newTestEngine(t, config.Config{config.ParamMemtableCleanup: 0.05}, 51)
+	eng.Write(9)
+	eng.Delete(9)
+	// Force a flush by writing enough other keys.
+	for k := uint64(100); k < 8000; k++ {
+		eng.Write(k)
+	}
+	eng.FinishEpoch()
+	if eng.Metrics().Flushes == 0 {
+		t.Fatal("test needs a flush")
+	}
+	if eng.Lookup(9) {
+		t.Error("tombstone lost across flush")
+	}
+}
+
+func TestDeleteSurvivesRestart(t *testing.T) {
+	eng := newTestEngine(t, nil, 52)
+	eng.Write(11)
+	eng.Delete(11)
+	eng.FinishEpoch()
+	eng.Restart()
+	if eng.Lookup(11) {
+		t.Error("tombstone lost across crash recovery (commit log must replay deletes)")
+	}
+}
+
+func TestTombstoneEvictionByCompaction(t *testing.T) {
+	// Deletes followed by enough write traffic to drive compactions
+	// must eventually evict tombstones; the deleted keys stay dead.
+	model := nosql.DefaultCostModel()
+	model.CompactorRateMBps = 60
+	eng, err := nosql.New(nosql.Options{
+		Space: config.Cassandra(),
+		Config: config.Config{
+			config.ParamCompactionThroughput: 256,
+			config.ParamConcurrentCompactors: 8,
+			config.ParamMemtableCleanup:      0.05,
+		},
+		Model: model,
+		Seed:  53,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const deleted = 500
+	for k := uint64(0); k < deleted; k++ {
+		eng.Write(k)
+	}
+	for k := uint64(0); k < deleted; k++ {
+		eng.Delete(k)
+	}
+	for i := 0; i < 250_000; i++ {
+		eng.Write(uint64(i)%uint64(eng.KeySpace()-1000) + 1000)
+	}
+	eng.FinishEpoch()
+	m := eng.Metrics()
+	if m.Compactions == 0 {
+		t.Fatal("test needs completed compactions")
+	}
+	if m.TombstonesEvicted == 0 {
+		t.Error("compaction never evicted tombstones")
+	}
+	for _, k := range []uint64{0, 100, deleted - 1} {
+		if eng.Lookup(k) {
+			t.Errorf("deleted key %d resurrected after compaction", k)
+		}
+	}
+}
+
+func TestMergeResolvesNewestCell(t *testing.T) {
+	// A key written, deleted in a later table, and merged: the tombstone
+	// (newer seq) must win regardless of merge input order.
+	eng := newTestEngine(t, config.Config{config.ParamMemtableCleanup: 0.05}, 54)
+	eng.Write(21)
+	// Flush #1 with the live cell.
+	for k := uint64(1000); k < 6000; k++ {
+		eng.Write(k)
+	}
+	eng.Delete(21)
+	// Flush #2 with the tombstone.
+	for k := uint64(6000); k < 11000; k++ {
+		eng.Write(k)
+	}
+	eng.FinishEpoch()
+	if eng.Lookup(21) {
+		t.Error("older live cell shadowed the newer tombstone")
+	}
+}

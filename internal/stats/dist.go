@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// FCDF returns the cumulative distribution function of the F
+// distribution with (d1, d2) degrees of freedom evaluated at x. It is
+// used to convert ANOVA F statistics into p-values.
+func FCDF(x, d1, d2 float64) (float64, error) {
+	if d1 <= 0 || d2 <= 0 {
+		return 0, fmt.Errorf("stats: invalid F degrees of freedom (%v, %v)", d1, d2)
+	}
+	if x <= 0 {
+		return 0, nil
+	}
+	z := d1 * x / (d1*x + d2)
+	return RegIncBeta(d1/2, d2/2, z)
+}
+
+// FPValue returns the right-tail p-value P(F >= x) for an F statistic.
+func FPValue(x, d1, d2 float64) (float64, error) {
+	cdf, err := FCDF(x, d1, d2)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - cdf, nil
+}
+
+// RegIncBeta returns the regularized incomplete beta function I_x(a, b),
+// computed with the continued-fraction expansion (Lentz's method) as in
+// Numerical Recipes.
+func RegIncBeta(a, b, x float64) (float64, error) {
+	if a <= 0 || b <= 0 {
+		return 0, fmt.Errorf("stats: invalid beta parameters (%v, %v)", a, b)
+	}
+	if x < 0 || x > 1 {
+		return 0, fmt.Errorf("stats: incomplete beta argument %v out of [0,1]", x)
+	}
+	if x == 0 {
+		return 0, nil
+	}
+	if x == 1 {
+		return 1, nil
+	}
+	lbeta, _ := math.Lgamma(a + b)
+	la, _ := math.Lgamma(a)
+	lb, _ := math.Lgamma(b)
+	front := math.Exp(lbeta - la - lb + a*math.Log(x) + b*math.Log(1-x))
+	// The continued fraction converges quickly when x < (a+1)/(a+b+2);
+	// otherwise use the symmetry I_x(a,b) = 1 - I_{1-x}(b,a).
+	if x < (a+1)/(a+b+2) {
+		cf, err := betaCF(a, b, x)
+		if err != nil {
+			return 0, err
+		}
+		return front * cf / a, nil
+	}
+	cf, err := betaCF(b, a, 1-x)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - front*cf/b, nil
+}
+
+// betaCF evaluates the continued fraction of the incomplete beta
+// function using the modified Lentz algorithm.
+func betaCF(a, b, x float64) (float64, error) {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		tiny    = 1e-30
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := float64(2 * m)
+		fm := float64(m)
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			return h, nil
+		}
+	}
+	return 0, errors.New("stats: incomplete beta continued fraction did not converge")
+}
+
+// Exponential is an exponential distribution with the given mean,
+// used to model key reuse distance (KRD) as in Section 3.3 of the paper.
+type Exponential struct {
+	Mean float64
+}
+
+// FitExponential fits an exponential distribution to xs by maximum
+// likelihood (the MLE of the mean is the sample mean).
+func FitExponential(xs []float64) (Exponential, error) {
+	if len(xs) == 0 {
+		return Exponential{}, ErrEmpty
+	}
+	m := Mean(xs)
+	if m <= 0 {
+		return Exponential{}, fmt.Errorf("stats: non-positive exponential mean %v", m)
+	}
+	return Exponential{Mean: m}, nil
+}
+
+// CDF returns P(X <= x).
+func (e Exponential) CDF(x float64) float64 {
+	if x <= 0 || e.Mean <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-x/e.Mean)
+}
+
+// Quantile returns the q-th quantile (inverse CDF).
+func (e Exponential) Quantile(q float64) float64 {
+	if q <= 0 {
+		return 0
+	}
+	if q >= 1 {
+		return math.Inf(1)
+	}
+	return -e.Mean * math.Log(1-q)
+}

@@ -1,0 +1,190 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	tests := []struct {
+		name    string
+		a, b, x float64
+		want    float64
+		tol     float64
+	}{
+		{name: "edge zero", a: 2, b: 3, x: 0, want: 0, tol: 0},
+		{name: "edge one", a: 2, b: 3, x: 1, want: 1, tol: 0},
+		// I_x(1,1) is the uniform CDF = x.
+		{name: "uniform", a: 1, b: 1, x: 0.3, want: 0.3, tol: 1e-12},
+		// I_x(1,b) = 1-(1-x)^b.
+		{name: "a=1", a: 1, b: 4, x: 0.2, want: 1 - math.Pow(0.8, 4), tol: 1e-12},
+		// Symmetry point: I_0.5(a,a) = 0.5.
+		{name: "symmetric", a: 3.5, b: 3.5, x: 0.5, want: 0.5, tol: 1e-12},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := RegIncBeta(tt.a, tt.b, tt.x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-tt.want) > tt.tol {
+				t.Errorf("RegIncBeta(%v,%v,%v) = %v, want %v", tt.a, tt.b, tt.x, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRegIncBetaErrors(t *testing.T) {
+	if _, err := RegIncBeta(0, 1, 0.5); err == nil {
+		t.Error("a=0 should error")
+	}
+	if _, err := RegIncBeta(1, 1, -0.1); err == nil {
+		t.Error("x<0 should error")
+	}
+	if _, err := RegIncBeta(1, 1, 1.1); err == nil {
+		t.Error("x>1 should error")
+	}
+}
+
+func TestRegIncBetaSymmetry(t *testing.T) {
+	// I_x(a,b) = 1 - I_{1-x}(b,a) must hold across the parameter space.
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		a := 0.5 + rng.Float64()*10
+		b := 0.5 + rng.Float64()*10
+		x := rng.Float64()
+		lhs, err := RegIncBeta(a, b, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rhs, err := RegIncBeta(b, a, 1-x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(lhs-(1-rhs)) > 1e-10 {
+			t.Fatalf("symmetry violated at a=%v b=%v x=%v: %v vs %v", a, b, x, lhs, 1-rhs)
+		}
+	}
+}
+
+func TestFCDF(t *testing.T) {
+	// F(1, d2) at x is related to the t distribution; spot-check against
+	// known table values: P(F <= 1) with equal dof is 0.5.
+	got, err := FCDF(1, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.5) > 1e-10 {
+		t.Errorf("FCDF(1,5,5) = %v, want 0.5", got)
+	}
+	// F CDF is 0 at x<=0.
+	got, err = FCDF(0, 3, 7)
+	if err != nil || got != 0 {
+		t.Errorf("FCDF(0) = %v, %v; want 0", got, err)
+	}
+	// Monotone increasing in x.
+	prev := -1.0
+	for x := 0.1; x < 10; x += 0.5 {
+		v, err := FCDF(x, 4, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < prev {
+			t.Fatalf("FCDF not monotone at %v", x)
+		}
+		prev = v
+	}
+	if _, err := FCDF(1, 0, 5); err == nil {
+		t.Error("invalid dof should error")
+	}
+}
+
+func TestFPValue(t *testing.T) {
+	// Large F => tiny p-value; F near 0 => p near 1.
+	small, err := FPValue(50, 4, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small > 1e-6 {
+		t.Errorf("p-value for F=50 too large: %v", small)
+	}
+	large, err := FPValue(0.01, 4, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large < 0.99 {
+		t.Errorf("p-value for F=0.01 too small: %v", large)
+	}
+}
+
+func TestFitExponential(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const mean = 250.0
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() * mean
+	}
+	fit, err := FitExponential(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Mean-mean)/mean > 0.05 {
+		t.Errorf("fitted mean %v too far from %v", fit.Mean, mean)
+	}
+	if _, err := FitExponential(nil); err == nil {
+		t.Error("empty fit should error")
+	}
+	if _, err := FitExponential([]float64{0, 0}); err == nil {
+		t.Error("zero-mean fit should error")
+	}
+}
+
+func TestExponentialCDFQuantileRoundTrip(t *testing.T) {
+	e := Exponential{Mean: 42}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		x := e.Quantile(q)
+		if got := e.CDF(x); math.Abs(got-q) > 1e-12 {
+			t.Errorf("CDF(Quantile(%v)) = %v", q, got)
+		}
+	}
+	if e.CDF(-1) != 0 {
+		t.Error("CDF of negative should be 0")
+	}
+	if e.Quantile(0) != 0 {
+		t.Error("Quantile(0) should be 0")
+	}
+	if !math.IsInf(e.Quantile(1), 1) {
+		t.Error("Quantile(1) should be +Inf")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(-20, 20, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.AddAll([]float64{-25, -19, 0, 19, 25})
+	if got := h.Total(); got != 5 {
+		t.Errorf("Total = %d, want 5", got)
+	}
+	// Out-of-range values clamp to edge bins.
+	if h.Counts[0] != 2 {
+		t.Errorf("first bin = %d, want 2", h.Counts[0])
+	}
+	if h.Counts[len(h.Counts)-1] != 2 {
+		t.Errorf("last bin = %d, want 2", h.Counts[len(h.Counts)-1])
+	}
+	if got := h.BinCenter(0); math.Abs(got-(-17.5)) > 1e-12 {
+		t.Errorf("BinCenter(0) = %v, want -17.5", got)
+	}
+	if out := h.Render(20); len(out) == 0 {
+		t.Error("Render returned empty string")
+	}
+	if _, err := NewHistogram(0, 0, 4); err == nil {
+		t.Error("empty range should error")
+	}
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("zero bins should error")
+	}
+}

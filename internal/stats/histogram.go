@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Histogram is a fixed-width-bin histogram over [Lo, Hi). Values outside
+// the range are clamped into the first/last bin so that heavy error
+// tails remain visible, matching how the paper's Figures 8 and 9 plot
+// prediction-error distributions over a bounded range.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+}
+
+// NewHistogram builds a histogram with the given number of bins over
+// [lo, hi).
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("stats: histogram needs at least one bin, got %d", bins)
+	}
+	if hi <= lo {
+		return nil, fmt.Errorf("stats: histogram range [%v, %v) is empty", lo, hi)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	idx := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.Counts) {
+		idx = len(h.Counts) - 1
+	}
+	h.Counts[idx]++
+}
+
+// AddAll records every observation in xs.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int {
+	var n int
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*width
+}
+
+// Render returns a left-to-right ASCII rendering of the histogram, one
+// line per bin, with bars scaled to width characters.
+func (h *Histogram) Render(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	maxCount := 0
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var sb strings.Builder
+	for i, c := range h.Counts {
+		bar := 0
+		if maxCount > 0 {
+			bar = c * width / maxCount
+		}
+		fmt.Fprintf(&sb, "%8.1f | %-*s %d\n", h.BinCenter(i), width, strings.Repeat("#", bar), c)
+	}
+	return sb.String()
+}

@@ -1,0 +1,199 @@
+// Package stats provides the statistical primitives Rafiki is built on:
+// descriptive statistics, regression quality metrics (RMSE, R-squared,
+// mean absolute percentage error), histograms, distribution fitting for
+// key-reuse-distance modeling, and the F distribution used by the ANOVA
+// stage.
+//
+// Everything in this package is deterministic given explicit inputs; the
+// randomized helpers take a *rand.Rand so callers control seeding.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that need at least one sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Sum returns the sum of xs using Kahan compensated summation so that
+// long benchmark series do not accumulate float error.
+func Sum(xs []float64) float64 {
+	var sum, comp float64
+	for _, x := range xs {
+		y := x - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+	}
+	return sum
+}
+
+// Variance returns the unbiased sample variance of xs (n-1 denominator).
+// It returns 0 when fewer than two samples are provided.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1)
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Min returns the smallest element of xs.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the largest element of xs.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Quantile returns the q-th (0..1) quantile of xs using linear
+// interpolation between order statistics. xs does not need to be sorted.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %v out of [0,1]", q)
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// RMSE returns the root mean squared error between predictions and
+// observed targets. The slices must have equal non-zero length.
+func RMSE(pred, obs []float64) (float64, error) {
+	if err := sameLen(pred, obs); err != nil {
+		return 0, err
+	}
+	var ss float64
+	for i := range pred {
+		d := pred[i] - obs[i]
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(pred))), nil
+}
+
+// MAPE returns the mean absolute percentage error (in percent, e.g. 7.5
+// for 7.5%) between predictions and observed targets. Observations equal
+// to zero are skipped to avoid division by zero.
+func MAPE(pred, obs []float64) (float64, error) {
+	if err := sameLen(pred, obs); err != nil {
+		return 0, err
+	}
+	var total float64
+	var n int
+	for i := range pred {
+		if obs[i] == 0 {
+			continue
+		}
+		total += math.Abs((pred[i] - obs[i]) / obs[i])
+		n++
+	}
+	if n == 0 {
+		return 0, ErrEmpty
+	}
+	return 100 * total / float64(n), nil
+}
+
+// PercentErrors returns the signed percentage error of each prediction
+// relative to the observation; entries with a zero observation are
+// omitted. Used for the paper's Figure 8/9 error histograms.
+func PercentErrors(pred, obs []float64) ([]float64, error) {
+	if err := sameLen(pred, obs); err != nil {
+		return nil, err
+	}
+	var out []float64
+	for i := range pred {
+		if obs[i] == 0 {
+			continue
+		}
+		out = append(out, 100*(pred[i]-obs[i])/obs[i])
+	}
+	return out, nil
+}
+
+// R2 returns the coefficient of determination of predictions against
+// observations. A perfect fit yields 1; predicting the mean yields 0.
+func R2(pred, obs []float64) (float64, error) {
+	if err := sameLen(pred, obs); err != nil {
+		return 0, err
+	}
+	mean := Mean(obs)
+	var ssRes, ssTot float64
+	for i := range obs {
+		r := obs[i] - pred[i]
+		t := obs[i] - mean
+		ssRes += r * r
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 1 - ssRes/ssTot, nil
+}
+
+func sameLen(a, b []float64) error {
+	if len(a) == 0 {
+		return ErrEmpty
+	}
+	if len(a) != len(b) {
+		return fmt.Errorf("stats: length mismatch %d vs %d", len(a), len(b))
+	}
+	return nil
+}

@@ -1,0 +1,240 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		give []float64
+		want float64
+	}{
+		{name: "empty", give: nil, want: 0},
+		{name: "single", give: []float64{4}, want: 4},
+		{name: "symmetric", give: []float64{-1, 0, 1}, want: 0},
+		{name: "typical", give: []float64{1, 2, 3, 4}, want: 2.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.give); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Mean(%v) = %v, want %v", tt.give, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSumKahanPrecision(t *testing.T) {
+	// 0.1 summed 1e6 times; naive summation drifts, Kahan should not.
+	xs := make([]float64, 1_000_000)
+	for i := range xs {
+		xs[i] = 0.1
+	}
+	if got := Sum(xs); !almostEqual(got, 100000, 1e-6) {
+		t.Errorf("Sum drifted: got %v, want 100000", got)
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance with n-1 denominator is 32/7.
+	want := 32.0 / 7.0
+	if got := Variance(xs); !almostEqual(got, want, 1e-12) {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+	if got := StdDev(xs); !almostEqual(got, math.Sqrt(want), 1e-12) {
+		t.Errorf("StdDev = %v, want %v", got, math.Sqrt(want))
+	}
+}
+
+func TestVarianceDegenerate(t *testing.T) {
+	if got := Variance(nil); got != 0 {
+		t.Errorf("Variance(nil) = %v, want 0", got)
+	}
+	if got := Variance([]float64{3}); got != 0 {
+		t.Errorf("Variance(single) = %v, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	mn, err := Min(xs)
+	if err != nil || mn != -1 {
+		t.Errorf("Min = %v, %v; want -1, nil", mn, err)
+	}
+	mx, err := Max(xs)
+	if err != nil || mx != 7 {
+		t.Errorf("Max = %v, %v; want 7, nil", mx, err)
+	}
+	if _, err := Min(nil); err == nil {
+		t.Error("Min(nil) should error")
+	}
+	if _, err := Max(nil); err == nil {
+		t.Error("Max(nil) should error")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1},
+		{0.25, 2},
+		{0.5, 3},
+		{1, 5},
+	}
+	for _, tt := range tests {
+		got, err := Quantile(xs, tt.q)
+		if err != nil {
+			t.Fatalf("Quantile(%v): %v", tt.q, err)
+		}
+		if !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("Quantile out of range should error")
+	}
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Error("Quantile of empty should error")
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	got, err := RMSE([]float64{1, 2, 3}, []float64{1, 2, 3})
+	if err != nil || got != 0 {
+		t.Errorf("RMSE identical = %v, %v", got, err)
+	}
+	got, err = RMSE([]float64{0, 0}, []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(12.5)
+	if !almostEqual(got, want, 1e-12) {
+		t.Errorf("RMSE = %v, want %v", got, want)
+	}
+	if _, err := RMSE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("RMSE length mismatch should error")
+	}
+}
+
+func TestMAPE(t *testing.T) {
+	got, err := MAPE([]float64{110, 90}, []float64{100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 10, 1e-12) {
+		t.Errorf("MAPE = %v, want 10", got)
+	}
+	// Zero observations are skipped.
+	got, err = MAPE([]float64{5, 110}, []float64{0, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 10, 1e-12) {
+		t.Errorf("MAPE with zero obs = %v, want 10", got)
+	}
+	if _, err := MAPE([]float64{1}, []float64{0}); err == nil {
+		t.Error("MAPE with only zero observations should error")
+	}
+}
+
+func TestPercentErrors(t *testing.T) {
+	errsPct, err := PercentErrors([]float64{110, 95, 7}, []float64{100, 100, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(errsPct) != 2 {
+		t.Fatalf("got %d errors, want 2 (zero obs skipped)", len(errsPct))
+	}
+	if !almostEqual(errsPct[0], 10, 1e-12) || !almostEqual(errsPct[1], -5, 1e-12) {
+		t.Errorf("PercentErrors = %v", errsPct)
+	}
+}
+
+func TestR2(t *testing.T) {
+	obs := []float64{1, 2, 3, 4}
+	if got, err := R2(obs, obs); err != nil || !almostEqual(got, 1, 1e-12) {
+		t.Errorf("perfect R2 = %v, %v", got, err)
+	}
+	mean := []float64{2.5, 2.5, 2.5, 2.5}
+	if got, err := R2(mean, obs); err != nil || !almostEqual(got, 0, 1e-12) {
+		t.Errorf("mean-prediction R2 = %v, %v", got, err)
+	}
+	// Constant observations with perfect prediction.
+	if got, err := R2([]float64{5, 5}, []float64{5, 5}); err != nil || got != 1 {
+		t.Errorf("constant perfect R2 = %v, %v", got, err)
+	}
+}
+
+// Property: variance is non-negative and translation invariant.
+func TestVarianceProperties(t *testing.T) {
+	f := func(raw []float64, shiftRaw float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			// Bound inputs so float error stays manageable.
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			xs = append(xs, math.Mod(v, 1e6))
+		}
+		shift := math.Mod(shiftRaw, 1e6)
+		if math.IsNaN(shift) {
+			return true
+		}
+		v1 := Variance(xs)
+		if v1 < 0 {
+			return false
+		}
+		shifted := make([]float64, len(xs))
+		for i, x := range xs {
+			shifted[i] = x + shift
+		}
+		v2 := Variance(shifted)
+		tol := 1e-6 * (1 + math.Abs(v1))
+		return math.Abs(v1-v2) < tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: quantile is monotonic in q and bounded by min/max.
+func TestQuantileProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		mn, _ := Min(xs)
+		mx, _ := Max(xs)
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v, err := Quantile(xs, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v < prev-1e-9 {
+				t.Fatalf("quantile not monotonic at q=%v: %v < %v", q, v, prev)
+			}
+			if v < mn-1e-9 || v > mx+1e-9 {
+				t.Fatalf("quantile %v outside [%v, %v]", v, mn, mx)
+			}
+			prev = v
+		}
+	}
+}

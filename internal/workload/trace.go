@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Regime labels a workload phase in the MG-RAST trace model.
+type Regime int
+
+// MG-RAST workload regimes (Section 2.4.1): long read-heavy analysis
+// periods, bursty write periods from pipeline inserts, and mixed
+// periods during active processing.
+const (
+	ReadHeavy Regime = iota + 1
+	WriteHeavy
+	Mixed
+)
+
+// String implements fmt.Stringer.
+func (r Regime) String() string {
+	switch r {
+	case ReadHeavy:
+		return "read-heavy"
+	case WriteHeavy:
+		return "write-heavy"
+	case Mixed:
+		return "mixed"
+	default:
+		return fmt.Sprintf("Regime(%d)", int(r))
+	}
+}
+
+// Window is one observation interval of a trace: the paper measures RR
+// over 15-minute windows (Figure 3).
+type Window struct {
+	// Start is the window's offset from the trace beginning.
+	Start time.Duration
+	// ReadRatio is the fraction of read queries in the window.
+	ReadRatio float64
+	// Regime is the generating phase (available because the trace is
+	// synthetic; analysis code must not peek).
+	Regime Regime
+}
+
+// TraceSpec parameterizes the MG-RAST-like trace synthesizer.
+type TraceSpec struct {
+	// Days is the trace length (the paper analyzes a 4-day trace).
+	Days int
+	// WindowMinutes is the RR observation interval (15 in the paper).
+	WindowMinutes int
+	// Seed drives regime switching.
+	Seed int64
+}
+
+// DefaultTraceSpec mirrors the paper's measurement setup.
+func DefaultTraceSpec() TraceSpec {
+	return TraceSpec{Days: 4, WindowMinutes: 15, Seed: 1}
+}
+
+// Validate reports spec errors.
+func (s TraceSpec) Validate() error {
+	if s.Days <= 0 {
+		return fmt.Errorf("workload: trace days must be positive, got %d", s.Days)
+	}
+	if s.WindowMinutes <= 0 {
+		return fmt.Errorf("workload: window minutes must be positive, got %d", s.WindowMinutes)
+	}
+	return nil
+}
+
+// SynthesizeTrace generates a regime-switching RR series with the
+// qualitative properties of Figure 3: mostly read-heavy with abrupt
+// transitions into write bursts and mixed periods, transitions lasting
+// 15 minutes or less, and dwell times of a few windows.
+func SynthesizeTrace(spec TraceSpec) ([]Window, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	windows := spec.Days * 24 * 60 / spec.WindowMinutes
+	out := make([]Window, 0, windows)
+
+	regime := ReadHeavy
+	dwell := dwellWindows(rng, regime)
+	for i := 0; i < windows; i++ {
+		if dwell == 0 {
+			regime = nextRegime(rng, regime)
+			dwell = dwellWindows(rng, regime)
+		}
+		dwell--
+		out = append(out, Window{
+			Start:     time.Duration(i*spec.WindowMinutes) * time.Minute,
+			ReadRatio: sampleRR(rng, regime),
+			Regime:    regime,
+		})
+	}
+	return out, nil
+}
+
+// nextRegime draws the successor regime. Transitions are abrupt:
+// read-heavy flips straight into write bursts more often than into
+// mixed periods.
+func nextRegime(rng *rand.Rand, cur Regime) Regime {
+	p := rng.Float64()
+	switch cur {
+	case ReadHeavy:
+		if p < 0.55 {
+			return WriteHeavy
+		}
+		return Mixed
+	case WriteHeavy:
+		if p < 0.7 {
+			return ReadHeavy
+		}
+		return Mixed
+	default: // Mixed
+		if p < 0.75 {
+			return ReadHeavy
+		}
+		return WriteHeavy
+	}
+}
+
+// dwellWindows draws how many windows a regime lasts. Read-heavy
+// periods are extended; write bursts are short (15 minutes or less is
+// common in the paper's trace).
+func dwellWindows(rng *rand.Rand, r Regime) int {
+	switch r {
+	case ReadHeavy:
+		return 2 + rng.Intn(12)
+	case WriteHeavy:
+		return 1 + rng.Intn(2)
+	default:
+		return 1 + rng.Intn(4)
+	}
+}
+
+// sampleRR draws the within-window read ratio for a regime.
+func sampleRR(rng *rand.Rand, r Regime) float64 {
+	var lo, hi float64
+	switch r {
+	case ReadHeavy:
+		lo, hi = 0.8, 1.0
+	case WriteHeavy:
+		lo, hi = 0.0, 0.25
+	default:
+		lo, hi = 0.35, 0.7
+	}
+	return lo + rng.Float64()*(hi-lo)
+}

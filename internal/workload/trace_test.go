@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTraceSpecValidate(t *testing.T) {
+	if err := DefaultTraceSpec().Validate(); err != nil {
+		t.Errorf("default spec invalid: %v", err)
+	}
+	if err := (TraceSpec{Days: 0, WindowMinutes: 15}).Validate(); err == nil {
+		t.Error("zero days should error")
+	}
+	if err := (TraceSpec{Days: 1, WindowMinutes: 0}).Validate(); err == nil {
+		t.Error("zero window should error")
+	}
+}
+
+func TestSynthesizeTraceShape(t *testing.T) {
+	spec := DefaultTraceSpec()
+	ws, err := SynthesizeTrace(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWindows := 4 * 24 * 60 / 15
+	if len(ws) != wantWindows {
+		t.Fatalf("window count = %d, want %d", len(ws), wantWindows)
+	}
+	for i, w := range ws {
+		if w.ReadRatio < 0 || w.ReadRatio > 1 {
+			t.Fatalf("window %d RR %v out of range", i, w.ReadRatio)
+		}
+		if want := time.Duration(i*15) * time.Minute; w.Start != want {
+			t.Fatalf("window %d start %v, want %v", i, w.Start, want)
+		}
+	}
+}
+
+func TestSynthesizeTraceRegimeProfile(t *testing.T) {
+	// Figure 3's qualitative profile: the trace is mostly read-heavy,
+	// has genuine write bursts and mixed periods, and switches abruptly.
+	ws, err := SynthesizeTrace(DefaultTraceSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := AnalyzeTrace(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ReadHeavyFrac < 0.4 {
+		t.Errorf("read-heavy fraction %v too small", stats.ReadHeavyFrac)
+	}
+	if stats.WriteHeavyFrac < 0.05 {
+		t.Errorf("write bursts missing: %v", stats.WriteHeavyFrac)
+	}
+	if stats.MixedFrac < 0.05 {
+		t.Errorf("mixed periods missing: %v", stats.MixedFrac)
+	}
+	if stats.Transitions < 20 {
+		t.Errorf("only %d abrupt transitions in 4 days; trace too smooth", stats.Transitions)
+	}
+}
+
+func TestSynthesizeTraceDeterminism(t *testing.T) {
+	a, err := SynthesizeTrace(DefaultTraceSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SynthesizeTrace(DefaultTraceSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("window %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestSynthesizeTraceRejectsBadSpec(t *testing.T) {
+	if _, err := SynthesizeTrace(TraceSpec{}); err == nil {
+		t.Error("invalid spec should error")
+	}
+}
+
+func TestRegimeString(t *testing.T) {
+	tests := []struct {
+		give Regime
+		want string
+	}{
+		{ReadHeavy, "read-heavy"},
+		{WriteHeavy, "write-heavy"},
+		{Mixed, "mixed"},
+		{Regime(9), "Regime(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestCharacterize(t *testing.T) {
+	// A stream with known RR per window and a repeated key.
+	var ops []Op
+	for i := 0; i < 100; i++ {
+		ops = append(ops, Op{IsRead: true, Key: uint64(i)})
+	}
+	for i := 0; i < 100; i++ {
+		ops = append(ops, Op{IsRead: false, Key: uint64(i)}) // reuse distance 100
+	}
+	c, err := Characterize(ops, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.WindowReadRatios) != 2 {
+		t.Fatalf("windows = %d, want 2", len(c.WindowReadRatios))
+	}
+	if c.WindowReadRatios[0] != 1 || c.WindowReadRatios[1] != 0 {
+		t.Errorf("window RRs = %v", c.WindowReadRatios)
+	}
+	if c.SampledDistances != 100 {
+		t.Errorf("sampled distances = %d, want 100", c.SampledDistances)
+	}
+	if c.KRD.Mean != 100 {
+		t.Errorf("KRD mean = %v, want 100", c.KRD.Mean)
+	}
+}
+
+func TestCharacterizePartialWindow(t *testing.T) {
+	ops := []Op{{IsRead: true, Key: 1}, {IsRead: false, Key: 2}, {IsRead: true, Key: 3}}
+	c, err := Characterize(ops, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.WindowReadRatios) != 2 {
+		t.Fatalf("windows = %d, want 2", len(c.WindowReadRatios))
+	}
+	if c.WindowReadRatios[1] != 1 {
+		t.Errorf("partial window RR = %v, want 1", c.WindowReadRatios[1])
+	}
+	if c.SampledDistances != 0 {
+		t.Errorf("no key reuse expected, got %d", c.SampledDistances)
+	}
+}
+
+func TestCharacterizeErrors(t *testing.T) {
+	if _, err := Characterize(nil, 10); err == nil {
+		t.Error("empty stream should error")
+	}
+	if _, err := Characterize([]Op{{}}, 0); err == nil {
+		t.Error("zero window should error")
+	}
+}
+
+func TestAnalyzeTraceEmpty(t *testing.T) {
+	if _, err := AnalyzeTrace(nil); err == nil {
+		t.Error("empty trace should error")
+	}
+}
+
+func TestCharacterizeRecoversGeneratorKRD(t *testing.T) {
+	// End-to-end: generate a keyed stream with a target KRD and verify
+	// the characterization recovers a mean of the same order.
+	g, err := NewKeyGenerator(1_000_000, 300, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := make([]Op, 100_000)
+	for i := range ops {
+		ops[i] = Op{IsRead: i%2 == 0, Key: g.Next()}
+	}
+	c, err := Characterize(ops, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SampledDistances == 0 {
+		t.Fatal("no reuse observed")
+	}
+	if c.KRD.Mean < 50 || c.KRD.Mean > 3000 {
+		t.Errorf("recovered KRD mean %v implausible for target 300", c.KRD.Mean)
+	}
+}

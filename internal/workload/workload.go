@@ -1,0 +1,235 @@
+// Package workload characterizes and generates database workloads the
+// way Rafiki's first stage does (Section 3.3): a workload is a Read
+// Ratio (RR) plus a Key Reuse Distance (KRD) distribution. The package
+// provides a YCSB-like driver that applies a parameterized synthetic
+// workload to a store and measures average throughput, an MG-RAST-like
+// regime-switching trace synthesizer, and the trace-analysis helpers
+// that recover RR windows and fit the KRD exponential from raw query
+// streams.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Store is the minimal surface the driver needs from a datastore: the
+// single-node engine and the multi-node cluster both satisfy it.
+type Store interface {
+	// Read applies one read operation for key.
+	Read(key uint64)
+	// Write applies one write (or update) operation for key.
+	Write(key uint64)
+	// FinishEpoch closes any partially-accounted work.
+	FinishEpoch()
+	// Clock returns elapsed virtual seconds.
+	Clock() float64
+	// KeySpace returns the number of distinct keys stored.
+	KeySpace() int
+}
+
+// Spec is the parametrization of a synthetic workload.
+type Spec struct {
+	// ReadRatio is the fraction of operations that are reads (the
+	// paper's RR; write ratio is 1-RR).
+	ReadRatio float64
+	// DeleteFraction is the fraction of mutations (the non-read ops)
+	// issued as deletes; stores that don't support deletes receive them
+	// as writes.
+	DeleteFraction float64
+	// KRDMean is the mean key-reuse distance in operations. Zero means
+	// uniform random access (effectively infinite KRD).
+	KRDMean float64
+	// Ops is the number of operations to issue.
+	Ops int
+	// Seed drives the op stream.
+	Seed int64
+}
+
+// Validate reports spec errors.
+func (s Spec) Validate() error {
+	if s.ReadRatio < 0 || s.ReadRatio > 1 {
+		return fmt.Errorf("workload: read ratio %v out of [0,1]", s.ReadRatio)
+	}
+	if s.Ops <= 0 {
+		return fmt.Errorf("workload: ops must be positive, got %d", s.Ops)
+	}
+	if s.KRDMean < 0 {
+		return fmt.Errorf("workload: negative KRD mean %v", s.KRDMean)
+	}
+	if s.DeleteFraction < 0 || s.DeleteFraction > 1 {
+		return fmt.Errorf("workload: delete fraction %v out of [0,1]", s.DeleteFraction)
+	}
+	return nil
+}
+
+// Deleter is optionally implemented by stores that support tombstone
+// deletes (the single-node engine and the cluster both do).
+type Deleter interface {
+	Delete(key uint64)
+}
+
+// KeyGenerator produces a key stream whose reuse distances follow an
+// (approximately) exponential distribution with the given mean, using
+// an LRU-stack model: each access draws a stack distance d ~ Exp(mean)
+// and touches the d-th most-recently-used key, falling back to a
+// uniform draw over the key space when d exceeds the retained history.
+type KeyGenerator struct {
+	rng      *rand.Rand
+	keySpace uint64
+	mean     float64
+	history  []uint64
+	// lastIndex maps a key to the global index of its most recent
+	// access, so that reuse draws target a key's latest occurrence and
+	// the measured reuse distance matches the drawn one.
+	lastIndex map[uint64]uint64
+	index     uint64
+}
+
+// NewKeyGenerator builds a generator over keySpace distinct keys with
+// mean reuse distance meanKRD (0 = uniform).
+func NewKeyGenerator(keySpace int, meanKRD float64, seed int64) (*KeyGenerator, error) {
+	if keySpace <= 0 {
+		return nil, fmt.Errorf("workload: key space must be positive, got %d", keySpace)
+	}
+	if meanKRD < 0 {
+		return nil, fmt.Errorf("workload: negative KRD mean %v", meanKRD)
+	}
+	histLen := int(4 * meanKRD)
+	const maxHistory = 1 << 20
+	if histLen > maxHistory {
+		histLen = maxHistory
+	}
+	if histLen < 1 {
+		histLen = 1
+	}
+	return &KeyGenerator{
+		rng:       rand.New(rand.NewSource(seed)),
+		keySpace:  uint64(keySpace),
+		mean:      meanKRD,
+		history:   make([]uint64, histLen),
+		lastIndex: make(map[uint64]uint64, 4096),
+	}, nil
+}
+
+// Next returns the next key.
+func (g *KeyGenerator) Next() uint64 {
+	var key uint64
+	reused := false
+	if g.mean > 0 {
+		// A few attempts to land on a key's most recent occurrence; a
+		// position that has since been re-accessed would shorten the
+		// realized reuse distance and bias the stream hot.
+		for try := 0; try < 4 && !reused; try++ {
+			d := uint64(g.rng.ExpFloat64()*g.mean) + 1
+			if d > g.index || d > uint64(len(g.history)) {
+				continue
+			}
+			pos := g.index - d
+			candidate := g.history[pos%uint64(len(g.history))]
+			if g.lastIndex[candidate] == pos {
+				key = candidate
+				reused = true
+			}
+		}
+	}
+	if !reused {
+		key = uint64(g.rng.Int63n(int64(g.keySpace)))
+	}
+	g.history[g.index%uint64(len(g.history))] = key
+	g.lastIndex[key] = g.index
+	g.index++
+	return key
+}
+
+// Result summarizes one benchmark run.
+type Result struct {
+	// Spec echoes the workload that produced this result.
+	Spec Spec
+	// Throughput is operations per virtual second — the paper's AOPS.
+	Throughput float64
+	// Seconds is the virtual duration of the run.
+	Seconds float64
+	// Reads and Writes count the issued operations.
+	Reads, Writes int
+}
+
+// Run applies spec to store and returns the measured result. The store
+// keeps its state (dataset, caches, compaction debt) across runs, so
+// callers that need a cold store must construct a fresh one — exactly
+// the paper's "server is reset between data collection events".
+func Run(store Store, spec Spec) (Result, error) {
+	if err := spec.Validate(); err != nil {
+		return Result{}, err
+	}
+	gen, err := NewKeyGenerator(store.KeySpace(), spec.KRDMean, spec.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed + 1))
+	deleter, canDelete := store.(Deleter)
+	start := store.Clock()
+	var reads, writes int
+	for i := 0; i < spec.Ops; i++ {
+		key := gen.Next()
+		if rng.Float64() < spec.ReadRatio {
+			store.Read(key)
+			reads++
+			continue
+		}
+		if canDelete && spec.DeleteFraction > 0 && rng.Float64() < spec.DeleteFraction {
+			deleter.Delete(key)
+		} else {
+			store.Write(key)
+		}
+		writes++
+	}
+	store.FinishEpoch()
+	seconds := store.Clock() - start
+	if seconds <= 0 {
+		return Result{}, fmt.Errorf("workload: run consumed no virtual time")
+	}
+	return Result{
+		Spec:       spec,
+		Throughput: float64(spec.Ops) / seconds,
+		Seconds:    seconds,
+		Reads:      reads,
+		Writes:     writes,
+	}, nil
+}
+
+// ZipfKeyGenerator produces keys with a Zipfian popularity distribution
+// — YCSB's default skew model, provided alongside the KRD generator so
+// workloads beyond MG-RAST's can be expressed (archetypal web workloads
+// are exactly what the paper contrasts MG-RAST against).
+type ZipfKeyGenerator struct {
+	zipf     *rand.Zipf
+	keySpace uint64
+}
+
+// NewZipfKeyGenerator builds a generator over keySpace keys with
+// exponent s > 1; larger s concentrates more traffic on hot keys. Key
+// popularity ranks are scattered over the key space so that hot keys do
+// not cluster into adjacent SSTable blocks.
+func NewZipfKeyGenerator(keySpace int, s float64, seed int64) (*ZipfKeyGenerator, error) {
+	if keySpace <= 0 {
+		return nil, fmt.Errorf("workload: key space must be positive, got %d", keySpace)
+	}
+	if s <= 1 {
+		return nil, fmt.Errorf("workload: zipf exponent must exceed 1, got %v", s)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, 1, uint64(keySpace-1))
+	if z == nil {
+		return nil, fmt.Errorf("workload: invalid zipf parameters")
+	}
+	return &ZipfKeyGenerator{zipf: z, keySpace: uint64(keySpace)}, nil
+}
+
+// Next returns the next key. Popularity rank r maps to key
+// (r * odd-constant) mod keySpace — a bijective-ish scatter so hot keys
+// do not cluster into adjacent SSTable blocks.
+func (g *ZipfKeyGenerator) Next() uint64 {
+	rank := g.zipf.Uint64()
+	return (rank * 2654435761) % g.keySpace
+}

@@ -94,6 +94,11 @@ func run() error {
 			return err
 		}
 	}
+	if want("faultinjection") {
+		if err := emit(timed(func() (bench.Report, error) { return bench.FaultInjection(opts.Env) })); err != nil {
+			return err
+		}
+	}
 
 	pipelineWanted := false
 	for _, id := range []string{"figure4", "figure7", "figure8", "figure9", "table1", "table2", "table3", "searchspeed", "ablation-search", "ablation-trainer", "ablation-model", "ablation-surrogate-search", "crossworkload", "dynamic"} {

@@ -14,6 +14,9 @@ import (
 func tinyEnv() Env {
 	e := DefaultEnv()
 	e.SampleOps = 20_000
+	if raceEnabled {
+		e.SampleOps = 4_000
+	}
 	return e
 }
 
@@ -38,6 +41,14 @@ func tinyPipelineOptions() PipelineOptions {
 	gaOpts.Generations = 20
 	gaOpts.Seed = 5
 	opts.GA = gaOpts
+	if raceEnabled {
+		// Same workload/config counts (tests assert dataset shape);
+		// cheaper per-sample, training, and search budgets.
+		opts.Model.EnsembleSize = 3
+		opts.Model.BR.Epochs = 15
+		opts.GA.Population = 16
+		opts.GA.Generations = 10
+	}
 	return opts
 }
 

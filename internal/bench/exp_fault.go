@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"fmt"
+
+	"rafiki/internal/cluster"
+	"rafiki/internal/config"
+	"rafiki/internal/fault"
+	"rafiki/internal/workload"
+)
+
+// faultOutcome is one resilience posture's run under the shared fault
+// schedule.
+type faultOutcome struct {
+	throughput float64
+	seconds    float64
+	stats      cluster.Stats
+	lost       int
+	replayed   uint64
+}
+
+// faultSchedule builds the experiment's adversity, scaled to the
+// healthy run's duration T so the windows land mid-run regardless of
+// the configured op count. Phases in order: a transient-failure window
+// on node 0 with a fail-stop outage of node 2 inside it (QUORUM reads
+// then need node 0 to answer, so unretried transient failures turn
+// into unavailability); a crash-restart of node 0 with a torn
+// commit-log tail; and a straggler degradation of node 1 that persists
+// past the end of the run — the failing-disk case that paces an
+// unprotected cluster until an operator intervenes, and exactly what
+// per-op timeouts and speculative reads are for.
+func faultSchedule(T float64) fault.Schedule {
+	return fault.Schedule{
+		{Kind: fault.Transient, Node: 0, At: 0.08 * T, Until: 0.45 * T, FailProb: 0.15},
+		{Kind: fault.Fail, Node: 2, At: 0.25 * T, Until: 0.40 * T},
+		{Kind: fault.Restart, Node: 0, At: 0.55 * T, CorruptFraction: 0.3},
+		{Kind: fault.Slow, Node: 1, At: 0.65 * T, Until: 20 * T, DiskTax: 25, CPUTax: 4},
+	}
+}
+
+// runFaultPosture benchmarks one resilience posture under the shared
+// schedule (nil schedule = healthy baseline) and returns the outcome.
+func runFaultPosture(env Env, res cluster.ResilienceOptions, sched fault.Schedule, seed int64) (faultOutcome, error) {
+	c, err := cluster.New(cluster.Options{
+		Nodes:             3,
+		ReplicationFactor: 3,
+		Space:             config.Cassandra(),
+		Seed:              env.Seed ^ seed,
+		// Node clocks advance only at epoch closes; short epochs keep
+		// them fine-grained enough that no schedule window can slip
+		// between two closes unobserved.
+		EpochOps: 128,
+	})
+	if err != nil {
+		return faultOutcome{}, err
+	}
+	c.Preload(env.PreloadVersions)
+	if err := c.SetReadConsistency(cluster.ConsistencyQuorum); err != nil {
+		return faultOutcome{}, err
+	}
+	if err := c.SetResilience(res); err != nil {
+		return faultOutcome{}, err
+	}
+	inj, err := fault.NewInjector(c, sched, env.Seed^seed^0x5EED)
+	if err != nil {
+		return faultOutcome{}, err
+	}
+	c.SetFaultInjector(inj)
+	h := fault.NewHarness(c, inj)
+	result, err := workload.Run(h, workload.Spec{
+		ReadRatio: 0.5,
+		KRDMean:   env.KRDFraction * float64(c.KeySpace()),
+		Ops:       env.SampleOps,
+		Seed:      seed + 101,
+	})
+	if err != nil {
+		return faultOutcome{}, err
+	}
+	// Fire any events scheduled past the measured window (recoveries)
+	// so every posture ends converged, then surface injector errors.
+	inj.Finish()
+	if err := inj.Err(); err != nil {
+		return faultOutcome{}, fmt.Errorf("bench: fault schedule: %w", err)
+	}
+	m := c.Metrics()
+	return faultOutcome{
+		throughput: result.Throughput,
+		seconds:    result.Seconds,
+		stats:      c.Stats(),
+		lost:       inj.LostRecords(),
+		replayed:   m.ReplayedRecords,
+	}, nil
+}
+
+// FaultInjection quantifies what the coordinator's resilience machinery
+// buys under a deterministic fault schedule: the same seeded adversity
+// (transient failures, a heavy straggler, a fail-stop outage, a
+// crash-restart with a torn commit log) replayed against three
+// postures — no resilience, bounded retries only, and the full stack
+// (retries + per-op timeouts + speculative reads). The full run is
+// executed twice to demonstrate bit-identical reproducibility.
+func FaultInjection(env Env) (Report, error) {
+	if err := env.Validate(); err != nil {
+		return Report{}, err
+	}
+	const seed = 130_000
+
+	// Healthy baseline fixes the schedule's time base and the
+	// no-fault throughput reference.
+	healthy, err := runFaultPosture(env, cluster.PassiveResilience(), nil, seed)
+	if err != nil {
+		return Report{}, err
+	}
+	sched := faultSchedule(healthy.seconds)
+
+	// Scale the coordinator's time constants to the measured healthy
+	// op cost, as a dynamic snitch does from observed latencies: the
+	// wall-clock defaults (milliseconds) would dwarf the simulator's
+	// microsecond-scale ops and turn every wait into an eternity.
+	perOp := healthy.seconds / float64(env.SampleOps)
+
+	retriesOnly := cluster.PassiveResilience()
+	retriesOnly.MaxRetries = 3
+	retriesOnly.BackoffBase = perOp
+	retriesOnly.BackoffMax = 25 * perOp
+
+	full := cluster.DefaultResilienceOptions()
+	full.BackoffBase = perOp
+	full.BackoffMax = 25 * perOp
+	full.ExpectedOpSeconds = perOp
+	full.OpTimeout = 20 * perOp
+
+	postures := []struct {
+		name string
+		res  cluster.ResilienceOptions
+	}{
+		{"none", cluster.PassiveResilience()},
+		{"retries", retriesOnly},
+		{"full", full},
+	}
+	outcomes := make([]faultOutcome, len(postures))
+	for i, p := range postures {
+		// Same workload seed and same injector seed for every posture:
+		// each faces the identical adversity.
+		out, err := runFaultPosture(env, p.res, sched, seed)
+		if err != nil {
+			return Report{}, fmt.Errorf("bench: posture %s: %w", p.name, err)
+		}
+		outcomes[i] = out
+	}
+
+	// Determinism: replaying the full posture must reproduce the first
+	// run exactly.
+	again, err := runFaultPosture(env, full, sched, seed)
+	if err != nil {
+		return Report{}, err
+	}
+	fullRun := outcomes[len(outcomes)-1]
+	identical := again.throughput == fullRun.throughput &&
+		again.stats == fullRun.stats && again.lost == fullRun.lost
+
+	t := Table{
+		Title:  "Throughput and availability under the same seeded fault schedule (3 nodes, RF=3, QUORUM reads, RR=50%)",
+		Header: []string{"posture", "aops", "vs healthy", "unavail reads", "hinted writes", "transient fails", "retries", "timeouts", "spec reads", "log records lost"},
+	}
+	t.Rows = append(t.Rows, []string{
+		"healthy (no faults)", f0(healthy.throughput), pct(0),
+		"0", "0", "0", "0", "0", "0", "0",
+	})
+	for i, p := range postures {
+		out := outcomes[i]
+		st := out.stats
+		t.Rows = append(t.Rows, []string{
+			p.name, f0(out.throughput), pct(out.throughput/healthy.throughput - 1),
+			fmt.Sprint(st.UnavailableReads), fmt.Sprint(st.HintsStored),
+			fmt.Sprint(st.TransientFailures), fmt.Sprint(st.Retries),
+			fmt.Sprint(st.Timeouts), fmt.Sprint(st.SpeculativeReads),
+			fmt.Sprint(out.lost),
+		})
+	}
+
+	none, fullOut := outcomes[0], outcomes[len(outcomes)-1]
+	notes := []string{
+		"every posture replays the identical schedule: transient failures on node 0 (p=0.15) with a fail-stop outage of node 2 inside the window, a crash-restart of node 0 with 30% of its commit-log tail torn, then a persistent 25x disk straggler on node 1 for the rest of the run",
+		"shape under test: retries turn would-be unavailable QUORUM reads into served ones, and timeouts + speculative reads stop the persistent straggler from pacing the whole cluster",
+		fmt.Sprintf("full stack vs no resilience: throughput %s vs %s aops, unavailable QUORUM reads %d vs %d",
+			f0(fullOut.throughput), f0(none.throughput), fullOut.stats.UnavailableReads, none.stats.UnavailableReads),
+		fmt.Sprintf("determinism: two full-stack runs at the same seed identical = %v", identical),
+	}
+	if fullOut.throughput <= none.throughput {
+		notes = append(notes, "WARNING: full stack did not beat the unprotected baseline — resilience regression")
+	}
+	return Report{
+		ID:     "faultinjection",
+		Title:  "Fault injection: what the resilient coordinator buys under adversity",
+		Tables: []Table{t},
+		Notes:  notes,
+	}, nil
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled shrinks the smoke-test workloads when the race detector
+// is compiled in: its ~10x slowdown would push the full-size suite past
+// the per-package test timeout.
+const raceEnabled = true

@@ -45,6 +45,18 @@ type Cluster struct {
 	hints  [][]hint
 	readCL ConsistencyLevel
 	stats  Stats
+
+	// res holds the coordinator's resilience posture; injector, when
+	// set, is the per-attempt transient-fault source.
+	res      ResilienceOptions
+	injector FaultInjector
+	// needRepair marks nodes whose hint buffer overflowed: replaying
+	// the surviving hints cannot converge them, a full repair must.
+	needRepair []bool
+	// overhead is coordinator-side virtual time (timeout and backoff
+	// waits, amortized over the in-flight op window); the cluster is as
+	// slow as its busiest node plus what the coordinator spent waiting.
+	overhead float64
 }
 
 // New builds a cluster of identical nodes.
@@ -56,10 +68,12 @@ func New(opts Options) (*Cluster, error) {
 		return nil, fmt.Errorf("cluster: replication factor %d out of [1, %d]", opts.ReplicationFactor, opts.Nodes)
 	}
 	c := &Cluster{
-		rf:     opts.ReplicationFactor,
-		down:   make([]bool, opts.Nodes),
-		hints:  make([][]hint, opts.Nodes),
-		readCL: ConsistencyOne,
+		rf:         opts.ReplicationFactor,
+		down:       make([]bool, opts.Nodes),
+		hints:      make([][]hint, opts.Nodes),
+		needRepair: make([]bool, opts.Nodes),
+		readCL:     ConsistencyOne,
+		res:        PassiveResilience(),
 	}
 	for i := 0; i < opts.Nodes; i++ {
 		eng, err := nosql.New(nosql.Options{
@@ -136,9 +150,10 @@ func (c *Cluster) Delete(key uint64) {
 func (c *Cluster) mutate(key uint64, tombstone bool) {
 	anyLive := false
 	for _, idx := range c.replicas(key) {
-		if c.down[idx] {
-			c.hints[idx] = append(c.hints[idx], hint{key: key, tombstone: tombstone})
-			c.stats.HintsStored++
+		// A down replica — or a live one whose op attempt timed out or
+		// failed past its retry budget — is owed the mutation as a hint.
+		if c.down[idx] || !c.attemptOp(idx) {
+			c.addHint(idx, hint{key: key, tombstone: tombstone})
 			continue
 		}
 		if tombstone {
@@ -156,8 +171,11 @@ func (c *Cluster) mutate(key uint64, tombstone bool) {
 // Read serves a read from as many live replicas as the configured
 // consistency level requires, starting from a rotated offset so load
 // balances (the LCG rotation avoids correlating with key-sequence
-// patterns). A read that cannot reach enough live replicas counts as
-// unavailable.
+// patterns). With speculative reads enabled, replicas degraded beyond
+// the speculation threshold are demoted behind healthier backups; a
+// replica whose op attempt times out or fails past its retry budget is
+// skipped in favour of the next live one. A read that cannot reach
+// enough live replicas counts as unavailable.
 func (c *Cluster) Read(key uint64) {
 	reps := c.replicas(key)
 	var live []int
@@ -173,9 +191,60 @@ func (c *Cluster) Read(key uint64) {
 	}
 	c.rotation = c.rotation*6364136223846793005 + 1442695040888963407
 	start := int((c.rotation >> 33) % uint64(len(live)))
-	for i := 0; i < need; i++ {
-		c.nodes[live[(start+i)%len(live)]].Read(key)
+	order := make([]int, len(live))
+	for i := range live {
+		order[i] = live[(start+i)%len(live)]
 	}
+	if c.res.SpeculativeReads {
+		order = c.speculate(order, need)
+	}
+	served := 0
+	for _, idx := range order {
+		if served == need {
+			break
+		}
+		if !c.attemptOp(idx) {
+			continue
+		}
+		c.nodes[idx].Read(key)
+		served++
+	}
+	if served < need {
+		c.stats.UnavailableReads++
+	}
+}
+
+// speculate demotes stragglers behind healthy replicas in the read
+// order, preserving the rotation order within each class, and counts
+// how many straggler consultations the reorder avoided.
+func (c *Cluster) speculate(order []int, need int) []int {
+	slowBefore := 0
+	for i, idx := range order {
+		if i < need && c.slowness(idx) >= c.res.SpeculationThreshold {
+			slowBefore++
+		}
+	}
+	if slowBefore == 0 {
+		return order
+	}
+	healthy := make([]int, 0, len(order))
+	var slow []int
+	for _, idx := range order {
+		if c.slowness(idx) >= c.res.SpeculationThreshold {
+			slow = append(slow, idx)
+		} else {
+			healthy = append(healthy, idx)
+		}
+	}
+	reordered := append(healthy, slow...)
+	slowAfter := 0
+	for i, idx := range reordered {
+		if i < need && c.slowness(idx) >= c.res.SpeculationThreshold {
+			slowAfter++
+		}
+	}
+	c.stats.SpeculativeReads += uint64(slowBefore - slowAfter)
+	return reordered
 }
 
 // FinishEpoch closes accounting on every node.
@@ -185,8 +254,10 @@ func (c *Cluster) FinishEpoch() {
 	}
 }
 
-// Clock returns the busiest node's virtual time: shooters drive nodes
-// in parallel, so the cluster finishes when its slowest member does.
+// Clock returns the busiest node's virtual time plus the coordinator's
+// accumulated wait overhead: shooters drive nodes in parallel, so the
+// cluster finishes when its slowest member does, and every timeout or
+// backoff the coordinator sat through delays completion further.
 func (c *Cluster) Clock() float64 {
 	var maxClock float64
 	for _, n := range c.nodes {
@@ -194,7 +265,7 @@ func (c *Cluster) Clock() float64 {
 			maxClock = t
 		}
 	}
-	return maxClock
+	return maxClock + c.overhead
 }
 
 // KeySpace returns the logical key space (shared by all nodes).
@@ -220,9 +291,15 @@ func (c *Cluster) Metrics() nosql.Metrics {
 		agg.BloomChecks += m.BloomChecks
 		agg.MemtableHits += m.MemtableHits
 		agg.CompactionBacklogBytes += m.CompactionBacklogBytes
+		if m.CorruptedLogRecords > 0 {
+			agg.CorruptedLogRecords += m.CorruptedLogRecords
+		}
+		agg.Restarts += m.Restarts
+		agg.ReplayedRecords += m.ReplayedRecords
 		if m.VirtualSeconds > agg.VirtualSeconds {
 			agg.VirtualSeconds = m.VirtualSeconds
 		}
 	}
+	agg.VirtualSeconds += c.overhead
 	return agg
 }

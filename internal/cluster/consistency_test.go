@@ -1,0 +1,163 @@
+package cluster
+
+import "testing"
+
+// Satellite coverage: read consistency levels under failures — QUORUM
+// and ALL reads with RF=2/3 across fail -> write -> recover sequences,
+// asserting unavailability accounting and hint-replay convergence.
+
+func TestQuorumReadsSurviveSingleFailureRF3(t *testing.T) {
+	c := newTestCluster(t, 3, 3, nil)
+	c.Preload(1)
+	if err := c.SetReadConsistency(ConsistencyQuorum); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FailNode(2); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 500; k++ {
+		c.Read(k % uint64(c.KeySpace()))
+		c.Write(k % uint64(c.KeySpace()))
+	}
+	c.FinishEpoch()
+	st := c.Stats()
+	if st.UnavailableReads != 0 {
+		t.Errorf("QUORUM (need 2 of 3) should survive one failure: %d unavailable", st.UnavailableReads)
+	}
+	if st.UnavailableWrites != 0 {
+		t.Errorf("writes have two live replicas: %d unavailable", st.UnavailableWrites)
+	}
+	if st.HintsStored != 500 {
+		t.Errorf("each write should hint the down replica: %d", st.HintsStored)
+	}
+
+	before := c.nodes[2].Metrics().Writes
+	if err := c.RecoverNode(2); err != nil {
+		t.Fatal(err)
+	}
+	st = c.Stats()
+	if st.HintsReplayed != st.HintsStored {
+		t.Errorf("replayed %d of %d hints", st.HintsReplayed, st.HintsStored)
+	}
+	if got := c.nodes[2].Metrics().Writes - before; got != 500 {
+		t.Errorf("recovered node applied %d hinted writes, want 500", got)
+	}
+}
+
+func TestQuorumUnavailableWithTwoFailuresRF3(t *testing.T) {
+	c := newTestCluster(t, 3, 3, nil)
+	c.Preload(1)
+	if err := c.SetReadConsistency(ConsistencyQuorum); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FailNode(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FailNode(1); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 100; k++ {
+		c.Read(k)
+	}
+	if got := c.Stats().UnavailableReads; got != 100 {
+		t.Errorf("QUORUM with 1 of 3 live: %d unavailable reads, want 100", got)
+	}
+	// Writes still land on the lone live replica (plus two hints each).
+	for k := uint64(0); k < 10; k++ {
+		c.Write(k)
+	}
+	if got := c.Stats().UnavailableWrites; got != 0 {
+		t.Errorf("one live replica keeps writes available: %d unavailable", got)
+	}
+}
+
+func TestAllReadsRequireEveryReplicaRF2(t *testing.T) {
+	c := newTestCluster(t, 2, 2, nil)
+	c.Preload(1)
+	if err := c.SetReadConsistency(ConsistencyAll); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FailNode(0); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 50; k++ {
+		c.Read(k)
+	}
+	if got := c.Stats().UnavailableReads; got != 50 {
+		t.Errorf("ALL with a down replica: %d unavailable reads, want 50", got)
+	}
+	// Dropping to ONE restores availability mid-outage.
+	if err := c.SetReadConsistency(ConsistencyOne); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 50; k++ {
+		c.Read(k)
+	}
+	if got := c.Stats().UnavailableReads; got != 50 {
+		t.Errorf("ONE reads should succeed during the outage: %d unavailable", got)
+	}
+	if err := c.RecoverNode(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetReadConsistency(ConsistencyAll); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 50; k++ {
+		c.Read(k)
+	}
+	c.FinishEpoch()
+	if got := c.Stats().UnavailableReads; got != 50 {
+		t.Errorf("ALL reads should succeed after recovery: %d unavailable total", got)
+	}
+}
+
+func TestFailWriteRecoverConvergenceRF2(t *testing.T) {
+	// RF=2 over 3 nodes: only some keys are owned by the failed node.
+	// After recovery, the replayed hints must converge it — including a
+	// tombstone delete issued during the outage.
+	c := newTestCluster(t, 3, 2, nil)
+	c.Preload(1)
+	const down = 1
+	if err := c.FailNode(down); err != nil {
+		t.Fatal(err)
+	}
+
+	// Find keys the down node owns.
+	var owned []uint64
+	for key := uint64(0); key < 200 && len(owned) < 10; key++ {
+		for _, idx := range c.replicas(key) {
+			if idx == down {
+				owned = append(owned, key)
+				break
+			}
+		}
+	}
+	if len(owned) < 2 {
+		t.Fatal("no keys owned by the down node")
+	}
+	for _, k := range owned[1:] {
+		c.Write(k)
+	}
+	c.Delete(owned[0])
+	st := c.Stats()
+	if int(st.HintsStored) != len(owned) {
+		t.Fatalf("hints stored = %d, want %d", st.HintsStored, len(owned))
+	}
+
+	if err := c.RecoverNode(down); err != nil {
+		t.Fatal(err)
+	}
+	st = c.Stats()
+	if st.HintsReplayed != st.HintsStored {
+		t.Errorf("replayed %d of %d hints", st.HintsReplayed, st.HintsStored)
+	}
+	eng := c.Engine(down)
+	if eng.Alive(owned[0]) {
+		t.Error("deleted key should resolve dead on the recovered node")
+	}
+	for _, k := range owned[1:] {
+		if !eng.Alive(k) {
+			t.Errorf("key %d should be live on the recovered node", k)
+		}
+	}
+}

@@ -1,6 +1,10 @@
 package cluster
 
-import "fmt"
+import (
+	"fmt"
+
+	"rafiki/internal/nosql"
+)
 
 // ConsistencyLevel selects how many replicas a read must consult.
 type ConsistencyLevel int
@@ -41,7 +45,7 @@ func (cl ConsistencyLevel) replicasNeeded(rf int) int {
 	}
 }
 
-// Stats counts cluster-level availability events.
+// Stats counts cluster-level availability and resilience events.
 type Stats struct {
 	// UnavailableReads/Writes count operations that could not reach the
 	// required replicas.
@@ -49,6 +53,21 @@ type Stats struct {
 	// HintsStored counts writes buffered for a down replica and
 	// HintsReplayed those delivered on recovery.
 	HintsStored, HintsReplayed uint64
+	// HintsDropped counts hints lost to the per-node buffer cap; each
+	// drop marks the node for a full repair on recovery.
+	HintsDropped uint64
+	// TransientFailures counts replica op attempts the fault injector
+	// failed, and Retries the backoff-retried attempts among them.
+	TransientFailures, Retries uint64
+	// Timeouts counts ops the coordinator abandoned because the target
+	// replica was degraded beyond the per-op timeout.
+	Timeouts uint64
+	// SpeculativeReads counts straggler consultations avoided by
+	// routing a read to a healthier backup replica.
+	SpeculativeReads uint64
+	// Repairs counts full node repairs and RepairedKeys the key states
+	// streamed by them.
+	Repairs, RepairedKeys uint64
 }
 
 // SetReadConsistency selects the read consistency level (default ONE).
@@ -78,8 +97,9 @@ func (c *Cluster) FailNode(i int) error {
 	return nil
 }
 
-// RecoverNode brings node i back and replays its buffered hints as
-// writes, restoring replica convergence.
+// RecoverNode brings node i back, replays its buffered hints as
+// writes, and — if the hint buffer overflowed during the outage — runs
+// a full repair, restoring replica convergence either way.
 func (c *Cluster) RecoverNode(i int) error {
 	if i < 0 || i >= len(c.nodes) {
 		return fmt.Errorf("cluster: no node %d", i)
@@ -88,6 +108,13 @@ func (c *Cluster) RecoverNode(i int) error {
 		return fmt.Errorf("cluster: node %d is not down", i)
 	}
 	c.down[i] = false
+	c.replayHints(i)
+	return nil
+}
+
+// replayHints delivers node i's buffered hints and, when the buffer
+// overflowed, follows with a full repair.
+func (c *Cluster) replayHints(i int) {
 	for _, h := range c.hints[i] {
 		if h.tombstone {
 			c.nodes[i].Delete(h.key)
@@ -97,7 +124,83 @@ func (c *Cluster) RecoverNode(i int) error {
 		c.stats.HintsReplayed++
 	}
 	c.hints[i] = nil
+	if c.needRepair[i] {
+		c.fullRepair(i)
+	}
+}
+
+// fullRepair streams every key node i owns from a live peer replica,
+// rewriting the key's current state (live value or tombstone) on node
+// i. It is the convergence path of last resort after hint loss; the
+// write work is charged to the recovering node, standing in for the
+// streaming cost of a real repair.
+func (c *Cluster) fullRepair(i int) {
+	c.stats.Repairs++
+	c.needRepair[i] = false
+	for key := uint64(0); key < uint64(c.KeySpace()); key++ {
+		owned := false
+		src := -1
+		for _, idx := range c.replicas(key) {
+			if idx == i {
+				owned = true
+				continue
+			}
+			if !c.down[idx] && src == -1 {
+				src = idx
+			}
+		}
+		if !owned || src == -1 || !c.nodes[src].HasCell(key) {
+			continue
+		}
+		if c.nodes[src].Alive(key) {
+			c.nodes[i].Write(key)
+		} else {
+			c.nodes[i].Delete(key)
+		}
+		c.stats.RepairedKeys++
+	}
+}
+
+// RestartNode crash-restarts node i's engine: RAM state is lost and the
+// commit log replays, charging the downtime to the node's clock.
+func (c *Cluster) RestartNode(i int) error {
+	if i < 0 || i >= len(c.nodes) {
+		return fmt.Errorf("cluster: no node %d", i)
+	}
+	c.nodes[i].Restart()
 	return nil
+}
+
+// SetNodeDegradation installs straggler multipliers on node i (1,1 =
+// healthy). When the node returns below the coordinator's timeout
+// horizon, mutations hinted while it was too slow are replayed.
+func (c *Cluster) SetNodeDegradation(i int, diskTax, cpuTax float64) error {
+	if i < 0 || i >= len(c.nodes) {
+		return fmt.Errorf("cluster: no node %d", i)
+	}
+	c.nodes[i].SetDegradation(diskTax, cpuTax)
+	if !c.down[i] && !c.timedOut(i) && (len(c.hints[i]) > 0 || c.needRepair[i]) {
+		c.replayHints(i)
+	}
+	return nil
+}
+
+// CorruptNodeLog tears the newest fraction of node i's commit-log tail;
+// the loss surfaces at the node's next restart. It returns the number
+// of records lost.
+func (c *Cluster) CorruptNodeLog(i int, fraction float64) (int, error) {
+	if i < 0 || i >= len(c.nodes) {
+		return 0, fmt.Errorf("cluster: no node %d", i)
+	}
+	return c.nodes[i].CorruptLogTail(fraction), nil
+}
+
+// Engine returns node i's engine for inspection (nil if out of range).
+func (c *Cluster) Engine(i int) *nosql.Engine {
+	if i < 0 || i >= len(c.nodes) {
+		return nil
+	}
+	return c.nodes[i]
 }
 
 // LiveNodes returns how many nodes are up.

@@ -1,0 +1,275 @@
+package cluster
+
+import (
+	"testing"
+
+	"rafiki/internal/config"
+)
+
+// scriptedInjector fails the first failures[node] attempts on a node,
+// then succeeds forever.
+type scriptedInjector struct {
+	failures map[int]int
+}
+
+func (s *scriptedInjector) AttemptFails(node int, now float64) bool {
+	if s.failures[node] > 0 {
+		s.failures[node]--
+		return true
+	}
+	return false
+}
+
+// alwaysFail fails every attempt on the marked nodes.
+type alwaysFail struct{ nodes map[int]bool }
+
+func (a *alwaysFail) AttemptFails(node int, now float64) bool { return a.nodes[node] }
+
+func TestRetriesRecoverTransientFailures(t *testing.T) {
+	c := newTestCluster(t, 2, 2, nil)
+	if err := c.SetResilience(DefaultResilienceOptions()); err != nil {
+		t.Fatal(err)
+	}
+	c.SetFaultInjector(&scriptedInjector{failures: map[int]int{0: 2, 1: 2}})
+	c.Write(7)
+	c.FinishEpoch()
+	st := c.Stats()
+	if st.TransientFailures == 0 || st.Retries == 0 {
+		t.Fatalf("expected transient failures and retries, got %+v", st)
+	}
+	if st.UnavailableWrites != 0 {
+		t.Errorf("retried write should not be unavailable: %+v", st)
+	}
+	if got := c.Metrics().Writes; got != 2 {
+		t.Errorf("write should reach both replicas after retries, got %d", got)
+	}
+	if c.Clock() <= c.nodeMaxClock() {
+		t.Error("backoff waits should charge coordinator overhead")
+	}
+}
+
+// nodeMaxClock exposes the busiest node's clock for overhead assertions.
+func (c *Cluster) nodeMaxClock() float64 {
+	var m float64
+	for _, n := range c.nodes {
+		if t := n.Clock(); t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+func TestExhaustedRetriesHintTheWrite(t *testing.T) {
+	c := newTestCluster(t, 2, 2, nil)
+	opts := DefaultResilienceOptions()
+	opts.MaxRetries = 1
+	if err := c.SetResilience(opts); err != nil {
+		t.Fatal(err)
+	}
+	c.SetFaultInjector(&alwaysFail{nodes: map[int]bool{1: true}})
+	for k := uint64(0); k < 100; k++ {
+		c.Write(k)
+	}
+	c.FinishEpoch()
+	st := c.Stats()
+	if st.HintsStored != 100 {
+		t.Errorf("each write should hint the failing replica: %d hints", st.HintsStored)
+	}
+	if st.UnavailableWrites != 0 {
+		t.Errorf("the healthy replica keeps writes available: %+v", st)
+	}
+	// Once the fault clears, the hinted mutations are deliverable.
+	c.SetFaultInjector(nil)
+	if err := c.SetNodeDegradation(1, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().HintsReplayed; got != 100 {
+		t.Errorf("hints replayed = %d, want 100", got)
+	}
+}
+
+func TestHintCapOverflowTriggersFullRepair(t *testing.T) {
+	c := newTestCluster(t, 2, 2, nil)
+	c.Preload(1)
+	opts := PassiveResilience()
+	opts.HintCap = 8
+	if err := c.SetResilience(opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FailNode(1); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 50; k++ {
+		c.Write(k)
+	}
+	st := c.Stats()
+	if st.HintsStored != 8 {
+		t.Errorf("hints stored = %d, want cap 8", st.HintsStored)
+	}
+	if st.HintsDropped != 42 {
+		t.Errorf("hints dropped = %d, want 42", st.HintsDropped)
+	}
+	if err := c.RecoverNode(1); err != nil {
+		t.Fatal(err)
+	}
+	st = c.Stats()
+	if st.Repairs != 1 {
+		t.Errorf("overflow recovery should run a full repair, got %d", st.Repairs)
+	}
+	if st.RepairedKeys == 0 {
+		t.Error("full repair should stream keys")
+	}
+	if c.needRepair[1] {
+		t.Error("repair flag should clear")
+	}
+}
+
+func TestTimeoutTreatsStragglerAsDown(t *testing.T) {
+	c := newTestCluster(t, 2, 2, nil)
+	opts := DefaultResilienceOptions()
+	if err := c.SetResilience(opts); err != nil {
+		t.Fatal(err)
+	}
+	// 100x degradation: estimated service time 200ms >> 50ms timeout.
+	if err := c.SetNodeDegradation(1, 100, 1); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 20; k++ {
+		c.Write(k)
+	}
+	st := c.Stats()
+	if st.Timeouts == 0 {
+		t.Fatalf("writes to an extreme straggler should time out: %+v", st)
+	}
+	if st.HintsStored == 0 {
+		t.Error("timed-out writes should be hinted")
+	}
+	// Node 1 executed no writes while timed out.
+	if got := c.nodes[1].Metrics().Writes; got != 0 {
+		t.Errorf("straggler executed %d writes, want 0", got)
+	}
+	// Recovery of the straggler replays the owed mutations.
+	if err := c.SetNodeDegradation(1, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().HintsReplayed; got == 0 {
+		t.Error("clearing degradation should replay hints")
+	}
+	if got := c.nodes[1].Metrics().Writes; got == 0 {
+		t.Error("straggler should converge after hint replay")
+	}
+}
+
+func TestSpeculativeReadsRouteAroundStraggler(t *testing.T) {
+	c := newTestCluster(t, 2, 2, nil)
+	c.Preload(1)
+	opts := DefaultResilienceOptions()
+	opts.OpTimeout = 0 // isolate speculation from timeouts
+	if err := c.SetResilience(opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetNodeDegradation(1, opts.SpeculationThreshold+1, 1); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 1000; k++ {
+		c.Read(k % uint64(c.KeySpace()))
+	}
+	c.FinishEpoch()
+	st := c.Stats()
+	if st.SpeculativeReads == 0 {
+		t.Fatal("expected speculative routing around the straggler")
+	}
+	if got := c.nodes[1].Metrics().Reads; got != 0 {
+		t.Errorf("straggler served %d reads, want 0 (all rerouted)", got)
+	}
+	if got := c.nodes[0].Metrics().Reads; got != 1000 {
+		t.Errorf("healthy node served %d reads, want 1000", got)
+	}
+}
+
+func TestSpeculationRespectsConsistency(t *testing.T) {
+	// With RF=2 and ALL, both replicas must serve — the straggler
+	// cannot be avoided, only demoted to last.
+	c := newTestCluster(t, 2, 2, nil)
+	c.Preload(1)
+	if err := c.SetReadConsistency(ConsistencyAll); err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultResilienceOptions()
+	opts.OpTimeout = 0
+	if err := c.SetResilience(opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetNodeDegradation(1, 10, 1); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 100; k++ {
+		c.Read(k % uint64(c.KeySpace()))
+	}
+	c.FinishEpoch()
+	if got := c.nodes[1].Metrics().Reads; got != 100 {
+		t.Errorf("ALL reads must still consult the straggler: %d of 100", got)
+	}
+	if got := c.Stats().UnavailableReads; got != 0 {
+		t.Errorf("unavailable reads = %d, want 0", got)
+	}
+}
+
+func TestResilienceValidation(t *testing.T) {
+	c := newTestCluster(t, 1, 1, nil)
+	bad := []ResilienceOptions{
+		{MaxRetries: -1},
+		{BackoffBase: -1},
+		{OpTimeout: 0.1}, // timeout without expected op time
+		{SpeculativeReads: true, SpeculationThreshold: 0.5},
+	}
+	for i, opts := range bad {
+		if err := c.SetResilience(opts); err == nil {
+			t.Errorf("case %d: invalid options accepted", i)
+		}
+	}
+	// The default posture bounds hints even when unset.
+	if got := c.Resilience().HintCap; got != DefaultHintCap {
+		t.Errorf("default hint cap = %d, want %d", got, DefaultHintCap)
+	}
+}
+
+func TestPassiveResilienceMatchesSeedBehaviour(t *testing.T) {
+	// Without an injector or degradation, the hardened read/write paths
+	// must behave exactly as before: this guards the seed experiments.
+	run := func(c *Cluster) Stats {
+		c.Preload(1)
+		for k := uint64(0); k < 5000; k++ {
+			c.Write(k % uint64(c.KeySpace()))
+			c.Read(k % uint64(c.KeySpace()))
+		}
+		c.FinishEpoch()
+		return c.Stats()
+	}
+	a := newTestCluster(t, 3, 2, nil)
+	st := run(a)
+	if st.Retries != 0 || st.Timeouts != 0 || st.SpeculativeReads != 0 || st.HintsStored != 0 {
+		t.Errorf("passive cluster recorded resilience events: %+v", st)
+	}
+	b := newTestCluster(t, 3, 2, nil)
+	if err := b.SetResilience(DefaultResilienceOptions()); err != nil {
+		t.Fatal(err)
+	}
+	stb := run(b)
+	if stb != st {
+		t.Errorf("healthy cluster stats differ across postures: %+v vs %+v", st, stb)
+	}
+	if got, want := b.Clock(), a.Clock(); got != want {
+		t.Errorf("healthy clock differs across postures: %v vs %v", got, want)
+	}
+}
+
+func TestClusterConfigStillApplies(t *testing.T) {
+	c := newTestCluster(t, 2, 2, nil)
+	if err := c.SetResilience(DefaultResilienceOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Apply(config.Config{config.ParamCompactionStrategy: config.CompactionLeveled}); err != nil {
+		t.Fatal(err)
+	}
+}

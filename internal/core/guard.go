@@ -1,0 +1,317 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"rafiki/internal/config"
+	"rafiki/internal/forecast"
+)
+
+// PredictWithStd returns the surrogate's throughput estimate together
+// with the ensemble's standard deviation for a workload and
+// configuration. High disagreement flags regions the training data
+// barely covers — exactly where a single-point prediction is least
+// trustworthy and re-tuning on it is most dangerous.
+func (s *Surrogate) PredictWithStd(readRatio float64, cfg config.Config) (mean, std float64, err error) {
+	vec, err := s.Space.FeatureVector(readRatio, cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	return s.Model.PredictWithStd(vec)
+}
+
+// GuardOptions tunes the vetting and canary stages of guarded
+// re-tuning. Zero values disable individual checks; DefaultGuardOptions
+// enables all of them with conservative settings.
+type GuardOptions struct {
+	// Threshold is the minimum |RR - lastTunedRR| movement that triggers
+	// a re-tune, as in the unguarded controllers.
+	Threshold float64
+	// Forecaster, when set, makes the controller proactive: it tunes for
+	// the forecast of the next window instead of the window just ended.
+	Forecaster forecast.Forecaster
+	// MaxStdFrac rejects a recommendation whose ensemble disagreement
+	// (std/mean) exceeds this fraction — the surrogate is guessing.
+	// 0 disables the check.
+	MaxStdFrac float64
+	// MaxGainFactor rejects a recommendation predicting more than this
+	// multiple of the best throughput measured so far — out-of-band
+	// extrapolation. 0 disables; the check is also idle until the first
+	// measurement arrives.
+	MaxGainFactor float64
+	// Probe, when set, benchmarks a candidate configuration with a short
+	// measured run before it is applied (the canary probe). A candidate
+	// failing ProbeTolerance × prediction is rejected without touching
+	// the datastore.
+	Probe func(readRatio float64, cfg config.Config) (float64, error)
+	// ProbeTolerance is the fraction of the predicted throughput the
+	// probe must reach (default 0.5).
+	ProbeTolerance float64
+	// CanaryWindows is how many observation windows a freshly applied
+	// configuration stays on probation before it is committed as
+	// last-known-good (default 2; 0 commits immediately).
+	CanaryWindows int
+	// RegressionTolerance triggers a rollback when a canarying
+	// configuration's measured throughput falls below
+	// (1 - RegressionTolerance) × the surrogate's prediction for the
+	// current window (default 0.5). 0 disables rollback.
+	RegressionTolerance float64
+}
+
+// DefaultGuardOptions enables every guard with conservative settings.
+func DefaultGuardOptions() GuardOptions {
+	return GuardOptions{
+		Threshold:           0.1,
+		MaxStdFrac:          0.35,
+		MaxGainFactor:       3,
+		ProbeTolerance:      0.5,
+		CanaryWindows:       2,
+		RegressionTolerance: 0.5,
+	}
+}
+
+// Validate reports option errors.
+func (o GuardOptions) Validate() error {
+	if o.Threshold < 0 || o.Threshold > 1 {
+		return fmt.Errorf("core: guard threshold %v out of [0,1]", o.Threshold)
+	}
+	if o.MaxStdFrac < 0 {
+		return fmt.Errorf("core: negative MaxStdFrac %v", o.MaxStdFrac)
+	}
+	if o.MaxGainFactor < 0 {
+		return fmt.Errorf("core: negative MaxGainFactor %v", o.MaxGainFactor)
+	}
+	if o.ProbeTolerance < 0 || o.ProbeTolerance > 1 {
+		return fmt.Errorf("core: probe tolerance %v out of [0,1]", o.ProbeTolerance)
+	}
+	if o.CanaryWindows < 0 {
+		return fmt.Errorf("core: negative canary windows %d", o.CanaryWindows)
+	}
+	if o.RegressionTolerance < 0 || o.RegressionTolerance >= 1 {
+		return fmt.Errorf("core: regression tolerance %v out of [0,1)", o.RegressionTolerance)
+	}
+	return nil
+}
+
+// GuardStats counts guarded re-tuning outcomes.
+type GuardStats struct {
+	// Retunes counts configurations applied (including ones later rolled
+	// back); Commits counts the subset that survived their canary.
+	Retunes, Commits int
+	// RejectedPredictions counts recommendations vetoed before apply:
+	// non-finite or non-positive predictions, excessive ensemble
+	// disagreement, or out-of-band gains.
+	RejectedPredictions int
+	// ProbeRejections counts candidates the measured probe vetoed.
+	ProbeRejections int
+	// Rollbacks counts canaries reverted to the last-known-good
+	// configuration after a measured regression.
+	Rollbacks int
+}
+
+// GuardedController is the hardened online re-tuning loop: every
+// recommendation is sanity-checked against the surrogate ensemble's own
+// disagreement, optionally canaried with a short measured probe before
+// apply, and watched for measured regressions for a few windows after
+// apply — rolling back to the last-known-good configuration (ultimately
+// the space default) instead of letting a bad extrapolation tank the
+// datastore it is supposed to tune.
+type GuardedController struct {
+	tuner   *Tuner
+	applier Applier
+	opts    GuardOptions
+
+	haveTuned   bool
+	lastTunedRR float64
+	current     config.Config
+	lastGood    config.Config // nil means the space default
+
+	// canaryLeft > 0 means current is on probation; canaryRR is the
+	// read ratio it was tuned for.
+	canaryLeft int
+	canaryRR   float64
+
+	maxMeasured float64
+	stats       GuardStats
+}
+
+// NewGuardedController wires a guarded controller.
+func NewGuardedController(t *Tuner, a Applier, opts GuardOptions) (*GuardedController, error) {
+	if t == nil || a == nil {
+		return nil, errors.New("core: guarded controller needs a tuner and an applier")
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	return &GuardedController{tuner: t, applier: a, opts: opts}, nil
+}
+
+// Observe reports one finished window: its read ratio and its measured
+// throughput (ops/s; pass <= 0 when no measurement is available, which
+// skips the canary and out-of-band checks for this window). It returns
+// whether the live configuration changed — by a fresh apply or by a
+// rollback.
+func (c *GuardedController) Observe(readRatio, measured float64) (bool, error) {
+	if readRatio < 0 || readRatio > 1 {
+		return false, fmt.Errorf("core: read ratio %v out of [0,1]", readRatio)
+	}
+	if measured > c.maxMeasured {
+		c.maxMeasured = measured
+	}
+
+	// Canary bookkeeping first: the measurement just delivered is the
+	// probationary configuration's report card.
+	if c.canaryLeft > 0 && measured > 0 {
+		rolled, err := c.checkCanary(readRatio, measured)
+		if err != nil {
+			return false, err
+		}
+		if rolled {
+			return true, nil
+		}
+	}
+
+	target := readRatio
+	if c.opts.Forecaster != nil {
+		c.opts.Forecaster.Observe(readRatio)
+		target = clamp01(c.opts.Forecaster.Predict())
+	}
+	if c.haveTuned && abs(target-c.lastTunedRR) < c.opts.Threshold {
+		return false, nil
+	}
+
+	rec, err := c.tuner.Recommend(target)
+	if err != nil {
+		return false, err
+	}
+	ok, err := c.vet(target, rec)
+	if err != nil {
+		return false, err
+	}
+	if !ok {
+		// The veto still pins lastTunedRR: re-deriving the same doomed
+		// candidate every window would burn search time for nothing.
+		c.haveTuned = true
+		c.lastTunedRR = target
+		return false, nil
+	}
+	if err := c.applier.Apply(rec.Config); err != nil {
+		return false, fmt.Errorf("core: applying guarded recommendation: %w", err)
+	}
+	c.haveTuned = true
+	c.lastTunedRR = target
+	c.current = rec.Config
+	c.stats.Retunes++
+	if c.opts.CanaryWindows > 0 && c.opts.RegressionTolerance > 0 {
+		c.canaryLeft = c.opts.CanaryWindows
+		c.canaryRR = target
+	} else {
+		c.commit()
+	}
+	return true, nil
+}
+
+// checkCanary compares the probationary configuration's measurement
+// against the surrogate's own prediction for this window, rolling back
+// on a regression and committing after the probation expires. It
+// returns whether a rollback was applied.
+func (c *GuardedController) checkCanary(readRatio, measured float64) (bool, error) {
+	predicted, err := c.tuner.surrogate.Predict(readRatio, c.current)
+	if err != nil {
+		return false, err
+	}
+	if isFinite(predicted) && predicted > 0 &&
+		measured < (1-c.opts.RegressionTolerance)*predicted {
+		if err := c.rollback(); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	c.canaryLeft--
+	if c.canaryLeft == 0 {
+		c.commit()
+	}
+	return false, nil
+}
+
+// commit promotes the live configuration to last-known-good.
+func (c *GuardedController) commit() {
+	c.canaryLeft = 0
+	c.lastGood = c.current
+	c.stats.Commits++
+}
+
+// rollback reverts to the last-known-good configuration — the space
+// default when nothing has ever been committed.
+func (c *GuardedController) rollback() error {
+	target := c.lastGood
+	if target == nil {
+		target = c.tuner.space.Default()
+	}
+	if err := c.applier.Apply(target); err != nil {
+		return fmt.Errorf("core: rolling back: %w", err)
+	}
+	c.current = target
+	c.canaryLeft = 0
+	c.stats.Rollbacks++
+	return nil
+}
+
+// vet sanity-checks a recommendation before it touches the datastore.
+func (c *GuardedController) vet(target float64, rec OptimizeResult) (bool, error) {
+	mean, std, err := c.tuner.surrogate.PredictWithStd(target, rec.Config)
+	if err != nil {
+		return false, err
+	}
+	if !isFinite(mean) || mean <= 0 {
+		c.stats.RejectedPredictions++
+		return false, nil
+	}
+	if c.opts.MaxStdFrac > 0 && (!isFinite(std) || std/mean > c.opts.MaxStdFrac) {
+		c.stats.RejectedPredictions++
+		return false, nil
+	}
+	if c.opts.MaxGainFactor > 0 && c.maxMeasured > 0 && mean > c.opts.MaxGainFactor*c.maxMeasured {
+		c.stats.RejectedPredictions++
+		return false, nil
+	}
+	if c.opts.Probe != nil {
+		measured, err := c.opts.Probe(target, rec.Config)
+		if err != nil {
+			return false, fmt.Errorf("core: canary probe: %w", err)
+		}
+		if measured < c.opts.ProbeTolerance*mean {
+			c.stats.ProbeRejections++
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Current returns the live configuration (nil before the first apply).
+func (c *GuardedController) Current() config.Config { return c.current }
+
+// LastGood returns the last committed configuration (nil before the
+// first commit, meaning the space default is the rollback target).
+func (c *GuardedController) LastGood() config.Config { return c.lastGood }
+
+// Stats returns the guard outcome counters.
+func (c *GuardedController) Stats() GuardStats { return c.stats }
+
+// Retunes counts applied reconfigurations, mirroring the unguarded
+// controllers.
+func (c *GuardedController) Retunes() int { return c.stats.Retunes }
+
+func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -66,5 +66,16 @@ func LoadSurrogate(path string, space *config.Space) (*Surrogate, error) {
 	if err := json.Unmarshal(sf.Model, &model); err != nil {
 		return nil, fmt.Errorf("core: decoding surrogate model: %w", err)
 	}
+	if err := model.Validate(); err != nil {
+		return nil, fmt.Errorf("core: surrogate model failed validation: %w", err)
+	}
+	// The key-name list and the model's trained feature width must agree
+	// with the space: readRatio plus one feature per key parameter. A
+	// stale or hand-edited file that passes the name check but was
+	// trained at a different width would otherwise predict garbage.
+	if want := 1 + len(space.KeyNames); model.InputWidth() != want {
+		return nil, fmt.Errorf("core: surrogate expects %d features, space needs %d (readRatio + %d key parameters)",
+			model.InputWidth(), want, len(space.KeyNames))
+	}
 	return &Surrogate{Model: &model, Space: space}, nil
 }

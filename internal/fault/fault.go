@@ -1,0 +1,165 @@
+// Package fault is a deterministic, seeded fault-injection layer for
+// the simulated datastore: it composes schedules of faults in virtual
+// time — fail-stop outages, crash-restarts through commit-log replay,
+// straggler degradation, transient per-op failure windows, and
+// commit-log tail corruption — and applies them to a cluster (or a
+// single engine) as its virtual clock passes each event's time.
+//
+// Everything is deterministic: the same schedule, seed, and workload
+// produce bit-identical results, which is what lets the experiment
+// suite compare resilience postures under the exact same adversity and
+// assert reproducibility across runs.
+package fault
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind int
+
+const (
+	// Fail is a fail-stop outage: the node is down from At to Until
+	// (reads route around it, writes are hinted), then recovers.
+	Fail Kind = iota + 1
+	// Restart crash-restarts the node at At: RAM state is lost and the
+	// commit log replays. A CorruptFraction > 0 first tears that
+	// fraction of the log tail, losing those acknowledged writes.
+	Restart
+	// Slow degrades the node from At to Until with DiskTax/CPUTax
+	// multipliers on its cost model (a straggler), then heals it.
+	Slow
+	// Transient makes each op attempt on the node fail independently
+	// with probability FailProb from At to Until (flaky NIC, GC pauses,
+	// overload shedding).
+	Transient
+	// CorruptLog tears CorruptFraction of the node's commit-log tail at
+	// At; the damage surfaces at the node's next restart.
+	CorruptLog
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Fail:
+		return "fail"
+	case Restart:
+		return "restart"
+	case Slow:
+		return "slow"
+	case Transient:
+		return "transient"
+	case CorruptLog:
+		return "corrupt-log"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one scheduled fault against one node, in virtual seconds.
+type Event struct {
+	// Kind selects the fault class.
+	Kind Kind
+	// Node is the target node index.
+	Node int
+	// At is when the fault starts (virtual seconds).
+	At float64
+	// Until ends windowed faults (Fail, Slow, Transient); it must
+	// exceed At for those kinds and is ignored for the others.
+	Until float64
+	// DiskTax and CPUTax are Slow's degradation multipliers (>= 1).
+	DiskTax, CPUTax float64
+	// FailProb is Transient's per-attempt failure probability.
+	FailProb float64
+	// CorruptFraction is the commit-log tail fraction torn by
+	// CorruptLog and Restart events.
+	CorruptFraction float64
+}
+
+// windowed reports whether the event has a duration.
+func (e Event) windowed() bool {
+	switch e.Kind {
+	case Fail, Slow, Transient:
+		return true
+	}
+	return false
+}
+
+// Validate reports event errors against a cluster of n nodes.
+func (e Event) Validate(nodes int) error {
+	if e.Node < 0 || e.Node >= nodes {
+		return fmt.Errorf("fault: event targets node %d of %d", e.Node, nodes)
+	}
+	if e.At < 0 {
+		return fmt.Errorf("fault: negative event time %v", e.At)
+	}
+	switch e.Kind {
+	case Fail:
+		if e.Until <= e.At {
+			return fmt.Errorf("fault: fail window [%v, %v] is empty", e.At, e.Until)
+		}
+	case Slow:
+		if e.Until <= e.At {
+			return fmt.Errorf("fault: slow window [%v, %v] is empty", e.At, e.Until)
+		}
+		if e.DiskTax < 1 && e.CPUTax < 1 {
+			return fmt.Errorf("fault: slow event needs a tax >= 1, got disk %v cpu %v", e.DiskTax, e.CPUTax)
+		}
+	case Transient:
+		if e.Until <= e.At {
+			return fmt.Errorf("fault: transient window [%v, %v] is empty", e.At, e.Until)
+		}
+		if e.FailProb <= 0 || e.FailProb > 1 {
+			return fmt.Errorf("fault: transient probability %v out of (0,1]", e.FailProb)
+		}
+	case Restart:
+		if e.CorruptFraction < 0 || e.CorruptFraction > 1 {
+			return fmt.Errorf("fault: corrupt fraction %v out of [0,1]", e.CorruptFraction)
+		}
+	case CorruptLog:
+		if e.CorruptFraction <= 0 || e.CorruptFraction > 1 {
+			return fmt.Errorf("fault: corrupt fraction %v out of (0,1]", e.CorruptFraction)
+		}
+	default:
+		return fmt.Errorf("fault: unknown event kind %d", int(e.Kind))
+	}
+	return nil
+}
+
+// Schedule is a set of fault events. Order does not matter; the
+// injector sorts by start time.
+type Schedule []Event
+
+// Validate reports schedule errors against a cluster of n nodes.
+// Overlapping Fail windows on the same node are rejected — a down node
+// cannot fail again — as are schedules that would fail every node at
+// once only in the sense of being invalid per event; total-outage
+// schedules are legal (that is a scenario worth measuring).
+func (s Schedule) Validate(nodes int) error {
+	if nodes <= 0 {
+		return fmt.Errorf("fault: need a positive node count, got %d", nodes)
+	}
+	for i, e := range s {
+		if err := e.Validate(nodes); err != nil {
+			return fmt.Errorf("fault: event %d: %w", i, err)
+		}
+	}
+	// Reject overlapping fail-stop windows per node.
+	perNode := make(map[int][]Event)
+	for _, e := range s {
+		if e.Kind == Fail {
+			perNode[e.Node] = append(perNode[e.Node], e)
+		}
+	}
+	for node, evs := range perNode {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+		for i := 1; i < len(evs); i++ {
+			if evs[i].At < evs[i-1].Until {
+				return fmt.Errorf("fault: node %d has overlapping fail windows [%v,%v] and [%v,%v]",
+					node, evs[i-1].At, evs[i-1].Until, evs[i].At, evs[i].Until)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,259 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Target is what the injector drives. *cluster.Cluster satisfies it;
+// EngineTarget adapts a single nosql.Engine.
+type Target interface {
+	// Nodes returns the node count.
+	Nodes() int
+	// Clock returns the target's virtual time in seconds.
+	Clock() float64
+	// FailNode / RecoverNode bracket a fail-stop outage.
+	FailNode(i int) error
+	RecoverNode(i int) error
+	// RestartNode crash-restarts node i through commit-log replay.
+	RestartNode(i int) error
+	// SetNodeDegradation installs straggler multipliers (1,1 = healthy).
+	SetNodeDegradation(i int, diskTax, cpuTax float64) error
+	// CorruptNodeLog tears the newest fraction of node i's commit log.
+	CorruptNodeLog(i int, fraction float64) (int, error)
+}
+
+// transition is an event edge: an event starting or ending.
+type transition struct {
+	at    float64
+	start bool
+	ev    Event
+}
+
+// Injector replays a fault schedule against a target in virtual time.
+// It is single-goroutine and fully deterministic: transitions fire in
+// (time, order-of-definition) order as Advance observes the clock pass
+// them, and transient-failure draws come from a seeded PRNG.
+type Injector struct {
+	target Target
+	rng    *rand.Rand
+
+	transitions []transition
+	next        int // first unfired transition
+
+	// Per-node state derived from the active events.
+	active   []map[int]bool // event set per node, keyed by transition index pairs
+	failProb []float64      // combined transient failure probability
+	diskTax  []float64      // max over active slow events
+	cpuTax   []float64
+
+	// activeEvents tracks which windowed events are in force, so taxes
+	// and probabilities recompute exactly on each edge.
+	activeEvents []Event
+
+	lost int // commit-log records torn by corruption events
+	errs []error
+}
+
+// NewInjector validates the schedule against the target and prepares a
+// deterministic replay seeded by seed.
+func NewInjector(target Target, schedule Schedule, seed int64) (*Injector, error) {
+	n := target.Nodes()
+	if err := schedule.Validate(n); err != nil {
+		return nil, err
+	}
+	inj := &Injector{
+		target:   target,
+		rng:      rand.New(rand.NewSource(seed)),
+		failProb: make([]float64, n),
+		diskTax:  make([]float64, n),
+		cpuTax:   make([]float64, n),
+	}
+	for i := range inj.diskTax {
+		inj.diskTax[i] = 1
+		inj.cpuTax[i] = 1
+	}
+	for _, e := range schedule {
+		inj.transitions = append(inj.transitions, transition{at: e.At, start: true, ev: e})
+		if e.windowed() {
+			inj.transitions = append(inj.transitions, transition{at: e.Until, start: false, ev: e})
+		}
+	}
+	// Stable sort keeps definition order for simultaneous transitions,
+	// so replay order — and therefore results — never depends on map or
+	// sort nondeterminism.
+	sort.SliceStable(inj.transitions, func(i, j int) bool {
+		return inj.transitions[i].at < inj.transitions[j].at
+	})
+	return inj, nil
+}
+
+// Advance fires every transition due at or before now. The harness
+// calls it with the target's clock before each operation; it is cheap
+// when nothing is due.
+func (inj *Injector) Advance(now float64) {
+	for inj.next < len(inj.transitions) && inj.transitions[inj.next].at <= now {
+		tr := inj.transitions[inj.next]
+		inj.next++
+		inj.apply(tr)
+	}
+}
+
+// apply fires one transition edge against the target.
+func (inj *Injector) apply(tr transition) {
+	e := tr.ev
+	switch e.Kind {
+	case Fail:
+		var err error
+		if tr.start {
+			err = inj.target.FailNode(e.Node)
+		} else {
+			err = inj.target.RecoverNode(e.Node)
+		}
+		inj.record(err)
+	case Restart:
+		if e.CorruptFraction > 0 {
+			lost, err := inj.target.CorruptNodeLog(e.Node, e.CorruptFraction)
+			inj.lost += lost
+			inj.record(err)
+		}
+		inj.record(inj.target.RestartNode(e.Node))
+	case CorruptLog:
+		lost, err := inj.target.CorruptNodeLog(e.Node, e.CorruptFraction)
+		inj.lost += lost
+		inj.record(err)
+	case Slow, Transient:
+		if tr.start {
+			inj.activeEvents = append(inj.activeEvents, e)
+		} else {
+			inj.remove(e)
+		}
+		inj.recompute(e.Node)
+	}
+}
+
+// remove drops the first active event equal to e.
+func (inj *Injector) remove(e Event) {
+	for i, a := range inj.activeEvents {
+		if a == e {
+			inj.activeEvents = append(inj.activeEvents[:i], inj.activeEvents[i+1:]...)
+			return
+		}
+	}
+}
+
+// recompute rebuilds node's degradation taxes and combined transient
+// failure probability from the currently active events, and pushes the
+// taxes to the target.
+func (inj *Injector) recompute(node int) {
+	disk, cpu := 1.0, 1.0
+	survive := 1.0 // P(attempt survives every active transient fault)
+	for _, e := range inj.activeEvents {
+		if e.Node != node {
+			continue
+		}
+		switch e.Kind {
+		case Slow:
+			if e.DiskTax > disk {
+				disk = e.DiskTax
+			}
+			if e.CPUTax > cpu {
+				cpu = e.CPUTax
+			}
+		case Transient:
+			survive *= 1 - e.FailProb
+		}
+	}
+	inj.failProb[node] = 1 - survive
+	if disk != inj.diskTax[node] || cpu != inj.cpuTax[node] {
+		inj.diskTax[node] = disk
+		inj.cpuTax[node] = cpu
+		inj.record(inj.target.SetNodeDegradation(node, disk, cpu))
+	}
+}
+
+// AttemptFails implements cluster.FaultInjector: a seeded draw against
+// the node's combined transient failure probability.
+func (inj *Injector) AttemptFails(node int, now float64) bool {
+	if node < 0 || node >= len(inj.failProb) || inj.failProb[node] == 0 {
+		return false
+	}
+	return inj.rng.Float64() < inj.failProb[node]
+}
+
+// Done reports whether every transition has fired.
+func (inj *Injector) Done() bool { return inj.next >= len(inj.transitions) }
+
+// Finish fires all remaining transitions (e.g. recoveries scheduled
+// past the end of the workload) so the target ends the run converged.
+func (inj *Injector) Finish() {
+	for inj.next < len(inj.transitions) {
+		tr := inj.transitions[inj.next]
+		inj.next++
+		inj.apply(tr)
+	}
+}
+
+// LostRecords returns how many commit-log records corruption events
+// tore so far.
+func (inj *Injector) LostRecords() int { return inj.lost }
+
+// Err returns the accumulated apply errors, if any. Schedule validation
+// catches malformed events up front; errors here mean the schedule and
+// target disagreed at runtime (e.g. a Fail event for a node a previous
+// event already failed).
+func (inj *Injector) Err() error { return errors.Join(inj.errs...) }
+
+func (inj *Injector) record(err error) {
+	if err != nil {
+		inj.errs = append(inj.errs, err)
+	}
+}
+
+// EngineTarget adapts a single-node engine to the Target interface so
+// schedules can exercise Restart and log corruption without a cluster.
+// Fail-stop events are rejected: a lone engine has nowhere to route.
+type EngineTarget struct {
+	// Engine is the adapted engine.
+	Engine interface {
+		Clock() float64
+		Restart()
+		SetDegradation(diskTax, cpuTax float64)
+		CorruptLogTail(fraction float64) int
+	}
+}
+
+// Nodes returns 1.
+func (t EngineTarget) Nodes() int { return 1 }
+
+// Clock returns the engine's virtual time.
+func (t EngineTarget) Clock() float64 { return t.Engine.Clock() }
+
+// FailNode rejects fail-stop events (no replicas to route around).
+func (t EngineTarget) FailNode(int) error {
+	return fmt.Errorf("fault: single engine cannot fail-stop")
+}
+
+// RecoverNode rejects fail-stop events.
+func (t EngineTarget) RecoverNode(int) error {
+	return fmt.Errorf("fault: single engine cannot fail-stop")
+}
+
+// RestartNode crash-restarts the engine.
+func (t EngineTarget) RestartNode(int) error {
+	t.Engine.Restart()
+	return nil
+}
+
+// SetNodeDegradation installs straggler multipliers.
+func (t EngineTarget) SetNodeDegradation(_ int, diskTax, cpuTax float64) error {
+	t.Engine.SetDegradation(diskTax, cpuTax)
+	return nil
+}
+
+// CorruptNodeLog tears the engine's commit-log tail.
+func (t EngineTarget) CorruptNodeLog(_ int, fraction float64) (int, error) {
+	return t.Engine.CorruptLogTail(fraction), nil
+}

@@ -155,6 +155,51 @@ func Fit(xs [][]float64, ys []float64, cfg ModelConfig) (*Model, error) {
 // Size returns the surviving ensemble member count.
 func (m *Model) Size() int { return len(m.nets) }
 
+// InputWidth returns the feature-vector width the model was trained on
+// (0 for an uninitialized model).
+func (m *Model) InputWidth() int {
+	if m.inNorm == nil {
+		return 0
+	}
+	return len(m.inNorm.Min)
+}
+
+// Validate checks the model's numeric integrity: it must hold at least
+// one network, every normalizer bound and weight must be finite, and
+// each input dimension's range must be non-inverted. A model that fails
+// here would predict NaN (or silently nonsense), so loaders reject it
+// up front instead of letting the poison reach the online tuner.
+func (m *Model) Validate() error {
+	if len(m.nets) == 0 {
+		return fmt.Errorf("nn: model has no networks")
+	}
+	if m.inNorm == nil || m.outNorm == nil {
+		return fmt.Errorf("nn: model has no normalizers")
+	}
+	for i := range m.inNorm.Min {
+		lo, hi := m.inNorm.Min[i], m.inNorm.Max[i]
+		if !finite(lo) || !finite(hi) {
+			return fmt.Errorf("nn: non-finite input normalizer bound at dim %d", i)
+		}
+		if lo > hi {
+			return fmt.Errorf("nn: inverted input normalizer range [%v, %v] at dim %d", lo, hi, i)
+		}
+	}
+	if !finite(m.outNorm.Min) || !finite(m.outNorm.Max) {
+		return fmt.Errorf("nn: non-finite output normalizer bounds")
+	}
+	for k, net := range m.nets {
+		for j, w := range net.Weights {
+			if !finite(w) {
+				return fmt.Errorf("nn: non-finite weight %d in network %d", j, k)
+			}
+		}
+	}
+	return nil
+}
+
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
 // Results returns the surviving members' training summaries.
 func (m *Model) Results() []TrainResult {
 	return append([]TrainResult(nil), m.results...)

@@ -425,3 +425,49 @@ func TestModelUnmarshalValidation(t *testing.T) {
 		}
 	}
 }
+
+func TestModelValidateRejectsPoison(t *testing.T) {
+	xs, ys := synthSurface(40, 20)
+	m, err := Fit(xs, ys, ModelConfig{
+		Hidden:       []int{4},
+		EnsembleSize: 2,
+		Trainer:      TrainerBR,
+		BR:           BROptions{Epochs: 10, MuInit: 0.005, MuInc: 10, MuDec: 0.1, MuMax: 1e10, MinGrad: 1e-7},
+		Seed:         33,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("healthy model failed validation: %v", err)
+	}
+	if got, want := m.InputWidth(), len(xs[0]); got != want {
+		t.Errorf("input width = %d, want %d", got, want)
+	}
+
+	// In-memory corruption: a NaN weight must be caught.
+	m.nets[0].Weights[0] = math.NaN()
+	if err := m.Validate(); err == nil {
+		t.Error("NaN weight should fail validation")
+	}
+	m.nets[0].Weights[0] = math.Inf(1)
+	if err := m.Validate(); err == nil {
+		t.Error("Inf weight should fail validation")
+	}
+	m.nets[0].Weights[0] = 0
+	if err := m.Validate(); err != nil {
+		t.Fatalf("repaired model failed validation: %v", err)
+	}
+	m.inNorm.Min[0] = math.NaN()
+	if err := m.Validate(); err == nil {
+		t.Error("NaN normalizer bound should fail validation")
+	}
+
+	// An inverted normalizer range smuggled through JSON is rejected at
+	// decode time.
+	var back Model
+	inverted := `{"inputMin":[2],"inputMax":[1],"outputMin":0,"outputMax":1,"nets":[{"sizes":[1,1],"weights":[1,1]}]}`
+	if err := json.Unmarshal([]byte(inverted), &back); err == nil {
+		t.Error("inverted normalizer range should fail to decode")
+	}
+}

@@ -65,7 +65,10 @@ func (m *Model) UnmarshalJSON(data []byte) error {
 	m.outNorm = &ScalarNormalizer{Min: in.OutMin, Max: in.OutMax}
 	m.nets = nets
 	m.results = in.Results
-	return nil
+	// Shape checks above don't catch poisoned numerics (non-finite
+	// bounds or weights smuggled past the decoder); reject them here
+	// rather than at the first prediction.
+	return m.Validate()
 }
 
 // rebuildNetwork reconstructs a Network from its serialized shape,

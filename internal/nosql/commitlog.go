@@ -54,6 +54,24 @@ func (l *commitLog) MarkFlushed() {
 	l.bytes = 0
 }
 
+// PendingRecords returns how many unflushed records the log holds.
+func (l *commitLog) PendingRecords() int { return len(l.pending) }
+
+// DropTail discards the newest n pending records — a torn or corrupted
+// segment tail that recovery cannot replay — and returns how many were
+// actually dropped. The byte accounting keeps the on-disk size: a torn
+// tail still occupies its segment space until recycled.
+func (l *commitLog) DropTail(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	if n > len(l.pending) {
+		n = len(l.pending)
+	}
+	l.pending = l.pending[:len(l.pending)-n]
+	return n
+}
+
 // Replay returns the records that must be re-applied after a crash, in
 // append order.
 func (l *commitLog) Replay() []logRecord {

@@ -203,6 +203,12 @@ type Engine struct {
 	clock float64
 	log   *commitLog
 
+	// diskTax and cpuTax are straggler multipliers (>= 1) on the node's
+	// disk and CPU costs, the fault layer's model of a degraded member
+	// (failing disk, noisy neighbour stealing cycles). 1 means healthy.
+	diskTax float64
+	cpuTax  float64
+
 	// Background activity observed over the previous epoch, feeding the
 	// interference and contention terms of the next one.
 	bgDiskBusyFrac float64
@@ -252,6 +258,8 @@ func New(opts Options) (*Engine, error) {
 		rng:      rand.New(rand.NewSource(opts.Seed)),
 		epochOps: epochOps,
 		mem:      newMemtable(hw.RowBytes),
+		diskTax:  1,
+		cpuTax:   1,
 	}
 	e.log = newCommitLog(hw.ScaledBytes(32), float64(hw.RowBytes))
 	cfg := opts.Config
@@ -693,6 +701,9 @@ func (e *Engine) closeEpoch() {
 	}
 	interference := 1 + model.InterferenceCoeff*e.bgDiskBusyFrac +
 		model.CompactorInterferenceCoeff*compactorLoad
+	// A degraded disk (fault injection) stretches every foreground byte.
+	commitDisk *= e.diskTax
+	readDisk *= e.diskTax
 	tDisk := (commitDisk + readDisk) * interference
 
 	// CPU: background merge work eats cores; oversubscribed thread
@@ -705,14 +716,14 @@ func (e *Engine) closeEpoch() {
 	if over > 0 {
 		contention += model.ContentionCoeff * over * over
 	}
-	cpuAvail := float64(hw.Cores) * (1 - math.Min(e.bgCPUFrac, 0.6))
+	cpuAvail := float64(hw.Cores) * (1 - math.Min(e.bgCPUFrac, 0.6)) / e.cpuTax
 	tCPU := (acc.writeCPU + acc.readCPU) / cpuAvail
 
 	// Write path: wall time per write divided over useful writer
 	// threads. Background CPU load shrinks how many threads help.
 	tWritePath := 0.0
 	if acc.writes > 0 {
-		wall := model.WriteCPUSeconds + model.WritePathWaitSeconds
+		wall := (model.WriteCPUSeconds + model.WritePathWaitSeconds) * e.cpuTax
 		maxUseful := float64(hw.Cores) * wall / (model.WriteCPUSeconds * (1 + 2*e.bgCPUFrac))
 		effW := math.Min(p.concurrentWrites, maxUseful)
 		if effW < 1 {
@@ -811,7 +822,8 @@ func (e *Engine) advanceBackground(dt, foreUtil float64) {
 	if bgShare < 0.15 {
 		bgShare = 0.15
 	}
-	bgRate := hw.DiskBandwidthMBps * 1024 * 1024 * bgShare
+	// A stalled disk slows background merges as much as foreground I/O.
+	bgRate := hw.DiskBandwidthMBps * 1024 * 1024 * bgShare / e.diskTax
 
 	var processed float64
 	var cpuSpent float64
@@ -939,6 +951,45 @@ func (e *Engine) Restart() {
 	e.m.ReplayedRecords += uint64(len(records))
 }
 
+// SetDegradation installs straggler multipliers on the node's cost
+// model: diskTax stretches every foreground and background disk byte,
+// cpuTax every CPU second. Values below 1 are clamped to 1 (healthy);
+// the fault-injection layer uses this to model failing disks and
+// noisy-neighbour CPU theft without changing the engine's structure.
+func (e *Engine) SetDegradation(diskTax, cpuTax float64) {
+	if diskTax < 1 {
+		diskTax = 1
+	}
+	if cpuTax < 1 {
+		cpuTax = 1
+	}
+	e.diskTax = diskTax
+	e.cpuTax = cpuTax
+}
+
+// Degradation returns the current straggler multipliers (1,1 = healthy).
+func (e *Engine) Degradation() (diskTax, cpuTax float64) {
+	return e.diskTax, e.cpuTax
+}
+
+// CorruptLogTail tears the newest fraction of the commit log's
+// unflushed records — a torn/corrupt tail that crash recovery cannot
+// replay. The loss only surfaces at the next Restart, exactly like a
+// real partially-synced segment. It returns the number of records lost.
+func (e *Engine) CorruptLogTail(fraction float64) int {
+	if fraction <= 0 {
+		return 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	pending := e.log.PendingRecords()
+	n := int(math.Ceil(fraction * float64(pending)))
+	dropped := e.log.DropTail(n)
+	e.m.CorruptedLogRecords += uint64(dropped)
+	return dropped
+}
+
 // Delete applies one delete operation: a tombstone is written through
 // the commit log and memtable exactly like a write; compaction
 // eventually evicts it along with the shadowed versions.
@@ -973,6 +1024,26 @@ func (e *Engine) Lookup(key uint64) bool {
 	alive := e.resolve(key)
 	e.Read(key)
 	return alive
+}
+
+// Alive reports whether a live (non-deleted) version of key exists. It
+// charges no virtual time: repair machinery streams data in bulk rather
+// than issuing point reads, and the cluster's repair path accounts its
+// write work on the receiving node.
+func (e *Engine) Alive(key uint64) bool { return e.resolve(key) }
+
+// HasCell reports whether any version of key — live or tombstone — is
+// present in the memtable or any SSTable, without charging time.
+func (e *Engine) HasCell(key uint64) bool {
+	if e.mem.Contains(key) {
+		return true
+	}
+	for _, t := range e.tables.tables {
+		if t.Contains(key) {
+			return true
+		}
+	}
+	return false
 }
 
 // resolve returns whether the newest cell for key is live.

@@ -49,6 +49,9 @@ type Metrics struct {
 	// commit-log records re-applied by them.
 	Restarts        uint64
 	ReplayedRecords uint64
+	// CorruptedLogRecords counts commit-log records lost to injected
+	// tail corruption — acknowledged writes a crash cannot recover.
+	CorruptedLogRecords uint64
 	// TombstonesEvicted counts delete markers garbage-collected by
 	// compaction once no older version could survive.
 	TombstonesEvicted uint64

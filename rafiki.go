@@ -27,6 +27,7 @@ import (
 	"rafiki/internal/cluster"
 	"rafiki/internal/config"
 	"rafiki/internal/core"
+	"rafiki/internal/fault"
 	"rafiki/internal/forecast"
 	"rafiki/internal/ga"
 	"rafiki/internal/nn"
@@ -309,3 +310,76 @@ const (
 	ConsistencyQuorum = cluster.ConsistencyQuorum
 	ConsistencyAll    = cluster.ConsistencyAll
 )
+
+// Coordinator resilience and deterministic fault injection.
+type (
+	// ResilienceOptions tunes the cluster coordinator's retry, timeout,
+	// speculative-read, and hint-buffer machinery.
+	ResilienceOptions = cluster.ResilienceOptions
+	// FaultKind enumerates the injectable fault classes.
+	FaultKind = fault.Kind
+	// FaultEvent is one scheduled fault against one node.
+	FaultEvent = fault.Event
+	// FaultSchedule is a set of fault events replayed in virtual time.
+	FaultSchedule = fault.Schedule
+	// FaultInjector replays a schedule against a cluster or engine.
+	FaultInjector = fault.Injector
+	// FaultTarget is what an injector drives (Cluster satisfies it).
+	FaultTarget = fault.Target
+	// FaultHarness interposes an injector between a workload driver and
+	// its store.
+	FaultHarness = fault.Harness
+	// EngineFaultTarget adapts a single engine to FaultTarget.
+	EngineFaultTarget = fault.EngineTarget
+)
+
+// Fault kinds.
+const (
+	FaultFail       = fault.Fail
+	FaultRestart    = fault.Restart
+	FaultSlow       = fault.Slow
+	FaultTransient  = fault.Transient
+	FaultCorruptLog = fault.CorruptLog
+)
+
+// DefaultResilienceOptions enables the full coordinator resilience
+// stack: bounded retries with exponential backoff, per-op timeouts, and
+// speculative reads around stragglers.
+func DefaultResilienceOptions() ResilienceOptions { return cluster.DefaultResilienceOptions() }
+
+// PassiveResilience disables retries, timeouts, and speculation,
+// keeping only bounded hinted handoff — the pre-hardening behaviour.
+func PassiveResilience() ResilienceOptions { return cluster.PassiveResilience() }
+
+// NewFaultInjector validates a schedule against a target and prepares a
+// deterministic seeded replay.
+func NewFaultInjector(target FaultTarget, schedule FaultSchedule, seed int64) (*FaultInjector, error) {
+	return fault.NewInjector(target, schedule, seed)
+}
+
+// NewFaultHarness wraps a store so the injector observes the virtual
+// clock before every operation.
+func NewFaultHarness(store Store, inj *FaultInjector) *FaultHarness {
+	return fault.NewHarness(store, inj)
+}
+
+// Guarded online re-tuning.
+type (
+	// GuardOptions tunes prediction vetting, the canary probe, and
+	// rollback for guarded re-tuning.
+	GuardOptions = core.GuardOptions
+	// GuardStats counts guarded re-tuning outcomes.
+	GuardStats = core.GuardStats
+	// GuardedController is the hardened online re-tuning loop with
+	// prediction vetting, canarying, and last-known-good rollback.
+	GuardedController = core.GuardedController
+)
+
+// DefaultGuardOptions enables every re-tuning guard with conservative
+// settings.
+func DefaultGuardOptions() GuardOptions { return core.DefaultGuardOptions() }
+
+// NewGuardedController wires the guarded online re-tuning loop.
+func NewGuardedController(t *Tuner, a Applier, opts GuardOptions) (*GuardedController, error) {
+	return core.NewGuardedController(t, a, opts)
+}

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	experiments [-only figure4,table1] [-ops N] [-seed N] [-out path]
+//	            [-obs] [-obs-json path]
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"rafiki/internal/bench"
+	"rafiki/internal/obs"
 )
 
 func main() {
@@ -29,10 +31,12 @@ func main() {
 
 func run() error {
 	var (
-		only = flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
-		ops  = flag.Int("ops", 100_000, "operations per benchmark sample")
-		seed = flag.Int64("seed", 1, "base seed")
-		out  = flag.String("out", "", "also write rendered reports to this file")
+		only    = flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
+		ops     = flag.Int("ops", 100_000, "operations per benchmark sample")
+		seed    = flag.Int64("seed", 1, "base seed")
+		out     = flag.String("out", "", "also write rendered reports to this file")
+		showObs = flag.Bool("obs", false, "print the observability dashboard after the experiments")
+		obsJSON = flag.String("obs-json", "", "write the observability snapshot as JSON to this file")
 	)
 	flag.Parse()
 
@@ -59,6 +63,32 @@ func run() error {
 	opts := bench.DefaultPipelineOptions()
 	opts.Env.SampleOps = *ops
 	opts.Env.Seed = *seed
+
+	// Instrumentation is opt-in: a nil registry costs one predictable
+	// branch per hot-path event.
+	var reg *obs.Registry
+	if *showObs || *obsJSON != "" {
+		reg = obs.NewRegistry()
+		opts.Env.Obs = reg
+	}
+	defer func() {
+		if reg == nil {
+			return
+		}
+		if *showObs {
+			fmt.Fprintf(w, "%s\n", reg.Snapshot().Dashboard())
+		}
+		if *obsJSON != "" {
+			blob, err := reg.Snapshot().JSON()
+			if err != nil {
+				log.Printf("obs snapshot: %v", err)
+				return
+			}
+			if err := os.WriteFile(*obsJSON, blob, 0o644); err != nil {
+				log.Printf("obs snapshot: %v", err)
+			}
+		}
+	}()
 
 	emit := func(rep bench.Report, err error, elapsed time.Duration) error {
 		if err != nil {

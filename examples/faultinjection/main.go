@@ -29,14 +29,17 @@ type outcome struct {
 }
 
 // runPosture replays the schedule against a fresh 3-node RF=3 cluster
-// with QUORUM reads under the given coordinator posture.
-func runPosture(res rafiki.ResilienceOptions, sched rafiki.FaultSchedule) (outcome, error) {
+// with QUORUM reads under the given coordinator posture. When reg is
+// non-nil the run's telemetry (engine counters, coordinator attempt
+// protocol, flush/compaction spans) accumulates there.
+func runPosture(res rafiki.ResilienceOptions, sched rafiki.FaultSchedule, reg *rafiki.ObsRegistry) (outcome, error) {
 	c, err := rafiki.NewCluster(rafiki.ClusterOptions{
 		Nodes:             3,
 		ReplicationFactor: 3,
 		Space:             rafiki.CassandraSpace(),
 		Seed:              11,
 		EpochOps:          128, // fine-grained clocks so no fault window slips between epochs
+		Obs:               reg,
 	})
 	if err != nil {
 		return outcome{}, err
@@ -72,7 +75,7 @@ func runPosture(res rafiki.ResilienceOptions, sched rafiki.FaultSchedule) (outco
 
 func run() error {
 	// Healthy baseline fixes the schedule's virtual-time base.
-	healthy, err := runPosture(rafiki.PassiveResilience(), nil)
+	healthy, err := runPosture(rafiki.PassiveResilience(), nil, nil)
 	if err != nil {
 		return err
 	}
@@ -99,20 +102,21 @@ func run() error {
 	full.OpTimeout = 20 * perOp
 
 	fmt.Println("\n-- no resilience (hinted handoff only) --")
-	none, err := runPosture(rafiki.PassiveResilience(), sched)
+	none, err := runPosture(rafiki.PassiveResilience(), sched, nil)
 	if err != nil {
 		return err
 	}
 	report(none, healthy)
 
 	fmt.Println("\n-- full stack (retries + timeouts + speculative reads) --")
-	fullOut, err := runPosture(full, sched)
+	reg := rafiki.NewObsRegistry()
+	fullOut, err := runPosture(full, sched, reg)
 	if err != nil {
 		return err
 	}
 	report(fullOut, healthy)
 
-	again, err := runPosture(full, sched)
+	again, err := runPosture(full, sched, nil)
 	if err != nil {
 		return err
 	}
@@ -120,6 +124,12 @@ func run() error {
 		again.throughput == fullOut.throughput && again.stats == fullOut.stats && again.lost == fullOut.lost)
 	fmt.Printf("resilience retained %.1fx the unprotected throughput under the same adversity\n",
 		fullOut.throughput/none.throughput)
+
+	// The full-stack run carried an observability registry: render what
+	// the instrumented hot paths recorded, from engine flushes to the
+	// coordinator's retry protocol.
+	fmt.Println("\n-- observability dashboard for the full-stack run --")
+	fmt.Println(reg.Snapshot().Dashboard())
 	return nil
 }
 

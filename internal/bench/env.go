@@ -7,6 +7,7 @@ import (
 	"rafiki/internal/config"
 	"rafiki/internal/core"
 	"rafiki/internal/nosql"
+	"rafiki/internal/obs"
 	"rafiki/internal/workload"
 )
 
@@ -25,6 +26,10 @@ type Env struct {
 	KRDFraction float64
 	// PreloadVersions controls the preloaded dataset's overlap depth.
 	PreloadVersions int
+	// Obs, when non-nil, receives engine- and cluster-level telemetry
+	// from every sample the environment runs. The registry is shared
+	// across samples, so counters accumulate over a whole experiment.
+	Obs *obs.Registry
 }
 
 // DefaultEnv returns the environment used by the experiment suite.
@@ -58,6 +63,7 @@ func (e Env) CassandraSample(rr float64, cfg config.Config, seed int64) (float64
 		Space:  config.Cassandra(),
 		Config: cfg,
 		Seed:   e.Seed ^ seed,
+		Obs:    e.Obs,
 	})
 	if err != nil {
 		return 0, err
@@ -89,6 +95,7 @@ func (e Env) CassandraLatencySample(rr float64, cfg config.Config, seed int64) (
 		Space:  config.Cassandra(),
 		Config: cfg,
 		Seed:   e.Seed ^ seed,
+		Obs:    e.Obs,
 	})
 	if err != nil {
 		return 0, err
@@ -119,6 +126,7 @@ func (e Env) ScyllaSample(rr float64, cfg config.Config, seed int64) (float64, e
 	eng, err := nosql.NewScylla(nosql.ScyllaOptions{
 		Config: cfg,
 		Seed:   e.Seed ^ seed,
+		Obs:    e.Obs,
 	})
 	if err != nil {
 		return 0, err
@@ -150,6 +158,7 @@ func (e Env) ClusterSample(nodes, rf int, rr float64, cfg config.Config, seed in
 		Space:             config.Cassandra(),
 		Config:            cfg,
 		Seed:              e.Seed ^ seed,
+		Obs:               e.Obs,
 	})
 	if err != nil {
 		return 0, err

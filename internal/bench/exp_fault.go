@@ -50,6 +50,7 @@ func runFaultPosture(env Env, res cluster.ResilienceOptions, sched fault.Schedul
 		// them fine-grained enough that no schedule window can slip
 		// between two closes unobserved.
 		EpochOps: 128,
+		Obs:      env.Obs,
 	})
 	if err != nil {
 		return faultOutcome{}, err

@@ -70,6 +70,16 @@ func newPipeline(opts PipelineOptions, space *config.Space, collector core.Colle
 	if err := opts.Env.Validate(); err != nil {
 		return nil, err
 	}
+	// Route trainer- and search-level telemetry into the environment's
+	// registry alongside the engine counters the collector already feeds.
+	if opts.Env.Obs != nil {
+		if opts.Model.Obs == nil {
+			opts.Model.Obs = opts.Env.Obs
+		}
+		if opts.GA.Obs == nil {
+			opts.GA.Obs = opts.Env.Obs
+		}
+	}
 	ds, err := core.Collect(collector, space, opts.Collect)
 	if err != nil {
 		return nil, fmt.Errorf("bench: pipeline collect: %w", err)

@@ -11,6 +11,7 @@ import (
 
 	"rafiki/internal/config"
 	"rafiki/internal/nosql"
+	"rafiki/internal/obs"
 )
 
 // Options configures a cluster.
@@ -32,6 +33,10 @@ type Options struct {
 	Seed int64
 	// EpochOps passes through to each engine.
 	EpochOps int
+	// Obs, when non-nil, receives coordinator counters and, shared
+	// across all nodes, each engine's instruments. Nil disables
+	// instrumentation at ~zero cost.
+	Obs *obs.Registry
 }
 
 // Cluster is a set of replicated engines behind a coordinator.
@@ -57,6 +62,8 @@ type Cluster struct {
 	// waits, amortized over the in-flight op window); the cluster is as
 	// slow as its busiest node plus what the coordinator spent waiting.
 	overhead float64
+
+	o clusterObs
 }
 
 // New builds a cluster of identical nodes.
@@ -74,6 +81,7 @@ func New(opts Options) (*Cluster, error) {
 		needRepair: make([]bool, opts.Nodes),
 		readCL:     ConsistencyOne,
 		res:        PassiveResilience(),
+		o:          newClusterObs(opts.Obs),
 	}
 	for i := 0; i < opts.Nodes; i++ {
 		eng, err := nosql.New(nosql.Options{
@@ -83,6 +91,7 @@ func New(opts Options) (*Cluster, error) {
 			Model:    opts.Model,
 			Seed:     opts.Seed + int64(i)*1_000_003,
 			EpochOps: opts.EpochOps,
+			Obs:      opts.Obs,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
@@ -148,6 +157,7 @@ func (c *Cluster) Delete(key uint64) {
 }
 
 func (c *Cluster) mutate(key uint64, tombstone bool) {
+	c.o.mutations.Inc()
 	anyLive := false
 	for _, idx := range c.replicas(key) {
 		// A down replica — or a live one whose op attempt timed out or
@@ -165,6 +175,7 @@ func (c *Cluster) mutate(key uint64, tombstone bool) {
 	}
 	if !anyLive {
 		c.stats.UnavailableWrites++
+		c.o.unavailWrites.Inc()
 	}
 }
 
@@ -177,6 +188,7 @@ func (c *Cluster) mutate(key uint64, tombstone bool) {
 // skipped in favour of the next live one. A read that cannot reach
 // enough live replicas counts as unavailable.
 func (c *Cluster) Read(key uint64) {
+	c.o.reads.Inc()
 	reps := c.replicas(key)
 	var live []int
 	for _, idx := range reps {
@@ -187,6 +199,7 @@ func (c *Cluster) Read(key uint64) {
 	need := c.readCL.replicasNeeded(c.rf)
 	if len(live) < need {
 		c.stats.UnavailableReads++
+		c.o.unavailReads.Inc()
 		return
 	}
 	c.rotation = c.rotation*6364136223846793005 + 1442695040888963407
@@ -211,6 +224,7 @@ func (c *Cluster) Read(key uint64) {
 	}
 	if served < need {
 		c.stats.UnavailableReads++
+		c.o.unavailReads.Inc()
 	}
 }
 
@@ -244,6 +258,7 @@ func (c *Cluster) speculate(order []int, need int) []int {
 		}
 	}
 	c.stats.SpeculativeReads += uint64(slowBefore - slowAfter)
+	c.o.specReads.Add(uint64(slowBefore - slowAfter))
 	return reordered
 }
 

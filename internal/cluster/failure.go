@@ -122,6 +122,7 @@ func (c *Cluster) replayHints(i int) {
 			c.nodes[i].Write(h.key)
 		}
 		c.stats.HintsReplayed++
+		c.o.hintsReplayed.Inc()
 	}
 	c.hints[i] = nil
 	if c.needRepair[i] {
@@ -136,6 +137,7 @@ func (c *Cluster) replayHints(i int) {
 // streaming cost of a real repair.
 func (c *Cluster) fullRepair(i int) {
 	c.stats.Repairs++
+	c.o.repairs.Inc()
 	c.needRepair[i] = false
 	for key := uint64(0); key < uint64(c.KeySpace()); key++ {
 		owned := false
@@ -158,6 +160,7 @@ func (c *Cluster) fullRepair(i int) {
 			c.nodes[i].Delete(key)
 		}
 		c.stats.RepairedKeys++
+		c.o.repairedKeys.Inc()
 	}
 }
 

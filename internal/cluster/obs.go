@@ -1,0 +1,65 @@
+package cluster
+
+import "rafiki/internal/obs"
+
+// clusterObs holds the coordinator's pre-resolved instruments; all nil
+// when observability is disabled (every obs method is nil-safe).
+//
+// The attempt-protocol counters partition exactly: every attempt is
+// either a success, a transient failure, or a timeout fast-fail, so
+//
+//	cluster.op_attempts == cluster.op_successes
+//	                     + cluster.op_transient_failures
+//	                     + cluster.op_timeouts
+//
+// and cluster.op_retries counts the subset of attempts that were
+// backoff retries. The reconciliation tests in obs_test.go assert
+// these identities against Stats under seeded fault schedules.
+type clusterObs struct {
+	reads     *obs.Counter
+	mutations *obs.Counter
+
+	attempts  *obs.Counter
+	successes *obs.Counter
+	transient *obs.Counter
+	retries   *obs.Counter
+	timeouts  *obs.Counter
+
+	unavailReads  *obs.Counter
+	unavailWrites *obs.Counter
+	specReads     *obs.Counter
+
+	hintsStored   *obs.Counter
+	hintsDropped  *obs.Counter
+	hintsReplayed *obs.Counter
+	repairs       *obs.Counter
+	repairedKeys  *obs.Counter
+
+	overhead *obs.Gauge
+}
+
+// newClusterObs resolves the coordinator's instruments against r; with
+// r == nil the struct is the no-op state.
+func newClusterObs(r *obs.Registry) clusterObs {
+	if r == nil {
+		return clusterObs{}
+	}
+	return clusterObs{
+		reads:         r.Counter("cluster.reads"),
+		mutations:     r.Counter("cluster.mutations"),
+		attempts:      r.Counter("cluster.op_attempts"),
+		successes:     r.Counter("cluster.op_successes"),
+		transient:     r.Counter("cluster.op_transient_failures"),
+		retries:       r.Counter("cluster.op_retries"),
+		timeouts:      r.Counter("cluster.op_timeouts"),
+		unavailReads:  r.Counter("cluster.unavailable_reads"),
+		unavailWrites: r.Counter("cluster.unavailable_writes"),
+		specReads:     r.Counter("cluster.speculative_reads"),
+		hintsStored:   r.Counter("cluster.hints_stored"),
+		hintsDropped:  r.Counter("cluster.hints_dropped"),
+		hintsReplayed: r.Counter("cluster.hints_replayed"),
+		repairs:       r.Counter("cluster.repairs"),
+		repairedKeys:  r.Counter("cluster.repaired_keys"),
+		overhead:      r.Gauge("cluster.coordinator_overhead_vsec"),
+	}
+}

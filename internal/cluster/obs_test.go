@@ -1,0 +1,198 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"rafiki/internal/cluster"
+	"rafiki/internal/config"
+	"rafiki/internal/fault"
+	"rafiki/internal/obs"
+	"rafiki/internal/workload"
+)
+
+// TestStatsObsReconcile drives the cluster under two seeded fault
+// schedules and asserts that the obs counters and cluster.Stats are
+// two exact views of the same event stream:
+//
+//   - every obs counter equals its Stats twin, and
+//   - the attempt protocol partitions exactly:
+//     op_attempts == op_successes + op_transient_failures + op_timeouts,
+//     with op_retries the backoff-retried subset of attempts, and
+//   - hint flow conserves: stored == replayed + dropped once every
+//     outage has recovered.
+func TestStatsObsReconcile(t *testing.T) {
+	const horizon = 1e6 // covers any run; Finish() fires the ends
+
+	cases := []struct {
+		name  string
+		seed  int64
+		res   cluster.ResilienceOptions
+		sched fault.Schedule
+		// expectations about which event classes must actually occur,
+		// so the reconciliation is not vacuously 0 == 0.
+		wantTransient bool
+		wantRetries   bool
+		wantTimeouts  bool
+		wantHints     bool
+		// wantConverged asserts stored == replayed + dropped: it holds
+		// when every hint-producing fault ends in a recovery edge
+		// (outage recovery, straggler healing). Hints produced by pure
+		// transient-exhaustion have no such edge and stay buffered.
+		wantConverged bool
+	}{
+		{
+			name: "transient-window-with-retries",
+			seed: 11,
+			res: func() cluster.ResilienceOptions {
+				r := cluster.PassiveResilience()
+				r.MaxRetries = 3
+				r.BackoffBase = 1e-6
+				r.BackoffMax = 25e-6
+				return r
+			}(),
+			sched: fault.Schedule{
+				{Kind: fault.Transient, Node: 0, At: 1e-9, Until: horizon, FailProb: 0.3},
+				{Kind: fault.Transient, Node: 2, At: 1e-9, Until: horizon, FailProb: 0.1},
+			},
+			wantTransient: true,
+			wantRetries:   true,
+		},
+		{
+			name: "straggler-timeouts-and-outage-hints",
+			seed: 23,
+			res: func() cluster.ResilienceOptions {
+				r := cluster.DefaultResilienceOptions()
+				r.BackoffBase = 1e-6
+				r.BackoffMax = 25e-6
+				r.ExpectedOpSeconds = 1e-6
+				r.OpTimeout = 10e-6 // a 30x straggler blows through this
+				return r
+			}(),
+			sched: fault.Schedule{
+				{Kind: fault.Slow, Node: 1, At: 1e-9, Until: horizon, DiskTax: 30, CPUTax: 4},
+				{Kind: fault.Fail, Node: 2, At: 1e-9, Until: horizon},
+			},
+			wantTimeouts:  true,
+			wantHints:     true,
+			wantConverged: true,
+		},
+	}
+
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			reg := obs.NewRegistry()
+			c, err := cluster.New(cluster.Options{
+				Nodes:             3,
+				ReplicationFactor: 3,
+				Space:             config.Cassandra(),
+				Seed:              tc.seed,
+				EpochOps:          128,
+				Obs:               reg,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Preload(1)
+			if err := c.SetReadConsistency(cluster.ConsistencyQuorum); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.SetResilience(tc.res); err != nil {
+				t.Fatal(err)
+			}
+			inj, err := fault.NewInjector(c, tc.sched, tc.seed^0x5EED)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.SetFaultInjector(inj)
+			h := fault.NewHarness(c, inj)
+			if _, err := workload.Run(h, workload.Spec{
+				ReadRatio: 0.5,
+				KRDMean:   0.3 * float64(c.KeySpace()),
+				Ops:       30_000,
+				Seed:      tc.seed + 7,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			inj.Finish()
+			if err := inj.Err(); err != nil {
+				t.Fatal(err)
+			}
+
+			st := c.Stats()
+			snap := reg.Snapshot()
+			cnt := snap.Counters
+
+			// Exact counter-by-counter reconciliation with Stats.
+			twins := []struct {
+				name string
+				want uint64
+			}{
+				{"cluster.op_transient_failures", st.TransientFailures},
+				{"cluster.op_retries", st.Retries},
+				{"cluster.op_timeouts", st.Timeouts},
+				{"cluster.unavailable_reads", st.UnavailableReads},
+				{"cluster.unavailable_writes", st.UnavailableWrites},
+				{"cluster.speculative_reads", st.SpeculativeReads},
+				{"cluster.hints_stored", st.HintsStored},
+				{"cluster.hints_dropped", st.HintsDropped},
+				{"cluster.hints_replayed", st.HintsReplayed},
+				{"cluster.repairs", st.Repairs},
+				{"cluster.repaired_keys", st.RepairedKeys},
+			}
+			for _, tw := range twins {
+				if cnt[tw.name] != tw.want {
+					t.Errorf("%s = %d, Stats says %d", tw.name, cnt[tw.name], tw.want)
+				}
+			}
+
+			// The attempt protocol must partition exactly.
+			attempts := cnt["cluster.op_attempts"]
+			sum := cnt["cluster.op_successes"] + cnt["cluster.op_transient_failures"] + cnt["cluster.op_timeouts"]
+			if attempts != sum {
+				t.Errorf("op_attempts = %d, but successes+transient+timeouts = %d", attempts, sum)
+			}
+			if cnt["cluster.op_retries"] > attempts {
+				t.Errorf("op_retries = %d exceeds op_attempts = %d", cnt["cluster.op_retries"], attempts)
+			}
+			if attempts == 0 {
+				t.Error("no op attempts recorded at all")
+			}
+
+			// Hint flow: never more replayed or dropped than stored, and
+			// full conservation once every fault has a recovery edge.
+			if got, cap := cnt["cluster.hints_replayed"]+cnt["cluster.hints_dropped"], cnt["cluster.hints_stored"]; got > cap {
+				t.Errorf("hints replayed+dropped = %d exceeds stored = %d", got, cap)
+			}
+			if tc.wantConverged {
+				if got, want := cnt["cluster.hints_stored"], cnt["cluster.hints_replayed"]+cnt["cluster.hints_dropped"]; got != want {
+					t.Errorf("hints stored = %d, replayed+dropped = %d (cluster not converged)", got, want)
+				}
+			}
+
+			// The schedule must actually have exercised its event class.
+			if tc.wantTransient && cnt["cluster.op_transient_failures"] == 0 {
+				t.Error("schedule produced no transient failures")
+			}
+			if tc.wantRetries && cnt["cluster.op_retries"] == 0 {
+				t.Error("posture produced no retries")
+			}
+			if tc.wantTimeouts && cnt["cluster.op_timeouts"] == 0 {
+				t.Error("schedule produced no timeouts")
+			}
+			if tc.wantHints && cnt["cluster.hints_stored"] == 0 {
+				t.Error("schedule produced no hints")
+			}
+
+			// Coordinator ops reconcile with engine-level obs counts:
+			// node reads can only come from coordinator reads and node
+			// writes from mutations, hint replays, and repairs.
+			if cnt["cluster.reads"] == 0 || cnt["cluster.mutations"] == 0 {
+				t.Error("coordinator op counters empty")
+			}
+			if cnt["nosql.reads"] == 0 || cnt["nosql.writes"] == 0 {
+				t.Error("shared registry missing per-node engine counters")
+			}
+		})
+	}
+}

@@ -146,6 +146,7 @@ func (c *Cluster) chargeWait(seconds float64) {
 		conc = 1
 	}
 	c.overhead += seconds / conc
+	c.o.overhead.Set(c.overhead)
 }
 
 // attemptOp runs the timeout/retry protocol for one replica op and
@@ -155,21 +156,30 @@ func (c *Cluster) chargeWait(seconds float64) {
 func (c *Cluster) attemptOp(idx int) bool {
 	if c.timedOut(idx) {
 		c.stats.Timeouts++
+		c.o.attempts.Inc()
+		c.o.timeouts.Inc()
 		c.chargeWait(c.res.OpTimeout)
 		return false
 	}
+	c.o.attempts.Inc()
 	if c.injector == nil || !c.injector.AttemptFails(idx, c.Clock()) {
+		c.o.successes.Inc()
 		return true
 	}
 	c.stats.TransientFailures++
+	c.o.transient.Inc()
 	backoff := c.res.BackoffBase
 	for r := 0; r < c.res.MaxRetries; r++ {
 		c.stats.Retries++
+		c.o.attempts.Inc()
+		c.o.retries.Inc()
 		c.chargeWait(backoff)
 		if !c.injector.AttemptFails(idx, c.Clock()) {
+			c.o.successes.Inc()
 			return true
 		}
 		c.stats.TransientFailures++
+		c.o.transient.Inc()
 		backoff *= 2
 		if c.res.BackoffMax > 0 && backoff > c.res.BackoffMax {
 			backoff = c.res.BackoffMax
@@ -184,9 +194,11 @@ func (c *Cluster) attemptOp(idx int) bool {
 func (c *Cluster) addHint(idx int, h hint) {
 	if cap := c.res.HintCap; cap > 0 && len(c.hints[idx]) >= cap {
 		c.stats.HintsDropped++
+		c.o.hintsDropped.Inc()
 		c.needRepair[idx] = true
 		return
 	}
 	c.hints[idx] = append(c.hints[idx], h)
 	c.stats.HintsStored++
+	c.o.hintsStored.Inc()
 }

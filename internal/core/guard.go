@@ -135,6 +135,7 @@ type GuardedController struct {
 
 	maxMeasured float64
 	stats       GuardStats
+	o           guardObs
 }
 
 // NewGuardedController wires a guarded controller.
@@ -145,7 +146,7 @@ func NewGuardedController(t *Tuner, a Applier, opts GuardOptions) (*GuardedContr
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	return &GuardedController{tuner: t, applier: a, opts: opts}, nil
+	return &GuardedController{tuner: t, applier: a, opts: opts, o: newGuardObs(t.opts.Obs)}, nil
 }
 
 // Observe reports one finished window: its read ratio and its measured
@@ -204,6 +205,7 @@ func (c *GuardedController) Observe(readRatio, measured float64) (bool, error) {
 	c.lastTunedRR = target
 	c.current = rec.Config
 	c.stats.Retunes++
+	c.o.retunes.Inc()
 	if c.opts.CanaryWindows > 0 && c.opts.RegressionTolerance > 0 {
 		c.canaryLeft = c.opts.CanaryWindows
 		c.canaryRR = target
@@ -241,6 +243,7 @@ func (c *GuardedController) commit() {
 	c.canaryLeft = 0
 	c.lastGood = c.current
 	c.stats.Commits++
+	c.o.commits.Inc()
 }
 
 // rollback reverts to the last-known-good configuration — the space
@@ -256,6 +259,7 @@ func (c *GuardedController) rollback() error {
 	c.current = target
 	c.canaryLeft = 0
 	c.stats.Rollbacks++
+	c.o.rollbacks.Inc()
 	return nil
 }
 
@@ -267,14 +271,17 @@ func (c *GuardedController) vet(target float64, rec OptimizeResult) (bool, error
 	}
 	if !isFinite(mean) || mean <= 0 {
 		c.stats.RejectedPredictions++
+		c.o.rejectedPredictions.Inc()
 		return false, nil
 	}
 	if c.opts.MaxStdFrac > 0 && (!isFinite(std) || std/mean > c.opts.MaxStdFrac) {
 		c.stats.RejectedPredictions++
+		c.o.rejectedPredictions.Inc()
 		return false, nil
 	}
 	if c.opts.MaxGainFactor > 0 && c.maxMeasured > 0 && mean > c.opts.MaxGainFactor*c.maxMeasured {
 		c.stats.RejectedPredictions++
+		c.o.rejectedPredictions.Inc()
 		return false, nil
 	}
 	if c.opts.Probe != nil {
@@ -284,6 +291,7 @@ func (c *GuardedController) vet(target float64, rec OptimizeResult) (bool, error
 		}
 		if measured < c.opts.ProbeTolerance*mean {
 			c.stats.ProbeRejections++
+			c.o.probeRejections.Inc()
 			return false, nil
 		}
 	}

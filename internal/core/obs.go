@@ -1,0 +1,59 @@
+package core
+
+import (
+	"rafiki/internal/config"
+	"rafiki/internal/obs"
+)
+
+// countingCollector wraps a Collector so every benchmark sample the
+// offline pipeline spends shows up on the core.samples counter — the
+// natural work axis for the identify and collect stage spans, since a
+// single Sample call (one full simulated benchmark) dwarfs everything
+// else those stages do.
+type countingCollector struct {
+	inner   Collector
+	samples *obs.Counter
+}
+
+func (c countingCollector) Sample(readRatio float64, cfg config.Config, seed int64) (float64, error) {
+	c.samples.Inc()
+	return c.inner.Sample(readRatio, cfg, seed)
+}
+
+// guardObs mirrors GuardStats onto obs counters so guarded re-tuning
+// outcomes land in the same registry as the rest of the pipeline. The
+// zero value (nil counters) is a no-op.
+type guardObs struct {
+	retunes, commits, rollbacks          *obs.Counter
+	rejectedPredictions, probeRejections *obs.Counter
+}
+
+func newGuardObs(r *obs.Registry) guardObs {
+	if r == nil {
+		return guardObs{}
+	}
+	return guardObs{
+		retunes:             r.Counter("core.guard.retunes"),
+		commits:             r.Counter("core.guard.commits"),
+		rollbacks:           r.Counter("core.guard.rollbacks"),
+		rejectedPredictions: r.Counter("core.guard.rejected_predictions"),
+		probeRejections:     r.Counter("core.guard.probe_rejections"),
+	}
+}
+
+// recordStage traces one offline-pipeline stage as a span. Each stage
+// runs on the work axis that dominates its cost: benchmark samples for
+// identify/collect, training epochs for train, surrogate evaluations
+// for search.
+func (t *Tuner) recordStage(name string, start, end uint64, unit string, attrs map[string]float64) {
+	if t.opts.Obs == nil {
+		return
+	}
+	t.opts.Obs.Record(obs.Span{
+		Name:  name,
+		Start: float64(start),
+		End:   float64(end),
+		Unit:  unit,
+		Attrs: attrs,
+	})
+}

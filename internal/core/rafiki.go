@@ -7,6 +7,7 @@ import (
 	"rafiki/internal/config"
 	"rafiki/internal/ga"
 	"rafiki/internal/nn"
+	"rafiki/internal/obs"
 )
 
 // TunerOptions configures the end-to-end Rafiki workflow.
@@ -21,6 +22,12 @@ type TunerOptions struct {
 	Model nn.ModelConfig
 	// GA tunes the online configuration search.
 	GA ga.Options
+	// Obs, when non-nil, receives stage spans for the whole pipeline
+	// (core.identify, core.collect, core.train, core.search), a
+	// core.samples counter of benchmark runs spent offline, and is
+	// propagated into Model.Obs and GA.Obs (unless those are already
+	// set) so trainer- and search-level telemetry lands in one place.
+	Obs *obs.Registry
 }
 
 // DefaultTunerOptions mirrors the paper end to end.
@@ -63,6 +70,17 @@ func NewTuner(c Collector, space *config.Space, opts TunerOptions) (*Tuner, erro
 	if space == nil {
 		return nil, errors.New("core: nil space")
 	}
+	if opts.Obs != nil {
+		// Count every benchmark run the offline pipeline spends, and
+		// route trainer/search telemetry into the same registry.
+		c = countingCollector{inner: c, samples: opts.Obs.Counter("core.samples")}
+		if opts.Model.Obs == nil {
+			opts.Model.Obs = opts.Obs
+		}
+		if opts.GA.Obs == nil {
+			opts.GA.Obs = opts.Obs
+		}
+	}
 	return &Tuner{space: space, collector: c, opts: opts}, nil
 }
 
@@ -70,29 +88,42 @@ func NewTuner(c Collector, space *config.Space, opts TunerOptions) (*Tuner, erro
 // adoption of the space's published set), data collection, and
 // surrogate training.
 func (t *Tuner) Prepare() error {
+	samples := t.opts.Obs.Counter("core.samples")
 	if !t.opts.SkipIdentify {
+		idStart := samples.Value()
 		id, err := IdentifyKeyParameters(t.collector, t.space, t.opts.Identify)
 		if err != nil {
 			return fmt.Errorf("core: identify stage: %w", err)
 		}
 		t.identification = &id
 		t.space.KeyNames = id.KeyNames
+		t.recordStage("core.identify", idStart, samples.Value(), "samples",
+			map[string]float64{"key_params": float64(len(id.KeyNames))})
 	}
 	if len(t.space.KeyNames) == 0 {
 		return errors.New("core: no key parameters selected")
 	}
 
+	colStart := samples.Value()
 	ds, err := Collect(t.collector, t.space, t.opts.Collect)
 	if err != nil {
 		return fmt.Errorf("core: collect stage: %w", err)
 	}
 	t.dataset = ds
+	t.recordStage("core.collect", colStart, samples.Value(), "samples",
+		map[string]float64{"kept": float64(len(ds.Samples)), "dropped": float64(ds.Dropped)})
 
+	// Training runs on the trainer's own work axis: cumulative epochs
+	// across all ensemble members (the nn package counts them).
+	epochs := t.opts.Obs.Counter("nn.epochs")
+	trainStart := epochs.Value()
 	sur, err := TrainSurrogate(ds, t.space, t.opts.Model)
 	if err != nil {
 		return fmt.Errorf("core: train stage: %w", err)
 	}
 	t.surrogate = sur
+	t.recordStage("core.train", trainStart, epochs.Value(), "epochs",
+		map[string]float64{"members": float64(sur.Model.Size())})
 	return nil
 }
 
@@ -141,7 +172,15 @@ func (t *Tuner) Recommend(readRatio float64) (OptimizeResult, error) {
 	if readRatio < 0 || readRatio > 1 {
 		return OptimizeResult{}, fmt.Errorf("core: read ratio %v out of [0,1]", readRatio)
 	}
-	return t.surrogate.Optimize(readRatio, t.opts.GA)
+	evals := t.opts.Obs.Counter("ga.evaluations")
+	searchStart := evals.Value()
+	res, err := t.surrogate.Optimize(readRatio, t.opts.GA)
+	if err != nil {
+		return OptimizeResult{}, err
+	}
+	t.recordStage("core.search", searchStart, evals.Value(), "evals",
+		map[string]float64{"read_ratio": readRatio, "predicted": res.Predicted})
+	return res, nil
 }
 
 // Applier receives recommended configurations — typically the live
@@ -198,6 +237,7 @@ func (c *Controller) Observe(readRatio float64) (bool, error) {
 	c.lastTunedRR = readRatio
 	c.current = rec.Config
 	c.retunes++
+	c.tuner.opts.Obs.Counter("core.retunes").Inc()
 	return true, nil
 }
 

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"rafiki/internal/obs"
 )
 
 // Bound constrains one gene.
@@ -51,6 +53,9 @@ type Options struct {
 	PenaltyCoeff float64
 	// Seed drives the search.
 	Seed int64
+	// Obs, when non-nil, receives an evaluation counter and one span
+	// per generation on the cumulative-evaluations axis.
+	Obs *obs.Registry
 }
 
 // DefaultOptions sizes the search to about 3.5k evaluations, matching
@@ -108,6 +113,7 @@ func Run(p Problem, opts Options) (Result, error) {
 
 	rng := rand.New(rand.NewSource(opts.Seed))
 	res := Result{}
+	evals := opts.Obs.Counter("ga.evaluations")
 
 	// score = raw fitness minus scaled violation (Deb-style penalty: a
 	// candidate violating constraints can still carry information, but
@@ -140,6 +146,7 @@ func Run(p Problem, opts Options) (Result, error) {
 		}
 		pop[i] = indiv{genes: genes, score: score, raw: raw}
 		res.Evaluations++
+		evals.Inc()
 	}
 
 	var bestRepaired []float64
@@ -156,7 +163,23 @@ func Run(p Problem, opts Options) (Result, error) {
 		return best
 	}
 
+	// recordGen traces one finished generation as a span on the
+	// cumulative-evaluations axis, the GA's natural work clock.
+	recordGen := func(gen, startEvals int, bestRaw float64) {
+		if opts.Obs == nil {
+			return
+		}
+		opts.Obs.Record(obs.Span{
+			Name:  "ga.generation",
+			Start: float64(startEvals),
+			End:   float64(res.Evaluations),
+			Unit:  "evals",
+			Attrs: map[string]float64{"gen": float64(gen), "best": bestRaw},
+		})
+	}
+
 	for gen := 0; gen < opts.Generations; gen++ {
+		genStartEvals := res.Evaluations
 		// Track the generation's champion, repaired to feasibility.
 		genBest := pop[0]
 		for _, ind := range pop[1:] {
@@ -172,12 +195,14 @@ func Run(p Problem, opts Options) (Result, error) {
 			return Result{}, err
 		}
 		res.Evaluations++
+		evals.Inc()
 		if rf > bestRepairedFitness {
 			bestRepairedFitness = rf
 			bestRepaired = repaired
 		}
 
 		if gen == opts.Generations-1 {
+			recordGen(gen, genStartEvals, genBest.raw)
 			break
 		}
 
@@ -211,9 +236,11 @@ func Run(p Problem, opts Options) (Result, error) {
 				return Result{}, err
 			}
 			res.Evaluations++
+			evals.Inc()
 			next = append(next, indiv{genes: child, score: score, raw: raw})
 		}
 		pop = next
+		recordGen(gen, genStartEvals, genBest.raw)
 	}
 
 	res.Best = bestRepaired

@@ -5,6 +5,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"rafiki/internal/obs"
 )
 
 // Trainer selects the fitting algorithm for Model.
@@ -38,6 +40,10 @@ type ModelConfig struct {
 	GD GDOptions
 	// Seed derives each member's initialization.
 	Seed int64
+	// Obs, when non-nil, receives per-member training spans on the
+	// cumulative-epochs axis and is propagated to the BR trainer for
+	// per-epoch spans.
+	Obs *obs.Registry
 }
 
 // DefaultModelConfig mirrors the paper's setup.
@@ -112,6 +118,7 @@ func Fit(xs [][]float64, ys []float64, cfg ModelConfig) (*Model, error) {
 		res TrainResult
 	}
 	members := make([]member, 0, cfg.EnsembleSize)
+	totalEpochs := 0
 	for k := 0; k < cfg.EnsembleSize; k++ {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(k)*7919))
 		net, err := NewNetwork(len(xs[0]), cfg.Hidden, rng)
@@ -121,7 +128,9 @@ func Fit(xs [][]float64, ys []float64, cfg ModelConfig) (*Model, error) {
 		var res TrainResult
 		switch cfg.Trainer {
 		case TrainerBR:
-			res, err = TrainBR(net, normX, normY, cfg.BR)
+			br := cfg.BR
+			br.Obs = cfg.Obs
+			res, err = TrainBR(net, normX, normY, br)
 		case TrainerGD:
 			gd := cfg.GD
 			gd.Seed = cfg.Seed + int64(k)
@@ -132,6 +141,20 @@ func Fit(xs [][]float64, ys []float64, cfg ModelConfig) (*Model, error) {
 		if err != nil {
 			return nil, fmt.Errorf("nn: training member %d: %w", k, err)
 		}
+		if cfg.Obs != nil {
+			converged := 0.0
+			if res.Converged {
+				converged = 1
+			}
+			cfg.Obs.Record(obs.Span{
+				Name:  "nn.member",
+				Start: float64(totalEpochs),
+				End:   float64(totalEpochs + res.Epochs),
+				Unit:  "epochs",
+				Attrs: map[string]float64{"member": float64(k), "mse": res.MSE, "converged": converged},
+			})
+		}
+		totalEpochs += res.Epochs
 		members = append(members, member{net: net, res: res})
 	}
 

@@ -1,0 +1,158 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func readGolden(t testing.TB, name string) []byte {
+	t.Helper()
+	blob, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatalf("reading golden file %s: %v", name, err)
+	}
+	return blob
+}
+
+// TestGoldenModelRoundTrip decodes the checked-in good model, verifies
+// its structure, and proves the codec is a stable fixed point: encode
+// is deterministic and decode(encode(m)) predicts bit-identically.
+func TestGoldenModelRoundTrip(t *testing.T) {
+	blob := readGolden(t, "model_good.json")
+	var m Model
+	if err := json.Unmarshal(blob, &m); err != nil {
+		t.Fatalf("golden model rejected: %v", err)
+	}
+	if got := m.Size(); got != 2 {
+		t.Errorf("ensemble size = %d, want 2", got)
+	}
+	if got := m.InputWidth(); got != 2 {
+		t.Errorf("input width = %d, want 2", got)
+	}
+	results := m.Results()
+	if len(results) != 2 || results[0].Epochs != 12 || !results[0].Converged {
+		t.Errorf("training results did not survive decoding: %+v", results)
+	}
+
+	enc1, err := json.Marshal(&m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := json.Marshal(&m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc1, enc2) {
+		t.Error("model encoding is not deterministic")
+	}
+
+	var back Model
+	if err := json.Unmarshal(enc1, &back); err != nil {
+		t.Fatalf("re-decoding own encoding: %v", err)
+	}
+	probes := [][]float64{{0, 0}, {0.5, 5}, {1, 10}, {0.25, 7.5}}
+	for _, x := range probes {
+		a, err := m.Predict(x)
+		if err != nil {
+			t.Fatalf("predict %v: %v", x, err)
+		}
+		b, err := back.Predict(x)
+		if err != nil {
+			t.Fatalf("round-tripped predict %v: %v", x, err)
+		}
+		if math.Float64bits(a) != math.Float64bits(b) {
+			t.Errorf("prediction at %v drifted through round trip: %v vs %v", x, a, b)
+		}
+		if math.IsNaN(a) || math.IsInf(a, 0) {
+			t.Errorf("golden model predicts non-finite %v at %v", a, x)
+		}
+	}
+}
+
+// TestGoldenModelRejections feeds the decoder the corrupt-model corpus:
+// every file must be rejected with an error — never decoded into a
+// usable model, never a panic.
+func TestGoldenModelRejections(t *testing.T) {
+	cases := []struct {
+		file   string
+		reason string
+	}{
+		{"model_truncated.json", "truncated mid-array (partial write)"},
+		{"model_nan_weight.json", "NaN token in the weight vector"},
+		{"model_wrong_width.json", "weight count disagrees with layer sizes"},
+		{"model_width_mismatch.json", "network input width disagrees with normalizer"},
+		{"model_inverted_bounds.json", "inverted input normalizer range"},
+		{"model_no_nets.json", "empty ensemble"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.file, func(t *testing.T) {
+			var m Model
+			if err := json.Unmarshal(readGolden(t, tc.file), &m); err == nil {
+				t.Errorf("decoder accepted %s (%s)", tc.file, tc.reason)
+			}
+		})
+	}
+}
+
+// FuzzLoadSurrogate fuzzes the surrogate-model decoder. The invariant:
+// arbitrary bytes either fail with an error or yield a model that (a)
+// passes Validate and (b) survives an encode/decode round trip with
+// bit-identical predictions. A panic anywhere is a bug — this decoder
+// faces persisted files that may be truncated, poisoned, or forged.
+func FuzzLoadSurrogate(f *testing.F) {
+	for _, name := range []string{
+		"model_good.json",
+		"model_truncated.json",
+		"model_nan_weight.json",
+		"model_wrong_width.json",
+		"model_width_mismatch.json",
+		"model_inverted_bounds.json",
+		"model_no_nets.json",
+	} {
+		blob, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+	}
+	f.Add([]byte("{}"))
+	f.Add([]byte("null"))
+	f.Add([]byte(`{"nets":[{"sizes":[1,1],"weights":[0,0]}],"inputMin":[0],"inputMax":[1]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Model
+		if err := json.Unmarshal(data, &m); err != nil {
+			return // rejected, as most mutations should be
+		}
+		// Accepted models must be internally consistent…
+		if err := m.Validate(); err != nil {
+			t.Fatalf("decoder accepted a model that fails validation: %v", err)
+		}
+		// …and survive a round trip predicting bit-identically.
+		x := make([]float64, m.InputWidth())
+		p1, err := m.Predict(x)
+		if err != nil {
+			t.Fatalf("accepted model cannot predict: %v", err)
+		}
+		enc, err := json.Marshal(&m)
+		if err != nil {
+			t.Fatalf("accepted model cannot re-encode: %v", err)
+		}
+		var back Model
+		if err := json.Unmarshal(enc, &back); err != nil {
+			t.Fatalf("re-encoding of accepted model rejected: %v", err)
+		}
+		p2, err := back.Predict(x)
+		if err != nil {
+			t.Fatalf("round-tripped model cannot predict: %v", err)
+		}
+		if math.Float64bits(p1) != math.Float64bits(p2) {
+			t.Fatalf("prediction drifted through round trip: %v vs %v", p1, p2)
+		}
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"rafiki/internal/linalg"
+	"rafiki/internal/obs"
 )
 
 // BROptions tunes the Bayesian-regularized Levenberg-Marquardt trainer.
@@ -17,6 +18,10 @@ type BROptions struct {
 	MuInit, MuInc, MuDec, MuMax float64
 	// MinGrad stops training when the gradient norm falls below it.
 	MinGrad float64
+	// Obs, when non-nil, receives per-epoch spans on the cumulative
+	// jacobian-evaluations axis (the trainer's dominant cost) and an
+	// epoch counter. Fit propagates ModelConfig.Obs here.
+	Obs *obs.Registry
 }
 
 // DefaultBROptions mirrors MATLAB trainbr defaults.
@@ -72,9 +77,16 @@ func TrainBR(net *Network, xs [][]float64, ys []float64, opts BROptions) (TrainR
 	errs := make([]float64, nSamples)
 	grad := make([]float64, nWeights)
 
+	epochCounter := opts.Obs.Counter("nn.epochs")
+	// jacEvals is the trainer's work clock: each jacobian pass is the
+	// dominant cost, and epochs that need many damping retries take
+	// proportionally more of them.
+	jacEvals := 0
+
 	// computeJacobian fills jac and errs for the current weights and
 	// returns (Ed, Ew).
 	computeJacobian := func() (float64, float64, error) {
+		jacEvals++
 		var ed float64
 		for i, x := range xs {
 			out, err := net.Gradient(x, jac.Data[i*nWeights:(i+1)*nWeights])
@@ -97,8 +109,24 @@ func TrainBR(net *Network, xs [][]float64, ys []float64, opts BROptions) (TrainR
 		return TrainResult{}, err
 	}
 
+	// recordEpoch traces one epoch's cost in jacobian passes.
+	recordEpoch := func(epoch, startEvals int) {
+		if opts.Obs == nil {
+			return
+		}
+		opts.Obs.Record(obs.Span{
+			Name:  "nn.epoch",
+			Start: float64(startEvals),
+			End:   float64(jacEvals),
+			Unit:  "jacevals",
+			Attrs: map[string]float64{"epoch": float64(epoch), "mse": ed / float64(nSamples), "mu": mu},
+		})
+	}
+
 	for epoch := 1; epoch <= opts.Epochs; epoch++ {
 		res.Epochs = epoch
+		epochCounter.Inc()
+		epochStartEvals := jacEvals
 
 		// Gradient of F: -2*beta*Jt*e + 2*alpha*w.
 		jte, err := jac.AtVec(errs)
@@ -162,6 +190,7 @@ func TrainBR(net *Network, xs [][]float64, ys []float64, opts BROptions) (TrainR
 		}
 		if !improved {
 			res.Converged = true
+			recordEpoch(epoch, epochStartEvals)
 			break
 		}
 
@@ -193,6 +222,7 @@ func TrainBR(net *Network, xs [][]float64, ys []float64, opts BROptions) (TrainR
 			beta = (float64(nSamples) - gamma) / denom
 		}
 		res.EffectiveParams = gamma
+		recordEpoch(epoch, epochStartEvals)
 	}
 
 	res.MSE = ed / float64(nSamples)

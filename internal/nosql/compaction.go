@@ -27,6 +27,7 @@ type backgroundTask struct {
 	diskBytes   float64 // total disk traffic: read inputs + write output
 	remaining   float64 // disk bytes left to process
 	cpuSeconds  float64 // merge CPU, charged as the task progresses
+	startedAt   float64 // virtual time the task was enqueued (span tracing)
 }
 
 // compactionStrategy decides which SSTables to merge and when, after

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"rafiki/internal/config"
+	"rafiki/internal/obs"
 )
 
 // CostModel groups the coefficients that translate structural events
@@ -177,6 +178,9 @@ type Options struct {
 	// EpochOps is the accounting epoch length in operations (default
 	// 1024).
 	EpochOps int
+	// Obs, when non-nil, receives the engine's metrics and spans. Nil
+	// (the default) disables instrumentation at ~zero cost.
+	Obs *obs.Registry
 }
 
 // Engine is the simulated storage engine. It is not safe for concurrent
@@ -216,6 +220,7 @@ type Engine struct {
 
 	ep epochAcc
 	m  Metrics
+	o  engineObs
 
 	// throughputFactor, when set, scales each epoch's duration; the
 	// ScyllaDB auto-tuner variance hooks in here.
@@ -260,6 +265,7 @@ func New(opts Options) (*Engine, error) {
 		mem:      newMemtable(hw.RowBytes),
 		diskTax:  1,
 		cpuTax:   1,
+		o:        newEngineObs(opts.Obs),
 	}
 	e.log = newCommitLog(hw.ScaledBytes(32), float64(hw.RowBytes))
 	cfg := opts.Config
@@ -457,6 +463,7 @@ func (e *Engine) Write(key uint64) {
 	e.log.Append(key, false)
 	e.mem.Insert(key)
 	e.m.Writes++
+	e.o.writes.Inc()
 
 	if e.rowCache.capacity > 0 {
 		// A write invalidates the cached row; the cache refills only on
@@ -482,6 +489,7 @@ func (e *Engine) Read(key uint64) {
 	e.ep.reads++
 	e.ep.ops++
 	e.m.Reads++
+	e.o.reads.Inc()
 	cpu := e.model.ReadCPUSeconds
 
 	if e.rowCache.capacity > 0 && e.rowCache.Touch(blockID{table: key}) {
@@ -578,8 +586,10 @@ func (e *Engine) flush(forced bool) {
 		e.m.MaxSSTables = e.tables.Len()
 	}
 	e.m.Flushes++
+	e.o.flushes.Inc()
 	if forced {
 		e.m.ForcedFlushes++
+		e.o.forced.Inc()
 	}
 
 	task := &backgroundTask{
@@ -587,6 +597,7 @@ func (e *Engine) flush(forced bool) {
 		diskBytes:  t.Bytes(),
 		remaining:  t.Bytes(),
 		cpuSeconds: e.model.MergeCPUSecondsPerByte * t.Bytes(),
+		startedAt:  e.clock,
 	}
 	e.flushQ = append(e.flushQ, task)
 
@@ -666,6 +677,7 @@ func (e *Engine) newCompactionTask(inputs []*ssTable, outputLevel int) *backgrou
 		diskBytes:   disk,
 		remaining:   disk,
 		cpuSeconds:  e.model.MergeCPUSecondsPerByte * disk,
+		startedAt:   e.clock,
 	}
 }
 
@@ -808,6 +820,13 @@ func (e *Engine) closeEpoch() {
 	if model.ClientConcurrency > 0 {
 		e.m.EpochLatencies = append(e.m.EpochLatencies, model.ClientConcurrency/rate)
 	}
+	e.o.epochs.Inc()
+	e.o.epochTput.Observe(rate)
+	if model.ClientConcurrency > 0 {
+		e.o.epochLat.Observe(model.ClientConcurrency / rate)
+	}
+	e.o.clock.Set(e.clock)
+	e.o.sstables.Set(float64(e.tables.Len()))
 
 	foreUtil := math.Min(1, (commitDisk+readDisk)/dt)
 	e.advanceBackground(dt, foreUtil)
@@ -842,6 +861,10 @@ func (e *Engine) advanceBackground(dt, foreUtil float64) {
 			break
 		}
 		e.flushQ = e.flushQ[1:]
+		e.o.reg.Record(obs.Span{
+			Name: "nosql.flush", Start: t.startedAt, End: e.clock, Unit: "vsec",
+			Attrs: map[string]float64{"bytes": t.diskBytes},
+		})
 	}
 
 	// Compaction: capped by concurrent compactors, the configured
@@ -911,6 +934,15 @@ func (e *Engine) completeCompaction(t *backgroundTask) {
 	}
 	e.m.Compactions++
 	e.m.CompactionBytes += t.diskBytes
+	e.o.compacts.Inc()
+	e.o.reg.Record(obs.Span{
+		Name: "nosql.compaction", Start: t.startedAt, End: e.clock, Unit: "vsec",
+		Attrs: map[string]float64{
+			"bytes":  t.diskBytes,
+			"inputs": float64(len(t.inputs)),
+			"level":  float64(t.outputLevel),
+		},
+	})
 }
 
 // Restart simulates a crash-and-restart of the server process: all
@@ -949,6 +981,7 @@ func (e *Engine) Restart() {
 	e.m.VirtualSeconds += downtime
 	e.m.Restarts++
 	e.m.ReplayedRecords += uint64(len(records))
+	e.o.restarts.Inc()
 }
 
 // SetDegradation installs straggler multipliers on the node's cost
@@ -1002,6 +1035,7 @@ func (e *Engine) Delete(key uint64) {
 	e.log.Append(key, true)
 	e.mem.Tombstone(key)
 	e.m.Deletes++
+	e.o.deletes.Inc()
 
 	if e.rowCache.capacity > 0 {
 		e.rowCache.Remove(blockID{table: key})
@@ -1091,9 +1125,11 @@ func (e *Engine) DrainBackground(seconds float64) {
 		if remaining < dt {
 			dt = remaining
 		}
-		e.advanceBackground(dt, 0)
+		// Clock advances before the background step so task-completion
+		// spans end at the time the work actually finished.
 		e.clock += dt
 		e.m.VirtualSeconds += dt
+		e.advanceBackground(dt, 0)
 		remaining -= dt
 	}
 }

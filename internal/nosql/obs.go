@@ -1,0 +1,56 @@
+package nosql
+
+import "rafiki/internal/obs"
+
+// engineObs holds the engine's pre-resolved instruments. All fields
+// are nil when observability is disabled; every obs method is nil-safe,
+// so hot paths call them unconditionally and a disabled build pays one
+// branch per call (see BenchmarkEngineWriteObs).
+//
+// Instrument names are scoped "nosql.*". Span axes are virtual seconds
+// ("vsec"): flush and compaction spans run from the virtual time the
+// task was enqueued to the epoch close that completed it.
+type engineObs struct {
+	reg *obs.Registry
+
+	reads    *obs.Counter
+	writes   *obs.Counter
+	deletes  *obs.Counter
+	flushes  *obs.Counter
+	forced   *obs.Counter
+	compacts *obs.Counter
+	restarts *obs.Counter
+	epochs   *obs.Counter
+
+	sstables *obs.Gauge
+	clock    *obs.Gauge
+
+	epochTput *obs.Histogram
+	epochLat  *obs.Histogram
+}
+
+// newEngineObs resolves the engine's instruments against r. With r ==
+// nil every instrument is nil and the struct is the no-op state.
+func newEngineObs(r *obs.Registry) engineObs {
+	if r == nil {
+		return engineObs{}
+	}
+	return engineObs{
+		reg:      r,
+		reads:    r.Counter("nosql.reads"),
+		writes:   r.Counter("nosql.writes"),
+		deletes:  r.Counter("nosql.deletes"),
+		flushes:  r.Counter("nosql.flushes"),
+		forced:   r.Counter("nosql.flushes_forced"),
+		compacts: r.Counter("nosql.compactions"),
+		restarts: r.Counter("nosql.restarts"),
+		epochs:   r.Counter("nosql.epochs"),
+		sstables: r.Gauge("nosql.sstables"),
+		clock:    r.Gauge("nosql.clock_vsec"),
+		// Throughput band covers the paper's 40k-110k ops/s range with
+		// headroom; latency band covers the closed-loop Little's-law
+		// values at those rates.
+		epochTput: r.Histogram("nosql.epoch_throughput", 0, 200_000, 40),
+		epochLat:  r.Histogram("nosql.epoch_latency_vsec", 0, 0.01, 40),
+	}
+}

@@ -1,0 +1,119 @@
+package nosql
+
+import (
+	"testing"
+
+	"rafiki/internal/config"
+	"rafiki/internal/obs"
+)
+
+// benchEngine builds an engine for the write-path overhead benchmark.
+func benchEngine(b *testing.B, reg *obs.Registry) *Engine {
+	b.Helper()
+	e, err := New(Options{Space: config.Cassandra(), Seed: 42, Obs: reg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.Preload(1)
+	return e
+}
+
+// BenchmarkEngineWriteObsDisabled measures the instrumented write path
+// with observability off (nil registry): the acceptance budget is that
+// the nil-check branches cost < 2% versus an uninstrumented build.
+// Compare against BenchmarkEngineWriteObsEnabled for the enabled cost.
+func BenchmarkEngineWriteObsDisabled(b *testing.B) {
+	e := benchEngine(b, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Write(uint64(i) % uint64(e.KeySpace()))
+	}
+}
+
+// BenchmarkEngineWriteObsEnabled measures the same path with a live
+// registry attached.
+func BenchmarkEngineWriteObsEnabled(b *testing.B) {
+	e := benchEngine(b, obs.NewRegistry())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Write(uint64(i) % uint64(e.KeySpace()))
+	}
+}
+
+// BenchmarkEngineReadObsDisabled / Enabled do the same for reads.
+func BenchmarkEngineReadObsDisabled(b *testing.B) {
+	e := benchEngine(b, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Read(uint64(i) % uint64(e.KeySpace()))
+	}
+}
+
+func BenchmarkEngineReadObsEnabled(b *testing.B) {
+	e := benchEngine(b, obs.NewRegistry())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Read(uint64(i) % uint64(e.KeySpace()))
+	}
+}
+
+// TestEngineObsReconcile: the obs counters must agree exactly with the
+// engine's own Metrics counters — they are two views of one stream.
+func TestEngineObsReconcile(t *testing.T) {
+	reg := obs.NewRegistry()
+	e, err := New(Options{Space: config.Cassandra(), Seed: 7, EpochOps: 256, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Preload(1)
+	ks := uint64(e.KeySpace())
+	for i := uint64(0); i < 20_000; i++ {
+		switch i % 4 {
+		case 0:
+			e.Read(i % ks)
+		case 3:
+			e.Delete(i % ks)
+		default:
+			e.Write(i % ks)
+		}
+	}
+	e.FinishEpoch()
+	m := e.Metrics()
+	snap := reg.Snapshot()
+	checks := []struct {
+		name string
+		want uint64
+	}{
+		{"nosql.reads", m.Reads},
+		{"nosql.writes", m.Writes},
+		{"nosql.deletes", m.Deletes},
+		{"nosql.flushes", m.Flushes},
+		{"nosql.compactions", m.Compactions},
+		{"nosql.restarts", m.Restarts},
+	}
+	for _, c := range checks {
+		if got := snap.Counters[c.name]; got != c.want {
+			t.Errorf("%s = %d, want %d (Metrics)", c.name, got, c.want)
+		}
+	}
+	if got := snap.Counters["nosql.epochs"]; got != uint64(len(m.EpochThroughputs)) {
+		t.Errorf("nosql.epochs = %d, want %d", got, len(m.EpochThroughputs))
+	}
+	if hs := snap.Histograms["nosql.epoch_throughput"]; hs.Total != len(m.EpochThroughputs) {
+		t.Errorf("throughput histogram holds %d epochs, want %d", hs.Total, len(m.EpochThroughputs))
+	}
+	// Restart and verify the counter follows.
+	e.Restart()
+	if got := reg.Snapshot().Counters["nosql.restarts"]; got != 1 {
+		t.Errorf("nosql.restarts after restart = %d, want 1", got)
+	}
+	// Compactions must have produced spans with consistent geometry.
+	for _, sp := range snap.Spans {
+		if sp.End < sp.Start {
+			t.Errorf("span %s runs backwards: [%v, %v]", sp.Name, sp.Start, sp.End)
+		}
+		if sp.Unit != "vsec" {
+			t.Errorf("span %s unit = %q, want vsec", sp.Name, sp.Unit)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package nosql
+
+import (
+	"math/rand"
+	"testing"
+
+	"rafiki/internal/config"
+)
+
+// opKind enumerates the operations the property tests drive.
+type opKind int
+
+const (
+	opPut opKind = iota
+	opGet
+	opDelete
+	opFlushEpoch
+	opCompactAll
+	opDrain
+	opRestart
+	opKinds
+)
+
+// engineModel is the reference implementation the engine is checked
+// against: a plain map from key to alive-state. The engine acknowledges
+// every put/delete through its commit log, so no sequence of flushes,
+// compactions, drains, or crash-restarts may ever disagree with it.
+type engineModel map[uint64]bool
+
+// applyOp drives one operation against both engine and model and
+// checks the read-path invariants. Returns false (after reporting)
+// on divergence.
+func applyOp(t *testing.T, e *Engine, model engineModel, kind opKind, key uint64, seed int64) bool {
+	t.Helper()
+	ok := true
+	check := func(name string, got, want bool) {
+		if got != want {
+			t.Errorf("seed %d: %s(%d) = %v, model says %v (replay with this seed)", seed, name, key, got, want)
+			ok = false
+		}
+	}
+	switch kind {
+	case opPut:
+		e.Write(key)
+		model[key] = true
+	case opGet:
+		check("Lookup", e.Lookup(key), model[key])
+	case opDelete:
+		e.Delete(key)
+		model[key] = false
+	case opFlushEpoch:
+		e.FinishEpoch()
+	case opCompactAll:
+		e.CompactAll()
+		e.DrainBackground(0.2)
+	case opDrain:
+		e.DrainBackground(0.1)
+	case opRestart:
+		e.Restart()
+	}
+	// Alive must agree with the model regardless of which operation ran:
+	// structural ops (flush, compaction, restart) must never change
+	// logical contents.
+	check("Alive", e.Alive(key), model[key])
+	return ok
+}
+
+// TestEngineMatchesModel runs random op sequences against the model
+// and fails with the replay seed on any divergence. The same harness
+// runs under -race via make check.
+func TestEngineMatchesModel(t *testing.T) {
+	seeds := []int64{1, 42, 777, 31337}
+	ops := 12_000
+	if testing.Short() {
+		ops = 3_000
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			e, err := New(Options{Space: config.Cassandra(), Seed: seed, EpochOps: 512})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ks := uint64(e.KeySpace())
+			model := make(engineModel)
+			// Preload half the keyspace through the normal write path so
+			// deletes and compactions have history to chew on.
+			for k := uint64(0); k < ks; k += 2 {
+				e.Write(k)
+				model[k] = true
+			}
+			for i := 0; i < ops; i++ {
+				kind := opKind(rng.Intn(int(opKinds)))
+				// Structural ops are rare; reads/writes dominate like a
+				// real workload.
+				if kind >= opFlushEpoch && rng.Intn(8) != 0 {
+					kind = opKind(rng.Intn(3))
+				}
+				key := rng.Uint64() % ks
+				if !applyOp(t, e, model, kind, key, seed) {
+					t.Fatalf("seed %d: diverged after %d ops", seed, i+1)
+				}
+			}
+			// Final full sweep: every key's alive-state must match.
+			e.FinishEpoch()
+			e.DrainBackground(1)
+			for k := uint64(0); k < ks; k++ {
+				if e.Alive(k) != model[k] {
+					t.Fatalf("seed %d: final sweep diverged at key %d: engine %v, model %v",
+						seed, k, e.Alive(k), model[k])
+				}
+			}
+			// Sanity on the metrics stream the sequence produced.
+			m := e.Metrics()
+			if m.VirtualSeconds <= 0 {
+				t.Fatalf("seed %d: no virtual time elapsed", seed)
+			}
+			if m.Reads == 0 || m.Writes == 0 {
+				t.Fatalf("seed %d: degenerate op mix (reads=%d writes=%d)", seed, m.Reads, m.Writes)
+			}
+		})
+	}
+}
+
+// FuzzEngineOps drives the same model check from fuzzer-chosen op
+// tapes: each byte pair is (op, key). The engine must never panic and
+// never diverge from the model, whatever the sequence.
+func FuzzEngineOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 0, 200, 1, 200, 5, 0})
+	f.Add([]byte{6, 0, 0, 10, 2, 10, 6, 0, 1, 10})
+	f.Add([]byte{4, 0, 3, 0, 4, 1, 3, 1})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		if len(tape) > 2048 {
+			tape = tape[:2048]
+		}
+		e, err := New(Options{Space: config.Cassandra(), Seed: 99, EpochOps: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ks := uint64(e.KeySpace())
+		model := make(engineModel)
+		restarts := 0
+		for i := 0; i+1 < len(tape); i += 2 {
+			kind := opKind(tape[i]) % opKinds
+			if kind == opRestart {
+				// Cap restarts: each one is expensive and a tape of pure
+				// restarts would time the fuzzer out without testing much.
+				if restarts >= 4 {
+					kind = opPut
+				} else {
+					restarts++
+				}
+			}
+			key := uint64(tape[i+1]) % ks
+			switch kind {
+			case opPut:
+				e.Write(key)
+				model[key] = true
+			case opGet:
+				if got := e.Lookup(key); got != model[key] {
+					t.Fatalf("Lookup(%d) = %v, model %v (tape %v)", key, got, model[key], tape)
+				}
+			case opDelete:
+				e.Delete(key)
+				model[key] = false
+			case opFlushEpoch:
+				e.FinishEpoch()
+			case opCompactAll:
+				e.CompactAll()
+				e.DrainBackground(0.05)
+			case opDrain:
+				e.DrainBackground(0.02)
+			case opRestart:
+				e.Restart()
+			}
+			if got := e.Alive(key); got != model[key] {
+				t.Fatalf("Alive(%d) = %v, model %v after op %d (tape %v)", key, got, model[key], kind, tape)
+			}
+		}
+	})
+}

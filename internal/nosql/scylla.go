@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"rafiki/internal/config"
+	"rafiki/internal/obs"
 )
 
 // ScyllaOptions configures the ScyllaDB-flavoured engine.
@@ -18,6 +19,8 @@ type ScyllaOptions struct {
 	Seed int64
 	// EpochOps is the accounting epoch length in operations.
 	EpochOps int
+	// Obs, when non-nil, receives engine metrics and spans.
+	Obs *obs.Registry
 }
 
 // ScyllaEngine simulates ScyllaDB: a Cassandra-compatible engine with an
@@ -70,6 +73,7 @@ func NewScylla(opts ScyllaOptions) (*ScyllaEngine, error) {
 		Model:    model,
 		Seed:     opts.Seed,
 		EpochOps: opts.EpochOps,
+		Obs:      opts.Obs,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilSafety exercises every instrument and registry method through
+// nil receivers: the disabled state must be inert, never panic.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(10)
+	if c.Value() != 0 {
+		t.Fatalf("nil counter holds value %d", c.Value())
+	}
+	g := r.Gauge("y")
+	g.Set(3.5)
+	if g.Value() != 0 {
+		t.Fatalf("nil gauge holds value %v", g.Value())
+	}
+	h := r.Histogram("z", 0, 1, 10)
+	h.Observe(0.5)
+	if h.Total() != 0 {
+		t.Fatalf("nil histogram holds %d observations", h.Total())
+	}
+	r.Record(Span{Name: "s"})
+	if r.SpanCount() != 0 {
+		t.Fatal("nil registry recorded a span")
+	}
+	r.Reset()
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Spans) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+func TestInstrumentsRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ops").Add(3)
+	r.Counter("ops").Inc()
+	r.Gauge("depth").Set(7.25)
+	h := r.Histogram("lat", 0, 10, 5)
+	h.Observe(1)
+	h.Observe(9.9)
+	h.Observe(-4) // clamps into first bin
+	r.Record(Span{Name: "work", Start: 1, End: 3, Unit: "vsec"})
+
+	snap := r.Snapshot()
+	if snap.Counters["ops"] != 4 {
+		t.Fatalf("counter = %d, want 4", snap.Counters["ops"])
+	}
+	if snap.Gauges["depth"] != 7.25 {
+		t.Fatalf("gauge = %v, want 7.25", snap.Gauges["depth"])
+	}
+	hs := snap.Histograms["lat"]
+	if hs.Total != 3 || hs.Counts[0] != 2 {
+		t.Fatalf("histogram snapshot = %+v, want total 3 with 2 in first bin", hs)
+	}
+	if len(snap.Spans) != 1 || snap.Spans[0].Dur() != 2 {
+		t.Fatalf("spans = %+v", snap.Spans)
+	}
+}
+
+// TestInterning: the same name must always yield the same instrument.
+func TestInterning(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("counter not interned")
+	}
+	if r.Gauge("a") != r.Gauge("a") {
+		t.Fatal("gauge not interned")
+	}
+	if r.Histogram("a", 0, 1, 4) != r.Histogram("a", 5, 9, 2) {
+		t.Fatal("histogram not interned")
+	}
+}
+
+func TestSpanBufferBound(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < maxSpans+10; i++ {
+		r.Record(Span{Name: "s"})
+	}
+	snap := r.Snapshot()
+	if len(snap.Spans) != maxSpans {
+		t.Fatalf("buffered %d spans, want %d", len(snap.Spans), maxSpans)
+	}
+	if snap.SpansDropped != 10 {
+		t.Fatalf("dropped %d spans, want 10", snap.SpansDropped)
+	}
+}
+
+// TestSnapshotJSONDeterministic: identical instrument activity must
+// marshal to identical bytes — the property every determinism test in
+// internal/bench builds on.
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	build := func() []byte {
+		r := NewRegistry()
+		for _, name := range []string{"zeta", "alpha", "mid"} {
+			r.Counter(name).Add(uint64(len(name)))
+			r.Gauge(name).Set(float64(len(name)) / 3)
+		}
+		h := r.Histogram("lat", 0, 1, 8)
+		for i := 0; i < 100; i++ {
+			h.Observe(float64(i%10) / 10)
+		}
+		r.Record(Span{Name: "a", Start: 0, End: 1, Unit: "vsec", Attrs: map[string]float64{"k": 1, "j": 2}})
+		r.Record(Span{Name: "b", Start: 1, End: 4, Unit: "evals"})
+		b, err := r.Snapshot().JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if a, b := build(), build(); !bytes.Equal(a, b) {
+		t.Fatalf("snapshots differ:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("ops").Inc()
+				r.Gauge("g").Set(float64(j))
+				r.Histogram("h", 0, 1000, 10).Observe(float64(j))
+				r.Record(Span{Name: "s", Start: float64(j), End: float64(j + 1)})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("ops").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h", 0, 1000, 10).Total(); got != 8000 {
+		t.Fatalf("histogram total = %d, want 8000", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Inc()
+	r.Record(Span{Name: "s"})
+	r.Reset()
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Spans) != 0 {
+		t.Fatalf("reset left state: %+v", snap)
+	}
+}
+
+func TestDashboard(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("nosql.writes").Add(42)
+	r.Gauge("nosql.sstables").Set(5)
+	r.Histogram("epoch.throughput", 0, 100, 4).Observe(30)
+	r.Record(Span{Name: "nosql.flush", Start: 0.5, End: 1.25, Unit: "vsec"})
+	out := r.Snapshot().Dashboard()
+	for _, want := range []string{"nosql.writes", "42", "nosql.sstables", "epoch.throughput", "nosql.flush", "[vsec]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dashboard missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramInvalidRange(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("bad", 5, 5, 10) // empty range: must yield a no-op instrument
+	h.Observe(1)
+	if h != nil {
+		t.Fatal("invalid histogram range should return nil instrument")
+	}
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"sync"
+
+	"rafiki/internal/stats"
+)
+
+// maxSpans bounds the span buffer. Once full, further spans are
+// counted in SpansDropped rather than stored, keeping memory bounded
+// on long runs while the drop count keeps the truncation honest.
+const maxSpans = 16384
+
+// Registry names and owns a run's instruments. The zero value is not
+// usable; construct with NewRegistry. A nil *Registry is the disabled
+// state: every method is nil-safe and returns a nil instrument whose
+// methods are in turn no-ops, so instrumented code never branches on
+// "is observability on".
+//
+// Instruments are created on first use and interned: the same name
+// always returns the same instrument, so hot paths should resolve
+// instruments once up front and hold the pointers.
+type Registry struct {
+	mu      sync.Mutex
+	counter map[string]*Counter
+	gauge   map[string]*Gauge
+	hist    map[string]*Histogram
+	spans   []Span
+	dropped uint64
+}
+
+// NewRegistry returns an empty enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counter: make(map[string]*Counter),
+		gauge:   make(map[string]*Gauge),
+		hist:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it if needed. Returns
+// nil (a valid no-op instrument) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counter[name]
+	if !ok {
+		c = &Counter{}
+		r.counter[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed. Returns nil
+// (a valid no-op instrument) on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauge[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauge[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it over [lo, hi)
+// with bins bins if needed. The range arguments only matter on first
+// creation; later calls with the same name return the existing
+// instrument unchanged. Returns nil (a valid no-op instrument) on a
+// nil registry or an invalid range.
+func (r *Registry) Histogram(name string, lo, hi float64, bins int) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hist[name]
+	if !ok {
+		sh, err := stats.NewHistogram(lo, hi, bins)
+		if err != nil {
+			return nil
+		}
+		h = &Histogram{h: sh}
+		r.hist[name] = h
+	}
+	return h
+}
+
+// Record stores one finished span, dropping (and counting) it if the
+// buffer is full. No-op on a nil registry.
+func (r *Registry) Record(s Span) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.spans) >= maxSpans {
+		r.dropped++
+		return
+	}
+	r.spans = append(r.spans, s)
+}
+
+// SpanCount returns the number of buffered spans; zero on nil.
+func (r *Registry) SpanCount() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.spans)
+}
+
+// Reset clears all instruments and spans while keeping the registry
+// enabled. Pointers previously resolved from the registry keep
+// working but refer to instruments no longer exported by snapshots.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counter = make(map[string]*Counter)
+	r.gauge = make(map[string]*Gauge)
+	r.hist = make(map[string]*Histogram)
+	r.spans = nil
+	r.dropped = 0
+}

@@ -32,6 +32,7 @@ import (
 	"rafiki/internal/ga"
 	"rafiki/internal/nn"
 	"rafiki/internal/nosql"
+	"rafiki/internal/obs"
 	"rafiki/internal/workload"
 )
 
@@ -205,6 +206,9 @@ type SimulatorConfig struct {
 	PreloadVersions int
 	// Seed is the base seed.
 	Seed int64
+	// Obs, when non-nil, receives engine telemetry from every sample
+	// the collector runs (nil disables instrumentation at ~zero cost).
+	Obs *ObsRegistry
 }
 
 // NewSimulatorCollector returns a Collector backed by a fresh simulated
@@ -228,6 +232,7 @@ func NewSimulatorCollector(sc SimulatorConfig) Collector {
 			Space:  sc.Space,
 			Config: cfg,
 			Seed:   sc.Seed ^ seed,
+			Obs:    sc.Obs,
 		})
 		if err != nil {
 			return 0, err
@@ -383,3 +388,29 @@ func DefaultGuardOptions() GuardOptions { return core.DefaultGuardOptions() }
 func NewGuardedController(t *Tuner, a Applier, opts GuardOptions) (*GuardedController, error) {
 	return core.NewGuardedController(t, a, opts)
 }
+
+// Observability: a dependency-free metrics registry plus span tracing
+// on the simulator's virtual clock, so instrumented runs stay bit-for-
+// bit reproducible under a seed. Pass an ObsRegistry via
+// EngineOptions.Obs, ClusterOptions.Obs, TunerOptions.Obs, or
+// SimulatorConfig.Obs; a nil registry disables every instrument at the
+// cost of one branch per event.
+type (
+	// ObsRegistry interns counters, gauges, and histograms by name and
+	// buffers virtual-time spans.
+	ObsRegistry = obs.Registry
+	// ObsSnapshot is a point-in-time export of a registry: deterministic
+	// JSON and a rendered text dashboard.
+	ObsSnapshot = obs.Snapshot
+	// ObsSpan is one traced operation on a virtual work axis.
+	ObsSpan = obs.Span
+	// ObsCounter is a monotonically increasing metric.
+	ObsCounter = obs.Counter
+	// ObsGauge is a last-value metric.
+	ObsGauge = obs.Gauge
+	// ObsHistogram is a bounded-range distribution metric.
+	ObsHistogram = obs.Histogram
+)
+
+// NewObsRegistry creates an empty observability registry.
+func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }

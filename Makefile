@@ -4,7 +4,7 @@ GO ?= go
 # `make cover` fails if the tree regresses below it.
 COVER_FLOOR ?= 79.7
 
-.PHONY: build test bench check fmt vet race fuzz cover
+.PHONY: build test bench check fmt vet race fuzz cover guard
 
 build:
 	$(GO) build ./...
@@ -12,8 +12,13 @@ build:
 test:
 	$(GO) test ./...
 
+# bench runs the kernel microbenchmarks (with allocation reporting)
+# and then the end-to-end pipeline harness, which writes
+# BENCH_pipeline.json: per-stage serial-vs-parallel wall time, alloc
+# counts, and an inline determinism cross-check.
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/linalg/ ./internal/nn/
+	$(GO) run ./cmd/pipelinebench -out BENCH_pipeline.json
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -42,4 +47,9 @@ cover:
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' \
 		|| { echo "FAIL: coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
 
-check: fmt vet race fuzz
+# guard re-runs the determinism and allocation regression gates: every
+# worker-count invariance test plus the zero/bounded-alloc kernels.
+guard:
+	$(GO) test -count=1 -run 'Determinism|AllocGuard|AcrossWorkers' ./internal/...
+
+check: fmt vet race fuzz guard

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	experiments [-only figure4,table1] [-ops N] [-seed N] [-out path]
-//	            [-obs] [-obs-json path]
+//	            [-obs] [-obs-json path] [-workers N]
 package main
 
 import (
@@ -37,6 +37,7 @@ func run() error {
 		out     = flag.String("out", "", "also write rendered reports to this file")
 		showObs = flag.Bool("obs", false, "print the observability dashboard after the experiments")
 		obsJSON = flag.String("obs-json", "", "write the observability snapshot as JSON to this file")
+		workers = flag.Int("workers", 0, "worker bound for every parallel stage (0 = one per CPU, 1 = serial); results are identical for any value")
 	)
 	flag.Parse()
 
@@ -63,6 +64,7 @@ func run() error {
 	opts := bench.DefaultPipelineOptions()
 	opts.Env.SampleOps = *ops
 	opts.Env.Seed = *seed
+	opts.Env.Workers = *workers
 
 	// Instrumentation is opt-in: a nil registry costs one predictable
 	// branch per hot-path event.

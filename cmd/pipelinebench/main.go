@@ -1,0 +1,238 @@
+// Command pipelinebench measures the tuning pipeline's serial-vs-
+// parallel wall time and allocation volume stage by stage (data
+// collection, ensemble training, surrogate-backed GA search) and
+// writes the result as JSON. It also re-checks, on every run, that the
+// parallel pipeline is observationally identical to the serial one:
+// byte-identical trained models and identical GA recommendations.
+//
+// Usage:
+//
+//	pipelinebench [-out BENCH_pipeline.json] [-ops N] [-seed N] [-workers N]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"rafiki/internal/config"
+	"rafiki/internal/core"
+	"rafiki/internal/ga"
+	"rafiki/internal/nn"
+	"rafiki/internal/par"
+
+	"rafiki/internal/bench"
+)
+
+// stageResult is one stage's serial-vs-parallel measurement.
+type stageResult struct {
+	Name            string  `json:"name"`
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	Speedup         float64 `json:"speedup"`
+	SerialAllocs    uint64  `json:"serial_allocs"`
+	ParallelAllocs  uint64  `json:"parallel_allocs"`
+}
+
+// report is the file this command writes.
+type report struct {
+	NumCPU     int           `json:"num_cpu"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Workers    int           `json:"workers"`
+	SampleOps  int           `json:"sample_ops"`
+	Seed       int64         `json:"seed"`
+	Stages     []stageResult `json:"stages"`
+	Pipeline   stageResult   `json:"pipeline"`
+	// Deterministic reports the inline cross-check: the parallel run
+	// produced a byte-identical model and an identical recommendation.
+	Deterministic bool `json:"deterministic"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pipelinebench: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// measure runs f once and reports its wall time and heap allocation
+// count (runtime.MemStats.Mallocs delta, after a fresh GC).
+func measure(f func() error) (float64, uint64, error) {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	err := f()
+	secs := time.Since(start).Seconds()
+	runtime.ReadMemStats(&m1)
+	return secs, m1.Mallocs - m0.Mallocs, err
+}
+
+func stage(name string, serial, parallel func() error) (stageResult, error) {
+	sSec, sAllocs, err := measure(serial)
+	if err != nil {
+		return stageResult{}, fmt.Errorf("%s serial: %w", name, err)
+	}
+	pSec, pAllocs, err := measure(parallel)
+	if err != nil {
+		return stageResult{}, fmt.Errorf("%s parallel: %w", name, err)
+	}
+	return stageResult{
+		Name:            name,
+		SerialSeconds:   sSec,
+		ParallelSeconds: pSec,
+		Speedup:         sSec / pSec,
+		SerialAllocs:    sAllocs,
+		ParallelAllocs:  pAllocs,
+	}, nil
+}
+
+func run() error {
+	var (
+		out     = flag.String("out", "BENCH_pipeline.json", "output path for the JSON report")
+		ops     = flag.Int("ops", 60_000, "operations per benchmark sample")
+		seed    = flag.Int64("seed", 1, "base seed")
+		workers = flag.Int("workers", 0, "parallel worker bound (0 = one per CPU)")
+	)
+	flag.Parse()
+
+	env := bench.DefaultEnv()
+	env.SampleOps = *ops
+	env.Seed = *seed
+	space := config.Cassandra()
+	collector := env.CassandraCollector()
+
+	collectOpts := core.DefaultCollectOptions()
+	modelCfg := nn.DefaultModelConfig()
+	modelCfg.BR.Epochs = 60
+	modelCfg.Seed = *seed + 41
+	gaOpts := ga.DefaultOptions()
+	gaOpts.Seed = *seed + 41
+
+	rep := report{
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    par.Workers(*workers),
+		SampleOps:  *ops,
+		Seed:       *seed,
+	}
+
+	// Stage 1: data collection. Serial and parallel must produce the
+	// same dataset; the serial one feeds the later stages.
+	var serialDS, parallelDS core.Dataset
+	collectRes, err := stage("collect",
+		func() error {
+			o := collectOpts
+			o.Workers = 1
+			var err error
+			serialDS, err = core.Collect(collector, space, o)
+			return err
+		},
+		func() error {
+			o := collectOpts
+			o.Workers = *workers
+			var err error
+			parallelDS, err = core.Collect(collector, space, o)
+			return err
+		})
+	if err != nil {
+		return err
+	}
+	deterministic := reflect.DeepEqual(serialDS, parallelDS)
+
+	// Stage 2: ensemble training.
+	var serialSur, parallelSur *core.Surrogate
+	trainRes, err := stage("train",
+		func() error {
+			cfg := modelCfg
+			cfg.Workers = 1
+			var err error
+			serialSur, err = core.TrainSurrogate(serialDS, space, cfg)
+			return err
+		},
+		func() error {
+			cfg := modelCfg
+			cfg.Workers = *workers
+			var err error
+			parallelSur, err = core.TrainSurrogate(serialDS, space, cfg)
+			return err
+		})
+	if err != nil {
+		return err
+	}
+	serialModel, err := json.Marshal(serialSur.Model)
+	if err != nil {
+		return err
+	}
+	parallelModel, err := json.Marshal(parallelSur.Model)
+	if err != nil {
+		return err
+	}
+	deterministic = deterministic && string(serialModel) == string(parallelModel)
+
+	// Stage 3: surrogate-backed GA search across the paper's workload
+	// sweep. The serial surrogate answers with one worker; the parallel
+	// one fans batch predictions out.
+	readRatios := []float64{0, 0.25, 0.5, 0.75, 1}
+	var serialRecs, parallelRecs []core.OptimizeResult
+	searchRes, err := stage("search",
+		func() error {
+			serialSur.Model.Workers = 1
+			serialRecs = serialRecs[:0]
+			for _, rr := range readRatios {
+				rec, err := serialSur.Optimize(rr, gaOpts)
+				if err != nil {
+					return err
+				}
+				serialRecs = append(serialRecs, rec)
+			}
+			return nil
+		},
+		func() error {
+			parallelSur.Model.Workers = *workers
+			parallelRecs = parallelRecs[:0]
+			for _, rr := range readRatios {
+				rec, err := parallelSur.Optimize(rr, gaOpts)
+				if err != nil {
+					return err
+				}
+				parallelRecs = append(parallelRecs, rec)
+			}
+			return nil
+		})
+	if err != nil {
+		return err
+	}
+	deterministic = deterministic && reflect.DeepEqual(serialRecs, parallelRecs)
+
+	rep.Stages = []stageResult{collectRes, trainRes, searchRes}
+	rep.Deterministic = deterministic
+	for _, s := range rep.Stages {
+		rep.Pipeline.SerialSeconds += s.SerialSeconds
+		rep.Pipeline.ParallelSeconds += s.ParallelSeconds
+		rep.Pipeline.SerialAllocs += s.SerialAllocs
+		rep.Pipeline.ParallelAllocs += s.ParallelAllocs
+	}
+	rep.Pipeline.Name = "pipeline"
+	rep.Pipeline.Speedup = rep.Pipeline.SerialSeconds / rep.Pipeline.ParallelSeconds
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		return err
+	}
+	if !deterministic {
+		return fmt.Errorf("parallel pipeline diverged from serial run (see %s)", *out)
+	}
+	log.Printf("wrote %s (pipeline speedup %.2fx on %d workers, deterministic)", *out, rep.Pipeline.Speedup, rep.Workers)
+	return nil
+}

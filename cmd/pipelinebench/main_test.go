@@ -1,0 +1,50 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestMeasureReportsAllocsAndErrors(t *testing.T) {
+	var sink [][]byte
+	secs, allocs, err := measure(func() error {
+		for i := 0; i < 100; i++ {
+			sink = append(sink, make([]byte, 1024))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sink
+	if secs < 0 {
+		t.Errorf("negative wall time %v", secs)
+	}
+	if allocs < 100 {
+		t.Errorf("allocs = %d, want >= 100", allocs)
+	}
+
+	boom := errors.New("boom")
+	if _, _, err := measure(func() error { return boom }); !errors.Is(err, boom) {
+		t.Errorf("measure swallowed the error: %v", err)
+	}
+}
+
+func TestStageComputesSpeedupAndWrapsErrors(t *testing.T) {
+	res, err := stage("demo", func() error { return nil }, func() error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Name != "demo" || res.Speedup <= 0 {
+		t.Errorf("bad stage result: %+v", res)
+	}
+
+	boom := errors.New("boom")
+	if _, err := stage("demo", func() error { return boom }, func() error { return nil }); err == nil || !strings.Contains(err.Error(), "demo serial") {
+		t.Errorf("serial error not wrapped: %v", err)
+	}
+	if _, err := stage("demo", func() error { return nil }, func() error { return boom }); err == nil || !strings.Contains(err.Error(), "demo parallel") {
+		t.Errorf("parallel error not wrapped: %v", err)
+	}
+}

@@ -29,7 +29,15 @@ type Env struct {
 	// Obs, when non-nil, receives engine- and cluster-level telemetry
 	// from every sample the environment runs. The registry is shared
 	// across samples, so counters accumulate over a whole experiment.
+	// Under parallel collection each sample writes to its own stage of
+	// this registry, merged in sample order, so snapshots stay
+	// deterministic (see core.ObsCollector).
 	Obs *obs.Registry
+	// Workers bounds the parallelism of every pipeline stage driven by
+	// this environment — data collection, ensemble training, and batch
+	// prediction. <= 0 means one worker per CPU; 1 forces serial
+	// execution. Results are identical for any value.
+	Workers int
 }
 
 // DefaultEnv returns the environment used by the experiment suite.
@@ -81,9 +89,30 @@ func (e Env) CassandraSample(rr float64, cfg config.Config, seed int64) (float64
 	return res.Throughput, nil
 }
 
+// envCollector adapts an Env sample method to core.ObsCollector: when
+// core.Collect fans samples out, each sample runs against a copy of the
+// environment whose Obs points at that sample's stage registry, so
+// telemetry merges back in sample order instead of interleaving.
+type envCollector struct {
+	env    Env
+	sample func(Env, float64, config.Config, int64) (float64, error)
+}
+
+// Sample implements core.Collector.
+func (c envCollector) Sample(rr float64, cfg config.Config, seed int64) (float64, error) {
+	return c.sample(c.env, rr, cfg, seed)
+}
+
+// SampleObs implements core.ObsCollector.
+func (c envCollector) SampleObs(rr float64, cfg config.Config, seed int64, reg *obs.Registry) (float64, error) {
+	env := c.env
+	env.Obs = reg
+	return c.sample(env, rr, cfg, seed)
+}
+
 // CassandraCollector adapts CassandraSample to the middleware.
 func (e Env) CassandraCollector() core.Collector {
-	return core.CollectorFunc(e.CassandraSample)
+	return envCollector{env: e, sample: Env.CassandraSample}
 }
 
 // CassandraLatencySample benchmarks one point and returns the inverse
@@ -118,7 +147,7 @@ func (e Env) CassandraLatencySample(rr float64, cfg config.Config, seed int64) (
 
 // CassandraLatencyCollector adapts CassandraLatencySample.
 func (e Env) CassandraLatencyCollector() core.Collector {
-	return core.CollectorFunc(e.CassandraLatencySample)
+	return envCollector{env: e, sample: Env.CassandraLatencySample}
 }
 
 // ScyllaSample benchmarks one point on a fresh ScyllaDB engine.
@@ -146,7 +175,7 @@ func (e Env) ScyllaSample(rr float64, cfg config.Config, seed int64) (float64, e
 
 // ScyllaCollector adapts ScyllaSample to the middleware.
 func (e Env) ScyllaCollector() core.Collector {
-	return core.CollectorFunc(e.ScyllaSample)
+	return envCollector{env: e, sample: Env.ScyllaSample}
 }
 
 // ClusterSample benchmarks one point on a fresh multi-node cluster with

@@ -7,6 +7,7 @@ import (
 	"rafiki/internal/config"
 	"rafiki/internal/ga"
 	"rafiki/internal/nn"
+	"rafiki/internal/obs"
 	"rafiki/internal/stats"
 	"rafiki/internal/tree"
 )
@@ -66,31 +67,38 @@ func AblationTrainer(p *Pipeline) (Report, error) {
 		Title:  "Surrogate trainer ablation (unseen-configuration MAPE %)",
 		Header: []string{"trial", "LM + Bayesian regularization", "gradient descent"},
 	}
-	var brSum, gdSum float64
 	const trials = 3
-	for trial := 0; trial < trials; trial++ {
+	type pair struct{ br, gd float64 }
+	pairs, err := runTrials(p, "ablation-trainer", trials, func(trial int, reg *obs.Registry) (pair, error) {
 		train, test := splitConfigs(p, 0.25, p.Opts.Env.Seed+int64(trial)*13)
 
 		brCfg := p.Opts.Model
 		brCfg.Trainer = nn.TrainerBR
 		brCfg.EnsembleSize = 6
 		brCfg.Seed = p.Opts.Model.Seed + int64(trial)
+		brCfg.Obs = reg
 		brEval, err := evalSplit(p, train, test, brCfg)
 		if err != nil {
-			return Report{}, err
+			return pair{}, err
 		}
 
 		gdCfg := brCfg
 		gdCfg.Trainer = nn.TrainerGD
 		gdEval, err := evalSplit(p, train, test, gdCfg)
 		if err != nil {
-			return Report{}, err
+			return pair{}, err
 		}
-
-		brSum += brEval.MAPE
-		gdSum += gdEval.MAPE
+		return pair{br: brEval.MAPE, gd: gdEval.MAPE}, nil
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	var brSum, gdSum float64
+	for trial, pr := range pairs {
+		brSum += pr.br
+		gdSum += pr.gd
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%d", trial+1), f1(brEval.MAPE), f1(gdEval.MAPE),
+			fmt.Sprintf("%d", trial+1), f1(pr.br), f1(pr.gd),
 		})
 	}
 	t.Rows = append(t.Rows, []string{"mean", f1(brSum / trials), f1(gdSum / trials)})
@@ -115,17 +123,17 @@ func AblationModel(p *Pipeline) (Report, error) {
 		Title:  "Surrogate model ablation (unseen-configuration MAPE %)",
 		Header: []string{"trial", "decision tree", "tree + linear leaves", "DNN ensemble"},
 	}
-	var sums [3]float64
 	const trials = 3
-	for trial := 0; trial < trials; trial++ {
+	cells, err := runTrials(p, "ablation-model", trials, func(trial int, reg *obs.Registry) ([3]float64, error) {
+		var cell [3]float64
 		train, test := splitConfigs(p, 0.25, p.Opts.Env.Seed+int64(trial)*13)
 		trainX, trainY, err := train.Features(p.Space)
 		if err != nil {
-			return Report{}, err
+			return cell, err
 		}
 		testX, testY, err := test.Features(p.Space)
 		if err != nil {
-			return Report{}, err
+			return cell, err
 		}
 
 		evalTree := func(linear bool) (float64, error) {
@@ -152,26 +160,33 @@ func AblationModel(p *Pipeline) (Report, error) {
 		}
 		plain, err := evalTree(false)
 		if err != nil {
-			return Report{}, err
+			return cell, err
 		}
 		linear, err := evalTree(true)
 		if err != nil {
-			return Report{}, err
+			return cell, err
 		}
 
 		dnnCfg := p.Opts.Model
 		dnnCfg.EnsembleSize = 6
 		dnnCfg.Seed = p.Opts.Model.Seed + int64(trial)
+		dnnCfg.Obs = reg
 		dnnEval, err := evalSplit(p, train, test, dnnCfg)
 		if err != nil {
-			return Report{}, err
+			return cell, err
 		}
-
-		sums[0] += plain
-		sums[1] += linear
-		sums[2] += dnnEval.MAPE
+		return [3]float64{plain, linear, dnnEval.MAPE}, nil
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	var sums [3]float64
+	for trial, cell := range cells {
+		for i, v := range cell {
+			sums[i] += v
+		}
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%d", trial+1), f1(plain), f1(linear), f1(dnnEval.MAPE),
+			fmt.Sprintf("%d", trial+1), f1(cell[0]), f1(cell[1]), f1(cell[2]),
 		})
 	}
 	t.Rows = append(t.Rows, []string{"mean", f1(sums[0] / trials), f1(sums[1] / trials), f1(sums[2] / trials)})
@@ -199,11 +214,25 @@ func AblationSurrogateSearch(p *Pipeline) (Report, error) {
 	for i, kp := range keys {
 		bounds[i] = ga.Bound{Min: kp.Min, Max: kp.Max, Integer: kp.Kind != config.Continuous}
 	}
+	// Batch scratch reused across generations, mirroring
+	// core.Surrogate.Optimize: one feature vector per individual, grown
+	// once and rewritten in place.
+	var vecs [][]float64
 	problem := ga.Problem{
 		Bounds: bounds,
 		Fitness: func(genes []float64) (float64, error) {
 			vec := append([]float64{rr}, genes...)
 			return p.Surrogate.Model.Predict(vec)
+		},
+		BatchFitness: func(genes [][]float64, out []float64) error {
+			for len(vecs) < len(genes) {
+				vecs = append(vecs, nil)
+			}
+			for i, g := range genes {
+				v := append(vecs[i][:0], rr)
+				vecs[i] = append(v, g...)
+			}
+			return p.Surrogate.Model.PredictBatchInto(out, vecs[:len(genes)])
 		},
 	}
 

@@ -6,6 +6,7 @@ import (
 
 	"rafiki/internal/core"
 	"rafiki/internal/nn"
+	"rafiki/internal/obs"
 	"rafiki/internal/stats"
 )
 
@@ -93,9 +94,9 @@ const PredictionTrials = 4
 func Table2(p *Pipeline) (Report, error) {
 	type cell struct{ mape, r2, rmse float64 }
 	run := func(ensembleSize int, byConfig bool) (cell, []float64, error) {
-		var agg cell
-		var allErrs []float64
-		for trial := 0; trial < PredictionTrials; trial++ {
+		// Trials are independent (per-trial split and model seeds), so
+		// they fan out; aggregation below walks them in trial order.
+		evs, err := runTrials(p, "table2", PredictionTrials, func(trial int, reg *obs.Registry) (predictionEval, error) {
 			var train, test core.Dataset
 			if byConfig {
 				train, test = splitConfigs(p, 0.25, p.Opts.Env.Seed+int64(trial)*13)
@@ -108,10 +109,15 @@ func Table2(p *Pipeline) (Report, error) {
 				cfg.PruneFraction = 0
 			}
 			cfg.Seed = p.Opts.Model.Seed + int64(trial)*101
-			ev, err := evalSplit(p, train, test, cfg)
-			if err != nil {
-				return cell{}, nil, err
-			}
+			cfg.Obs = reg
+			return evalSplit(p, train, test, cfg)
+		})
+		if err != nil {
+			return cell{}, nil, err
+		}
+		var agg cell
+		var allErrs []float64
+		for _, ev := range evs {
 			agg.mape += ev.MAPE
 			agg.r2 += ev.R2
 			agg.rmse += ev.RMSE
@@ -190,24 +196,31 @@ func Figure7(p *Pipeline) (Report, error) {
 		modelCfg.EnsembleSize = 6
 	}
 
-	var prevCfgErr float64
-	for i, n := range sizes {
-		evCfg, err := evalSplit(p, subsample(cfgTrainFull, n, int64(n)), cfgTest, modelCfg)
+	// Each curve point trains two fresh surrogates on disjoint
+	// subsamples — independent work that fans out across the sizes.
+	type point struct{ cfgMAPE, wlMAPE float64 }
+	points, err := runTrials(p, "figure7", len(sizes), func(i int, reg *obs.Registry) (point, error) {
+		n := sizes[i]
+		cfg := modelCfg
+		cfg.Obs = reg
+		evCfg, err := evalSplit(p, subsample(cfgTrainFull, n, int64(n)), cfgTest, cfg)
 		if err != nil {
-			return Report{}, err
+			return point{}, err
 		}
-		evWL, err := evalSplit(p, subsample(wlTrainFull, n, int64(n)*3), wlTest, modelCfg)
+		evWL, err := evalSplit(p, subsample(wlTrainFull, n, int64(n)*3), wlTest, cfg)
 		if err != nil {
-			return Report{}, err
+			return point{}, err
 		}
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%d", n), f1(evCfg.MAPE), f1(evWL.MAPE),
-		})
-		if i == len(sizes)-1 {
-			prevCfgErr = evCfg.MAPE
-		}
+		return point{cfgMAPE: evCfg.MAPE, wlMAPE: evWL.MAPE}, nil
+	})
+	if err != nil {
+		return Report{}, err
 	}
-	_ = prevCfgErr
+	for i, pt := range points {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", sizes[i]), f1(pt.cfgMAPE), f1(pt.wlMAPE),
+		})
+	}
 	return Report{
 		ID:     "figure7",
 		Title:  "Learning curve of the surrogate model",
@@ -230,8 +243,7 @@ func Figure9(p *Pipeline) (Report, error) {
 }
 
 func errorHistogram(p *Pipeline, id, title string, byConfig bool) (Report, error) {
-	var all []float64
-	for trial := 0; trial < PredictionTrials; trial++ {
+	evs, err := runTrials(p, id, PredictionTrials, func(trial int, reg *obs.Registry) (predictionEval, error) {
 		var train, test core.Dataset
 		if byConfig {
 			train, test = splitConfigs(p, 0.25, p.Opts.Env.Seed+int64(trial)*13)
@@ -240,10 +252,14 @@ func errorHistogram(p *Pipeline, id, title string, byConfig bool) (Report, error
 		}
 		cfg := p.Opts.Model
 		cfg.Seed = p.Opts.Model.Seed + int64(trial)*101
-		ev, err := evalSplit(p, train, test, cfg)
-		if err != nil {
-			return Report{}, err
-		}
+		cfg.Obs = reg
+		return evalSplit(p, train, test, cfg)
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	var all []float64
+	for _, ev := range evs {
 		all = append(all, ev.Errors...)
 	}
 	h, err := stats.NewHistogram(-20, 20, 16)

@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"rafiki/internal/core"
+	"rafiki/internal/obs"
+)
+
+// pipelineFingerprint builds a small end-to-end pipeline (collect ->
+// train -> GA search) with the given worker bound and returns the
+// serialized surrogate model, the GA recommendation, and the obs
+// snapshot JSON with the par.* occupancy gauges stripped (the one
+// metric that reports the configured worker count by design).
+func pipelineFingerprint(t *testing.T, workers int) ([]byte, core.OptimizeResult, []byte) {
+	t.Helper()
+	opts := tinyPipelineOptions()
+	opts.Env.SampleOps = 5_000
+	opts.Env.Workers = workers
+	opts.Env.Obs = obs.NewRegistry()
+	opts.Collect.Workloads = []float64{0.1, 0.5, 0.9}
+	opts.Collect.Configs = 6
+	opts.Model.EnsembleSize = 3
+	opts.Model.BR.Epochs = 10
+	opts.GA.Population = 16
+	opts.GA.Generations = 8
+
+	p, err := NewCassandraPipeline(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := json.Marshal(p.Surrogate.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := p.Recommend(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := opts.Env.Obs.Snapshot()
+	for name := range snap.Gauges {
+		if strings.HasPrefix(name, "par.") {
+			delete(snap.Gauges, name)
+		}
+	}
+	blob, err := snap.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model, rec, blob
+}
+
+// TestCollectorsStageTelemetry: every environment collector implements
+// core.ObsCollector, and sampling through a stage registry yields the
+// same value as the plain path while routing engine telemetry into the
+// stage (merged back without loss).
+func TestCollectorsStageTelemetry(t *testing.T) {
+	env := tinyEnv()
+	for _, tc := range []struct {
+		name string
+		c    core.Collector
+	}{
+		{"cassandra", env.CassandraCollector()},
+		{"latency", env.CassandraLatencyCollector()},
+		{"scylla", env.ScyllaCollector()},
+	} {
+		oc, ok := tc.c.(core.ObsCollector)
+		if !ok {
+			t.Fatalf("%s collector does not implement core.ObsCollector", tc.name)
+		}
+		plain, err := tc.c.Sample(0.5, nil, 31)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := obs.NewRegistry()
+		stage := reg.Stage()
+		staged, err := oc.SampleObs(0.5, nil, 31, stage)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain != staged {
+			t.Errorf("%s: staged sample %v != plain %v", tc.name, staged, plain)
+		}
+		reg.Merge(stage)
+		if len(reg.Snapshot().Counters) == 0 {
+			t.Errorf("%s: staged sample recorded no engine counters", tc.name)
+		}
+	}
+}
+
+// TestPipelineDeterministicAcrossWorkers is the end-to-end parallelism
+// contract: collection, ensemble training, and the surrogate-backed GA
+// must produce byte-identical models, identical recommendations, and
+// byte-identical telemetry whether the pipeline runs serially or on
+// eight workers.
+func TestPipelineDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline determinism test is slow")
+	}
+	refModel, refRec, refSnap := pipelineFingerprint(t, 1)
+	if len(refSnap) == 0 || !bytes.Contains(refSnap, []byte("nn.batch_predictions")) {
+		t.Fatalf("snapshot missing batch-prediction counter:\n%s", refSnap)
+	}
+	for _, workers := range []int{4, 8} {
+		model, rec, snap := pipelineFingerprint(t, workers)
+		if !bytes.Equal(refModel, model) {
+			t.Errorf("workers=%d: trained model differs from serial run", workers)
+		}
+		if !reflect.DeepEqual(refRec, rec) {
+			t.Errorf("workers=%d: GA recommendation differs from serial run:\n%+v\nvs\n%+v", workers, rec, refRec)
+		}
+		if !bytes.Equal(refSnap, snap) {
+			t.Errorf("workers=%d: obs snapshot differs from serial run", workers)
+		}
+	}
+}

@@ -79,6 +79,18 @@ func newPipeline(opts PipelineOptions, space *config.Space, collector core.Colle
 		if opts.GA.Obs == nil {
 			opts.GA.Obs = opts.Env.Obs
 		}
+		if opts.Collect.Obs == nil {
+			opts.Collect.Obs = opts.Env.Obs
+		}
+	}
+	// One knob drives every stage's parallelism: collection fan-out,
+	// concurrent ensemble training, and (through the fitted model) batch
+	// prediction inside the GA.
+	if opts.Collect.Workers == 0 {
+		opts.Collect.Workers = opts.Env.Workers
+	}
+	if opts.Model.Workers == 0 {
+		opts.Model.Workers = opts.Env.Workers
 	}
 	ds, err := core.Collect(collector, space, opts.Collect)
 	if err != nil {

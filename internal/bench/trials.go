@@ -1,0 +1,34 @@
+package bench
+
+import (
+	"rafiki/internal/obs"
+	"rafiki/internal/par"
+)
+
+// runTrials fans n independent experiment trials across the
+// environment's workers. Each trial gets its own obs stage (merged back
+// in trial order) and writes its result into an index-addressed slot,
+// so reports and telemetry are identical for any worker count. Results
+// come back in trial order.
+func runTrials[T any](p *Pipeline, name string, n int, trial func(trial int, reg *obs.Registry) (T, error)) ([]T, error) {
+	root := p.Opts.Model.Obs
+	out := make([]T, n)
+	stages := make([]*obs.Registry, n)
+	err := par.Do(n, par.Options{Workers: p.Opts.Env.Workers, Name: "bench." + name, Obs: root}, func(i int) error {
+		stage := root.Stage()
+		stages[i] = stage
+		v, err := trial(i, stage)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range stages {
+		root.Merge(s)
+	}
+	return out, nil
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"rafiki/internal/config"
+	"rafiki/internal/obs"
+)
+
+// obsProbeCollector wraps the analytic collector with per-sample
+// telemetry, exercising the ObsCollector stage path in Collect.
+type obsProbeCollector struct {
+	inner Collector
+}
+
+func (c obsProbeCollector) Sample(rr float64, cfg config.Config, seed int64) (float64, error) {
+	return c.SampleObs(rr, cfg, seed, nil)
+}
+
+func (c obsProbeCollector) SampleObs(rr float64, cfg config.Config, seed int64, reg *obs.Registry) (float64, error) {
+	tput, err := c.inner.Sample(rr, cfg, seed)
+	reg.Counter("probe.samples").Inc()
+	reg.Gauge("probe.last_seed").Set(float64(seed))
+	reg.Record(obs.Span{Name: "probe.sample", Start: rr, End: rr + 1, Unit: "rr", Attrs: map[string]float64{"tput": tput}})
+	return tput, err
+}
+
+// TestCollectDeterministicAcrossWorkers: same options must produce the
+// same dataset (including the drop schedule) and a byte-identical obs
+// snapshot whether samples run serially or on four workers. The only
+// intentional difference — the par.collect.workers occupancy gauge — is
+// excluded, since it reports the configured worker count by design.
+func TestCollectDeterministicAcrossWorkers(t *testing.T) {
+	space := config.Cassandra()
+	run := func(workers int) (Dataset, []byte) {
+		reg := obs.NewRegistry()
+		ds, err := Collect(obsProbeCollector{inner: analyticCollector(space)}, space, CollectOptions{
+			Workloads: []float64{0, 0.3, 0.7, 1},
+			Configs:   6,
+			Seed:      11,
+			DropRate:  0.15,
+			Workers:   workers,
+			Obs:       reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := reg.Snapshot()
+		delete(snap.Gauges, "par.collect.workers")
+		blob, err := snap.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ds, blob
+	}
+	refDS, refSnap := run(1)
+	if refDS.Dropped == 0 || len(refDS.Samples) == 0 {
+		t.Fatalf("test wants both kept and dropped samples, got %d/%d", len(refDS.Samples), refDS.Dropped)
+	}
+	for _, workers := range []int{2, 4} {
+		gotDS, gotSnap := run(workers)
+		if !reflect.DeepEqual(refDS, gotDS) {
+			t.Errorf("workers=%d: dataset differs from serial run", workers)
+		}
+		if !bytes.Equal(refSnap, gotSnap) {
+			t.Errorf("workers=%d: obs snapshot differs from serial run:\n%s\nvs\n%s", workers, gotSnap, refSnap)
+		}
+	}
+}
+
+// TestCollectErrorDeterministicAcrossWorkers: when several samples
+// fail, the reported error must be the one the serial loop would have
+// hit first, for any worker count.
+func TestCollectErrorDeterministicAcrossWorkers(t *testing.T) {
+	space := config.Cassandra()
+	boom := errors.New("generator crashed")
+	failing := CollectorFunc(func(rr float64, cfg config.Config, seed int64) (float64, error) {
+		if seed%3 == 0 {
+			return 0, boom
+		}
+		return 1, nil
+	})
+	var refMsg string
+	for _, workers := range []int{1, 2, 4} {
+		_, err := Collect(failing, space, CollectOptions{
+			Workloads: []float64{0, 0.5, 1},
+			Configs:   5,
+			Seed:      21,
+			Workers:   workers,
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want wrapped %v", workers, err, boom)
+		}
+		if workers == 1 {
+			refMsg = err.Error()
+		} else if err.Error() != refMsg {
+			t.Errorf("workers=%d: error %q, serial %q", workers, err.Error(), refMsg)
+		}
+	}
+}

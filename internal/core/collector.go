@@ -6,6 +6,8 @@ import (
 	"math/rand"
 
 	"rafiki/internal/config"
+	"rafiki/internal/obs"
+	"rafiki/internal/par"
 )
 
 // CollectOptions tunes the training-data collection stage.
@@ -21,6 +23,15 @@ type CollectOptions struct {
 	// DropRate simulates faulted samples removed from the dataset (the
 	// paper drops 20 of 220 for client faults); 0 keeps everything.
 	DropRate float64
+	// Workers bounds how many samples run concurrently; <= 0 means one
+	// per CPU. Sample seeds and the drop schedule are fixed before any
+	// sample runs, and results land in index-addressed slots, so every
+	// worker count yields the same dataset.
+	Workers int
+	// Obs, when non-nil, receives the collection stage's worker gauge
+	// and task counter, plus each sample's telemetry (via ObsCollector
+	// stages merged in sample order).
+	Obs *obs.Registry
 }
 
 // DefaultCollectOptions mirrors the paper's data-collection setup.
@@ -99,7 +110,17 @@ func Collect(c Collector, space *config.Space, opts CollectOptions) (Dataset, er
 	}
 	rng := rand.New(rand.NewSource(opts.Seed + 1))
 
+	// Per-sample seeds and the drop schedule are decided sequentially up
+	// front — the rng consumption order is fixed before any benchmarking
+	// starts — so the surviving task list is identical for every worker
+	// count. The samples themselves then fan out.
+	type task struct {
+		cfg  config.Config
+		rr   float64
+		seed int64
+	}
 	var ds Dataset
+	var tasks []task
 	seed := opts.Seed + 1000
 	for _, cfg := range configs {
 		for _, rr := range opts.Workloads {
@@ -110,12 +131,36 @@ func Collect(c Collector, space *config.Space, opts CollectOptions) (Dataset, er
 				ds.Dropped++
 				continue
 			}
-			tput, err := c.Sample(rr, cfg, seed)
-			if err != nil {
-				return Dataset{}, fmt.Errorf("core: sampling %s at RR=%v: %w", space.Describe(cfg), rr, err)
-			}
-			ds.Samples = append(ds.Samples, Sample{ReadRatio: rr, Config: cfg.Clone(), Throughput: tput})
+			tasks = append(tasks, task{cfg: cfg, rr: rr, seed: seed})
 		}
+	}
+
+	oc, hasObs := c.(ObsCollector)
+	tputs := make([]float64, len(tasks))
+	stages := make([]*obs.Registry, len(tasks))
+	err = par.Do(len(tasks), par.Options{Workers: opts.Workers, Name: "collect", Obs: opts.Obs}, func(i int) error {
+		t := tasks[i]
+		var tput float64
+		var err error
+		if hasObs {
+			stage := opts.Obs.Stage()
+			stages[i] = stage
+			tput, err = oc.SampleObs(t.rr, t.cfg, t.seed, stage)
+		} else {
+			tput, err = c.Sample(t.rr, t.cfg, t.seed)
+		}
+		if err != nil {
+			return fmt.Errorf("core: sampling %s at RR=%v: %w", space.Describe(t.cfg), t.rr, err)
+		}
+		tputs[i] = tput
+		return nil
+	})
+	if err != nil {
+		return Dataset{}, err
+	}
+	for i, t := range tasks {
+		opts.Obs.Merge(stages[i])
+		ds.Samples = append(ds.Samples, Sample{ReadRatio: t.rr, Config: t.cfg.Clone(), Throughput: tputs[i]})
 	}
 	return ds, nil
 }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"rafiki/internal/config"
+	"rafiki/internal/obs"
 )
 
 // Collector benchmarks one (workload, configuration) point and returns
@@ -28,6 +29,17 @@ type CollectorFunc func(readRatio float64, cfg config.Config, seed int64) (float
 // Sample implements Collector.
 func (f CollectorFunc) Sample(readRatio float64, cfg config.Config, seed int64) (float64, error) {
 	return f(readRatio, cfg, seed)
+}
+
+// ObsCollector is a Collector whose samples emit telemetry. When
+// Collect runs samples concurrently it hands each sample its own stage
+// registry (see obs.Registry.Stage) instead of a shared one, then
+// merges the stages in sample order — keeping the final snapshot
+// byte-identical for every worker count. reg may be nil (telemetry
+// disabled).
+type ObsCollector interface {
+	Collector
+	SampleObs(readRatio float64, cfg config.Config, seed int64, reg *obs.Registry) (float64, error)
 }
 
 // Sample is one training observation S_i = {W_i, C_i, P_i}

@@ -71,6 +71,10 @@ func (s *Surrogate) Optimize(readRatio float64, opts ga.Options) (OptimizeResult
 			Integer: p.Kind != config.Continuous,
 		}
 	}
+	// The GA prefers BatchFitness: one ensemble batch call per brood,
+	// with the feature-vector scratch reused across generations. The
+	// scalar Fitness stays as the single-candidate fallback.
+	var vecs [][]float64
 	problem := ga.Problem{
 		Bounds: bounds,
 		Fitness: func(genes []float64) (float64, error) {
@@ -78,6 +82,16 @@ func (s *Surrogate) Optimize(readRatio float64, opts ga.Options) (OptimizeResult
 			vec = append(vec, readRatio)
 			vec = append(vec, genes...)
 			return s.Model.Predict(vec)
+		},
+		BatchFitness: func(genes [][]float64, out []float64) error {
+			for len(vecs) < len(genes) {
+				vecs = append(vecs, nil)
+			}
+			for i, g := range genes {
+				v := append(vecs[i][:0], readRatio)
+				vecs[i] = append(v, g...)
+			}
+			return s.Model.PredictBatchInto(out, vecs[:len(genes)])
 		},
 	}
 	res, err := ga.Run(problem, opts)

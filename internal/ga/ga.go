@@ -31,6 +31,14 @@ type Problem struct {
 	// raw (possibly infeasible) vectors; the GA applies penalties
 	// separately.
 	Fitness func([]float64) (float64, error)
+	// BatchFitness, when non-nil, scores many candidates at once into
+	// out (same length as genes) and is preferred over Fitness for
+	// every evaluation the GA makes — seeding, offspring, and champion
+	// repair alike. A surrogate-backed problem implements it with one
+	// ensemble batch-prediction call, which amortizes normalization and
+	// lets the model fan the rows across cores. out[i] must depend only
+	// on genes[i], so results are order- and batch-size-independent.
+	BatchFitness func(genes [][]float64, out []float64) error
 }
 
 // Options tunes the search.
@@ -90,7 +98,7 @@ func Run(p Problem, opts Options) (Result, error) {
 	if len(p.Bounds) == 0 {
 		return Result{}, fmt.Errorf("ga: no bounds")
 	}
-	if p.Fitness == nil {
+	if p.Fitness == nil && p.BatchFitness == nil {
 		return Result{}, fmt.Errorf("ga: nil fitness function")
 	}
 	for i, b := range p.Bounds {
@@ -114,6 +122,7 @@ func Run(p Problem, opts Options) (Result, error) {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	res := Result{}
 	evals := opts.Obs.Counter("ga.evaluations")
+	batchEvals := opts.Obs.Counter("ga.batch_evals")
 
 	// score = raw fitness minus scaled violation (Deb-style penalty: a
 	// candidate violating constraints can still carry information, but
@@ -124,29 +133,53 @@ func Run(p Problem, opts Options) (Result, error) {
 		raw   float64
 	}
 
-	eval := func(genes []float64) (raw, score float64, err error) {
-		raw, err = p.Fitness(genes)
-		if err != nil {
-			return 0, 0, err
+	// All evaluations route through evalBatch: the whole seeding
+	// population and each generation's offspring are scored with one
+	// BatchFitness call (or a Fitness loop when the problem has no batch
+	// path). Fitness functions consume no GA randomness, so hoisting
+	// gene generation ahead of evaluation leaves the rng stream — and
+	// therefore every result — identical to individual-at-a-time
+	// evaluation (TestBatchFitnessEquivalence pins this).
+	raws := make([]float64, opts.Population)
+	scores := make([]float64, opts.Population)
+	evalBatch := func(genes [][]float64, raws, scores []float64) error {
+		if p.BatchFitness != nil {
+			if err := p.BatchFitness(genes, raws); err != nil {
+				return err
+			}
+		} else {
+			for i, g := range genes {
+				r, err := p.Fitness(g)
+				if err != nil {
+					return err
+				}
+				raws[i] = r
+			}
 		}
-		v := violation(genes, p.Bounds)
-		score = raw - opts.PenaltyCoeff*v*(1+math.Abs(raw))
-		return raw, score, nil
+		for i, g := range genes {
+			v := violation(g, p.Bounds)
+			scores[i] = raws[i] - opts.PenaltyCoeff*v*(1+math.Abs(raws[i]))
+		}
+		res.Evaluations += len(genes)
+		evals.Add(uint64(len(genes)))
+		batchEvals.Inc()
+		return nil
 	}
 
 	pop := make([]indiv, opts.Population)
+	genesBuf := make([][]float64, opts.Population)
 	for i := range pop {
 		genes := make([]float64, len(p.Bounds))
 		for j, b := range p.Bounds {
 			genes[j] = b.Min + rng.Float64()*(b.Max-b.Min)
 		}
-		raw, score, err := eval(genes)
-		if err != nil {
-			return Result{}, err
-		}
-		pop[i] = indiv{genes: genes, score: score, raw: raw}
-		res.Evaluations++
-		evals.Inc()
+		genesBuf[i] = genes
+	}
+	if err := evalBatch(genesBuf, raws, scores); err != nil {
+		return Result{}, err
+	}
+	for i := range pop {
+		pop[i] = indiv{genes: genesBuf[i], score: scores[i], raw: raws[i]}
 	}
 
 	var bestRepaired []float64
@@ -190,12 +223,11 @@ func Run(p Problem, opts Options) (Result, error) {
 		res.History = append(res.History, genBest.raw)
 
 		repaired := Repair(genBest.genes, p.Bounds)
-		rf, err := p.Fitness(repaired)
-		if err != nil {
+		genesBuf[0] = repaired
+		if err := evalBatch(genesBuf[:1], raws[:1], scores[:1]); err != nil {
 			return Result{}, err
 		}
-		res.Evaluations++
-		evals.Inc()
+		rf := raws[0]
 		if rf > bestRepairedFitness {
 			bestRepairedFitness = rf
 			bestRepaired = repaired
@@ -223,7 +255,11 @@ func Run(p Problem, opts Options) (Result, error) {
 			next = append(next, pop[order[i]])
 		}
 
-		for len(next) < opts.Population {
+		// Generate every offspring first (consuming the rng in the same
+		// order as one-at-a-time evaluation would), then score the whole
+		// brood with a single batch call.
+		offspring := genesBuf[:0]
+		for n := len(next); n+len(offspring) < opts.Population; {
 			a := tournament()
 			child := append([]float64(nil), a.genes...)
 			if rng.Float64() < opts.CrossoverProb {
@@ -231,13 +267,13 @@ func Run(p Problem, opts Options) (Result, error) {
 				child = crossover(rng, a.genes, b.genes)
 			}
 			mutate(rng, child, p.Bounds, opts.MutationProb, opts.MutationSigma)
-			raw, score, err := eval(child)
-			if err != nil {
-				return Result{}, err
-			}
-			res.Evaluations++
-			evals.Inc()
-			next = append(next, indiv{genes: child, score: score, raw: raw})
+			offspring = append(offspring, child)
+		}
+		if err := evalBatch(offspring, raws[:len(offspring)], scores[:len(offspring)]); err != nil {
+			return Result{}, err
+		}
+		for i, child := range offspring {
+			next = append(next, indiv{genes: child, score: scores[i], raw: raws[i]})
 		}
 		pop = next
 		recordGen(gen, genStartEvals, genBest.raw)

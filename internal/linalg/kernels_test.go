@@ -1,0 +1,338 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// naiveAtA is the reference Gram product: the plain triple loop with
+// sample rows accumulating in ascending order. AtAInto must match it
+// bit for bit.
+func naiveAtA(m *Matrix) *Matrix {
+	out := New(m.Cols, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for a := 0; a < m.Cols; a++ {
+			va := m.At(i, a)
+			if va == 0 {
+				continue
+			}
+			for b := a; b < m.Cols; b++ {
+				out.Set(a, b, out.At(a, b)+va*m.At(i, b))
+			}
+		}
+	}
+	for a := 0; a < m.Cols; a++ {
+		for b := a + 1; b < m.Cols; b++ {
+			out.Set(b, a, out.At(a, b))
+		}
+	}
+	return out
+}
+
+// naiveAtVec is the reference Jᵀe product with ascending-row
+// accumulation. AtVecInto must match it bit for bit.
+func naiveAtVec(m *Matrix, v []float64) []float64 {
+	out := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		vi := v[i]
+		if vi == 0 {
+			continue
+		}
+		for j := 0; j < m.Cols; j++ {
+			out[j] += m.At(i, j) * vi
+		}
+	}
+	return out
+}
+
+// naiveMulVec is the reference row-by-row dot product, summed left to
+// right. MulVecInto uses pairwise partial sums, so it only has to match
+// within tolerance.
+func naiveMulVec(m *Matrix, v []float64) []float64 {
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		var sum float64
+		for j := 0; j < m.Cols; j++ {
+			sum += m.At(i, j) * v[j]
+		}
+		out[i] = sum
+	}
+	return out
+}
+
+// TestAtAIntoBitIdentical sweeps random shapes — including ones that
+// straddle the block size and the 4-wide unroll tail — and requires the
+// blocked kernel to reproduce the naive loop exactly.
+func TestAtAIntoBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		rows := 1 + rng.Intn(3*ataBlock)
+		cols := 1 + rng.Intn(13)
+		m := randomMatrix(rng, rows, cols)
+		want := naiveAtA(m)
+		got := New(cols, cols)
+		if err := m.AtAInto(got); err != nil {
+			t.Fatal(err)
+		}
+		for i := range got.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("trial %d (%dx%d): AtAInto[%d] = %v, naive = %v (bit mismatch)",
+					trial, rows, cols, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+	bad := New(2, 2)
+	if err := New(3, 3).AtAInto(bad); err == nil {
+		t.Error("shape mismatch should error")
+	}
+}
+
+func TestAtVecIntoBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 40; trial++ {
+		rows := 1 + rng.Intn(50)
+		cols := 1 + rng.Intn(13)
+		m := randomMatrix(rng, rows, cols)
+		v := make([]float64, rows)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		want := naiveAtVec(m, v)
+		got := make([]float64, cols)
+		if err := m.AtVecInto(got, v); err != nil {
+			t.Fatal(err)
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("trial %d (%dx%d): AtVecInto[%d] = %v, naive = %v (bit mismatch)",
+					trial, rows, cols, j, got[j], want[j])
+			}
+		}
+	}
+	if err := New(3, 2).AtVecInto(make([]float64, 3), make([]float64, 3)); err == nil {
+		t.Error("out length mismatch should error")
+	}
+}
+
+func TestMulVecIntoMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		rows := 1 + rng.Intn(20)
+		cols := 1 + rng.Intn(23)
+		m := randomMatrix(rng, rows, cols)
+		v := make([]float64, cols)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		want := naiveMulVec(m, v)
+		got := make([]float64, rows)
+		if err := m.MulVecInto(got, v); err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-12*(1+math.Abs(want[i])) {
+				t.Fatalf("trial %d (%dx%d): MulVecInto[%d] = %v, naive = %v",
+					trial, rows, cols, i, got[i], want[i])
+			}
+		}
+	}
+	if err := New(2, 3).MulVecInto(make([]float64, 3), make([]float64, 3)); err == nil {
+		t.Error("out length mismatch should error")
+	}
+}
+
+func TestScaleFrom(t *testing.T) {
+	src, _ := FromRows([][]float64{{1, -2}, {3, 4}})
+	dst := New(2, 2)
+	if err := dst.ScaleFrom(src, 2); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := FromRows([][]float64{{2, -4}, {6, 8}})
+	if !matEqual(dst, want, 0) {
+		t.Errorf("ScaleFrom = %+v, want %+v", dst, want)
+	}
+	if err := New(1, 2).ScaleFrom(src, 1); err == nil {
+		t.Error("shape mismatch should error")
+	}
+}
+
+func TestSolverReuseAcrossSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	var s Solver
+	for _, n := range []int{4, 4, 7, 3} {
+		j := randomMatrix(rng, n+3, n)
+		a := j.AtA()
+		if err := a.AddDiagonal(0.2); err != nil {
+			t.Fatal(err)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x := make([]float64, n)
+		if err := s.SolveSPD(a, b, x); err != nil {
+			t.Fatal(err)
+		}
+		want, err := a.SolveSPD(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if x[i] != want[i] {
+				t.Fatalf("n=%d: Solver x[%d] = %v, Matrix x = %v", n, i, x[i], want[i])
+			}
+		}
+		tr, err := s.TraceInverseSPD(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantTr, err := a.TraceInverseSPD()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr != wantTr {
+			t.Fatalf("n=%d: Solver trace %v, Matrix trace %v", n, tr, wantTr)
+		}
+	}
+	// Error paths.
+	notSPD, _ := FromRows([][]float64{{1, 2}, {2, 1}})
+	if err := s.SolveSPD(notSPD, []float64{1, 2}, make([]float64, 2)); err == nil {
+		t.Error("non-SPD should error")
+	}
+	if _, err := s.TraceInverseSPD(notSPD); err == nil {
+		t.Error("non-SPD trace should error")
+	}
+	id := Identity(3)
+	if err := s.SolveSPD(id, []float64{1}, make([]float64, 3)); err == nil {
+		t.Error("b length mismatch should error")
+	}
+	if err := s.SolveSPD(id, []float64{1, 2, 3}, make([]float64, 1)); err == nil {
+		t.Error("x length mismatch should error")
+	}
+}
+
+// TestKernelAllocGuard pins the zero-allocation contract of the Into
+// kernels and the warmed-up Solver: a regression that reintroduces a
+// per-call allocation fails here, not just in a benchmark nobody reads.
+func TestKernelAllocGuard(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	m := randomMatrix(rng, 64, 12)
+	v := make([]float64, 64)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	gram := New(12, 12)
+	atv := make([]float64, 12)
+	mv := make([]float64, 64)
+	vcols := make([]float64, 12)
+	for i := range vcols {
+		vcols[i] = rng.NormFloat64()
+	}
+	var s Solver
+	spd := m.AtA()
+	if err := spd.AddDiagonal(0.5); err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 12)
+	if err := s.SolveSPD(spd, atv, x); err != nil { // warm the scratch
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"AtAInto", func() { _ = m.AtAInto(gram) }},
+		{"AtVecInto", func() { _ = m.AtVecInto(atv, v) }},
+		{"MulVecInto", func() { _ = m.MulVecInto(mv, vcols) }},
+		{"ScaleFrom", func() { _ = gram.ScaleFrom(spd, 2) }},
+		{"SolverSolveSPD", func() { _ = s.SolveSPD(spd, atv, x) }},
+		{"SolverTraceInverseSPD", func() { _, _ = s.TraceInverseSPD(spd) }},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(20, tc.fn); allocs != 0 {
+			t.Errorf("%s allocates %v per call, want 0", tc.name, allocs)
+		}
+	}
+}
+
+func benchMatrix(rows, cols int) (*Matrix, []float64, []float64) {
+	rng := rand.New(rand.NewSource(99))
+	m := randomMatrix(rng, rows, cols)
+	vr := make([]float64, rows)
+	vc := make([]float64, cols)
+	for i := range vr {
+		vr[i] = rng.NormFloat64()
+	}
+	for i := range vc {
+		vc[i] = rng.NormFloat64()
+	}
+	return m, vr, vc
+}
+
+func BenchmarkAtA(b *testing.B) {
+	m, _, _ := benchMatrix(256, 41)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = m.AtA()
+	}
+}
+
+func BenchmarkAtAInto(b *testing.B) {
+	m, _, _ := benchMatrix(256, 41)
+	dst := New(41, 41)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = m.AtAInto(dst)
+	}
+}
+
+func BenchmarkAtVecInto(b *testing.B) {
+	m, vr, _ := benchMatrix(256, 41)
+	out := make([]float64, 41)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = m.AtVecInto(out, vr)
+	}
+}
+
+func BenchmarkMulVecInto(b *testing.B) {
+	m, _, vc := benchMatrix(256, 41)
+	out := make([]float64, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = m.MulVecInto(out, vc)
+	}
+}
+
+func BenchmarkSolverSolveSPD(b *testing.B) {
+	m, _, vc := benchMatrix(256, 41)
+	spd := m.AtA()
+	if err := spd.AddDiagonal(0.5); err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, 41)
+	var s Solver
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := s.SolveSPD(spd, vc, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolverTraceInverseSPD(b *testing.B) {
+	m, _, _ := benchMatrix(256, 41)
+	spd := m.AtA()
+	if err := spd.AddDiagonal(0.5); err != nil {
+		b.Fatal(err)
+	}
+	var s Solver
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.TraceInverseSPD(spd); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -4,8 +4,19 @@
 // positive-definite solves via Cholesky, and traces. Matrices are dense
 // row-major float64.
 //
-// The networks involved are tiny (on the order of 10^2 weights), so
-// clarity is preferred over blocking or SIMD tricks.
+// The hot kernels (AtA, AtVec, MulVec, the SPD solve) come in two
+// forms: allocating convenience methods, and *Into variants writing
+// into caller-owned buffers. The Into variants are what the trainer's
+// inner loop uses — together with Solver they make an LM epoch
+// allocation-free. AtAInto is row-blocked so the Gram accumulation
+// streams the output matrix once per block instead of once per sample
+// row; the vector kernels unroll the inner loop four-wide. AtAInto and
+// AtVecInto keep the exact per-element accumulation order of the naive
+// loops, so their results are bit-identical to the reference
+// implementations, not just close; MulVecInto combines four partial
+// sums pairwise and is therefore reference-equal only to within
+// rounding (the property tests in matrix_test.go pin both claims
+// down).
 package linalg
 
 import (
@@ -95,19 +106,42 @@ func (m *Matrix) Mul(other *Matrix) (*Matrix, error) {
 
 // MulVec returns m * v for a column vector v.
 func (m *Matrix) MulVec(v []float64) ([]float64, error) {
-	if m.Cols != len(v) {
-		return nil, fmt.Errorf("linalg: mulvec shape mismatch %dx%d * %d", m.Rows, m.Cols, len(v))
-	}
 	out := make([]float64, m.Rows)
+	if err := m.MulVecInto(out, v); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MulVecInto computes m * v into out (length m.Rows) without
+// allocating. The dot product per row runs four accumulators wide, so
+// the compiler can keep independent FMA chains in flight; the partial
+// sums are combined pairwise.
+func (m *Matrix) MulVecInto(out, v []float64) error {
+	if m.Cols != len(v) {
+		return fmt.Errorf("linalg: mulvec shape mismatch %dx%d * %d", m.Rows, m.Cols, len(v))
+	}
+	if len(out) != m.Rows {
+		return fmt.Errorf("linalg: mulvec out length %d, want %d", len(out), m.Rows)
+	}
+	n := m.Cols
 	for i := 0; i < m.Rows; i++ {
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		var sum float64
-		for j, a := range row {
-			sum += a * v[j]
+		row := m.Data[i*n : (i+1)*n]
+		var s0, s1, s2, s3 float64
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			s0 += row[j] * v[j]
+			s1 += row[j+1] * v[j+1]
+			s2 += row[j+2] * v[j+2]
+			s3 += row[j+3] * v[j+3]
+		}
+		sum := (s0 + s1) + (s2 + s3)
+		for ; j < n; j++ {
+			sum += row[j] * v[j]
 		}
 		out[i] = sum
 	}
-	return out, nil
+	return nil
 }
 
 // Transpose returns a new matrix that is the transpose of m.
@@ -121,49 +155,126 @@ func (m *Matrix) Transpose() *Matrix {
 	return t
 }
 
+// ataBlock is the row-block size of AtAInto: blocks of this many
+// sample rows are streamed against each output row, so a block's rows
+// stay cache-hot while the (cols x cols) output matrix is traversed
+// once per block instead of once per sample row.
+const ataBlock = 32
+
 // AtA returns mᵀ * m, the Gram matrix, computed symmetrically. This is
 // the Gauss-Newton approximation JᵀJ used by the LM trainer.
 func (m *Matrix) AtA() *Matrix {
 	out := New(m.Cols, m.Cols)
-	for i := 0; i < m.Rows; i++ {
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		for a := 0; a < m.Cols; a++ {
-			va := row[a]
-			if va == 0 {
-				continue
-			}
-			outRow := out.Data[a*m.Cols : (a+1)*m.Cols]
-			for b := a; b < m.Cols; b++ {
-				outRow[b] += va * row[b]
+	m.ataInto(out)
+	return out
+}
+
+// AtAInto computes mᵀ * m into dst, which must be m.Cols x m.Cols. The
+// accumulation is row-blocked and only fills the upper triangle before
+// mirroring; per output element the sample rows accumulate in
+// ascending order, so the result is bit-identical to the naive
+// triple loop.
+func (m *Matrix) AtAInto(dst *Matrix) error {
+	if dst.Rows != m.Cols || dst.Cols != m.Cols {
+		return fmt.Errorf("linalg: AtA dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, m.Cols, m.Cols)
+	}
+	m.ataInto(dst)
+	return nil
+}
+
+func (m *Matrix) ataInto(out *Matrix) {
+	cols := m.Cols
+	for i := range out.Data {
+		out.Data[i] = 0
+	}
+	for blk := 0; blk < m.Rows; blk += ataBlock {
+		end := blk + ataBlock
+		if end > m.Rows {
+			end = m.Rows
+		}
+		for a := 0; a < cols; a++ {
+			outRow := out.Data[a*cols : (a+1)*cols]
+			for i := blk; i < end; i++ {
+				row := m.Data[i*cols : (i+1)*cols]
+				va := row[a]
+				if va == 0 {
+					continue
+				}
+				b := a
+				for ; b+4 <= cols; b += 4 {
+					outRow[b] += va * row[b]
+					outRow[b+1] += va * row[b+1]
+					outRow[b+2] += va * row[b+2]
+					outRow[b+3] += va * row[b+3]
+				}
+				for ; b < cols; b++ {
+					outRow[b] += va * row[b]
+				}
 			}
 		}
 	}
 	// Mirror the upper triangle.
-	for a := 0; a < m.Cols; a++ {
-		for b := a + 1; b < m.Cols; b++ {
+	for a := 0; a < cols; a++ {
+		for b := a + 1; b < cols; b++ {
 			out.Set(b, a, out.At(a, b))
 		}
 	}
-	return out
 }
 
 // AtVec returns mᵀ * v (the Jᵀe product in LM updates).
 func (m *Matrix) AtVec(v []float64) ([]float64, error) {
-	if m.Rows != len(v) {
-		return nil, fmt.Errorf("linalg: atvec shape mismatch %dx%d with %d", m.Rows, m.Cols, len(v))
-	}
 	out := make([]float64, m.Cols)
+	if err := m.AtVecInto(out, v); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AtVecInto computes mᵀ * v into out (length m.Cols) without
+// allocating, with the inner axpy unrolled four-wide. Per output
+// element the accumulation order over sample rows is unchanged, so the
+// result is bit-identical to the naive loop.
+func (m *Matrix) AtVecInto(out, v []float64) error {
+	if m.Rows != len(v) {
+		return fmt.Errorf("linalg: atvec shape mismatch %dx%d with %d", m.Rows, m.Cols, len(v))
+	}
+	if len(out) != m.Cols {
+		return fmt.Errorf("linalg: atvec out length %d, want %d", len(out), m.Cols)
+	}
+	cols := m.Cols
+	for j := range out {
+		out[j] = 0
+	}
 	for i := 0; i < m.Rows; i++ {
 		vi := v[i]
 		if vi == 0 {
 			continue
 		}
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		for j, a := range row {
-			out[j] += a * vi
+		row := m.Data[i*cols : (i+1)*cols]
+		j := 0
+		for ; j+4 <= cols; j += 4 {
+			out[j] += row[j] * vi
+			out[j+1] += row[j+1] * vi
+			out[j+2] += row[j+2] * vi
+			out[j+3] += row[j+3] * vi
+		}
+		for ; j < cols; j++ {
+			out[j] += row[j] * vi
 		}
 	}
-	return out, nil
+	return nil
+}
+
+// ScaleFrom overwrites m with src scaled by s. Shapes must match. This
+// is the trainer's "H = beta * JᵀJ" step done without a Clone.
+func (m *Matrix) ScaleFrom(src *Matrix, s float64) error {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		return fmt.Errorf("linalg: ScaleFrom shape %dx%d from %dx%d", m.Rows, m.Cols, src.Rows, src.Cols)
+	}
+	for i, v := range src.Data {
+		m.Data[i] = v * s
+	}
+	return nil
 }
 
 // AddDiagonal adds v to every diagonal element in place (the LM damping
@@ -190,14 +301,14 @@ func (m *Matrix) Trace() (float64, error) {
 	return t, nil
 }
 
-// Cholesky computes the lower-triangular factor L with m = L*Lᵀ. It
-// returns ErrNotSPD when m is not positive definite.
-func (m *Matrix) Cholesky() (*Matrix, error) {
+// choleskyInto factors m = L*Lᵀ into the caller-owned l, writing only
+// the lower triangle (the substitution routines never read above the
+// diagonal, so the upper triangle may hold stale values).
+func choleskyInto(m, l *Matrix) error {
 	if m.Rows != m.Cols {
-		return nil, fmt.Errorf("linalg: cholesky of non-square %dx%d", m.Rows, m.Cols)
+		return fmt.Errorf("linalg: cholesky of non-square %dx%d", m.Rows, m.Cols)
 	}
 	n := m.Rows
-	l := New(n, n)
 	for i := 0; i < n; i++ {
 		for j := 0; j <= i; j++ {
 			sum := m.At(i, j)
@@ -206,7 +317,7 @@ func (m *Matrix) Cholesky() (*Matrix, error) {
 			}
 			if i == j {
 				if sum <= 0 || math.IsNaN(sum) {
-					return nil, ErrNotSPD
+					return ErrNotSPD
 				}
 				l.Set(i, i, math.Sqrt(sum))
 			} else {
@@ -214,22 +325,25 @@ func (m *Matrix) Cholesky() (*Matrix, error) {
 			}
 		}
 	}
+	return nil
+}
+
+// Cholesky computes the lower-triangular factor L with m = L*Lᵀ. It
+// returns ErrNotSPD when m is not positive definite.
+func (m *Matrix) Cholesky() (*Matrix, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("linalg: cholesky of non-square %dx%d", m.Rows, m.Cols)
+	}
+	l := New(m.Rows, m.Rows)
+	if err := choleskyInto(m, l); err != nil {
+		return nil, err
+	}
 	return l, nil
 }
 
-// SolveSPD solves m*x = b for symmetric positive-definite m via
-// Cholesky factorization.
-func (m *Matrix) SolveSPD(b []float64) ([]float64, error) {
-	if m.Rows != len(b) {
-		return nil, fmt.Errorf("linalg: solve shape mismatch %dx%d with %d", m.Rows, m.Cols, len(b))
-	}
-	l, err := m.Cholesky()
-	if err != nil {
-		return nil, err
-	}
-	n := m.Rows
-	// Forward substitution: L*y = b.
-	y := make([]float64, n)
+// forwardSub solves L*y = b for lower-triangular l.
+func forwardSub(l *Matrix, b, y []float64) {
+	n := l.Rows
 	for i := 0; i < n; i++ {
 		sum := b[i]
 		for k := 0; k < i; k++ {
@@ -237,14 +351,27 @@ func (m *Matrix) SolveSPD(b []float64) ([]float64, error) {
 		}
 		y[i] = sum / l.At(i, i)
 	}
-	// Back substitution: Lᵀ*x = y.
-	x := make([]float64, n)
+}
+
+// backSub solves Lᵀ*x = y for lower-triangular l.
+func backSub(l *Matrix, y, x []float64) {
+	n := l.Rows
 	for i := n - 1; i >= 0; i-- {
 		sum := y[i]
 		for k := i + 1; k < n; k++ {
 			sum -= l.At(k, i) * x[k]
 		}
 		x[i] = sum / l.At(i, i)
+	}
+}
+
+// SolveSPD solves m*x = b for symmetric positive-definite m via
+// Cholesky factorization.
+func (m *Matrix) SolveSPD(b []float64) ([]float64, error) {
+	var s Solver
+	x := make([]float64, m.Rows)
+	if err := s.SolveSPD(m, b, x); err != nil {
+		return nil, err
 	}
 	return x, nil
 }
@@ -254,12 +381,56 @@ func (m *Matrix) SolveSPD(b []float64) ([]float64, error) {
 // tr(m⁻¹) = ||L⁻¹||_F², accumulated one forward substitution per
 // column. This is the quantity MacKay's evidence update needs.
 func (m *Matrix) TraceInverseSPD() (float64, error) {
+	var s Solver
+	return s.TraceInverseSPD(m)
+}
+
+// Solver owns the factorization and substitution scratch for repeated
+// SPD solves of the same (or varying) dimension. The LM trainer keeps
+// one per training run: each damping retry re-factors into the same
+// buffers, making the epoch loop allocation-free. The zero value is
+// ready to use. Not safe for concurrent use.
+type Solver struct {
+	l *Matrix
+	y []float64
+}
+
+// ensure sizes the scratch for n-by-n systems.
+func (s *Solver) ensure(n int) {
+	if s.l == nil || s.l.Rows != n {
+		s.l = New(n, n)
+		s.y = make([]float64, n)
+	}
+}
+
+// SolveSPD solves m*x = b into caller-owned x (length m.Rows), reusing
+// the solver's factorization scratch. Returns ErrNotSPD when m is not
+// positive definite; x's contents are then unspecified.
+func (s *Solver) SolveSPD(m *Matrix, b, x []float64) error {
+	if m.Rows != len(b) {
+		return fmt.Errorf("linalg: solve shape mismatch %dx%d with %d", m.Rows, m.Cols, len(b))
+	}
+	if len(x) != m.Rows {
+		return fmt.Errorf("linalg: solve out length %d, want %d", len(x), m.Rows)
+	}
+	s.ensure(m.Rows)
+	if err := choleskyInto(m, s.l); err != nil {
+		return err
+	}
+	forwardSub(s.l, b, s.y)
+	backSub(s.l, s.y, x)
+	return nil
+}
+
+// TraceInverseSPD is the scratch-reusing form of
+// Matrix.TraceInverseSPD.
+func (s *Solver) TraceInverseSPD(m *Matrix) (float64, error) {
 	n := m.Rows
-	l, err := m.Cholesky()
-	if err != nil {
+	s.ensure(n)
+	if err := choleskyInto(m, s.l); err != nil {
 		return 0, err
 	}
-	y := make([]float64, n)
+	l, y := s.l, s.y
 	var trace float64
 	for j := 0; j < n; j++ {
 		for i := j; i < n; i++ {

@@ -5,8 +5,10 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"rafiki/internal/obs"
+	"rafiki/internal/par"
 )
 
 // Trainer selects the fitting algorithm for Model.
@@ -40,9 +42,17 @@ type ModelConfig struct {
 	GD GDOptions
 	// Seed derives each member's initialization.
 	Seed int64
+	// Workers bounds how many ensemble members train concurrently;
+	// <= 0 means one per CPU. Member k's initialization and trainer
+	// seeds depend only on Seed and k, and telemetry is staged and
+	// merged in member order, so any worker count produces the same
+	// model and the same observability snapshot. The fitted Model
+	// inherits this as its prediction-batch parallelism.
+	Workers int
 	// Obs, when non-nil, receives per-member training spans on the
 	// cumulative-epochs axis and is propagated to the BR trainer for
-	// per-epoch spans.
+	// per-epoch spans. Inherited by the fitted Model for batch-
+	// prediction counters.
 	Obs *obs.Registry
 }
 
@@ -66,7 +76,36 @@ type Model struct {
 	outNorm *ScalarNormalizer
 	nets    []*Network
 	results []TrainResult
+
+	// Workers bounds prediction-batch parallelism (<= 0: one worker
+	// per CPU). Runtime-only: it is not serialized, and batch results
+	// are index-addressed so any value yields identical output.
+	Workers int
+	// Obs, when non-nil, receives the batch-prediction counter and the
+	// batch stage's worker gauge. Runtime-only; not serialized.
+	Obs *obs.Registry
+
+	// wsPool recycles per-goroutine prediction scratch (normalized
+	// input + forward-pass workspace) across Predict/PredictBatch
+	// calls, keeping steady-state prediction allocation-free.
+	wsPool sync.Pool
 }
+
+// modelWS is one goroutine's prediction scratch.
+type modelWS struct {
+	nx   []float64
+	ws   Workspace
+	outs []float64
+}
+
+func (m *Model) getWS() *modelWS {
+	if v := m.wsPool.Get(); v != nil {
+		return v.(*modelWS)
+	}
+	return &modelWS{}
+}
+
+func (m *Model) putWS(w *modelWS) { m.wsPool.Put(w) }
 
 // Fit trains a surrogate on raw feature rows xs and raw targets ys.
 func Fit(xs [][]float64, ys []float64, cfg ModelConfig) (*Model, error) {
@@ -113,23 +152,31 @@ func Fit(xs [][]float64, ys []float64, cfg ModelConfig) (*Model, error) {
 		normY[i] = outNorm.Apply(y)
 	}
 
+	// Members train concurrently: member k's initialization and trainer
+	// seeds are pure functions of (cfg.Seed, k), results land in
+	// index-addressed slots, and each member's telemetry goes to its own
+	// obs stage, merged in member order below. Any worker count
+	// therefore produces a bit-identical model and snapshot (see
+	// TestFitDeterministicAcrossWorkers).
 	type member struct {
 		net *Network
 		res TrainResult
 	}
-	members := make([]member, 0, cfg.EnsembleSize)
-	totalEpochs := 0
-	for k := 0; k < cfg.EnsembleSize; k++ {
+	members := make([]member, cfg.EnsembleSize)
+	stages := make([]*obs.Registry, cfg.EnsembleSize)
+	err = par.Do(cfg.EnsembleSize, par.Options{Workers: cfg.Workers, Name: "nn.fit", Obs: cfg.Obs}, func(k int) error {
+		stage := cfg.Obs.Stage()
+		stages[k] = stage
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(k)*7919))
 		net, err := NewNetwork(len(xs[0]), cfg.Hidden, rng)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var res TrainResult
 		switch cfg.Trainer {
 		case TrainerBR:
 			br := cfg.BR
-			br.Obs = cfg.Obs
+			br.Obs = stage
 			res, err = TrainBR(net, normX, normY, br)
 		case TrainerGD:
 			gd := cfg.GD
@@ -139,8 +186,18 @@ func Fit(xs [][]float64, ys []float64, cfg ModelConfig) (*Model, error) {
 			err = fmt.Errorf("nn: unknown trainer %d", cfg.Trainer)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("nn: training member %d: %w", k, err)
+			return fmt.Errorf("nn: training member %d: %w", k, err)
 		}
+		members[k] = member{net: net, res: res}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	totalEpochs := 0
+	for k := range members {
+		cfg.Obs.Merge(stages[k])
+		res := members[k].res
 		if cfg.Obs != nil {
 			converged := 0.0
 			if res.Converged {
@@ -155,7 +212,6 @@ func Fit(xs [][]float64, ys []float64, cfg ModelConfig) (*Model, error) {
 			})
 		}
 		totalEpochs += res.Epochs
-		members = append(members, member{net: net, res: res})
 	}
 
 	// Simple ensemble pruning: drop the PruneFraction of members with
@@ -167,7 +223,7 @@ func Fit(xs [][]float64, ys []float64, cfg ModelConfig) (*Model, error) {
 	if keep < 1 {
 		keep = 1
 	}
-	m := &Model{inNorm: inNorm, outNorm: outNorm}
+	m := &Model{inNorm: inNorm, outNorm: outNorm, Workers: cfg.Workers, Obs: cfg.Obs}
 	for _, mem := range members[:keep] {
 		m.nets = append(m.nets, mem.net)
 		m.results = append(m.results, mem.res)
@@ -228,17 +284,18 @@ func (m *Model) Results() []TrainResult {
 	return append([]TrainResult(nil), m.results...)
 }
 
-// Predict returns the ensemble-mean prediction for a raw feature row.
-// One surrogate call costs microseconds — the property that lets the GA
-// explore thousands of configurations per second (Section 4.8).
-func (m *Model) Predict(x []float64) (float64, error) {
-	nx, err := m.inNorm.Apply(x)
-	if err != nil {
+// predictWS computes the ensemble-mean prediction using the given
+// scratch. The arithmetic is identical to the allocating path.
+func (m *Model) predictWS(w *modelWS, x []float64) (float64, error) {
+	if len(w.nx) != len(m.inNorm.Min) {
+		w.nx = make([]float64, len(m.inNorm.Min))
+	}
+	if err := m.inNorm.ApplyInto(w.nx, x); err != nil {
 		return 0, err
 	}
 	var sum float64
 	for _, net := range m.nets {
-		out, err := net.Forward(nx)
+		out, err := net.ForwardWS(&w.ws, w.nx)
 		if err != nil {
 			return 0, err
 		}
@@ -247,17 +304,52 @@ func (m *Model) Predict(x []float64) (float64, error) {
 	return m.outNorm.Invert(sum / float64(len(m.nets))), nil
 }
 
-// PredictBatch predicts every row, reusing the normalization.
+// Predict returns the ensemble-mean prediction for a raw feature row.
+// One surrogate call costs microseconds — the property that lets the GA
+// explore thousands of configurations per second (Section 4.8).
+// Scratch is pooled, so steady-state calls do not allocate; Predict is
+// safe to call concurrently.
+func (m *Model) Predict(x []float64) (float64, error) {
+	w := m.getWS()
+	defer m.putWS(w)
+	return m.predictWS(w, x)
+}
+
+// PredictBatch predicts every row, allocating only the result slice.
 func (m *Model) PredictBatch(xs [][]float64) ([]float64, error) {
 	out := make([]float64, len(xs))
-	for i, x := range xs {
-		p, err := m.Predict(x)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = p
+	if err := m.PredictBatchInto(out, xs); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// PredictBatchInto predicts every row of xs into out (same length),
+// fanning the rows across m.Workers goroutines in contiguous chunks.
+// Each chunk uses its own pooled scratch and writes index-addressed
+// results, so the output is identical for every worker count. When
+// m.Obs is enabled it counts rows on "nn.batch_predictions" and
+// reports the stage's worker occupancy.
+func (m *Model) PredictBatchInto(out []float64, xs [][]float64) error {
+	if len(out) != len(xs) {
+		return fmt.Errorf("nn: batch out length %d, want %d", len(out), len(xs))
+	}
+	if len(xs) == 0 {
+		return nil
+	}
+	m.Obs.Counter("nn.batch_predictions").Add(uint64(len(xs)))
+	return par.DoRange(len(xs), par.Options{Workers: m.Workers, Name: "nn.predict", Obs: m.Obs}, func(lo, hi int) error {
+		w := m.getWS()
+		defer m.putWS(w)
+		for i := lo; i < hi; i++ {
+			p, err := m.predictWS(w, xs[i])
+			if err != nil {
+				return err
+			}
+			out[i] = p
+		}
+		return nil
+	})
 }
 
 // PredictWithStd returns the ensemble-mean prediction and the standard
@@ -265,14 +357,21 @@ func (m *Model) PredictBatch(xs [][]float64) ([]float64, error) {
 // confidence signal: disagreement flags regions of the configuration
 // space the training data barely covers.
 func (m *Model) PredictWithStd(x []float64) (mean, std float64, err error) {
-	nx, err := m.inNorm.Apply(x)
-	if err != nil {
+	w := m.getWS()
+	defer m.putWS(w)
+	if len(w.nx) != len(m.inNorm.Min) {
+		w.nx = make([]float64, len(m.inNorm.Min))
+	}
+	if err := m.inNorm.ApplyInto(w.nx, x); err != nil {
 		return 0, 0, err
 	}
-	outs := make([]float64, len(m.nets))
+	if cap(w.outs) < len(m.nets) {
+		w.outs = make([]float64, len(m.nets))
+	}
+	outs := w.outs[:len(m.nets)]
 	var sum float64
 	for i, net := range m.nets {
-		out, err := net.Forward(nx)
+		out, err := net.ForwardWS(&w.ws, w.nx)
 		if err != nil {
 			return 0, 0, err
 		}

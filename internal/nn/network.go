@@ -125,18 +125,115 @@ func (n *Network) forwardActivations(x []float64) ([][]float64, error) {
 
 // Gradient computes d(output)/d(weights) at x via backpropagation,
 // writing into grad (length NumWeights). It returns the output value.
+// It allocates a throwaway workspace; hot loops should hold a
+// Workspace and call GradientWS instead.
 func (n *Network) Gradient(x []float64, grad []float64) (float64, error) {
+	var ws Workspace
+	return n.GradientWS(&ws, x, grad)
+}
+
+// Workspace holds the per-layer forward and backward scratch of one
+// network evaluation. It adapts to whatever architecture it is used
+// with (re-allocating only on a shape change), so one zero-value
+// Workspace serves a whole ensemble of same-shaped members across an
+// entire training run or prediction batch. Not safe for concurrent
+// use; give each goroutine its own.
+type Workspace struct {
+	// sizes is the architecture the buffers currently fit.
+	sizes []int
+	// acts[l] holds layer l's activations; acts[0] aliases the input
+	// row of the current evaluation.
+	acts [][]float64
+	// d1, d2 are the two backpropagation delta buffers, sized to the
+	// widest layer.
+	d1, d2 []float64
+}
+
+// ensure sizes the workspace for net's architecture.
+func (ws *Workspace) ensure(n *Network) {
+	if len(ws.sizes) == len(n.Sizes) {
+		same := true
+		for i, s := range n.Sizes {
+			if ws.sizes[i] != s {
+				same = false
+				break
+			}
+		}
+		if same {
+			return
+		}
+	}
+	ws.sizes = append(ws.sizes[:0], n.Sizes...)
+	ws.acts = make([][]float64, len(n.Sizes))
+	widest := 0
+	for l, s := range n.Sizes {
+		if l > 0 {
+			ws.acts[l] = make([]float64, s)
+		}
+		if s > widest {
+			widest = s
+		}
+	}
+	ws.d1 = make([]float64, widest)
+	ws.d2 = make([]float64, widest)
+}
+
+// forwardWS runs the forward pass into the workspace's activation
+// buffers and returns them. acts[0] aliases x. The arithmetic is
+// identical to forwardActivations, so results are bit-equal.
+func (n *Network) forwardWS(ws *Workspace, x []float64) ([][]float64, error) {
+	if len(x) != n.Sizes[0] {
+		return nil, fmt.Errorf("nn: input width %d, want %d", len(x), n.Sizes[0])
+	}
+	ws.ensure(n)
+	acts := ws.acts
+	acts[0] = x
+	for l := 0; l < len(n.Sizes)-1; l++ {
+		in, out := n.Sizes[l], n.Sizes[l+1]
+		w, b := n.layer(l)
+		next := acts[l+1]
+		prev := acts[l]
+		for o := 0; o < out; o++ {
+			sum := b[o]
+			row := w[o*in : (o+1)*in]
+			for i, v := range prev {
+				sum += row[i] * v
+			}
+			if l < len(n.Sizes)-2 {
+				sum = math.Tanh(sum)
+			}
+			next[o] = sum
+		}
+	}
+	return acts, nil
+}
+
+// ForwardWS is Forward with caller-owned scratch: after the first call
+// a forward pass allocates nothing.
+func (n *Network) ForwardWS(ws *Workspace, x []float64) (float64, error) {
+	acts, err := n.forwardWS(ws, x)
+	if err != nil {
+		return 0, err
+	}
+	return acts[len(acts)-1][0], nil
+}
+
+// GradientWS is Gradient with caller-owned scratch — the jacobian
+// loop's allocation-free form. Results are bit-equal to Gradient.
+func (n *Network) GradientWS(ws *Workspace, x []float64, grad []float64) (float64, error) {
 	if len(grad) != n.NumWeights() {
 		return 0, fmt.Errorf("nn: gradient buffer %d, want %d", len(grad), n.NumWeights())
 	}
-	acts, err := n.forwardActivations(x)
+	acts, err := n.forwardWS(ws, x)
 	if err != nil {
 		return 0, err
 	}
 	layers := len(n.Sizes) - 1
 
 	// delta starts as d(out)/d(preact of output) = 1 (linear output).
-	delta := []float64{1}
+	delta := ws.d1[:1]
+	delta[0] = 1
+	spare := ws.d2
 	for l := layers - 1; l >= 0; l-- {
 		in, out := n.Sizes[l], n.Sizes[l+1]
 		w, _ := n.layer(l)
@@ -154,7 +251,7 @@ func (n *Network) Gradient(x []float64, grad []float64) (float64, error) {
 			break
 		}
 		// Propagate delta to the previous (tanh) layer.
-		nextDelta := make([]float64, in)
+		nextDelta := spare[:in]
 		for i := 0; i < in; i++ {
 			var sum float64
 			for o := 0; o < out; o++ {
@@ -163,6 +260,7 @@ func (n *Network) Gradient(x []float64, grad []float64) (float64, error) {
 			a := acts[l][i]
 			nextDelta[i] = sum * (1 - a*a)
 		}
+		spare = delta[:cap(delta)]
 		delta = nextDelta
 	}
 	return acts[len(acts)-1][0], nil

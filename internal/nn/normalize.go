@@ -38,10 +38,21 @@ func FitNormalizer(rows [][]float64) (*Normalizer, error) {
 
 // Apply maps one row into [-1, 1]. Constant dimensions map to 0.
 func (n *Normalizer) Apply(row []float64) ([]float64, error) {
-	if len(row) != len(n.Min) {
-		return nil, fmt.Errorf("nn: row width %d, want %d", len(row), len(n.Min))
-	}
 	out := make([]float64, len(row))
+	if err := n.ApplyInto(out, row); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ApplyInto is Apply into a caller-owned buffer (length len(row)).
+func (n *Normalizer) ApplyInto(out, row []float64) error {
+	if len(row) != len(n.Min) {
+		return fmt.Errorf("nn: row width %d, want %d", len(row), len(n.Min))
+	}
+	if len(out) != len(row) {
+		return fmt.Errorf("nn: normalize out length %d, want %d", len(out), len(row))
+	}
 	for j, v := range row {
 		span := n.Max[j] - n.Min[j]
 		if span == 0 {
@@ -50,7 +61,7 @@ func (n *Normalizer) Apply(row []float64) ([]float64, error) {
 		}
 		out[j] = 2*(v-n.Min[j])/span - 1
 	}
-	return out, nil
+	return nil
 }
 
 // ScalarNormalizer maps a scalar target into [-1, 1] and back.

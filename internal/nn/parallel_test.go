@@ -1,0 +1,254 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rafiki/internal/obs"
+)
+
+// parallelTrainingSet builds a small deterministic regression set.
+func parallelTrainingSet(n int) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(77))
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		x := []float64{rng.Float64()*4 - 2, rng.Float64()*4 - 2, rng.Float64()}
+		xs[i] = x
+		ys[i] = 3*x[0] - x[1]*x[1] + 0.5*x[2]
+	}
+	return xs, ys
+}
+
+// stripWorkerGauges removes the par.* worker-occupancy gauges: they
+// report the configured worker count by design, so they are the one
+// intentional difference between a Workers=1 and a Workers=8 run.
+func stripWorkerGauges(s obs.Snapshot) obs.Snapshot {
+	for name := range s.Gauges {
+		if strings.HasPrefix(name, "par.") {
+			delete(s.Gauges, name)
+		}
+	}
+	return s
+}
+
+// TestFitDeterministicAcrossWorkers is satellite 3's core contract:
+// the same seed must produce a byte-identical serialized model and a
+// byte-identical observability snapshot whether members train on one
+// worker or eight.
+func TestFitDeterministicAcrossWorkers(t *testing.T) {
+	xs, ys := parallelTrainingSet(24)
+	run := func(workers int) ([]byte, []byte) {
+		reg := obs.NewRegistry()
+		cfg := ModelConfig{
+			Hidden:        []int{5},
+			EnsembleSize:  4,
+			PruneFraction: 0.25,
+			Trainer:       TrainerBR,
+			BR:            BROptions{Epochs: 12, MuInit: 0.005, MuInc: 10, MuDec: 0.1, MuMax: 1e10, MinGrad: 1e-7},
+			Seed:          99,
+			Workers:       workers,
+			Obs:           reg,
+		}
+		m, err := Fit(xs, ys, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, err := stripWorkerGauges(reg.Snapshot()).JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob, snap
+	}
+	refModel, refSnap := run(1)
+	for _, workers := range []int{2, 8} {
+		gotModel, gotSnap := run(workers)
+		if !bytes.Equal(refModel, gotModel) {
+			t.Errorf("workers=%d: serialized model differs from serial run", workers)
+		}
+		if !bytes.Equal(refSnap, gotSnap) {
+			t.Errorf("workers=%d: obs snapshot differs from serial run:\n%s\nvs\n%s", workers, gotSnap, refSnap)
+		}
+	}
+}
+
+// TestPredictBatchDeterministicAcrossWorkers pins the batch-prediction
+// side: chunked parallel prediction must be bit-equal to serial, and
+// bit-equal to row-by-row Predict.
+func TestPredictBatchDeterministicAcrossWorkers(t *testing.T) {
+	xs, ys := parallelTrainingSet(24)
+	m, err := Fit(xs, ys, ModelConfig{
+		Hidden:       []int{5},
+		EnsembleSize: 3,
+		Trainer:      TrainerBR,
+		BR:           BROptions{Epochs: 8, MuInit: 0.005, MuInc: 10, MuDec: 0.1, MuMax: 1e10, MinGrad: 1e-7},
+		Seed:         5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, _ := parallelTrainingSet(57)
+	m.Workers = 1
+	ref, err := m.PredictBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		p, err := m.Predict(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != ref[i] {
+			t.Fatalf("Predict(%d) = %v, batch = %v", i, p, ref[i])
+		}
+	}
+	for _, workers := range []int{2, 8} {
+		m.Workers = workers
+		got, err := m.PredictBatch(queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: batch[%d] = %v, want %v", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestPredictBatchIntoShapeMismatch(t *testing.T) {
+	xs, ys := parallelTrainingSet(12)
+	m, err := Fit(xs, ys, ModelConfig{
+		Hidden:       []int{3},
+		EnsembleSize: 1,
+		Trainer:      TrainerBR,
+		BR:           BROptions{Epochs: 2, MuInit: 0.005, MuInc: 10, MuDec: 0.1, MuMax: 1e10, MinGrad: 1e-7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.PredictBatchInto(make([]float64, 1), xs); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if err := m.PredictBatchInto(nil, nil); err != nil {
+		t.Errorf("empty batch should be a no-op, got %v", err)
+	}
+}
+
+// TestTrainBRAllocGuard pins the scratch-reuse overhaul: a full TrainBR
+// run now allocates a fixed handful of buffers up front, independent of
+// epoch count. Before the overhaul each epoch allocated the jacobian
+// products, the damped Hessian, the Cholesky factor, and per-sample
+// forward-pass activations — tens of thousands of allocations for this
+// workload. The ceiling is generous so the guard only trips on a real
+// regression (something allocating per epoch or per sample again).
+func TestTrainBRAllocGuard(t *testing.T) {
+	xs, ys := parallelTrainingSet(32)
+	rng := rand.New(rand.NewSource(1))
+	proto, err := NewNetwork(3, []int{6}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := BROptions{Epochs: 30, MuInit: 0.005, MuInc: 10, MuDec: 0.1, MuMax: 1e10, MinGrad: 0}
+	allocs := testing.AllocsPerRun(3, func() {
+		net := proto.Clone()
+		if _, err := TrainBR(net, xs, ys, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// ~20 fixed allocations (scratch + clone) is the expected cost; 30
+	// epochs of per-epoch allocation would be thousands.
+	if allocs > 100 {
+		t.Errorf("TrainBR allocates %v per run, want fixed overhead under 100", allocs)
+	}
+}
+
+// TestGradientWSMatchesGradient checks the workspace backprop path is
+// bit-equal to the allocating one.
+func TestGradientWSMatchesGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	net, err := NewNetwork(4, []int{7, 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ws Workspace
+	g1 := make([]float64, net.NumWeights())
+	g2 := make([]float64, net.NumWeights())
+	for trial := 0; trial < 10; trial++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		out1, err := net.Gradient(x, g1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out2, err := net.GradientWS(&ws, x, g2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out1 != out2 {
+			t.Fatalf("trial %d: outputs differ: %v vs %v", trial, out1, out2)
+		}
+		for i := range g1 {
+			if g1[i] != g2[i] {
+				t.Fatalf("trial %d: grad[%d] differs: %v vs %v", trial, i, g1[i], g2[i])
+			}
+		}
+		fw, err := net.ForwardWS(&ws, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fw != out1 {
+			t.Fatalf("trial %d: ForwardWS %v, Gradient output %v", trial, fw, out1)
+		}
+	}
+	if _, err := net.ForwardWS(&ws, []float64{1}); err == nil {
+		t.Error("width mismatch should error")
+	}
+	if _, err := net.GradientWS(&ws, []float64{1, 2, 3, 4}, make([]float64, 2)); err == nil {
+		t.Error("bad grad buffer should error")
+	}
+}
+
+func BenchmarkTrainBR(b *testing.B) {
+	xs, ys := parallelTrainingSet(32)
+	rng := rand.New(rand.NewSource(1))
+	proto, err := NewNetwork(3, []int{6}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := BROptions{Epochs: 20, MuInit: 0.005, MuInc: 10, MuDec: 0.1, MuMax: 1e10, MinGrad: 0}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		net := proto.Clone()
+		if _, err := TrainBR(net, xs, ys, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredictBatch(b *testing.B) {
+	xs, ys := parallelTrainingSet(24)
+	m, err := Fit(xs, ys, ModelConfig{
+		Hidden:       []int{5},
+		EnsembleSize: 4,
+		Trainer:      TrainerBR,
+		BR:           BROptions{Epochs: 6, MuInit: 0.005, MuInc: 10, MuDec: 0.1, MuMax: 1e10, MinGrad: 1e-7},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries, _ := parallelTrainingSet(512)
+	out := make([]float64, len(queries))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := m.PredictBatchInto(out, queries); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

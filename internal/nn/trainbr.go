@@ -73,9 +73,24 @@ func TrainBR(net *Network, xs [][]float64, ys []float64, opts BROptions) (TrainR
 		res      TrainResult
 	)
 
-	jac := linalg.New(nSamples, nWeights)
-	errs := make([]float64, nSamples)
-	grad := make([]float64, nWeights)
+	// All epoch-loop scratch is allocated once up front: the jacobian,
+	// its Gram matrix, the damped Hessian, the solver's factorization
+	// buffers, and the step/backup vectors. The loop itself then runs
+	// allocation-free (TestTrainBRAllocGuard pins this), which matters
+	// when an ensemble trains many members concurrently.
+	var (
+		jac    = linalg.New(nSamples, nWeights)
+		jtj    = linalg.New(nWeights, nWeights)
+		h      = linalg.New(nWeights, nWeights)
+		errs   = make([]float64, nSamples)
+		grad   = make([]float64, nWeights)
+		jte    = make([]float64, nWeights)
+		rhs    = make([]float64, nWeights)
+		step   = make([]float64, nWeights)
+		backup = make([]float64, nWeights)
+		solver linalg.Solver
+		ws     Workspace
+	)
 
 	epochCounter := opts.Obs.Counter("nn.epochs")
 	// jacEvals is the trainer's work clock: each jacobian pass is the
@@ -89,7 +104,7 @@ func TrainBR(net *Network, xs [][]float64, ys []float64, opts BROptions) (TrainR
 		jacEvals++
 		var ed float64
 		for i, x := range xs {
-			out, err := net.Gradient(x, jac.Data[i*nWeights:(i+1)*nWeights])
+			out, err := net.GradientWS(&ws, x, jac.Data[i*nWeights:(i+1)*nWeights])
 			if err != nil {
 				return 0, 0, err
 			}
@@ -129,8 +144,7 @@ func TrainBR(net *Network, xs [][]float64, ys []float64, opts BROptions) (TrainR
 		epochStartEvals := jacEvals
 
 		// Gradient of F: -2*beta*Jt*e + 2*alpha*w.
-		jte, err := jac.AtVec(errs)
-		if err != nil {
+		if err := jac.AtVecInto(jte, errs); err != nil {
 			return TrainResult{}, err
 		}
 		var gradNorm float64
@@ -144,30 +158,29 @@ func TrainBR(net *Network, xs [][]float64, ys []float64, opts BROptions) (TrainR
 			break
 		}
 
-		jtj := jac.AtA()
+		if err := jac.AtAInto(jtj); err != nil {
+			return TrainResult{}, err
+		}
 		fCur := beta*ed + alpha*ew
 
 		improved := false
 		for mu <= opts.MuMax {
 			// Solve (beta*JtJ + (alpha+mu)*I) step = beta*Jt*e - alpha*w.
-			h := jtj.Clone()
-			for i := range h.Data {
-				h.Data[i] *= beta
+			if err := h.ScaleFrom(jtj, beta); err != nil {
+				return TrainResult{}, err
 			}
 			if err := h.AddDiagonal(alpha + mu); err != nil {
 				return TrainResult{}, err
 			}
-			rhs := make([]float64, nWeights)
 			for i := range rhs {
 				rhs[i] = beta*jte[i] - alpha*net.Weights[i]
 			}
-			step, err := h.SolveSPD(rhs)
-			if err != nil {
+			if err := solver.SolveSPD(h, rhs, step); err != nil {
 				// Not positive definite at this damping: raise mu.
 				mu *= opts.MuInc
 				continue
 			}
-			backup := append([]float64(nil), net.Weights...)
+			copy(backup, net.Weights)
 			for i := range net.Weights {
 				net.Weights[i] += step[i]
 			}
@@ -196,16 +209,17 @@ func TrainBR(net *Network, xs [][]float64, ys []float64, opts BROptions) (TrainR
 
 		// MacKay evidence update of alpha and beta using the Gauss-
 		// Newton Hessian at the new point.
-		jtj = jac.AtA()
-		h := jtj.Clone()
-		for i := range h.Data {
-			h.Data[i] *= beta
+		if err := jac.AtAInto(jtj); err != nil {
+			return TrainResult{}, err
+		}
+		if err := h.ScaleFrom(jtj, beta); err != nil {
+			return TrainResult{}, err
 		}
 		if err := h.AddDiagonal(alpha + 1e-12); err != nil {
 			return TrainResult{}, err
 		}
 		gamma := float64(nWeights)
-		if tr, err := h.TraceInverseSPD(); err == nil {
+		if tr, err := solver.TraceInverseSPD(h); err == nil {
 			gamma = float64(nWeights) - alpha*tr
 		}
 		if gamma < 0 {

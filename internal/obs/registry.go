@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"sort"
 	"sync"
 
 	"rafiki/internal/stats"
@@ -27,6 +28,12 @@ type Registry struct {
 	hist    map[string]*Histogram
 	spans   []Span
 	dropped uint64
+
+	// parent marks a stage registry (see Stage): counters and
+	// histograms — whose updates are commutative — resolve through it,
+	// while gauges and spans buffer locally until Merge replays them in
+	// task order.
+	parent *Registry
 }
 
 // NewRegistry returns an empty enabled registry.
@@ -43,6 +50,9 @@ func NewRegistry() *Registry {
 func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
+	}
+	if r.parent != nil {
+		return r.parent.Counter(name)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -78,6 +88,9 @@ func (r *Registry) Gauge(name string) *Gauge {
 func (r *Registry) Histogram(name string, lo, hi float64, bins int) *Histogram {
 	if r == nil {
 		return nil
+	}
+	if r.parent != nil {
+		return r.parent.Histogram(name, lo, hi, bins)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -116,6 +129,54 @@ func (r *Registry) SpanCount() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return len(r.spans)
+}
+
+// Stage returns a child registry for one task of a parallel stage.
+// Counter and Histogram lookups resolve to this registry's instruments
+// — their updates commute, so concurrent tasks can share them without
+// making the final snapshot schedule-dependent — while gauges and
+// spans (whose outcomes are order-sensitive) buffer locally in the
+// child. After the stage's tasks complete, call Merge on each child in
+// task order: the parent's snapshot then depends only on the task
+// order, never on how many workers ran or how they interleaved.
+// Stages nest: a stage of a stage buffers locally and merges upward
+// one level at a time. Returns nil (a valid no-op registry) on a nil
+// receiver.
+func (r *Registry) Stage() *Registry {
+	if r == nil {
+		return nil
+	}
+	return &Registry{parent: r, gauge: make(map[string]*Gauge)}
+}
+
+// Merge folds a finished stage child into r: buffered gauge values are
+// applied in sorted-name order and buffered spans are appended in
+// recording order (respecting the span cap, accumulating the child's
+// drop count). The child must be quiescent — Merge is the ordered
+// hand-off that makes parallel stages deterministic. No-op when either
+// side is nil.
+func (r *Registry) Merge(child *Registry) {
+	if r == nil || child == nil {
+		return
+	}
+	names := make([]string, 0, len(child.gauge))
+	for name := range child.gauge {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r.Gauge(name).Set(child.gauge[name].Value())
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range child.spans {
+		if len(r.spans) >= maxSpans {
+			r.dropped++
+			continue
+		}
+		r.spans = append(r.spans, s)
+	}
+	r.dropped += child.dropped
 }
 
 // Reset clears all instruments and spans while keeping the registry

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// stageWork simulates one parallel task's telemetry against its stage.
+func stageWork(stage *Registry, task int) {
+	stage.Counter("work.items").Add(uint64(task + 1))
+	stage.Histogram("work.latency", 0, 10, 5).Observe(float64(task % 10))
+	stage.Gauge("work.last_task").Set(float64(task))
+	stage.Record(Span{Name: "work.task", Start: float64(task), End: float64(task + 1), Unit: "tasks"})
+}
+
+// runStaged executes n tasks across the given worker count with one
+// stage per task, merging in task order, and returns the snapshot JSON.
+func runStaged(t *testing.T, workers, n int) []byte {
+	t.Helper()
+	root := NewRegistry()
+	stages := make([]*Registry, n)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := 0; i < n; i++ {
+		stages[i] = root.Stage()
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			stageWork(stages[i], i)
+			<-sem
+		}(i)
+	}
+	wg.Wait()
+	for _, s := range stages {
+		root.Merge(s)
+	}
+	blob, err := root.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// TestStageMergeDeterministic is the stage contract: snapshots after an
+// ordered merge are byte-identical no matter how many workers ran the
+// tasks or how they interleaved.
+func TestStageMergeDeterministic(t *testing.T) {
+	ref := runStaged(t, 1, 32)
+	for _, workers := range []int{2, 8} {
+		got := runStaged(t, workers, 32)
+		if !bytes.Equal(ref, got) {
+			t.Fatalf("workers=%d snapshot differs from serial:\n%s\nvs\n%s", workers, got, ref)
+		}
+	}
+}
+
+func TestStageDelegatesCommutativeInstruments(t *testing.T) {
+	root := NewRegistry()
+	child := root.Stage()
+	child.Counter("c").Add(3)
+	child.Histogram("h", 0, 1, 2).Observe(0.5)
+	if got := root.Counter("c").Value(); got != 3 {
+		t.Errorf("counter not delegated: %d", got)
+	}
+	if got := root.Histogram("h", 0, 1, 2).Total(); got != 1 {
+		t.Errorf("histogram not delegated: %d", got)
+	}
+	// Gauges and spans stay local until Merge.
+	child.Gauge("g").Set(7)
+	child.Record(Span{Name: "s", Start: 0, End: 1})
+	if root.SpanCount() != 0 {
+		t.Error("span leaked to parent before merge")
+	}
+	if root.Snapshot().Gauges["g"] != 0 {
+		t.Error("gauge leaked to parent before merge")
+	}
+	root.Merge(child)
+	if root.SpanCount() != 1 {
+		t.Error("span not merged")
+	}
+	if got := root.Snapshot().Gauges["g"]; got != 7 {
+		t.Errorf("gauge after merge = %v, want 7", got)
+	}
+}
+
+func TestStageNesting(t *testing.T) {
+	root := NewRegistry()
+	outer := root.Stage()
+	inner := outer.Stage()
+	inner.Counter("deep").Inc()
+	inner.Record(Span{Name: "inner", Start: 0, End: 1})
+	if got := root.Counter("deep").Value(); got != 1 {
+		t.Errorf("nested counter not delegated to root: %d", got)
+	}
+	outer.Merge(inner)
+	if outer.SpanCount() != 1 {
+		t.Error("inner span not merged into outer")
+	}
+	root.Merge(outer)
+	if root.SpanCount() != 1 {
+		t.Error("outer span not merged into root")
+	}
+}
+
+func TestStageNilSafety(t *testing.T) {
+	var r *Registry
+	child := r.Stage()
+	if child != nil {
+		t.Error("nil registry should produce nil stage")
+	}
+	child.Counter("x").Inc()
+	child.Record(Span{})
+	r.Merge(child)
+	NewRegistry().Merge(nil)
+}
+
+func TestMergeRespectsSpanCap(t *testing.T) {
+	root := NewRegistry()
+	for i := 0; i < maxSpans; i++ {
+		root.Record(Span{Name: "fill"})
+	}
+	child := root.Stage()
+	child.Record(Span{Name: "late"})
+	root.Merge(child)
+	snap := root.Snapshot()
+	if len(snap.Spans) != maxSpans {
+		t.Errorf("span cap breached: %d", len(snap.Spans))
+	}
+	if snap.SpansDropped != 1 {
+		t.Errorf("dropped = %d, want 1", snap.SpansDropped)
+	}
+}

@@ -4,7 +4,7 @@ GO ?= go
 # `make cover` fails if the tree regresses below it.
 COVER_FLOOR ?= 79.7
 
-.PHONY: build test bench check fmt vet race fuzz cover guard
+.PHONY: build test bench check fmt vet lint race fuzz cover guard
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,13 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# lint runs the repo's own analyzers (cmd/rafikilint): virtual-time,
+# pooled-concurrency, seeded-randomness, map-order, obs-nil-safety,
+# and dropped-error invariants, machine-checked over the whole tree.
+# Suppressions (//lint:allow <analyzer> <reason>) require a reason.
+lint:
+	$(GO) run ./cmd/rafikilint ./...
+
 race:
 	$(GO) test -race -count=2 ./...
 
@@ -52,4 +59,4 @@ cover:
 guard:
 	$(GO) test -count=1 -run 'Determinism|AllocGuard|AcrossWorkers' ./internal/...
 
-check: fmt vet race fuzz guard
+check: fmt vet lint race fuzz guard

@@ -29,7 +29,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	var (
 		only    = flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
 		ops     = flag.Int("ops", 100_000, "operations per benchmark sample")
@@ -52,11 +52,15 @@ func run() error {
 	var sinks []io.Writer
 	sinks = append(sinks, os.Stdout)
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			return err
+		f, cerr := os.Create(*out)
+		if cerr != nil {
+			return cerr
 		}
-		defer f.Close()
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
 		sinks = append(sinks, f)
 	}
 	w := io.MultiWriter(sinks...)

@@ -1,0 +1,137 @@
+// Command rafikilint runs the repo's determinism- and safety-aware
+// static analyzers (internal/lint) over the tree and exits nonzero on
+// any unsuppressed diagnostic.
+//
+// Usage:
+//
+//	rafikilint [flags] [patterns...]
+//
+// Patterns are module-relative directories, optionally ending in /...
+// (default "./..."). Flags:
+//
+//	-json            emit diagnostics as a JSON array instead of text
+//	-show-suppressed also list findings silenced by //lint:allow
+//	-exclude p1,p2   skip packages whose module-relative path starts
+//	                 with one of the given prefixes
+//	-analyzers a,b   run only the named analyzers (default: all)
+//
+// Suppression comments take the form
+//
+//	//lint:allow <analyzer> <reason...>
+//
+// trailing the flagged line or alone on the line above it; the reason
+// is mandatory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rafiki/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	showSuppressed := flag.Bool("show-suppressed", false, "also list suppressed findings")
+	exclude := flag.String("exclude", "", "comma-separated module-relative path prefixes to skip")
+	only := flag.String("analyzers", "", "comma-separated analyzer names to run (default all)")
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	analyzers := lint.All()
+	if *only != "" {
+		byName := make(map[string]*lint.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "rafikilint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rafikilint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rafikilint:", err)
+		os.Exit(2)
+	}
+	var kept []*lint.Package
+	excludes := splitNonEmpty(*exclude)
+	for _, pkg := range pkgs {
+		if !excluded(pkg.RelPath, excludes) {
+			kept = append(kept, pkg)
+		}
+	}
+
+	diags := lint.Run(kept, analyzers)
+	failing := lint.Unsuppressed(diags)
+	shown := failing
+	if *showSuppressed {
+		shown = diags
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if shown == nil {
+			shown = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(shown); err != nil {
+			fmt.Fprintln(os.Stderr, "rafikilint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range shown {
+			if d.Suppressed {
+				fmt.Printf("%s [suppressed: %s]\n", d, d.Reason)
+			} else {
+				fmt.Println(d)
+			}
+		}
+		if len(failing) > 0 {
+			fmt.Printf("rafikilint: %d finding(s) in %d package(s)\n", len(failing), len(kept))
+		}
+	}
+	if len(failing) > 0 {
+		os.Exit(1)
+	}
+}
+
+// splitNonEmpty splits a comma list, dropping empty elements.
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// excluded reports whether rel matches any exclusion prefix.
+func excluded(rel string, prefixes []string) bool {
+	for _, p := range prefixes {
+		p = strings.TrimPrefix(p, "./")
+		if rel == p || strings.HasPrefix(rel, p+"/") {
+			return true
+		}
+	}
+	return false
+}

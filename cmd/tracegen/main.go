@@ -26,7 +26,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	var (
 		days   = flag.Int("days", 4, "trace length in days")
 		window = flag.Int("window", 15, "observation window in minutes")
@@ -46,11 +46,15 @@ func run() error {
 
 	dst := os.Stdout
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			return err
+		f, cerr := os.Create(*out)
+		if cerr != nil {
+			return cerr
 		}
-		defer f.Close()
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
 		dst = f
 	}
 	w := csv.NewWriter(dst)

@@ -238,9 +238,16 @@ func (s *Space) Value(c Config, name string) (float64, error) {
 }
 
 // Validate checks that every assignment in c names a known parameter
-// and is feasible.
+// and is feasible. Names are checked in sorted order so the reported
+// error never depends on map iteration order.
 func (s *Space) Validate(c Config) error {
-	for name, v := range c {
+	names := make([]string, 0, len(c))
+	for name := range c {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		v := c[name]
 		p, ok := s.Param(name)
 		if !ok {
 			return fmt.Errorf("config: unknown parameter %q", name)

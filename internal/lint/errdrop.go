@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errDropExemptRecv lists receiver types whose error-returning methods
+// are documented never to fail (their Write methods exist only to
+// satisfy io interfaces).
+var errDropExemptRecv = map[string]bool{
+	"*strings.Builder": true,
+	"strings.Builder":  true,
+	"*bytes.Buffer":    true,
+	"bytes.Buffer":     true,
+}
+
+// ErrDrop flags call statements that silently discard an error result.
+// A dropped error hides engine corruption, failed flushes, and broken
+// experiment output behind apparent success; handle it, or discard it
+// visibly with `_ =` plus a lint:allow reason. fmt's Print family and
+// strings.Builder/bytes.Buffer writes are exempt (they cannot fail in
+// any way the caller could act on). Test files are exempt via the
+// loader.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "calls whose error result is silently discarded (outside tests)",
+	Run: func(pass *Pass) {
+		info := pass.Pkg.Info
+		check := func(call *ast.CallExpr, deferred bool) {
+			if !returnsError(info, call) || exemptCall(info, call) {
+				return
+			}
+			what := "call"
+			if deferred {
+				what = "deferred call"
+			}
+			pass.Reportf(call.Pos(), "%s discards its error result; handle it or assign it explicitly", what)
+		}
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := n.X.(*ast.CallExpr); ok {
+						check(call, false)
+					}
+				case *ast.DeferStmt:
+					check(n.Call, true)
+				}
+				return true
+			})
+		}
+	},
+}
+
+// returnsError reports whether call's results include an error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// exemptCall reports whether call is on the documented never-fails
+// list: fmt's Print family and in-memory builder/buffer writes.
+func exemptCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if path, name, ok := pkgFunc(info, sel); ok {
+		return path == "fmt" && (fmtOutputFuncs[name] || strings.HasPrefix(name, "Print"))
+	}
+	if s := info.Selections[sel]; s != nil {
+		return errDropExemptRecv[types.TypeString(s.Recv(), nil)]
+	}
+	return false
+}

@@ -1,0 +1,37 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// GoRestrict forbids raw concurrency outside internal/par: `go`
+// statements and sync.WaitGroup belong to the deterministic pool
+// only. Ad-hoc goroutines reintroduce schedule-dependent results —
+// internal/par's index-addressed slots and ordered merge are what make
+// worker counts invisible in the output — so every fan-out must go
+// through par.Run/par.Pool. Test files are exempt (the loader skips
+// them) because tests may exercise concurrency primitives directly.
+var GoRestrict = &Analyzer{
+	Name: "gorestrict",
+	Doc:  "`go` statements and sync.WaitGroup are forbidden outside internal/par; use the deterministic pool",
+	Run: func(pass *Pass) {
+		rel := pass.Pkg.RelPath
+		if rel == "internal/par" || strings.HasPrefix(rel, "internal/par/") {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.GoStmt:
+					pass.Reportf(n.Pos(), "`go` statement outside internal/par; spawn work through the deterministic pool (par.Do/par.DoRange)")
+				case *ast.SelectorExpr:
+					if path, name, ok := pkgFunc(pass.Pkg.Info, n); ok && path == "sync" && name == "WaitGroup" {
+						pass.Reportf(n.Pos(), "sync.WaitGroup outside internal/par; join work through the deterministic pool (par.Do/par.DoRange)")
+					}
+				}
+				return true
+			})
+		}
+	},
+}

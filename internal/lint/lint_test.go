@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// -update regenerates the golden expected-diagnostic files from
+// current analyzer output.
+var update = flag.Bool("update", false, "rewrite golden files under testdata/golden")
+
+// fixtures maps each fixture package to the module-relative path it
+// impersonates; path-scoped analyzers (nowall's cmd/ exemption,
+// gorestrict's internal/par carve-out, obsnil's internal/obs scope)
+// key off that path.
+var fixtures = []struct {
+	name string
+	rel  string
+}{
+	{"nowall_bad", "internal/nowallfix"},
+	{"nowall_ok", "cmd/nowallfix"},
+	{"gorestrict_bad", "internal/gofix"},
+	{"gorestrict_ok", "internal/par"},
+	{"seedrand_bad", "internal/seedfix"},
+	{"seedrand_ok", "internal/seedok"},
+	{"maporder_bad", "internal/mapfix"},
+	{"maporder_ok", "internal/mapok"},
+	{"obsnil_bad", "internal/obs"},
+	{"obsnil_ok", "internal/obs"},
+	{"errdrop_bad", "internal/errfix"},
+	{"errdrop_ok", "internal/errok"},
+	{"suppress", "internal/suppressfix"},
+}
+
+// renderAll formats diagnostics (suppressed ones annotated) with
+// file paths reduced to base names so goldens are location-independent.
+func renderAll(diags []Diagnostic) string {
+	var sb strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&sb, "%s:%d:%d: %s: %s", filepath.Base(d.File), d.Line, d.Col, d.Analyzer, d.Message)
+		if d.Suppressed {
+			fmt.Fprintf(&sb, " [suppressed: %s]", d.Reason)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func TestFixtures(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fx := range fixtures {
+		t.Run(fx.name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", fx.name)
+			pkg, err := loader.LoadDirAs(dir, "fixture/"+fx.name, fx.rel)
+			if err != nil {
+				t.Fatalf("load %s: %v", fx.name, err)
+			}
+			got := renderAll(Run([]*Package{pkg}, All()))
+			golden := filepath.Join("testdata", "golden", fx.name+".txt")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestBadFixturesFail pins the failure contract: every *_bad fixture
+// must produce at least one unsuppressed diagnostic from its own
+// analyzer, and every *_ok fixture none at all.
+func TestBadFixturesFail(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fx := range fixtures {
+		bad := strings.HasSuffix(fx.name, "_bad")
+		ok := strings.HasSuffix(fx.name, "_ok")
+		if !bad && !ok {
+			continue
+		}
+		pkg, err := loader.LoadDirAs(filepath.Join("testdata", "src", fx.name), "fixture2/"+fx.name, fx.rel)
+		if err != nil {
+			t.Fatalf("load %s: %v", fx.name, err)
+		}
+		failing := Unsuppressed(Run([]*Package{pkg}, All()))
+		if ok && len(failing) > 0 {
+			t.Errorf("%s: compliant fixture raised %d diagnostic(s): %v", fx.name, len(failing), failing[0])
+		}
+		if !bad {
+			continue
+		}
+		wantAnalyzer := strings.TrimSuffix(fx.name, "_bad")
+		found := false
+		for _, d := range failing {
+			if d.Analyzer == wantAnalyzer {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: no %s diagnostic fired", fx.name, wantAnalyzer)
+		}
+	}
+}
+
+// TestSuppressionSemantics pins the three suppression behaviors:
+// reasoned directives silence (trailing and standalone forms), and a
+// reasonless directive both fires itself and fails to silence.
+func TestSuppressionSemantics(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDirAs(filepath.Join("testdata", "src", "suppress"), "fixture3/suppress", "internal/suppressfix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, All())
+	var suppressed, nowallLive, malformed int
+	for _, d := range diags {
+		switch {
+		case d.Suppressed:
+			suppressed++
+		case d.Analyzer == "nowall":
+			nowallLive++
+		case d.Analyzer == "suppression":
+			malformed++
+		}
+	}
+	if suppressed != 2 {
+		t.Errorf("suppressed = %d, want 2 (trailing + standalone)", suppressed)
+	}
+	if nowallLive != 1 {
+		t.Errorf("live nowall findings = %d, want 1 (reasonless directive must not silence)", nowallLive)
+	}
+	if malformed != 1 {
+		t.Errorf("malformed-suppression findings = %d, want 1", malformed)
+	}
+}
+
+// TestRepoTreeClean proves the invariants over the real tree: the
+// whole module must lint clean, which is exactly what `make lint`
+// enforces in CI.
+func TestRepoTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-tree type check is slow; covered by make lint")
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	failing := Unsuppressed(Run(pkgs, All()))
+	for _, d := range failing {
+		t.Errorf("%s", d)
+	}
+}

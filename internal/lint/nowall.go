@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// wallClockFuncs are the time package entry points that read or wait
+// on the wall clock. Using any of them inside the library makes runs
+// irreproducible: all of internal/ runs on virtual time (the
+// simulator clock / work-unit axes), and only the cmd/ front-ends may
+// measure real elapsed time for operator-facing logs.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// NowAll forbids wall-clock time outside cmd/: time.Now, time.Since,
+// time.Sleep and friends are only legal in the command-line front-ends
+// (RelPath under "cmd/"), never in internal/ or the root library,
+// which must run on virtual time to stay seed-reproducible.
+var NowAll = &Analyzer{
+	Name: "nowall",
+	Doc:  "wall-clock time (time.Now/Since/Sleep/...) is forbidden outside cmd/; internal code runs on virtual time",
+	Run: func(pass *Pass) {
+		if pass.Pkg.RelPath == "cmd" || strings.HasPrefix(pass.Pkg.RelPath, "cmd/") {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				path, name, ok := pkgFunc(pass.Pkg.Info, sel)
+				if ok && path == "time" && wallClockFuncs[name] {
+					pass.Reportf(sel.Pos(), "time.%s reads the wall clock; use virtual time (only cmd/ may touch real time)", name)
+				}
+				return true
+			})
+		}
+	},
+}

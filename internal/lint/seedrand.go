@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// randConstructors are the math/rand entry points that do not touch
+// the global source; everything else at package level draws from (or
+// reseeds) process-global state and is banned.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// SeedRand enforces the seeded-randomness discipline: no math/rand
+// top-level functions (rand.Int, rand.Float64, rand.Shuffle, ... draw
+// from the shared global source, which is both racy and impossible to
+// replay), and every rand.NewSource seed must be derived from a
+// parameter, field, or other runtime value — a compile-time-constant
+// seed in library code means two call sites silently share a stream
+// instead of deriving independent ones via par.DeriveSeed.
+var SeedRand = &Analyzer{
+	Name: "seedrand",
+	Doc:  "no global math/rand functions; rand.NewSource seeds must be derived (par.DeriveSeed), not constant",
+	Run: func(pass *Pass) {
+		info := pass.Pkg.Info
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					path, name, ok := pkgFunc(info, n)
+					if !ok || (path != "math/rand" && path != "math/rand/v2") {
+						return true
+					}
+					// Type references (rand.Rand, rand.Source) are fine;
+					// only function uses matter.
+					if _, isFunc := info.Uses[n.Sel].(*types.Func); !isFunc {
+						return true
+					}
+					if !randConstructors[name] {
+						pass.Reportf(n.Pos(), "rand.%s uses the global math/rand source; construct a seeded *rand.Rand (rand.New(rand.NewSource(derivedSeed)))", name)
+					}
+				case *ast.CallExpr:
+					sel, ok := n.Fun.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					path, name, ok := pkgFunc(info, sel)
+					if !ok || path != "math/rand" || name != "NewSource" || len(n.Args) != 1 {
+						return true
+					}
+					if tv, ok := info.Types[n.Args[0]]; ok && tv.Value != nil {
+						pass.Reportf(n.Args[0].Pos(), "rand.NewSource seed is a compile-time constant; derive it from a parameter or field (par.DeriveSeed) so streams stay independent")
+					}
+				}
+				return true
+			})
+		}
+	},
+}

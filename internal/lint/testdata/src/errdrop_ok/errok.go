@@ -1,0 +1,27 @@
+// Package errok handles or visibly discards every error: returned
+// errors, an explicit `_ =` discard, and the documented never-fails
+// exemptions (fmt's Print family, strings.Builder writes).
+package errok
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Write propagates every failure and discards the error-path Close
+// explicitly.
+func Write(path, msg string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, werr := f.WriteString(msg); werr != nil {
+		_ = f.Close()
+		return werr
+	}
+	fmt.Println("wrote", path)
+	var sb strings.Builder
+	sb.WriteString(msg)
+	return f.Close()
+}

@@ -1,0 +1,25 @@
+// Package gofix violates the pooled-concurrency invariant with a raw
+// goroutine fan-out joined by a sync.WaitGroup.
+package gofix
+
+import "sync"
+
+// FanOut spawns schedule-dependent goroutines instead of using the
+// deterministic pool.
+func FanOut(n int) int {
+	var wg sync.WaitGroup
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = i * i
+		}(i)
+	}
+	wg.Wait()
+	sum := 0
+	for _, v := range out {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,25 @@
+// Package par mirrors the gorestrict_bad fixture but is analyzed as
+// internal/par, the one package allowed to own raw concurrency.
+package par
+
+import "sync"
+
+// FanOut is the pool's own fan-out: goroutines and WaitGroups are its
+// reason to exist.
+func FanOut(n int) int {
+	var wg sync.WaitGroup
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = i * i
+		}(i)
+	}
+	wg.Wait()
+	sum := 0
+	for _, v := range out {
+		sum += v
+	}
+	return sum
+}

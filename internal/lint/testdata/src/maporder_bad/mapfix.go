@@ -1,0 +1,37 @@
+// Package mapfix leaks map iteration order four ways: an unsorted key
+// append, stream output, a builder write, and float accumulation.
+package mapfix
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Keys returns m's keys in randomized map order.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Dump writes entries in randomized map order.
+func Dump(m map[string]int) string {
+	var sb strings.Builder
+	for k, v := range m {
+		fmt.Println(k, v)
+		sb.WriteString(k)
+	}
+	return sb.String()
+}
+
+// Sum folds floats in randomized map order, so the rounding differs
+// run to run.
+func Sum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

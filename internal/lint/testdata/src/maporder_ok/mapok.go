@@ -1,0 +1,49 @@
+// Package mapok iterates maps only in order-insensitive ways: the
+// sorted-key-extraction idiom, map-to-map rewrites, commutative
+// integer math, and per-entry float scratch that never crosses
+// iterations.
+package mapok
+
+import "sort"
+
+// SortedKeys is the canonical extract-then-sort idiom.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Invert writes into another map; insertion order is irrelevant.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// IntSum accumulates integers, which commute exactly.
+func IntSum(m map[string]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// PerEntry accumulates floats into a scratch variable scoped inside
+// the loop body, so no order leaks across iterations.
+func PerEntry(m map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, vs := range m {
+		t := 0.0
+		for _, v := range vs {
+			t += v
+		}
+		out[k] = t
+	}
+	return out
+}

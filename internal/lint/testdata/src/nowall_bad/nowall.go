@@ -1,0 +1,19 @@
+// Package nowallfix violates the virtual-time invariant: it reads and
+// waits on the wall clock from (what the test declares to be) an
+// internal/ package.
+package nowallfix
+
+import "time"
+
+// Elapsed misuses wall-clock time three ways.
+func Elapsed() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	return time.Since(start)
+}
+
+// Budget only manipulates durations — no clock reads — and must stay
+// clean.
+func Budget(n int) time.Duration {
+	return time.Duration(n) * time.Second
+}

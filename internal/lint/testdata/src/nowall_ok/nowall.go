@@ -1,0 +1,14 @@
+// Package nowallok holds the same clock reads as the nowall_bad
+// fixture but is analyzed under a cmd/ path, where operator-facing
+// wall-clock time is legal.
+package nowallok
+
+import "time"
+
+// Elapsed may read real time: command front-ends report real elapsed
+// time to the operator.
+func Elapsed() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	return time.Since(start)
+}

@@ -1,0 +1,21 @@
+// Package obs (the bad fixture) breaks the nil-receiver contract: one
+// method touches a field before its guard, another has no guard at
+// all.
+package obs
+
+// Counter is a fixture instrument.
+type Counter struct{ v uint64 }
+
+// Add reads c.v before the nil check, so a disabled (nil) counter
+// panics.
+func (c *Counter) Add(n uint64) {
+	c.v += n
+	if c == nil {
+		return
+	}
+}
+
+// Value has no nil fast path at all.
+func (c *Counter) Value() uint64 {
+	return c.v
+}

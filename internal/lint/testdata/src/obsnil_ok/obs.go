@@ -1,0 +1,45 @@
+// Package obs (the ok fixture) keeps the nil-receiver contract in
+// every shape the rule must tolerate: guarded exported methods, a
+// compound guard, an unexported helper, and a value receiver.
+package obs
+
+// Gauge is a fixture instrument.
+type Gauge struct{ v uint64 }
+
+// Set guards before the store.
+func (g *Gauge) Set(x uint64) {
+	if g == nil {
+		return
+	}
+	g.v = x
+}
+
+// Value guards before the load.
+func (g *Gauge) Value() uint64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Merge guards both receivers in one condition.
+func (g *Gauge) Merge(other *Gauge) {
+	if g == nil || other == nil {
+		return
+	}
+	g.v += other.v
+}
+
+// reset is unexported: internal call sites guarantee non-nil, so the
+// rule does not apply.
+func (g *Gauge) reset() { g.v = 0 }
+
+// Snapshot has a value receiver and cannot be nil.
+type Snapshot struct{ N int }
+
+// Count needs no guard on a value receiver.
+func (s Snapshot) Count() int { return s.N }
+
+// use keeps the unexported helper referenced so the fixture
+// type-checks cleanly.
+func use(g *Gauge) { g.reset() }

@@ -1,0 +1,14 @@
+// Package seedfix violates the seeded-randomness discipline: global
+// math/rand draws and a compile-time-constant seed.
+package seedfix
+
+import "math/rand"
+
+const fixedSeed = 41 + 1
+
+// Draw mixes global-source calls with a constant-seeded stream.
+func Draw(xs []int) float64 {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	rng := rand.New(rand.NewSource(fixedSeed))
+	return rng.Float64() + rand.Float64()
+}

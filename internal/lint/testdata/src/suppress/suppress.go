@@ -1,0 +1,25 @@
+// Package suppressfix exercises the //lint:allow machinery: a
+// trailing suppression, a standalone suppression on the line above,
+// and a malformed directive (no reason) that both fails itself and
+// leaves its target diagnostic live.
+package suppressfix
+
+import "time"
+
+// Wait sleeps under a reasoned trailing suppression.
+func Wait() {
+	time.Sleep(time.Millisecond) //lint:allow nowall fixture demonstrates a reasoned suppression
+}
+
+// Above sleeps under the standalone form.
+func Above() time.Time {
+	//lint:allow nowall standalone form covers the next line
+	return time.Now()
+}
+
+// Stamp misuses lint:allow — no reason — so the directive is a
+// finding and the clock read still fires.
+func Stamp() int64 {
+	//lint:allow nowall
+	return time.Now().UnixNano()
+}

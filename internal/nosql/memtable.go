@@ -1,5 +1,7 @@
 package nosql
 
+import "slices"
+
 // memtable is the in-memory write-back cache of rows (Section 2.2.1).
 // Writes are batched here until the cleanup threshold triggers a flush
 // that turns the contents into an immutable SSTable.
@@ -51,7 +53,8 @@ func (m *memtable) Bytes() float64 { return m.bytes }
 func (m *memtable) Len() int { return len(m.keys) }
 
 // Drain empties the memtable and returns its distinct keys plus the
-// subset that are tombstones, ready to become an SSTable.
+// subset that are tombstones, ready to become an SSTable. Both slices
+// are sorted so drain order never inherits map iteration order.
 func (m *memtable) Drain() (keys []uint64, tombstones []uint64) {
 	keys = make([]uint64, 0, len(m.keys))
 	for k, dead := range m.keys {
@@ -60,6 +63,8 @@ func (m *memtable) Drain() (keys []uint64, tombstones []uint64) {
 			tombstones = append(tombstones, k)
 		}
 	}
+	slices.Sort(keys)
+	slices.Sort(tombstones)
 	m.keys = make(map[uint64]bool, len(keys))
 	m.bytes = 0
 	return keys, tombstones

@@ -4,7 +4,7 @@ GO ?= go
 # `make cover` fails if the tree regresses below it.
 COVER_FLOOR ?= 79.7
 
-.PHONY: build test bench check fmt vet lint race fuzz cover guard
+.PHONY: build test bench check fmt vet lint race fuzz cover guard chaos
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,7 @@ race:
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzEngineOps -fuzztime=5s ./internal/nosql/
 	$(GO) test -run='^$$' -fuzz=FuzzLoadSurrogate -fuzztime=5s ./internal/nn/
+	$(GO) test -run='^$$' -fuzz=FuzzHistoryCheck -fuzztime=5s ./internal/check/
 
 # cover fails when aggregate statement coverage falls below the seed
 # baseline (COVER_FLOOR).
@@ -54,9 +55,18 @@ cover:
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' \
 		|| { echo "FAIL: coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
 
+# chaos runs the bounded consistency chaos search over its fixed seed
+# set: seeded fault+network schedules replayed against the cluster, the
+# recorded histories checked for read-your-writes, monotonic-read, and
+# linearizability violations, and any failing schedule shrunk to a
+# minimal reproducer. A corruption-free reproducer is a protocol bug
+# and exits nonzero. The report lands in chaos-report.txt (gitignored).
+chaos:
+	$(GO) run ./cmd/experiments -chaos -ops 4000 -out chaos-report.txt
+
 # guard re-runs the determinism and allocation regression gates: every
 # worker-count invariance test plus the zero/bounded-alloc kernels.
 guard:
 	$(GO) test -count=1 -run 'Determinism|AllocGuard|AcrossWorkers' ./internal/...
 
-check: fmt vet lint race fuzz guard
+check: fmt vet lint race fuzz guard chaos

@@ -5,7 +5,15 @@
 // Usage:
 //
 //	experiments [-only figure4,table1] [-ops N] [-seed N] [-out path]
-//	            [-obs] [-obs-json path] [-workers N]
+//	            [-obs] [-obs-json path] [-workers N] [-netsim] [-chaos]
+//
+// The netsim and chaos experiments are opt-in: -netsim replays the
+// standard workload under simulated network conditions (flaky links,
+// duplication, delay, partitions), and -chaos runs the consistency
+// chaos search over a fixed seed set, failing if a corruption-free
+// consistency violation is found and shrunk. Setting either flag (or
+// naming the IDs in -only) selects just those experiments unless
+// others are also listed.
 package main
 
 import (
@@ -38,6 +46,8 @@ func run() (err error) {
 		showObs = flag.Bool("obs", false, "print the observability dashboard after the experiments")
 		obsJSON = flag.String("obs-json", "", "write the observability snapshot as JSON to this file")
 		workers = flag.Int("workers", 0, "worker bound for every parallel stage (0 = one per CPU, 1 = serial); results are identical for any value")
+		netsim  = flag.Bool("netsim", false, "run the netsim experiment (workload under simulated network faults)")
+		chaos   = flag.Bool("chaos", false, "run the chaos search (consistency checking over explored fault schedules; exits nonzero on a protocol violation)")
 	)
 	flag.Parse()
 
@@ -47,7 +57,21 @@ func run() (err error) {
 			selected[strings.TrimSpace(id)] = true
 		}
 	}
-	want := func(id string) bool { return len(selected) == 0 || selected[id] }
+	if *netsim {
+		selected["netsim"] = true
+	}
+	if *chaos {
+		selected["chaos"] = true
+	}
+	// netsim and chaos are opt-in only: they never join the implicit
+	// "run everything" set, so the default experiment output is
+	// unchanged by their existence.
+	want := func(id string) bool {
+		if id == "netsim" || id == "chaos" {
+			return selected[id]
+		}
+		return len(selected) == 0 || selected[id]
+	}
 
 	var sinks []io.Writer
 	sinks = append(sinks, os.Stdout)
@@ -132,6 +156,22 @@ func run() (err error) {
 	}
 	if want("faultinjection") {
 		if err := emit(timed(func() (bench.Report, error) { return bench.FaultInjection(opts.Env) })); err != nil {
+			return err
+		}
+	}
+	if want("netsim") {
+		if err := emit(timed(func() (bench.Report, error) { return bench.NetSim(opts.Env) })); err != nil {
+			return err
+		}
+	}
+	if want("chaos") {
+		rep, cerr, elapsed := timed(func() (bench.Report, error) { return bench.Chaos(opts.Env) })
+		// A chaos violation still carries a report worth reading: print
+		// it before failing.
+		if cerr != nil && rep.ID != "" {
+			fmt.Fprintf(w, "%s\n", rep.Render())
+		}
+		if err := emit(rep, cerr, elapsed); err != nil {
 			return err
 		}
 	}

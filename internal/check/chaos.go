@@ -1,0 +1,445 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"rafiki/internal/cluster"
+	"rafiki/internal/config"
+	"rafiki/internal/fault"
+)
+
+// Chaos search: explore seeded fault+network schedules against a
+// cluster, check the observed histories, and shrink any failing
+// schedule to a minimal reproducer by greedily dropping events and
+// re-running deterministically. Same seeds, same config — same report,
+// byte for byte.
+
+// ChaosConfig parameterizes one chaos search.
+type ChaosConfig struct {
+	// Seeds are the schedules to explore; one run (plus shrink re-runs
+	// on failure) per seed.
+	Seeds []int64
+	// Nodes and RF shape the cluster (defaults 3/3).
+	Nodes, RF int
+	// Clients is the logical sessions per round and Rounds the number
+	// of rounds; each round issues one op per client against a key pool
+	// of Keys keys (defaults 4, 40, 8).
+	Clients, Rounds int
+	Keys            uint64
+	// ReadCL and WriteCL are the consistency levels under test
+	// (defaults QUORUM/QUORUM — the linearizable regime).
+	ReadCL, WriteCL cluster.ConsistencyLevel
+	// Events is the fault+network events per generated schedule
+	// (default 6).
+	Events int
+	// MaxShrinkRuns bounds the deterministic re-runs spent minimizing
+	// one failing schedule (default 200).
+	MaxShrinkRuns int
+	// WeakenReadQuorum enables the cluster's intentionally seeded
+	// consistency bug, for validating that the checkers catch it.
+	WeakenReadQuorum bool
+	// Opts bound the linearizability search.
+	Opts Options
+}
+
+// withDefaults fills zero fields.
+func (cfg ChaosConfig) withDefaults() ChaosConfig {
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 3
+	}
+	if cfg.RF == 0 {
+		cfg.RF = 3
+	}
+	if cfg.Clients == 0 {
+		cfg.Clients = 4
+	}
+	if cfg.Rounds == 0 {
+		cfg.Rounds = 40
+	}
+	if cfg.Keys == 0 {
+		cfg.Keys = 8
+	}
+	if cfg.ReadCL == 0 {
+		cfg.ReadCL = cluster.ConsistencyQuorum
+	}
+	if cfg.WriteCL == 0 {
+		cfg.WriteCL = cluster.ConsistencyQuorum
+	}
+	if cfg.Events == 0 {
+		cfg.Events = 6
+	}
+	if cfg.MaxShrinkRuns == 0 {
+		cfg.MaxShrinkRuns = 200
+	}
+	if cfg.Opts.MaxWindowOps == 0 && cfg.Opts.MaxSearchSteps == 0 {
+		cfg.Opts = DefaultOptions()
+	}
+	return cfg
+}
+
+// Verdicts a seed's exploration can end with.
+const (
+	// VerdictOK: no violation under this schedule.
+	VerdictOK = "ok"
+	// VerdictDataLoss: a violation whose minimal reproducer contains
+	// log-corruption events — acknowledged state was genuinely
+	// destroyed, which the current durability model (periodic commit
+	// of a bounded tail) permits. Reported, but not a protocol bug.
+	VerdictDataLoss = "data-loss"
+	// VerdictViolation: a violation reproducible without any
+	// corruption event — a real consistency bug in the protocol.
+	VerdictViolation = "violation"
+)
+
+// SeedResult is one seed's exploration outcome.
+type SeedResult struct {
+	// Seed generated the schedule.
+	Seed int64
+	// Events and Ops describe the original run.
+	Events, Ops int
+	// Violations and Undecided summarize the original run's report.
+	Violations, Undecided int
+	// Verdict classifies the outcome.
+	Verdict string
+	// Reproducer is the shrunk schedule (nil when Verdict is ok) and
+	// ShrinkRuns the deterministic re-runs spent minimizing it.
+	Reproducer fault.Schedule
+	ShrinkRuns int
+	// First is the first violation of the *reproducer* run (empty when
+	// Verdict is ok).
+	First string
+}
+
+// ChaosReport is a full chaos search outcome.
+type ChaosReport struct {
+	Config  ChaosConfig
+	Results []SeedResult
+}
+
+// RunChaos explores every configured seed and returns the report. An
+// error means the harness itself failed (bad config, injector/schedule
+// disagreement), not that a violation was found — violations are data.
+func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Seeds) == 0 {
+		return nil, fmt.Errorf("check: chaos needs at least one seed")
+	}
+	if cfg.Clients > 64 {
+		return nil, fmt.Errorf("check: at most 64 clients, got %d", cfg.Clients)
+	}
+	rep := &ChaosReport{Config: cfg}
+	for _, seed := range cfg.Seeds {
+		res, err := cfg.explore(seed)
+		if err != nil {
+			return nil, fmt.Errorf("check: seed %d: %w", seed, err)
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep, nil
+}
+
+// explore runs one seed: probe the healthy duration, generate a
+// schedule, run it, and shrink on failure.
+func (cfg ChaosConfig) explore(seed int64) (SeedResult, error) {
+	// Healthy probe fixes the virtual-time horizon faults are scheduled
+	// within and must itself be violation-free.
+	probe, horizon, err := cfg.run(seed, nil)
+	if err != nil {
+		return SeedResult{}, err
+	}
+	if r := Check(probe, cfg.Opts); len(r.Violations) > 0 && !cfg.WeakenReadQuorum {
+		return SeedResult{}, fmt.Errorf("healthy run violates consistency: %s", r.Violations[0])
+	}
+	sched := cfg.genSchedule(seed, horizon)
+	h, _, err := cfg.run(seed, sched)
+	if err != nil {
+		return SeedResult{}, err
+	}
+	r := Check(h, cfg.Opts)
+	res := SeedResult{
+		Seed:       seed,
+		Events:     len(sched),
+		Ops:        r.Ops,
+		Violations: len(r.Violations),
+		Undecided:  len(r.Undecided),
+		Verdict:    VerdictOK,
+	}
+	if len(r.Violations) == 0 {
+		return res, nil
+	}
+	mini, runs, first, err := cfg.shrink(seed, sched)
+	if err != nil {
+		return SeedResult{}, err
+	}
+	res.Reproducer = mini
+	res.ShrinkRuns = runs
+	res.First = first
+	res.Verdict = VerdictViolation
+	for _, e := range mini {
+		if e.Kind == fault.CorruptLog || (e.Kind == fault.Restart && e.CorruptFraction > 0) {
+			res.Verdict = VerdictDataLoss
+			break
+		}
+	}
+	return res, nil
+}
+
+// shrink greedily minimizes a failing schedule: repeatedly try
+// removing each event and keep any removal that still violates, until
+// no single removal does or the run budget is spent. Every re-run is
+// deterministic, so the reproducer reproduces.
+func (cfg ChaosConfig) shrink(seed int64, sched fault.Schedule) (fault.Schedule, int, string, error) {
+	runs := 0
+	first := ""
+	failing := func(s fault.Schedule) (bool, error) {
+		runs++
+		h, _, err := cfg.run(seed, s)
+		if err != nil {
+			return false, err
+		}
+		r := Check(h, cfg.Opts)
+		if len(r.Violations) > 0 {
+			first = r.Violations[0].String()
+			return true, nil
+		}
+		return false, nil
+	}
+	// Record the full schedule's first violation before minimizing.
+	if ok, err := failing(sched); err != nil || !ok {
+		return sched, runs, first, err
+	}
+	for changed := true; changed && runs < cfg.MaxShrinkRuns; {
+		changed = false
+		for i := 0; i < len(sched) && runs < cfg.MaxShrinkRuns; i++ {
+			trial := make(fault.Schedule, 0, len(sched)-1)
+			trial = append(trial, sched[:i]...)
+			trial = append(trial, sched[i+1:]...)
+			ok, err := failing(trial)
+			if err != nil {
+				return nil, runs, "", err
+			}
+			if ok {
+				sched = trial
+				changed = true
+				i--
+			}
+		}
+	}
+	// Re-establish first as the minimal schedule's first violation.
+	if _, err := failing(sched); err != nil {
+		return nil, runs, "", err
+	}
+	return sched, runs, first, nil
+}
+
+// genSchedule draws a random schedule of cfg.Events valid events
+// within the virtual-time horizon. Invalid combinations (overlapping
+// fail or partition windows) are redrawn.
+func (cfg ChaosConfig) genSchedule(seed int64, horizon float64) fault.Schedule {
+	rng := rand.New(rand.NewSource(seed*6364136223846793005 + 1442695040888963407))
+	var sched fault.Schedule
+	for tries := 0; len(sched) < cfg.Events && tries < cfg.Events*20; tries++ {
+		e := cfg.genEvent(rng, horizon)
+		trial := append(append(fault.Schedule{}, sched...), e)
+		if trial.Validate(cfg.Nodes) == nil {
+			sched = trial
+		}
+	}
+	return sched
+}
+
+// genEvent draws one random event. Network-level trouble dominates the
+// mix — that is the layer this harness exists to stress.
+func (cfg ChaosConfig) genEvent(rng *rand.Rand, horizon float64) fault.Event {
+	at := horizon * (0.05 + 0.55*rng.Float64())
+	until := at + horizon*(0.05+0.35*rng.Float64())
+	node := rng.Intn(cfg.Nodes)
+	peer := fault.CoordinatorEndpoint
+	if rng.Float64() < 0.3 {
+		// Node-to-node link instead of coordinator link.
+		peer = rng.Intn(cfg.Nodes)
+		for peer == node {
+			peer = rng.Intn(cfg.Nodes)
+		}
+	}
+	toNode := rng.Float64() < 0.5 // direction of coordinator links
+	src, dst := node, peer
+	if peer == fault.CoordinatorEndpoint && toNode {
+		src, dst = peer, node
+	}
+	switch rng.Intn(10) {
+	case 0, 1:
+		return fault.Event{Kind: fault.Partition, Node: src, Peer: dst, At: at, Until: until}
+	case 2, 3:
+		return fault.Event{Kind: fault.NetFlaky, Node: src, Peer: dst, At: at, Until: until,
+			DropProb: 0.3 + 0.6*rng.Float64()}
+	case 4:
+		return fault.Event{Kind: fault.NetDup, Node: src, Peer: dst, At: at, Until: until,
+			DupProb: 0.2 + 0.5*rng.Float64()}
+	case 5:
+		return fault.Event{Kind: fault.NetDelay, Node: src, Peer: dst, At: at, Until: until,
+			DelayFactor: 2 + 8*rng.Float64()}
+	case 6:
+		return fault.Event{Kind: fault.Fail, Node: node, At: at, Until: until}
+	case 7:
+		return fault.Event{Kind: fault.Transient, Node: node, At: at, Until: until,
+			FailProb: 0.2 + 0.6*rng.Float64()}
+	case 8:
+		return fault.Event{Kind: fault.Restart, Node: node, At: at,
+			CorruptFraction: 0.5 * rng.Float64()}
+	default:
+		return fault.Event{Kind: fault.CorruptLog, Node: node, At: at,
+			CorruptFraction: 0.2 + 0.6*rng.Float64()}
+	}
+}
+
+// run executes the seeded workload under the given schedule (nil =
+// healthy) and returns the observed history and final virtual time.
+// The workload stream depends only on the seed, so runs under
+// different schedules stay comparable — the foundation shrinking
+// rests on.
+func (cfg ChaosConfig) run(seed int64, sched fault.Schedule) (History, float64, error) {
+	c, err := cluster.New(cluster.Options{
+		Nodes:             cfg.Nodes,
+		ReplicationFactor: cfg.RF,
+		Space:             config.Cassandra(),
+		Seed:              seed,
+		EpochOps:          64,
+		// A small positive latency keeps every op's interval
+		// non-degenerate (End strictly after Start), which the
+		// window partitioner relies on.
+		NetBaseLatency: 1e-4,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := c.SetReadConsistency(cfg.ReadCL); err != nil {
+		return nil, 0, err
+	}
+	if err := c.SetWriteConsistency(cfg.WriteCL); err != nil {
+		return nil, 0, err
+	}
+	if err := c.SetResilience(cluster.DefaultResilienceOptions()); err != nil {
+		return nil, 0, err
+	}
+	if cfg.WeakenReadQuorum {
+		c.WeakenReadQuorumForTest(true)
+	}
+	var inj *fault.Injector
+	if len(sched) > 0 {
+		inj, err = fault.NewInjector(c, sched, seed^0x5eed)
+		if err != nil {
+			return nil, 0, err
+		}
+		c.SetFaultInjector(inj)
+	}
+	wrng := rand.New(rand.NewSource(seed*2862933555777941757 + 3037000493))
+	h := make(History, 0, cfg.Rounds*cfg.Clients)
+	for round := 0; round < cfg.Rounds; round++ {
+		// Every op in the round shares the round's start as its
+		// invocation time: the clients are concurrent, the coordinator
+		// serializes them, and the widened intervals stay sound because
+		// each op's true effect lies between round start and its own
+		// completion.
+		start := c.Clock()
+		for cl := 0; cl < cfg.Clients; cl++ {
+			if inj != nil {
+				inj.Advance(c.Clock())
+			}
+			key := uint64(wrng.Intn(int(cfg.Keys)))
+			if wrng.Float64() < 0.5 {
+				res := c.WriteOp(key)
+				h = append(h, Op{Client: cl, Key: key, Kind: OpWrite,
+					Value: res.Version, Start: start, End: c.Clock(), Ok: res.OK})
+			} else {
+				res := c.ReadOp(key)
+				h = append(h, Op{Client: cl, Key: key, Kind: OpRead,
+					Value: res.Version, Start: start, End: c.Clock(), Ok: res.OK})
+			}
+		}
+	}
+	if inj != nil {
+		inj.Finish()
+		if err := inj.Err(); err != nil {
+			return nil, 0, err
+		}
+	}
+	return h, c.Clock(), nil
+}
+
+// Render writes the report as deterministic text: same config and
+// seeds, byte-identical output.
+func (r *ChaosReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos search: %d seeds, %d nodes rf=%d, %s/%s, %d clients x %d rounds, %d keys, %d events/schedule\n",
+		len(r.Config.Seeds), r.Config.Nodes, r.Config.RF, r.Config.ReadCL, r.Config.WriteCL,
+		r.Config.Clients, r.Config.Rounds, r.Config.Keys, r.Config.Events)
+	if r.Config.WeakenReadQuorum {
+		b.WriteString("seeded bug: read quorum weakened to 1\n")
+	}
+	for _, res := range r.Results {
+		fmt.Fprintf(&b, "seed %d: events=%d ops=%d violations=%d undecided=%d verdict=%s\n",
+			res.Seed, res.Events, res.Ops, res.Violations, res.Undecided, res.Verdict)
+		if res.Verdict == VerdictOK {
+			continue
+		}
+		fmt.Fprintf(&b, "  shrunk to %d events in %d runs; first violation: %s\n",
+			len(res.Reproducer), res.ShrinkRuns, res.First)
+		for _, e := range res.Reproducer {
+			b.WriteString("  " + renderEvent(e) + "\n")
+		}
+	}
+	fmt.Fprintf(&b, "worst verdict: %s\n", r.Worst())
+	return b.String()
+}
+
+// Worst returns the most severe verdict across seeds.
+func (r *ChaosReport) Worst() string {
+	rank := map[string]int{VerdictOK: 0, VerdictDataLoss: 1, VerdictViolation: 2}
+	worst := VerdictOK
+	for _, res := range r.Results {
+		if rank[res.Verdict] > rank[worst] {
+			worst = res.Verdict
+		}
+	}
+	return worst
+}
+
+// renderEvent formats one schedule event compactly and stably.
+func renderEvent(e fault.Event) string {
+	ep := func(n int) string {
+		if n == fault.CoordinatorEndpoint {
+			return "c"
+		}
+		return fmt.Sprintf("%d", n)
+	}
+	var parts []string
+	parts = append(parts, e.Kind.String())
+	if e.Kind == fault.Partition || e.Kind == fault.NetFlaky || e.Kind == fault.NetDup || e.Kind == fault.NetDelay {
+		parts = append(parts, fmt.Sprintf("link=%s->%s", ep(e.Node), ep(e.Peer)))
+	} else {
+		parts = append(parts, fmt.Sprintf("node=%d", e.Node))
+	}
+	parts = append(parts, fmt.Sprintf("at=%.4f", e.At))
+	if e.Until > 0 {
+		parts = append(parts, fmt.Sprintf("until=%.4f", e.Until))
+	}
+	if e.DropProb > 0 {
+		parts = append(parts, fmt.Sprintf("drop=%.3f", e.DropProb))
+	}
+	if e.DupProb > 0 {
+		parts = append(parts, fmt.Sprintf("dup=%.3f", e.DupProb))
+	}
+	if e.DelayFactor > 0 {
+		parts = append(parts, fmt.Sprintf("delay=%.2f", e.DelayFactor))
+	}
+	if e.FailProb > 0 {
+		parts = append(parts, fmt.Sprintf("failprob=%.3f", e.FailProb))
+	}
+	if e.CorruptFraction > 0 {
+		parts = append(parts, fmt.Sprintf("corrupt=%.3f", e.CorruptFraction))
+	}
+	return strings.Join(parts, " ")
+}

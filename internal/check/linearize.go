@@ -1,0 +1,190 @@
+package check
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Wing–Gong style linearizability search for single-key registers.
+//
+// Each key's ops are sorted by invocation time and partitioned into
+// concurrent windows at quiescent points — instants where every
+// earlier op has responded before any later op begins. No
+// linearization order crosses a quiescent point out of order, so each
+// window is searched independently; the only coupling is the register
+// value carried across the boundary, tracked as the set of feasible
+// final values a window can end with.
+//
+// Within a window the search is a DFS over (done-set, register-value)
+// states, memoized so each state is explored once. An op may be
+// linearized next iff no other pending op's interval ended before it
+// began. Acknowledged writes set the register; unacknowledged writes
+// branch — they either take effect or never do; reads prune any branch
+// whose register does not match what they observed.
+
+// linOp is one searchable operation with its effective interval.
+type linOp struct {
+	op  Op
+	idx int // index into the original history
+	end float64
+}
+
+// CheckLinearizable searches each key's history for a linearization
+// and returns the violations found plus the keys whose search exceeded
+// opts' bounds (undecided). A key counts as violating when some window
+// admits no linearization from any feasible starting value.
+func CheckLinearizable(h History, opts Options) ([]Violation, []uint64) {
+	if opts.MaxWindowOps <= 0 {
+		opts.MaxWindowOps = DefaultOptions().MaxWindowOps
+	}
+	if opts.MaxSearchSteps <= 0 {
+		opts.MaxSearchSteps = DefaultOptions().MaxSearchSteps
+	}
+	var violations []Violation
+	var undecided []uint64
+	for _, key := range keysOf(h) {
+		ops := collectKey(h, key)
+		if len(ops) == 0 {
+			continue
+		}
+		v, und := checkKey(key, ops, opts)
+		if v != nil {
+			violations = append(violations, *v)
+		}
+		if und {
+			undecided = append(undecided, key)
+		}
+	}
+	return violations, undecided
+}
+
+// collectKey extracts key's searchable ops: successful reads, and all
+// writes (unacknowledged ones become optional with an open interval).
+func collectKey(h History, key uint64) []linOp {
+	var ops []linOp
+	for i, op := range h {
+		if op.Key != key {
+			continue
+		}
+		if op.Kind == OpRead && !op.Ok {
+			continue
+		}
+		ops = append(ops, linOp{op: op, idx: i, end: infEnd(op)})
+	}
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].op.Start < ops[j].op.Start })
+	return ops
+}
+
+// checkKey searches one key's windows in order, chaining feasible
+// final register values across quiescent points.
+func checkKey(key uint64, ops []linOp, opts Options) (*Violation, bool) {
+	steps := opts.MaxSearchSteps
+	initials := map[int64]bool{0: true}
+	for start := 0; start < len(ops); {
+		// Grow the window until a quiescent point: every op in it has
+		// responded before the next op begins.
+		end := start + 1
+		maxEnd := ops[start].end
+		for end < len(ops) && ops[end].op.Start < maxEnd {
+			if ops[end].end > maxEnd {
+				maxEnd = ops[end].end
+			}
+			end++
+		}
+		window := ops[start:end]
+		if len(window) > opts.MaxWindowOps {
+			return nil, true
+		}
+		finals := make(map[int64]bool)
+		for _, init := range sortedVals(initials) {
+			if !searchWindow(window, init, finals, &steps) {
+				return nil, true // step budget exhausted
+			}
+		}
+		if len(finals) == 0 {
+			return &Violation{
+				Check: "linearizability",
+				Key:   key,
+				Op:    window[0].idx,
+				Detail: fmt.Sprintf("no linearization for %d concurrent ops starting at t=%g",
+					len(window), window[0].op.Start),
+			}, false
+		}
+		initials = finals
+		start = end
+	}
+	return nil, false
+}
+
+// sortedVals returns the set's values in ascending order so the search
+// explores initial values deterministically.
+func sortedVals(set map[int64]bool) []int64 {
+	vals := make([]int64, 0, len(set))
+	for v := range set {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// linState is one memoized search state.
+type linState struct {
+	mask uint64
+	val  int64
+}
+
+// searchWindow explores every linearization of window from initial
+// register value init, adding each reachable final value to finals.
+// It reports false when the step budget runs out.
+func searchWindow(window []linOp, init int64, finals map[int64]bool, steps *int) bool {
+	full := uint64(1)<<uint(len(window)) - 1
+	visited := make(map[linState]bool)
+	var dfs func(mask uint64, val int64) bool
+	dfs = func(mask uint64, val int64) bool {
+		if *steps <= 0 {
+			return false
+		}
+		*steps--
+		st := linState{mask: mask, val: val}
+		if visited[st] {
+			return true
+		}
+		visited[st] = true
+		if mask == full {
+			finals[val] = true
+			return true
+		}
+		// An op may linearize next only if no other pending op's
+		// interval ended before this op began.
+		minEnd := math.Inf(1)
+		for i, o := range window {
+			if mask&(1<<uint(i)) == 0 && o.end < minEnd {
+				minEnd = o.end
+			}
+		}
+		for i, o := range window {
+			if mask&(1<<uint(i)) != 0 || o.op.Start > minEnd {
+				continue
+			}
+			next := mask | 1<<uint(i)
+			switch {
+			case o.op.Kind == OpWrite && o.op.Ok:
+				if !dfs(next, o.op.Value) {
+					return false
+				}
+			case o.op.Kind == OpWrite:
+				// Unacknowledged: takes effect here, or never at all.
+				if !dfs(next, o.op.Value) || !dfs(next, val) {
+					return false
+				}
+			case o.op.Value == val:
+				if !dfs(next, val) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return dfs(0, init)
+}

@@ -4,12 +4,21 @@
 // and reads are balanced across replicas. Multiple client "shooters"
 // are modeled by letting node clocks advance independently — the
 // cluster is as slow as its busiest node.
+//
+// All replica traffic — reads, writes, hint replay, repair streaming —
+// travels as messages through a simulated network (internal/netsim)
+// rather than direct method calls, so asymmetric partitions, message
+// loss, duplication, and reordering hit the coordination protocol the
+// way they would a real deployment. The default network is perfect
+// (zero latency, lossless), which makes the message layer behaviorally
+// identical to direct calls until faults are injected.
 package cluster
 
 import (
 	"fmt"
 
 	"rafiki/internal/config"
+	"rafiki/internal/netsim"
 	"rafiki/internal/nosql"
 	"rafiki/internal/obs"
 )
@@ -37,19 +46,40 @@ type Options struct {
 	// across all nodes, each engine's instruments. Nil disables
 	// instrumentation at ~zero cost.
 	Obs *obs.Registry
+	// NetBaseLatency and NetJitter configure the simulated network's
+	// per-message latency (see netsim.Options). Both zero — the default
+	// — yields a perfect network whose message layer behaves exactly
+	// like direct calls.
+	NetBaseLatency float64
+	NetJitter      float64
 }
 
 // Cluster is a set of replicated engines behind a coordinator.
 type Cluster struct {
 	nodes []*nosql.Engine
 	rf    int
+	// net carries every replica interaction; reps are the node-side
+	// message endpoints wrapping the engines.
+	net  *netsim.Network
+	reps []*replica
+	// seq issues globally monotonic write versions; reqID matches RPC
+	// responses to their requests; inbox collects coordinator-bound
+	// responses for the in-flight exchange.
+	seq   int64
+	reqID uint64
+	inbox []inboxEntry
 	// reads are rotated across replicas per key.
 	rotation uint64
 	// down marks failed nodes; hints buffers mutations owed to them.
-	down   []bool
-	hints  [][]hint
-	readCL ConsistencyLevel
-	stats  Stats
+	down    []bool
+	hints   [][]hint
+	readCL  ConsistencyLevel
+	writeCL ConsistencyLevel
+	// weakRead is the test-only seeded consistency bug: when set, a
+	// QUORUM/ALL read serves from a single replica while still claiming
+	// its configured level. See WeakenReadQuorumForTest.
+	weakRead bool
+	stats    Stats
 
 	// res holds the coordinator's resilience posture; injector, when
 	// set, is the per-attempt transient-fault source.
@@ -80,6 +110,7 @@ func New(opts Options) (*Cluster, error) {
 		hints:      make([][]hint, opts.Nodes),
 		needRepair: make([]bool, opts.Nodes),
 		readCL:     ConsistencyOne,
+		writeCL:    ConsistencyOne,
 		res:        PassiveResilience(),
 		o:          newClusterObs(opts.Obs),
 	}
@@ -97,9 +128,28 @@ func New(opts Options) (*Cluster, error) {
 			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
 		}
 		c.nodes = append(c.nodes, eng)
+		c.reps = append(c.reps, newReplica(eng))
+	}
+	nw, err := netsim.New(netsim.Options{
+		Nodes:       opts.Nodes,
+		Seed:        opts.Seed ^ 0x6e65747369, // decorrelate from node seeds
+		BaseLatency: opts.NetBaseLatency,
+		Jitter:      opts.NetJitter,
+		Obs:         opts.Obs,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: network: %w", err)
+	}
+	c.net = nw
+	if err := c.wireHandlers(); err != nil {
+		return nil, fmt.Errorf("cluster: network: %w", err)
 	}
 	return c, nil
 }
+
+// Net exposes the simulated network carrying the cluster's replica
+// traffic, for fault injection (partitions, loss, delay) and stats.
+func (c *Cluster) Net() *netsim.Network { return c.net }
 
 // Nodes returns the node count.
 func (c *Cluster) Nodes() int { return len(c.nodes) }
@@ -136,16 +186,30 @@ func (c *Cluster) replicas(key uint64) []int {
 	return out
 }
 
-// hint is a mutation buffered for a down replica.
+// hint is a versioned mutation buffered for a replica that could not
+// be reached (down, timed out, retry-exhausted, or lost in the
+// network).
 type hint struct {
-	key       uint64
-	tombstone bool
+	key uint64
+	c   cell
 }
 
-// Write routes a write to every replica. A down replica's write is
-// buffered as a hint on the coordinator (hinted handoff) and replayed
-// when the node recovers; a write with no live replica at all counts as
-// unavailable.
+// WriteResult reports a mutation's coordinator-visible outcome.
+type WriteResult struct {
+	// Version is the coordinator-issued version of this mutation.
+	Version int64
+	// Acked is how many replicas acknowledged it; Acked == 0 counted
+	// as an unavailable write.
+	Acked int
+	// OK reports the write met the configured write consistency level.
+	OK bool
+}
+
+// Write routes a write to every replica. A replica that cannot be
+// reached — down, timed out, retry-exhausted, or lost in the network —
+// is owed the mutation as a hint on the coordinator (hinted handoff),
+// replayed when it recovers; a write acknowledged by no replica at all
+// counts as unavailable.
 func (c *Cluster) Write(key uint64) {
 	c.mutate(key, false)
 }
@@ -156,38 +220,83 @@ func (c *Cluster) Delete(key uint64) {
 	c.mutate(key, true)
 }
 
-func (c *Cluster) mutate(key uint64, tombstone bool) {
+// WriteOp is Write returning the versioned outcome, for consistency
+// checking.
+func (c *Cluster) WriteOp(key uint64) WriteResult {
+	return c.mutate(key, false)
+}
+
+// DeleteOp is Delete returning the versioned outcome.
+func (c *Cluster) DeleteOp(key uint64) WriteResult {
+	return c.mutate(key, true)
+}
+
+func (c *Cluster) mutate(key uint64, tombstone bool) WriteResult {
 	c.o.mutations.Inc()
-	anyLive := false
+	c.seq++
+	wc := cell{ver: c.seq, tomb: tombstone}
+	acked := 0
 	for _, idx := range c.replicas(key) {
 		// A down replica — or a live one whose op attempt timed out or
 		// failed past its retry budget — is owed the mutation as a hint.
 		if c.down[idx] || !c.attemptOp(idx) {
-			c.addHint(idx, hint{key: key, tombstone: tombstone})
+			c.addHint(idx, hint{key: key, c: wc})
 			continue
 		}
-		if tombstone {
-			c.nodes[idx].Delete(key)
+		if c.writeRPC(idx, key, wc) {
+			acked++
 		} else {
-			c.nodes[idx].Write(key)
+			// The write or its ack was lost in the network; the replica
+			// is owed the mutation exactly like a down node would be.
+			c.addHint(idx, hint{key: key, c: wc})
 		}
-		anyLive = true
 	}
-	if !anyLive {
+	if acked == 0 {
 		c.stats.UnavailableWrites++
 		c.o.unavailWrites.Inc()
+	} else if acked < c.writeCL.replicasNeeded(c.rf) {
+		c.stats.UnackedWrites++
+		c.o.unackedWrites.Inc()
+	}
+	return WriteResult{
+		Version: wc.ver,
+		Acked:   acked,
+		OK:      acked >= c.writeCL.replicasNeeded(c.rf),
 	}
 }
 
+// ReadResult reports a read's coordinator-visible outcome.
+type ReadResult struct {
+	// Version is the newest version among the replicas that answered
+	// (0 when none holds versioned state for the key, e.g. it was only
+	// ever preloaded).
+	Version int64
+	// Deleted reports that the winning version is a tombstone.
+	Deleted bool
+	// Served is how many replicas answered; OK whether the configured
+	// consistency level was met.
+	Served int
+	OK     bool
+}
+
 // Read serves a read from as many live replicas as the configured
+// consistency level requires; see ReadOp.
+func (c *Cluster) Read(key uint64) {
+	c.ReadOp(key)
+}
+
+// ReadOp serves a read from as many live replicas as the configured
 // consistency level requires, starting from a rotated offset so load
 // balances (the LCG rotation avoids correlating with key-sequence
 // patterns). With speculative reads enabled, replicas degraded beyond
 // the speculation threshold are demoted behind healthier backups; a
-// replica whose op attempt times out or fails past its retry budget is
-// skipped in favour of the next live one. A read that cannot reach
-// enough live replicas counts as unavailable.
-func (c *Cluster) Read(key uint64) {
+// replica whose op attempt times out, fails past its retry budget, or
+// whose exchange is lost in the network is skipped in favour of the
+// next live one. A read that cannot hear back from enough replicas
+// counts as unavailable. When consulted replicas disagree, the newest
+// version wins and stale responders are repaired in the background
+// (read repair).
+func (c *Cluster) ReadOp(key uint64) ReadResult {
 	c.o.reads.Inc()
 	reps := c.replicas(key)
 	var live []int
@@ -197,10 +306,13 @@ func (c *Cluster) Read(key uint64) {
 		}
 	}
 	need := c.readCL.replicasNeeded(c.rf)
+	if c.weakRead && need > 1 {
+		need = 1
+	}
 	if len(live) < need {
 		c.stats.UnavailableReads++
 		c.o.unavailReads.Inc()
-		return
+		return ReadResult{}
 	}
 	c.rotation = c.rotation*6364136223846793005 + 1442695040888963407
 	start := int((c.rotation >> 33) % uint64(len(live)))
@@ -211,7 +323,13 @@ func (c *Cluster) Read(key uint64) {
 	if c.res.SpeculativeReads {
 		order = c.speculate(order, need)
 	}
+	type answer struct {
+		idx int
+		c   cell
+	}
 	served := 0
+	var best cell
+	answers := make([]answer, 0, need)
 	for _, idx := range order {
 		if served == need {
 			break
@@ -219,12 +337,44 @@ func (c *Cluster) Read(key uint64) {
 		if !c.attemptOp(idx) {
 			continue
 		}
-		c.nodes[idx].Read(key)
+		resp, ok := c.readRPC(idx, key)
+		if !ok {
+			continue
+		}
 		served++
+		var got cell
+		if resp.has {
+			got = resp.c
+		}
+		answers = append(answers, answer{idx: idx, c: got})
+		if got.ver > best.ver {
+			best = got
+		}
 	}
 	if served < need {
 		c.stats.UnavailableReads++
 		c.o.unavailReads.Inc()
+		return ReadResult{Served: served}
+	}
+	// Read repair: any consulted replica that answered with an older
+	// version than the winner gets the winning cell written back, so
+	// quorum overlap converges divergent replicas on the read path.
+	if best.ver > 0 {
+		for _, a := range answers {
+			if a.c.ver >= best.ver {
+				continue
+			}
+			if c.writeRPC(a.idx, key, best) {
+				c.stats.ReadRepairs++
+				c.o.readRepairs.Inc()
+			}
+		}
+	}
+	return ReadResult{
+		Version: best.ver,
+		Deleted: best.ver > 0 && best.tomb,
+		Served:  served,
+		OK:      true,
 	}
 }
 

@@ -68,6 +68,12 @@ type Stats struct {
 	// Repairs counts full node repairs and RepairedKeys the key states
 	// streamed by them.
 	Repairs, RepairedKeys uint64
+	// ReadRepairs counts stale replicas converged on the read path
+	// after a consulted set disagreed on a key's version.
+	ReadRepairs uint64
+	// UnackedWrites counts writes acknowledged by at least one replica
+	// but fewer than the write consistency level requires.
+	UnackedWrites uint64
 }
 
 // SetReadConsistency selects the read consistency level (default ONE).
@@ -79,6 +85,28 @@ func (c *Cluster) SetReadConsistency(cl ConsistencyLevel) error {
 	default:
 		return fmt.Errorf("cluster: unknown consistency level %d", int(cl))
 	}
+}
+
+// SetWriteConsistency selects the write consistency level (default
+// ONE): a mutation acknowledged by fewer replicas counts as unacked
+// (or unavailable, when no replica acknowledged at all).
+func (c *Cluster) SetWriteConsistency(cl ConsistencyLevel) error {
+	switch cl {
+	case ConsistencyOne, ConsistencyQuorum, ConsistencyAll:
+		c.writeCL = cl
+		return nil
+	default:
+		return fmt.Errorf("cluster: unknown consistency level %d", int(cl))
+	}
+}
+
+// WeakenReadQuorumForTest toggles an intentionally seeded consistency
+// bug: QUORUM/ALL reads serve from a single replica while still
+// claiming their configured level, breaking the read/write quorum
+// intersection. It exists so the consistency checkers (internal/check)
+// have a real bug to catch and must never be enabled outside tests.
+func (c *Cluster) WeakenReadQuorumForTest(on bool) {
+	c.weakRead = on
 }
 
 // Stats returns the availability counters.
@@ -112,19 +140,20 @@ func (c *Cluster) RecoverNode(i int) error {
 	return nil
 }
 
-// replayHints delivers node i's buffered hints and, when the buffer
-// overflowed, follows with a full repair.
+// replayHints delivers node i's buffered hints as messages and, when
+// the buffer overflowed, follows with a full repair. A hint the
+// network loses in transit is still owed and goes back in the buffer.
 func (c *Cluster) replayHints(i int) {
-	for _, h := range c.hints[i] {
-		if h.tombstone {
-			c.nodes[i].Delete(h.key)
-		} else {
-			c.nodes[i].Write(h.key)
+	pending := c.hints[i]
+	c.hints[i] = nil
+	for _, h := range pending {
+		if !c.writeRPC(i, h.key, h.c) {
+			c.addHint(i, h)
+			continue
 		}
 		c.stats.HintsReplayed++
 		c.o.hintsReplayed.Inc()
 	}
-	c.hints[i] = nil
 	if c.needRepair[i] {
 		c.fullRepair(i)
 	}
@@ -132,8 +161,11 @@ func (c *Cluster) replayHints(i int) {
 
 // fullRepair streams every key node i owns from a live peer replica,
 // rewriting the key's current state (live value or tombstone) on node
-// i. It is the convergence path of last resort after hint loss; the
-// write work is charged to the recovering node, standing in for the
+// i. The source's state is fetched with a repair introspection message
+// and the rewrite travels as a normal versioned write, so repair
+// traffic is subject to the same network faults as serving traffic. It
+// is the convergence path of last resort after hint loss; the write
+// work is charged to the recovering node, standing in for the
 // streaming cost of a real repair.
 func (c *Cluster) fullRepair(i int) {
 	c.stats.Repairs++
@@ -151,13 +183,21 @@ func (c *Cluster) fullRepair(i int) {
 				src = idx
 			}
 		}
-		if !owned || src == -1 || !c.nodes[src].HasCell(key) {
+		if !owned || src == -1 {
 			continue
 		}
-		if c.nodes[src].Alive(key) {
-			c.nodes[i].Write(key)
-		} else {
-			c.nodes[i].Delete(key)
+		st, ok := c.stateRPC(src, key)
+		if !ok || !st.has {
+			continue
+		}
+		wc := st.c
+		if !st.hasVer {
+			// Preloaded state predating versioning: stream it at the
+			// floor version so any versioned write still beats it.
+			wc = cell{ver: 0, tomb: !st.alive}
+		}
+		if !c.writeRPC(i, key, wc) {
+			continue
 		}
 		c.stats.RepairedKeys++
 		c.o.repairedKeys.Inc()
@@ -165,12 +205,15 @@ func (c *Cluster) fullRepair(i int) {
 }
 
 // RestartNode crash-restarts node i's engine: RAM state is lost and the
-// commit log replays, charging the downtime to the node's clock.
+// commit log replays, charging the downtime to the node's clock. The
+// replica's recent versioned applies replay the same way — any records
+// torn by log corruption are lost.
 func (c *Cluster) RestartNode(i int) error {
 	if i < 0 || i >= len(c.nodes) {
 		return fmt.Errorf("cluster: no node %d", i)
 	}
 	c.nodes[i].Restart()
+	c.reps[i].restart()
 	return nil
 }
 
@@ -189,12 +232,14 @@ func (c *Cluster) SetNodeDegradation(i int, diskTax, cpuTax float64) error {
 }
 
 // CorruptNodeLog tears the newest fraction of node i's commit-log tail;
-// the loss surfaces at the node's next restart. It returns the number
-// of records lost.
+// the loss surfaces at the node's next restart, which then also loses
+// the same fraction of the replica's recent versioned applies. It
+// returns the number of engine log records lost.
 func (c *Cluster) CorruptNodeLog(i int, fraction float64) (int, error) {
 	if i < 0 || i >= len(c.nodes) {
 		return 0, fmt.Errorf("cluster: no node %d", i)
 	}
+	c.reps[i].corruptTail(fraction)
 	return c.nodes[i].CorruptLogTail(fraction), nil
 }
 

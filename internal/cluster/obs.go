@@ -34,6 +34,8 @@ type clusterObs struct {
 	hintsReplayed *obs.Counter
 	repairs       *obs.Counter
 	repairedKeys  *obs.Counter
+	readRepairs   *obs.Counter
+	unackedWrites *obs.Counter
 
 	overhead *obs.Gauge
 }
@@ -60,6 +62,8 @@ func newClusterObs(r *obs.Registry) clusterObs {
 		hintsReplayed: r.Counter("cluster.hints_replayed"),
 		repairs:       r.Counter("cluster.repairs"),
 		repairedKeys:  r.Counter("cluster.repaired_keys"),
+		readRepairs:   r.Counter("cluster.read_repairs"),
+		unackedWrites: r.Counter("cluster.unacked_writes"),
 		overhead:      r.Gauge("cluster.coordinator_overhead_vsec"),
 	}
 }

@@ -1,0 +1,232 @@
+package cluster
+
+import (
+	"math"
+
+	"rafiki/internal/netsim"
+	"rafiki/internal/nosql"
+)
+
+// This file is the cluster's netsim delivery layer: the node-side
+// message handler and the replica state it drives. It is the ONLY
+// place cluster code may call an engine's data-path methods
+// (Read/Write/Delete) directly — everywhere else replica traffic must
+// travel as messages through the network, which is machine-checked by
+// rafikilint's netbypass analyzer.
+
+// cell is one key's replicated register state: the coordinator-issued
+// version that last wrote it, and whether that write was a tombstone.
+type cell struct {
+	ver  int64
+	tomb bool
+}
+
+// Message payloads. Every replica interaction is a request/response
+// pair matched by a per-RPC id, so duplicated or stale responses can
+// never be mistaken for the current op's.
+type (
+	// readReq asks a replica to serve a data read.
+	readReq struct {
+		id  uint64
+		key uint64
+	}
+	// readResp carries the replica's versioned answer; has reports
+	// whether the replica holds any versioned state for the key.
+	readResp struct {
+		id  uint64
+		key uint64
+		c   cell
+		has bool
+	}
+	// writeReq applies one versioned mutation (write or tombstone).
+	writeReq struct {
+		id  uint64
+		key uint64
+		c   cell
+	}
+	// writeAck confirms a writeReq was applied.
+	writeAck struct {
+		id  uint64
+		key uint64
+		ver int64
+	}
+	// stateReq asks a replica for its current state of one key
+	// without data-read cost (repair introspection).
+	stateReq struct {
+		id  uint64
+		key uint64
+	}
+	// stateResp answers a stateReq: engine-level presence/liveness
+	// plus the versioned cell when one exists.
+	stateResp struct {
+		id     uint64
+		key    uint64
+		has    bool
+		alive  bool
+		c      cell
+		hasVer bool
+	}
+)
+
+// undoWindow bounds each replica's corruptible tail: applies older
+// than the window count as flushed (durable) and can no longer be
+// lost to a torn commit log.
+const undoWindow = 8192
+
+// undoRec is one entry of a replica's corruptible tail: enough to
+// roll the key back (prev/had) and to replay the apply (next).
+type undoRec struct {
+	key  uint64
+	prev cell
+	had  bool
+	next cell
+	torn bool
+}
+
+// replica is one node's message endpoint: the storage engine plus the
+// versioned register state consistency checking observes. Version
+// state mirrors the engine's durability model — recent applies live
+// in a corruptible tail until the window slides past them, and a
+// crash-restart after log corruption loses the torn records.
+type replica struct {
+	eng  *nosql.Engine
+	cur  map[uint64]cell
+	undo []undoRec
+	torn int
+}
+
+func newReplica(eng *nosql.Engine) *replica {
+	return &replica{eng: eng, cur: make(map[uint64]cell)}
+}
+
+// apply performs one delivered mutation. Engine work is charged for
+// every delivered copy (a duplicate costs what a write costs); the
+// versioned state is last-write-wins, so stale and duplicated copies
+// cannot regress it.
+func (r *replica) apply(key uint64, c cell) {
+	if c.tomb {
+		r.eng.Delete(key)
+	} else {
+		r.eng.Write(key)
+	}
+	old, had := r.cur[key]
+	if had && old.ver >= c.ver {
+		return
+	}
+	r.pushUndo(undoRec{key: key, prev: old, had: had, next: c})
+	r.cur[key] = c
+}
+
+// read serves one delivered data read and returns the versioned state.
+func (r *replica) read(key uint64) (cell, bool) {
+	r.eng.Read(key)
+	c, has := r.cur[key]
+	return c, has
+}
+
+// pushUndo appends one tail record, sliding the durability window
+// forward when it overflows (the oldest half becomes flushed state).
+func (r *replica) pushUndo(u undoRec) {
+	r.undo = append(r.undo, u)
+	if len(r.undo) > undoWindow {
+		keep := len(r.undo) - undoWindow/2
+		r.undo = append(r.undo[:0:0], r.undo[keep:]...)
+	}
+}
+
+// corruptTail marks the newest fraction of the replica's untorn tail
+// records as lost; like the engine's commit log, the damage only
+// surfaces at the next restart.
+func (r *replica) corruptTail(fraction float64) {
+	if fraction <= 0 {
+		return
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	pending := 0
+	for i := range r.undo {
+		if !r.undo[i].torn {
+			pending++
+		}
+	}
+	n := int(math.Ceil(fraction * float64(pending)))
+	for i := len(r.undo) - 1; i >= 0 && n > 0; i-- {
+		if !r.undo[i].torn {
+			r.undo[i].torn = true
+			r.torn++
+			n--
+		}
+	}
+}
+
+// restart replays the replica's tail the way crash recovery replays a
+// commit log: every tail record is rolled back (RAM state gone), then
+// the surviving — untorn — records re-apply in order. The survivors
+// are durable afterwards.
+func (r *replica) restart() {
+	for i := len(r.undo) - 1; i >= 0; i-- {
+		u := r.undo[i]
+		if u.had {
+			r.cur[u.key] = u.prev
+		} else {
+			delete(r.cur, u.key)
+		}
+	}
+	for _, u := range r.undo {
+		if u.torn {
+			continue
+		}
+		r.cur[u.key] = u.next
+	}
+	r.undo = r.undo[:0]
+	r.torn = 0
+}
+
+// handleAtNode is the node-side delivery handler: it executes the
+// request against the replica and sends the response back through the
+// network (which may drop, duplicate, or delay it like any message).
+func (c *Cluster) handleAtNode(node int, from int, payload any, at float64) {
+	r := c.reps[node]
+	switch m := payload.(type) {
+	case readReq:
+		cl, has := r.read(m.key)
+		c.net.Send(node, from, readResp{id: m.id, key: m.key, c: cl, has: has}, at)
+	case writeReq:
+		r.apply(m.key, m.c)
+		c.net.Send(node, from, writeAck{id: m.id, key: m.key, ver: m.c.ver}, at)
+	case stateReq:
+		cl, hasVer := r.cur[m.key]
+		c.net.Send(node, from, stateResp{
+			id: m.id, key: m.key,
+			has: r.eng.HasCell(m.key), alive: r.eng.Alive(m.key),
+			c: cl, hasVer: hasVer,
+		}, at)
+	}
+}
+
+// coordHandler is the coordinator-side delivery handler: responses
+// land in the inbox for the in-flight op to collect.
+func (c *Cluster) coordHandler(from int, payload any, at float64) {
+	c.inbox = append(c.inbox, inboxEntry{from: from, at: at, payload: payload})
+}
+
+// inboxEntry is one response delivered to the coordinator.
+type inboxEntry struct {
+	from    int
+	at      float64
+	payload any
+}
+
+// wireHandlers registers the cluster's endpoints on its network.
+func (c *Cluster) wireHandlers() error {
+	for i := range c.reps {
+		i := i
+		if err := c.net.SetHandler(i, func(from int, payload any, at float64) {
+			c.handleAtNode(i, from, payload, at)
+		}); err != nil {
+			return err
+		}
+	}
+	return c.net.SetHandler(netsim.Coordinator, c.coordHandler)
+}

@@ -1,0 +1,73 @@
+package cluster
+
+import "rafiki/internal/netsim"
+
+// Coordinator-side RPC helpers. Each helper is one synchronous
+// request/response exchange over the simulated network: the request is
+// sent, the network delivers it (or drops/duplicates/delays it), the
+// node handler replies, and the response — if it survives the return
+// path — lands in the coordinator's inbox. The round-trip latency is
+// charged to the coordinator's wait overhead; a lost exchange charges
+// the op timeout, which is how a real coordinator discovers loss.
+
+// newRPC issues the next request id; responses are matched on it so a
+// duplicated or stale reply can never satisfy the wrong exchange.
+func (c *Cluster) newRPC() uint64 {
+	c.reqID++
+	return c.reqID
+}
+
+// rpcLost accounts an exchange whose request or response the network
+// lost: the coordinator sat out its per-op patience learning that.
+func (c *Cluster) rpcLost() {
+	c.chargeWait(c.res.OpTimeout)
+}
+
+// writeRPC delivers one versioned mutation to node idx and reports
+// whether its ack came back.
+func (c *Cluster) writeRPC(idx int, key uint64, wc cell) bool {
+	id := c.newRPC()
+	c.inbox = c.inbox[:0]
+	sent := c.Clock()
+	c.net.Send(netsim.Coordinator, idx, writeReq{id: id, key: key, c: wc}, sent)
+	for _, e := range c.inbox {
+		if a, ok := e.payload.(writeAck); ok && a.id == id && e.from == idx {
+			c.chargeWait(e.at - sent)
+			return true
+		}
+	}
+	c.rpcLost()
+	return false
+}
+
+// readRPC asks node idx for its state of key and returns the reply.
+func (c *Cluster) readRPC(idx int, key uint64) (readResp, bool) {
+	id := c.newRPC()
+	c.inbox = c.inbox[:0]
+	sent := c.Clock()
+	c.net.Send(netsim.Coordinator, idx, readReq{id: id, key: key}, sent)
+	for _, e := range c.inbox {
+		if r, ok := e.payload.(readResp); ok && r.id == id && e.from == idx {
+			c.chargeWait(e.at - sent)
+			return r, true
+		}
+	}
+	c.rpcLost()
+	return readResp{}, false
+}
+
+// stateRPC asks node idx for repair introspection on key.
+func (c *Cluster) stateRPC(idx int, key uint64) (stateResp, bool) {
+	id := c.newRPC()
+	c.inbox = c.inbox[:0]
+	sent := c.Clock()
+	c.net.Send(netsim.Coordinator, idx, stateReq{id: id, key: key}, sent)
+	for _, e := range c.inbox {
+		if r, ok := e.payload.(stateResp); ok && r.id == id && e.from == idx {
+			c.chargeWait(e.at - sent)
+			return r, true
+		}
+	}
+	c.rpcLost()
+	return stateResp{}, false
+}

@@ -37,7 +37,25 @@ const (
 	// CorruptLog tears CorruptFraction of the node's commit-log tail at
 	// At; the damage surfaces at the node's next restart.
 	CorruptLog
+	// Partition severs the directed network link Node -> Peer from At
+	// to Until, then heals it. Asymmetric by construction: schedule the
+	// mirrored event for a symmetric partition. Peer may be
+	// CoordinatorEndpoint.
+	Partition
+	// NetFlaky makes the directed link Node -> Peer drop each message
+	// independently with probability DropProb from At to Until.
+	NetFlaky
+	// NetDup makes the directed link Node -> Peer duplicate each
+	// delivered message with probability DupProb from At to Until.
+	NetDup
+	// NetDelay multiplies the directed link Node -> Peer's base latency
+	// by DelayFactor from At to Until.
+	NetDelay
 )
+
+// CoordinatorEndpoint is the Node/Peer value addressing the cluster
+// coordinator in network events (mirrors netsim.Coordinator).
+const CoordinatorEndpoint = -1
 
 // String implements fmt.Stringer.
 func (k Kind) String() string {
@@ -52,21 +70,45 @@ func (k Kind) String() string {
 		return "transient"
 	case CorruptLog:
 		return "corrupt-log"
+	case Partition:
+		return "partition"
+	case NetFlaky:
+		return "net-flaky"
+	case NetDup:
+		return "net-dup"
+	case NetDelay:
+		return "net-delay"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
 }
 
-// Event is one scheduled fault against one node, in virtual seconds.
+// network reports whether the event targets a network link rather than
+// a node.
+func (k Kind) network() bool {
+	switch k {
+	case Partition, NetFlaky, NetDup, NetDelay:
+		return true
+	}
+	return false
+}
+
+// Event is one scheduled fault against one node (or, for network
+// kinds, one directed link), in virtual seconds.
 type Event struct {
 	// Kind selects the fault class.
 	Kind Kind
-	// Node is the target node index.
+	// Node is the target node index; for network kinds it is the
+	// directed link's source endpoint (CoordinatorEndpoint allowed).
 	Node int
+	// Peer is the directed link's destination endpoint for network
+	// kinds (CoordinatorEndpoint allowed); ignored otherwise.
+	Peer int
 	// At is when the fault starts (virtual seconds).
 	At float64
-	// Until ends windowed faults (Fail, Slow, Transient); it must
-	// exceed At for those kinds and is ignored for the others.
+	// Until ends windowed faults (Fail, Slow, Transient, and all
+	// network kinds); it must exceed At for those kinds and is ignored
+	// for the others.
 	Until float64
 	// DiskTax and CPUTax are Slow's degradation multipliers (>= 1).
 	DiskTax, CPUTax float64
@@ -75,12 +117,15 @@ type Event struct {
 	// CorruptFraction is the commit-log tail fraction torn by
 	// CorruptLog and Restart events.
 	CorruptFraction float64
+	// DropProb, DupProb, and DelayFactor parameterize NetFlaky,
+	// NetDup, and NetDelay link conditions.
+	DropProb, DupProb, DelayFactor float64
 }
 
 // windowed reports whether the event has a duration.
 func (e Event) windowed() bool {
 	switch e.Kind {
-	case Fail, Slow, Transient:
+	case Fail, Slow, Transient, Partition, NetFlaky, NetDup, NetDelay:
 		return true
 	}
 	return false
@@ -88,30 +133,46 @@ func (e Event) windowed() bool {
 
 // Validate reports event errors against a cluster of n nodes.
 func (e Event) Validate(nodes int) error {
-	if e.Node < 0 || e.Node >= nodes {
+	if e.Kind.network() {
+		if e.Node < CoordinatorEndpoint || e.Node >= nodes {
+			return fmt.Errorf("fault: network event source endpoint %d of %d nodes", e.Node, nodes)
+		}
+		if e.Peer < CoordinatorEndpoint || e.Peer >= nodes {
+			return fmt.Errorf("fault: network event peer endpoint %d of %d nodes", e.Peer, nodes)
+		}
+		if e.Node == e.Peer {
+			return fmt.Errorf("fault: network event targets self-link %d", e.Node)
+		}
+	} else if e.Node < 0 || e.Node >= nodes {
 		return fmt.Errorf("fault: event targets node %d of %d", e.Node, nodes)
 	}
 	if e.At < 0 {
 		return fmt.Errorf("fault: negative event time %v", e.At)
 	}
+	if e.windowed() && e.Until <= e.At {
+		return fmt.Errorf("fault: %s window [%v, %v] is empty", e.Kind, e.At, e.Until)
+	}
 	switch e.Kind {
-	case Fail:
-		if e.Until <= e.At {
-			return fmt.Errorf("fault: fail window [%v, %v] is empty", e.At, e.Until)
-		}
+	case Fail, Partition:
 	case Slow:
-		if e.Until <= e.At {
-			return fmt.Errorf("fault: slow window [%v, %v] is empty", e.At, e.Until)
-		}
 		if e.DiskTax < 1 && e.CPUTax < 1 {
 			return fmt.Errorf("fault: slow event needs a tax >= 1, got disk %v cpu %v", e.DiskTax, e.CPUTax)
 		}
 	case Transient:
-		if e.Until <= e.At {
-			return fmt.Errorf("fault: transient window [%v, %v] is empty", e.At, e.Until)
-		}
 		if e.FailProb <= 0 || e.FailProb > 1 {
 			return fmt.Errorf("fault: transient probability %v out of (0,1]", e.FailProb)
+		}
+	case NetFlaky:
+		if e.DropProb <= 0 || e.DropProb > 1 {
+			return fmt.Errorf("fault: drop probability %v out of (0,1]", e.DropProb)
+		}
+	case NetDup:
+		if e.DupProb <= 0 || e.DupProb > 1 {
+			return fmt.Errorf("fault: duplication probability %v out of (0,1]", e.DupProb)
+		}
+	case NetDelay:
+		if e.DelayFactor <= 1 {
+			return fmt.Errorf("fault: delay factor %v must exceed 1", e.DelayFactor)
 		}
 	case Restart:
 		if e.CorruptFraction < 0 || e.CorruptFraction > 1 {
@@ -158,6 +219,23 @@ func (s Schedule) Validate(nodes int) error {
 			if evs[i].At < evs[i-1].Until {
 				return fmt.Errorf("fault: node %d has overlapping fail windows [%v,%v] and [%v,%v]",
 					node, evs[i-1].At, evs[i-1].Until, evs[i].At, evs[i].Until)
+			}
+		}
+	}
+	// Reject overlapping partition windows per directed link: an
+	// already-severed link cannot be severed again.
+	perLink := make(map[[2]int][]Event)
+	for _, e := range s {
+		if e.Kind == Partition {
+			perLink[[2]int{e.Node, e.Peer}] = append(perLink[[2]int{e.Node, e.Peer}], e)
+		}
+	}
+	for link, evs := range perLink {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+		for i := 1; i < len(evs); i++ {
+			if evs[i].At < evs[i-1].Until {
+				return fmt.Errorf("fault: link %d->%d has overlapping partition windows [%v,%v] and [%v,%v]",
+					link[0], link[1], evs[i-1].At, evs[i-1].Until, evs[i].At, evs[i].Until)
 			}
 		}
 	}

@@ -5,7 +5,17 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+
+	"rafiki/internal/netsim"
 )
+
+// NetTarget is optionally implemented by targets whose replica traffic
+// rides a simulated network (*cluster.Cluster does). Network events —
+// Partition, NetFlaky, NetDup, NetDelay — require it and error against
+// targets without one.
+type NetTarget interface {
+	Net() *netsim.Network
+}
 
 // Target is what the injector drives. *cluster.Cluster satisfies it;
 // EngineTarget adapts a single nosql.Engine.
@@ -131,7 +141,58 @@ func (inj *Injector) apply(tr transition) {
 			inj.remove(e)
 		}
 		inj.recompute(e.Node)
+	case Partition:
+		nt, ok := inj.target.(NetTarget)
+		if !ok {
+			inj.record(fmt.Errorf("fault: %s event needs a network-backed target", e.Kind))
+			return
+		}
+		if tr.start {
+			inj.record(nt.Net().Partition(e.Node, e.Peer, tr.at))
+		} else {
+			inj.record(nt.Net().Heal(e.Node, e.Peer, tr.at))
+		}
+	case NetFlaky, NetDup, NetDelay:
+		nt, ok := inj.target.(NetTarget)
+		if !ok {
+			inj.record(fmt.Errorf("fault: %s event needs a network-backed target", e.Kind))
+			return
+		}
+		if tr.start {
+			inj.activeEvents = append(inj.activeEvents, e)
+		} else {
+			inj.remove(e)
+		}
+		inj.recomputeLink(nt, e.Node, e.Peer)
 	}
+}
+
+// recomputeLink rebuilds the directed link's condition from the active
+// network events: drop/duplication probabilities combine independently
+// (1 - survival product) and the worst delay factor wins.
+func (inj *Injector) recomputeLink(nt NetTarget, from, to int) {
+	dropSurvive, dupSurvive := 1.0, 1.0
+	delay := 0.0
+	for _, e := range inj.activeEvents {
+		if e.Node != from || e.Peer != to {
+			continue
+		}
+		switch e.Kind {
+		case NetFlaky:
+			dropSurvive *= 1 - e.DropProb
+		case NetDup:
+			dupSurvive *= 1 - e.DupProb
+		case NetDelay:
+			if e.DelayFactor > delay {
+				delay = e.DelayFactor
+			}
+		}
+	}
+	inj.record(nt.Net().SetCondition(from, to, netsim.Condition{
+		DropProb:    1 - dropSurvive,
+		DupProb:     1 - dupSurvive,
+		DelayFactor: delay,
+	}))
 }
 
 // remove drops the first active event equal to e.

@@ -1,0 +1,130 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"rafiki/internal/config"
+	"rafiki/internal/nosql"
+)
+
+func TestNetworkEventValidation(t *testing.T) {
+	bad := []Schedule{
+		{{Kind: Partition, Node: 0, Peer: 0, At: 0, Until: 1}},                // self-link
+		{{Kind: Partition, Node: 0, Peer: 5, At: 0, Until: 1}},                // peer out of range
+		{{Kind: Partition, Node: -2, Peer: 0, At: 0, Until: 1}},               // bad source
+		{{Kind: Partition, Node: 0, Peer: 1, At: 2, Until: 1}},                // empty window
+		{{Kind: NetFlaky, Node: 0, Peer: 1, At: 0, Until: 1}},                 // no probability
+		{{Kind: NetFlaky, Node: 0, Peer: 1, At: 0, Until: 1, DropProb: 1.5}},  // bad probability
+		{{Kind: NetDup, Node: 0, Peer: 1, At: 0, Until: 1, DupProb: -0.5}},    // bad probability
+		{{Kind: NetDelay, Node: 0, Peer: 1, At: 0, Until: 1, DelayFactor: 1}}, // no delay
+		{ // overlapping partitions on one directed link
+			{Kind: Partition, Node: 0, Peer: 1, At: 0, Until: 5},
+			{Kind: Partition, Node: 0, Peer: 1, At: 3, Until: 8},
+		},
+	}
+	for i, s := range bad {
+		if err := s.Validate(3); err == nil {
+			t.Errorf("case %d: invalid schedule accepted", i)
+		}
+	}
+	good := Schedule{
+		{Kind: Partition, Node: CoordinatorEndpoint, Peer: 0, At: 0, Until: 2},
+		{Kind: Partition, Node: 0, Peer: CoordinatorEndpoint, At: 0, Until: 2},
+		{Kind: Partition, Node: 0, Peer: 1, At: 2, Until: 3}, // back-to-back is fine
+		{Kind: NetFlaky, Node: 1, Peer: 2, At: 0, Until: 4, DropProb: 0.25},
+		{Kind: NetDup, Node: 1, Peer: 2, At: 1, Until: 3, DupProb: 0.1},
+		{Kind: NetDelay, Node: 2, Peer: 0, At: 0, Until: 9, DelayFactor: 10},
+	}
+	if err := good.Validate(3); err != nil {
+		t.Errorf("valid schedule rejected: %v", err)
+	}
+}
+
+func TestPartitionSeversAndHealsClusterLink(t *testing.T) {
+	c := newCluster(t, 2, 2)
+	sched := Schedule{
+		{Kind: Partition, Node: CoordinatorEndpoint, Peer: 0, At: 0, Until: 1e6},
+	}
+	inj, err := NewInjector(c, sched, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Advance(c.Clock())
+	if !c.Net().Partitioned(-1, 0) {
+		t.Fatal("link not partitioned after Advance")
+	}
+	const writes = 50
+	for k := uint64(0); k < writes; k++ {
+		c.Write(k)
+	}
+	st := c.Stats()
+	if st.HintsStored != writes {
+		t.Errorf("HintsStored = %d, want %d (every write to node 0 lost in the network)", st.HintsStored, writes)
+	}
+	if got := c.Engine(1).Metrics().Writes; got != writes {
+		t.Errorf("node 1 writes = %d, want %d (its link is healthy)", got, writes)
+	}
+	inj.Finish()
+	if err := inj.Err(); err != nil {
+		t.Fatalf("injector errors: %v", err)
+	}
+	if c.Net().Partitioned(-1, 0) {
+		t.Error("link still partitioned after Finish")
+	}
+	if res := c.WriteOp(1); res.Acked != 2 {
+		t.Errorf("post-heal write acked by %d replicas, want 2", res.Acked)
+	}
+}
+
+func TestOverlappingFlakyWindowsCombineDropProbability(t *testing.T) {
+	c := newCluster(t, 2, 2)
+	sched := Schedule{
+		{Kind: NetFlaky, Node: 0, Peer: 1, At: 0, Until: 10, DropProb: 0.5},
+		{Kind: NetFlaky, Node: 0, Peer: 1, At: 0, Until: 20, DropProb: 0.5},
+		{Kind: NetDelay, Node: 0, Peer: 1, At: 0, Until: 20, DelayFactor: 4},
+	}
+	inj, err := NewInjector(c, sched, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Advance(0)
+	cond := c.Net().LinkCondition(0, 1)
+	if math.Abs(cond.DropProb-0.75) > 1e-12 {
+		t.Errorf("combined DropProb = %v, want 0.75", cond.DropProb)
+	}
+	if cond.DelayFactor != 4 {
+		t.Errorf("DelayFactor = %v, want 4", cond.DelayFactor)
+	}
+	inj.Advance(15) // first flaky window ended
+	cond = c.Net().LinkCondition(0, 1)
+	if math.Abs(cond.DropProb-0.5) > 1e-12 {
+		t.Errorf("DropProb after first window = %v, want 0.5", cond.DropProb)
+	}
+	inj.Finish()
+	if err := inj.Err(); err != nil {
+		t.Fatal(err)
+	}
+	cond = c.Net().LinkCondition(0, 1)
+	if cond.DropProb != 0 || cond.DelayFactor != 0 {
+		t.Errorf("link condition not cleared after Finish: %+v", cond)
+	}
+}
+
+func TestNetworkEventsRejectNonNetworkTarget(t *testing.T) {
+	eng, err := nosql.New(nosql.Options{Space: config.Cassandra(), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := Schedule{
+		{Kind: Partition, Node: CoordinatorEndpoint, Peer: 0, At: 0, Until: 1},
+	}
+	inj, err := NewInjector(EngineTarget{Engine: eng}, sched, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Finish()
+	if inj.Err() == nil {
+		t.Error("network event against an engine target should error")
+	}
+}

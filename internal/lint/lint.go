@@ -205,6 +205,7 @@ func All() []*Analyzer {
 		MapOrder,
 		ObsNil,
 		ErrDrop,
+		NetBypass,
 	}
 }
 

@@ -33,6 +33,8 @@ var fixtures = []struct {
 	{"obsnil_ok", "internal/obs"},
 	{"errdrop_bad", "internal/errfix"},
 	{"errdrop_ok", "internal/errok"},
+	{"netbypass_bad", "internal/cluster"},
+	{"netbypass_ok", "internal/cluster"},
 	{"suppress", "internal/suppressfix"},
 }
 

@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+)
+
+// NetBypass enforces the cluster's message-transport boundary: every
+// replica read, write, and delete must travel through the netsim
+// network as a message, so partitions, drops, and latency faults apply
+// to all replica traffic uniformly. A direct engine call from
+// coordinator code silently bypasses the simulated network — the
+// operation can never be dropped, delayed, or partitioned away, which
+// quietly falsifies every chaos result involving that code path. Only
+// replica.go, the delivery layer that handles messages arriving at a
+// node, may touch the engine's data path.
+var NetBypass = &Analyzer{
+	Name: "netbypass",
+	Doc:  "cluster code must route engine reads/writes through the netsim transport, not call them directly",
+	Run: func(pass *Pass) {
+		if pass.Pkg.RelPath != "internal/cluster" {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			base := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+			if base == "replica.go" {
+				continue // the delivery layer: messages land here and hit the engine
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				switch sel.Sel.Name {
+				case "Read", "Write", "Delete":
+				default:
+					return true
+				}
+				if !isEngineValue(pass.Pkg.Info, sel.X) {
+					return true
+				}
+				pass.Reportf(call.Pos(), "direct engine %s bypasses the netsim transport; replica traffic must travel as messages (deliver via the network, handle in replica.go)", sel.Sel.Name)
+				return true
+			})
+		}
+	},
+}
+
+// isEngineValue reports whether expr's type is a named type Engine or
+// a pointer to one. The type's name alone decides, not its package, so
+// fixture packages can declare their own Engine to exercise the rule.
+func isEngineValue(info *types.Info, expr ast.Expr) bool {
+	t := info.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Name() == "Engine"
+}

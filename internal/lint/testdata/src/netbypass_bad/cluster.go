@@ -1,0 +1,49 @@
+// Package cluster (the bad fixture) breaks the transport boundary:
+// coordinator code calls engine data-path methods directly instead of
+// sending messages through the network, so simulated partitions and
+// drops never apply to these operations.
+package cluster
+
+// Engine is a fixture stand-in for the storage engine.
+type Engine struct{ rows map[uint64]uint64 }
+
+// Read is the engine's data-path read.
+func (e *Engine) Read(key uint64) (uint64, bool) {
+	v, ok := e.rows[key]
+	return v, ok
+}
+
+// Write is the engine's data-path write.
+func (e *Engine) Write(key, val uint64) { e.rows[key] = val }
+
+// Delete is the engine's data-path delete.
+func (e *Engine) Delete(key uint64) { delete(e.rows, key) }
+
+// Close is not a data-path method; calling it directly is fine.
+func (e *Engine) Close() {}
+
+// Coordinator holds replica engines it should only talk to by message.
+type Coordinator struct{ replicas []*Engine }
+
+// Get bypasses the transport on its read path.
+func (c *Coordinator) Get(key uint64) (uint64, bool) {
+	return c.replicas[0].Read(key)
+}
+
+// Put bypasses the transport on both mutation paths.
+func (c *Coordinator) Put(key, val uint64) {
+	for _, r := range c.replicas {
+		if val == 0 {
+			r.Delete(key)
+			continue
+		}
+		r.Write(key, val)
+	}
+}
+
+// Shutdown only uses non-data-path methods, so it is clean.
+func (c *Coordinator) Shutdown() {
+	for _, r := range c.replicas {
+		r.Close()
+	}
+}

@@ -1,0 +1,29 @@
+// Package cluster (the ok fixture) respects the transport boundary:
+// the coordinator only ever sends messages; engine access happens in
+// the delivery layer (replica.go).
+package cluster
+
+// Coordinator routes every replica operation through send.
+type Coordinator struct{ replicas []*Engine }
+
+// send models the network hop: the message travels to the node and is
+// handled by the delivery layer.
+func (c *Coordinator) send(idx int, m message) (uint64, bool) {
+	return deliver(c.replicas[idx], m)
+}
+
+// Get reads through the transport.
+func (c *Coordinator) Get(key uint64) (uint64, bool) {
+	return c.send(0, message{key: key, read: true})
+}
+
+// Put mutates through the transport.
+func (c *Coordinator) Put(key, val uint64) {
+	for i := range c.replicas {
+		if val == 0 {
+			c.send(i, message{key: key, del: true})
+			continue
+		}
+		c.send(i, message{key: key, val: val})
+	}
+}

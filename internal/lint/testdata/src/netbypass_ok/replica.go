@@ -1,0 +1,39 @@
+// replica.go is the delivery layer: messages arriving at a node are
+// applied to the engine here, and only here.
+package cluster
+
+// Engine is a fixture stand-in for the storage engine.
+type Engine struct{ rows map[uint64]uint64 }
+
+// Read is the engine's data-path read.
+func (e *Engine) Read(key uint64) (uint64, bool) {
+	v, ok := e.rows[key]
+	return v, ok
+}
+
+// Write is the engine's data-path write.
+func (e *Engine) Write(key, val uint64) { e.rows[key] = val }
+
+// Delete is the engine's data-path delete.
+func (e *Engine) Delete(key uint64) { delete(e.rows, key) }
+
+// message is one request delivered to a node.
+type message struct {
+	key, val uint64
+	del      bool
+	read     bool
+}
+
+// deliver handles a message at its destination node's engine — the one
+// place the data path is touched.
+func deliver(e *Engine, m message) (uint64, bool) {
+	switch {
+	case m.read:
+		return e.Read(m.key)
+	case m.del:
+		e.Delete(m.key)
+	default:
+		e.Write(m.key, m.val)
+	}
+	return 0, false
+}

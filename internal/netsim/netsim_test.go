@@ -1,0 +1,259 @@
+package netsim
+
+import (
+	"testing"
+
+	"rafiki/internal/obs"
+)
+
+// collect installs a recording handler on every endpoint and returns
+// the shared record slice pointer.
+type arrival struct {
+	to, from int
+	payload  any
+	at       float64
+}
+
+func recordingNet(t *testing.T, opts Options) (*Network, *[]arrival) {
+	t.Helper()
+	nw, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []arrival
+	for ep := Coordinator; ep < opts.Nodes; ep++ {
+		ep := ep
+		if err := nw.SetHandler(ep, func(from int, payload any, at float64) {
+			got = append(got, arrival{to: ep, from: from, payload: payload, at: at})
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return nw, &got
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{Nodes: 0}); err == nil {
+		t.Error("zero nodes should error")
+	}
+	if _, err := New(Options{Nodes: 2, BaseLatency: -1}); err == nil {
+		t.Error("negative latency should error")
+	}
+	if _, err := New(Options{Nodes: 2, Jitter: 1}); err == nil {
+		t.Error("jitter >= 1 should error")
+	}
+}
+
+func TestPerfectNetworkDeliversInstantlyInOrder(t *testing.T) {
+	nw, got := recordingNet(t, Options{Nodes: 3, Seed: 1})
+	res := nw.Broadcast(Coordinator, []int{0, 1, 2}, "w", 5)
+	for i, r := range res {
+		if !r.Delivered || r.Arrival != 5 {
+			t.Errorf("target %d: delivered=%v arrival=%v, want instant delivery", i, r.Delivered, r.Arrival)
+		}
+	}
+	if len(*got) != 3 {
+		t.Fatalf("deliveries = %d, want 3", len(*got))
+	}
+	for i, a := range *got {
+		if a.to != i || a.from != Coordinator || a.at != 5 {
+			t.Errorf("delivery %d = %+v, want to=%d from=c at=5", i, a, i)
+		}
+	}
+	st := nw.Stats()
+	if st.Sent != 3 || st.Delivered != 3 || st.Dropped != 0 || st.Reordered != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestAsymmetricPartition(t *testing.T) {
+	nw, got := recordingNet(t, Options{Nodes: 2, Seed: 1})
+	if err := nw.Partition(Coordinator, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Partition(Coordinator, 0, 1); err == nil {
+		t.Error("double partition should error")
+	}
+	if !nw.Partitioned(Coordinator, 0) {
+		t.Error("link should report partitioned")
+	}
+	// Severed direction drops; reverse direction still flows.
+	if res := nw.Send(Coordinator, 0, "x", 2); res.Delivered {
+		t.Error("partitioned link delivered")
+	}
+	if res := nw.Send(0, Coordinator, "y", 2); !res.Delivered {
+		t.Error("reverse direction should deliver")
+	}
+	if err := nw.Heal(Coordinator, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Heal(Coordinator, 0, 3); err == nil {
+		t.Error("healing a healthy link should error")
+	}
+	if res := nw.Send(Coordinator, 0, "z", 4); !res.Delivered {
+		t.Error("healed link should deliver")
+	}
+	st := nw.Stats()
+	if st.PartitionDrops != 1 {
+		t.Errorf("PartitionDrops = %d, want 1", st.PartitionDrops)
+	}
+	want := []arrival{{to: Coordinator, from: 0, payload: "y", at: 2}, {to: 0, from: Coordinator, payload: "z", at: 4}}
+	if len(*got) != len(want) {
+		t.Fatalf("deliveries = %v", *got)
+	}
+	for i, a := range *got {
+		if a != want[i] {
+			t.Errorf("delivery %d = %+v, want %+v", i, a, want[i])
+		}
+	}
+}
+
+func TestDropAndDuplicateProbabilities(t *testing.T) {
+	nw, got := recordingNet(t, Options{Nodes: 2, Seed: 42})
+	if err := nw.SetCondition(Coordinator, 0, Condition{DropProb: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.SetCondition(Coordinator, 1, Condition{DupProb: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	for i := 0; i < n; i++ {
+		nw.Send(Coordinator, 0, i, float64(i))
+		nw.Send(Coordinator, 1, i, float64(i))
+	}
+	st := nw.Stats()
+	if st.Dropped < n/3 || st.Dropped > 2*n/3 {
+		t.Errorf("Dropped = %d of %d at p=0.5", st.Dropped, n)
+	}
+	if st.Duplicated < n/3 || st.Duplicated > 2*n/3 {
+		t.Errorf("Duplicated = %d of %d at p=0.5", st.Duplicated, n)
+	}
+	if want := st.Sent + st.Duplicated - st.Dropped - st.PartitionDrops; st.Delivered != want {
+		t.Errorf("Delivered = %d, want %d (sent+dup-drops)", st.Delivered, want)
+	}
+	if uint64(len(*got)) != st.Delivered {
+		t.Errorf("handler saw %d deliveries, stats say %d", len(*got), st.Delivered)
+	}
+}
+
+func TestSetConditionValidation(t *testing.T) {
+	nw, _ := recordingNet(t, Options{Nodes: 2, Seed: 1})
+	if err := nw.SetCondition(0, 0, Condition{}); err == nil {
+		t.Error("self-link should error")
+	}
+	if err := nw.SetCondition(0, 5, Condition{}); err == nil {
+		t.Error("bad endpoint should error")
+	}
+	if err := nw.SetCondition(0, 1, Condition{DropProb: 2}); err == nil {
+		t.Error("drop prob > 1 should error")
+	}
+	if err := nw.SetCondition(0, 1, Condition{DupProb: -1}); err == nil {
+		t.Error("negative dup prob should error")
+	}
+	if err := nw.SetCondition(0, 1, Condition{DelayFactor: -2}); err == nil {
+		t.Error("negative delay factor should error")
+	}
+	if err := nw.SetCondition(0, 1, Condition{DropProb: 0.1, DelayFactor: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := nw.LinkCondition(0, 1); got.DropProb != 0.1 || got.DelayFactor != 3 {
+		t.Errorf("LinkCondition = %+v", got)
+	}
+}
+
+func TestLatencyJitterAndReordering(t *testing.T) {
+	nw, got := recordingNet(t, Options{Nodes: 3, Seed: 9, BaseLatency: 0.01, Jitter: 0.9})
+	// Slow one link hard so broadcasts routinely reorder against it.
+	if err := nw.SetCondition(Coordinator, 0, Condition{DelayFactor: 10}); err != nil {
+		t.Fatal(err)
+	}
+	// Send spacing far tighter than the latency spread, so a fast
+	// later sample can overtake a slow earlier one on the same link.
+	for i := 0; i < 50; i++ {
+		nw.Broadcast(Coordinator, []int{0, 1, 2}, i, float64(i)*0.001)
+	}
+	// Deliveries within each broadcast must be in arrival order.
+	for i := 1; i < len(*got); i++ {
+		a, b := (*got)[i-1], (*got)[i]
+		if int(a.payload.(int)) == int(b.payload.(int)) && a.at > b.at {
+			t.Fatalf("same-broadcast deliveries out of arrival order: %+v then %+v", a, b)
+		}
+	}
+	// The slow node must generally arrive last despite being sent first.
+	lastSlow := 0
+	for _, a := range *got {
+		if a.to == 0 {
+			lastSlow++
+		}
+	}
+	if lastSlow != 50 {
+		t.Fatalf("node 0 received %d of 50", lastSlow)
+	}
+	if st := nw.Stats(); st.Reordered == 0 {
+		t.Error("heavily skewed latencies should record FIFO inversions")
+	}
+}
+
+func TestDeterminismSameSeed(t *testing.T) {
+	run := func() (Stats, []arrival) {
+		nw, got := recordingNet(t, Options{Nodes: 3, Seed: 77, BaseLatency: 0.004, Jitter: 0.5})
+		if err := nw.SetCondition(1, Coordinator, Condition{DropProb: 0.2, DupProb: 0.1}); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 500; i++ {
+			nw.Broadcast(Coordinator, []int{0, 1, 2}, i, float64(i))
+			nw.Send(1, Coordinator, i, float64(i))
+		}
+		return nw.Stats(), *got
+	}
+	s1, g1 := run()
+	s2, g2 := run()
+	if s1 != s2 {
+		t.Fatalf("stats diverged: %+v vs %+v", s1, s2)
+	}
+	if len(g1) != len(g2) {
+		t.Fatalf("delivery counts diverged: %d vs %d", len(g1), len(g2))
+	}
+	for i := range g1 {
+		if g1[i] != g2[i] {
+			t.Fatalf("delivery %d diverged: %+v vs %+v", i, g1[i], g2[i])
+		}
+	}
+}
+
+func TestObsCountersAndPartitionSpans(t *testing.T) {
+	reg := obs.NewRegistry()
+	nw, _ := recordingNet(t, Options{Nodes: 2, Seed: 3, Obs: reg})
+	nw.Send(Coordinator, 0, "a", 1)
+	if err := nw.Partition(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	nw.Send(0, 1, "b", 3)
+	if err := nw.Heal(0, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("netsim.sent").Value(); got != 2 {
+		t.Errorf("netsim.sent = %d, want 2", got)
+	}
+	if got := reg.Counter("netsim.partition_drops").Value(); got != 1 {
+		t.Errorf("netsim.partition_drops = %d, want 1", got)
+	}
+	if got := reg.Counter("netsim.link.c->0.delivered").Value(); got != 1 {
+		t.Errorf("per-link delivered = %d, want 1", got)
+	}
+	if got := reg.Counter("netsim.link.0->1.dropped").Value(); got != 1 {
+		t.Errorf("per-link dropped = %d, want 1", got)
+	}
+	if got := reg.Gauge("netsim.active_partitions").Value(); got != 0 {
+		t.Errorf("active partitions gauge = %v, want 0 after heal", got)
+	}
+	if reg.SpanCount() != 1 {
+		t.Errorf("span count = %d, want 1 partition span", reg.SpanCount())
+	}
+}
+
+func TestEndpointName(t *testing.T) {
+	if EndpointName(Coordinator) != "c" || EndpointName(3) != "3" {
+		t.Errorf("EndpointName rendering wrong: %q %q", EndpointName(Coordinator), EndpointName(3))
+	}
+}

@@ -1,0 +1,44 @@
+package netsim
+
+import "rafiki/internal/obs"
+
+// netObs holds the network's pre-resolved instruments; all nil when
+// observability is disabled (every obs method is nil-safe). The
+// aggregate counters reconcile with Stats exactly:
+//
+//	netsim.sent == Stats.Sent
+//	netsim.delivered + netsim.dropped + netsim.partition_drops
+//	             == Stats.Sent + Stats.Duplicated
+//
+// and the per-link netsim.link.<from>-><to>.* counters partition the
+// aggregate delivered/dropped totals by ordered link.
+type netObs struct {
+	reg *obs.Registry
+
+	sent       *obs.Counter
+	delivered  *obs.Counter
+	dropped    *obs.Counter
+	duplicated *obs.Counter
+	reordered  *obs.Counter
+	partDrops  *obs.Counter
+
+	partitions *obs.Gauge
+}
+
+// newNetObs resolves the network's instruments against r; with r ==
+// nil the struct is the no-op state.
+func newNetObs(r *obs.Registry) netObs {
+	if r == nil {
+		return netObs{}
+	}
+	return netObs{
+		reg:        r,
+		sent:       r.Counter("netsim.sent"),
+		delivered:  r.Counter("netsim.delivered"),
+		dropped:    r.Counter("netsim.dropped"),
+		duplicated: r.Counter("netsim.duplicated"),
+		reordered:  r.Counter("netsim.reordered"),
+		partDrops:  r.Counter("netsim.partition_drops"),
+		partitions: r.Gauge("netsim.active_partitions"),
+	}
+}

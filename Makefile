@@ -4,7 +4,7 @@ GO ?= go
 # `make cover` fails if the tree regresses below it.
 COVER_FLOOR ?= 79.7
 
-.PHONY: build test bench check fmt vet lint race fuzz cover guard chaos
+.PHONY: build test bench check fmt vet lint race fuzz cover guard chaos slo
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzEngineOps -fuzztime=5s ./internal/nosql/
 	$(GO) test -run='^$$' -fuzz=FuzzLoadSurrogate -fuzztime=5s ./internal/nn/
 	$(GO) test -run='^$$' -fuzz=FuzzHistoryCheck -fuzztime=5s ./internal/check/
+	$(GO) test -run='^$$' -fuzz=FuzzAdmissionQueue -fuzztime=5s ./internal/frontdoor/
 
 # cover fails when aggregate statement coverage falls below the seed
 # baseline (COVER_FLOOR).
@@ -64,9 +65,19 @@ cover:
 chaos:
 	$(GO) run ./cmd/experiments -chaos -ops 4000 -out chaos-report.txt
 
+# slo runs the front-door overload chaos gate over its fixed seed set:
+# a multi-thousand-tenant open-loop fleet driven into overload while a
+# partition and a straggler overlap a demand surge. Each seed is run
+# twice; a seed fails on an SLO miss (p99 ceiling held in < 90% of
+# windows), nondeterministic shedding (shed digests or obs snapshots
+# differ between the runs), or a session-guarantee violation for any
+# admitted request. The report lands in slo-report.txt (gitignored).
+slo:
+	$(GO) run ./cmd/experiments -slo -out slo-report.txt
+
 # guard re-runs the determinism and allocation regression gates: every
 # worker-count invariance test plus the zero/bounded-alloc kernels.
 guard:
 	$(GO) test -count=1 -run 'Determinism|AllocGuard|AcrossWorkers' ./internal/...
 
-check: fmt vet lint race fuzz guard chaos
+check: fmt vet lint race fuzz guard chaos slo

@@ -6,14 +6,20 @@
 //
 //	experiments [-only figure4,table1] [-ops N] [-seed N] [-out path]
 //	            [-obs] [-obs-json path] [-workers N] [-netsim] [-chaos]
+//	            [-frontdoor] [-slo]
 //
-// The netsim and chaos experiments are opt-in: -netsim replays the
-// standard workload under simulated network conditions (flaky links,
-// duplication, delay, partitions), and -chaos runs the consistency
-// chaos search over a fixed seed set, failing if a corruption-free
-// consistency violation is found and shrunk. Setting either flag (or
-// naming the IDs in -only) selects just those experiments unless
-// others are also listed.
+// The netsim, chaos, frontdoor, and slo experiments are opt-in:
+// -netsim replays the standard workload under simulated network
+// conditions (flaky links, duplication, delay, partitions); -chaos
+// runs the consistency chaos search over a fixed seed set, failing if
+// a corruption-free consistency violation is found and shrunk;
+// -frontdoor demonstrates the multi-tenant front door (admission
+// control, backpressure, load shedding) under an overload + fault
+// schedule; and -slo runs the front-door overload chaos gate over its
+// fixed seed set, failing if any seed misses its SLO, sheds
+// nondeterministically, or violates session guarantees. Setting any of
+// these flags (or naming the IDs in -only) selects just those
+// experiments unless others are also listed.
 package main
 
 import (
@@ -46,8 +52,10 @@ func run() (err error) {
 		showObs = flag.Bool("obs", false, "print the observability dashboard after the experiments")
 		obsJSON = flag.String("obs-json", "", "write the observability snapshot as JSON to this file")
 		workers = flag.Int("workers", 0, "worker bound for every parallel stage (0 = one per CPU, 1 = serial); results are identical for any value")
-		netsim  = flag.Bool("netsim", false, "run the netsim experiment (workload under simulated network faults)")
-		chaos   = flag.Bool("chaos", false, "run the chaos search (consistency checking over explored fault schedules; exits nonzero on a protocol violation)")
+		netsim  = flag.Bool("netsim", false, "run the netsim experiment (workload under simulated network faults); opt-in, never part of the default set")
+		chaos   = flag.Bool("chaos", false, "run the chaos search (consistency checking over explored fault schedules; exits nonzero on a protocol violation); opt-in, never part of the default set")
+		fdoor   = flag.Bool("frontdoor", false, "run the front-door demo (multi-tenant admission control, backpressure, and load shedding under overload + faults); opt-in, never part of the default set")
+		slo     = flag.Bool("slo", false, "run the SLO gate (front-door overload chaos over a fixed seed set; exits nonzero on an SLO miss, nondeterministic shedding, or a session-guarantee violation); opt-in, never part of the default set")
 	)
 	flag.Parse()
 
@@ -63,11 +71,18 @@ func run() (err error) {
 	if *chaos {
 		selected["chaos"] = true
 	}
-	// netsim and chaos are opt-in only: they never join the implicit
-	// "run everything" set, so the default experiment output is
-	// unchanged by their existence.
+	if *fdoor {
+		selected["frontdoor"] = true
+	}
+	if *slo {
+		selected["slo"] = true
+	}
+	// netsim, chaos, frontdoor, and slo are opt-in only: they never
+	// join the implicit "run everything" set, so the default experiment
+	// output is unchanged by their existence.
+	optIn := map[string]bool{"netsim": true, "chaos": true, "frontdoor": true, "slo": true}
 	want := func(id string) bool {
-		if id == "netsim" || id == "chaos" {
+		if optIn[id] {
 			return selected[id]
 		}
 		return len(selected) == 0 || selected[id]
@@ -172,6 +187,23 @@ func run() (err error) {
 			fmt.Fprintf(w, "%s\n", rep.Render())
 		}
 		if err := emit(rep, cerr, elapsed); err != nil {
+			return err
+		}
+	}
+
+	if want("frontdoor") {
+		if err := emit(timed(func() (bench.Report, error) { return bench.FrontDoor(opts.Env) })); err != nil {
+			return err
+		}
+	}
+	if want("slo") {
+		rep, serr, elapsed := timed(func() (bench.Report, error) { return bench.SLO(opts.Env) })
+		// A failing gate still carries the per-seed table worth
+		// reading: print it before failing.
+		if serr != nil && rep.ID != "" {
+			fmt.Fprintf(w, "%s\n", rep.Render())
+		}
+		if err := emit(rep, serr, elapsed); err != nil {
 			return err
 		}
 	}

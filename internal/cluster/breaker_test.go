@@ -1,0 +1,230 @@
+package cluster
+
+import (
+	"testing"
+
+	"rafiki/internal/config"
+)
+
+// newTickingCluster builds a cluster whose engines close an accounting
+// epoch every op, so node clocks advance per-op instead of per-epoch.
+// Breaker cooldowns are measured against the cluster clock, so the
+// half-open tests need that fine-grained progress.
+func newTickingCluster(t *testing.T, nodes, rf int) *Cluster {
+	t.Helper()
+	c, err := New(Options{
+		Nodes:             nodes,
+		ReplicationFactor: rf,
+		Space:             config.Cassandra(),
+		Seed:              7,
+		EpochOps:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// breakerOpts returns a resilience posture with the circuit breaker
+// armed and every other defense tuned for fast unit tests.
+func breakerOpts() ResilienceOptions {
+	opts := DefaultResilienceOptions()
+	opts.MaxRetries = 0
+	opts.BreakerFailures = 3
+	opts.BreakerCooldown = 1.0
+	return opts
+}
+
+func TestBreakerOpensAndFailsFast(t *testing.T) {
+	c := newTestCluster(t, 2, 2, nil)
+	opts := breakerOpts()
+	opts.BreakerCooldown = 1e6 // never half-opens within the test
+	if err := c.SetResilience(opts); err != nil {
+		t.Fatal(err)
+	}
+	c.SetFaultInjector(&alwaysFail{nodes: map[int]bool{1: true}})
+	const writes = 50
+	for k := uint64(0); k < writes; k++ {
+		c.Write(k)
+	}
+	st := c.Stats()
+	if st.BreakerOpens != 1 {
+		t.Errorf("breaker opens = %d, want exactly 1", st.BreakerOpens)
+	}
+	// The first BreakerFailures exchanges fail transiently; every write
+	// after that is rejected by the open breaker without consulting the
+	// injector, and all of them are owed to node 1 as hints.
+	if got, want := st.TransientFailures, uint64(opts.BreakerFailures); got != want {
+		t.Errorf("transient failures = %d, want %d (breaker should stop the probing)", got, want)
+	}
+	if got, want := st.BreakerRejections, uint64(writes-opts.BreakerFailures); got != want {
+		t.Errorf("breaker rejections = %d, want %d", got, want)
+	}
+	if st.HintsStored != writes {
+		t.Errorf("hints stored = %d, want %d (rejected writes are still owed)", st.HintsStored, writes)
+	}
+	if st.UnavailableWrites != 0 {
+		t.Errorf("healthy replica keeps writes available: %+v", st)
+	}
+}
+
+func TestBreakerHalfOpenProbeClosesAfterRecovery(t *testing.T) {
+	c := newTickingCluster(t, 2, 2)
+	opts := breakerOpts()
+	opts.BreakerCooldown = 1e-12 // any clock progress ends the cooldown
+	if err := c.SetResilience(opts); err != nil {
+		t.Fatal(err)
+	}
+	fi := &alwaysFail{nodes: map[int]bool{1: true}}
+	c.SetFaultInjector(fi)
+	for k := uint64(0); k < 10; k++ {
+		c.Write(k)
+	}
+	if c.Stats().BreakerOpens == 0 {
+		t.Fatal("breaker never opened under persistent failure")
+	}
+	// Fault clears; the next attempt past the cooldown is the half-open
+	// probe, it succeeds, and the link serves normally again.
+	fi.nodes[1] = false
+	before := c.nodes[1].Metrics().Writes
+	for k := uint64(0); k < 10; k++ {
+		c.Write(k)
+	}
+	st := c.Stats()
+	if got := c.nodes[1].Metrics().Writes; got <= before {
+		t.Errorf("recovered link executed no writes (%d before, %d after)", before, got)
+	}
+	if st.UnavailableWrites != 0 {
+		t.Errorf("unavailable writes = %d, want 0", st.UnavailableWrites)
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	c := newTickingCluster(t, 2, 2)
+	opts := breakerOpts()
+	opts.BreakerCooldown = 1e-12
+	if err := c.SetResilience(opts); err != nil {
+		t.Fatal(err)
+	}
+	c.SetFaultInjector(&alwaysFail{nodes: map[int]bool{1: true}})
+	for k := uint64(0); k < 20; k++ {
+		c.Write(k)
+	}
+	st := c.Stats()
+	// Every post-cooldown probe fails and re-opens the link, so the
+	// breaker opens repeatedly rather than exactly once.
+	if st.BreakerOpens < 2 {
+		t.Errorf("breaker opens = %d, want repeated re-opens from failed probes", st.BreakerOpens)
+	}
+	if got := c.nodes[1].Metrics().Writes; got != 0 {
+		t.Errorf("failing node executed %d writes, want 0", got)
+	}
+}
+
+func TestBreakerCutsStragglerTimeoutOverhead(t *testing.T) {
+	// A replica degraded beyond the op timeout makes every attempt
+	// charge the full timeout wait; the breaker should pay it only a
+	// few times before failing fast for free.
+	run := func(opts ResilienceOptions) (Stats, float64) {
+		c := newTestCluster(t, 2, 2, nil)
+		if err := c.SetResilience(opts); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.SetNodeDegradation(1, 100, 1); err != nil {
+			t.Fatal(err)
+		}
+		for k := uint64(0); k < 200; k++ {
+			c.Write(k)
+		}
+		return c.Stats(), c.Clock()
+	}
+	plain, plainClock := run(DefaultResilienceOptions())
+	armed, armedClock := run(breakerOpts())
+	if plain.Timeouts != 200 {
+		t.Fatalf("unarmed posture timed out %d of 200 writes", plain.Timeouts)
+	}
+	if armed.BreakerRejections == 0 {
+		t.Fatal("armed posture never rejected via the breaker")
+	}
+	if armed.Timeouts >= plain.Timeouts {
+		t.Errorf("breaker did not reduce timeout waits: %d vs %d", armed.Timeouts, plain.Timeouts)
+	}
+	if armedClock >= plainClock {
+		t.Errorf("breaker did not reduce coordinator overhead: clock %v vs %v", armedClock, plainClock)
+	}
+	// Either way the straggler is owed every mutation.
+	if armed.HintsStored != 200 || plain.HintsStored != 200 {
+		t.Errorf("hints stored = %d (armed) / %d (plain), want 200", armed.HintsStored, plain.HintsStored)
+	}
+}
+
+func TestRetryBudgetBoundsRetryAmplification(t *testing.T) {
+	run := func(frac float64) Stats {
+		c := newTestCluster(t, 2, 2, nil)
+		opts := DefaultResilienceOptions()
+		opts.MaxRetries = 3
+		opts.RetryBudgetFrac = frac
+		if err := c.SetResilience(opts); err != nil {
+			t.Fatal(err)
+		}
+		c.SetFaultInjector(&alwaysFail{nodes: map[int]bool{1: true}})
+		for k := uint64(0); k < 400; k++ {
+			c.Write(k)
+		}
+		return c.Stats()
+	}
+	unbounded := run(0)
+	budgeted := run(0.1)
+	if unbounded.RetriesSuppressed != 0 {
+		t.Errorf("disabled budget suppressed %d retries", unbounded.RetriesSuppressed)
+	}
+	if budgeted.RetriesSuppressed == 0 {
+		t.Fatal("exhausted budget suppressed no retries")
+	}
+	if budgeted.Retries >= unbounded.Retries {
+		t.Errorf("budget did not bound retries: %d vs %d", budgeted.Retries, unbounded.Retries)
+	}
+	// Each first attempt earns 0.1 tokens and each retry spends one, so
+	// the steady-state retry rate is ~10% of first attempts, plus the
+	// RetryTokenCap the link can bank up front.
+	if max := uint64(400*0.1) + RetryTokenCap + 1; budgeted.Retries > max {
+		t.Errorf("retries = %d, want <= %d under a 0.1 budget", budgeted.Retries, max)
+	}
+}
+
+func TestBreakerOptionValidation(t *testing.T) {
+	c := newTestCluster(t, 1, 1, nil)
+	bad := []ResilienceOptions{
+		{BreakerFailures: -1},
+		{BreakerFailures: 2}, // breaker without a cooldown
+		{BreakerFailures: 2, BreakerCooldown: -1},
+		{RetryBudgetFrac: -0.5},
+	}
+	for i, opts := range bad {
+		if err := c.SetResilience(opts); err == nil {
+			t.Errorf("case %d: invalid options accepted", i)
+		}
+	}
+}
+
+func TestWorkClockSumsNodeWork(t *testing.T) {
+	c := newTickingCluster(t, 3, 2)
+	c.Preload(1)
+	// Preload charges no virtual time by design.
+	if got := c.WorkClock(); got != 0 {
+		t.Fatalf("work clock after preload = %v, want 0", got)
+	}
+	prev := c.WorkClock()
+	for k := uint64(0); k < 100; k++ {
+		c.Write(k % uint64(c.KeySpace()))
+		if now := c.WorkClock(); now <= prev {
+			t.Fatalf("work clock did not advance on op %d: %v -> %v", k, prev, now)
+		} else {
+			prev = now
+		}
+	}
+	// Total work across nodes is at least the makespan.
+	if c.WorkClock() < c.Clock() {
+		t.Errorf("work clock %v below makespan %v", c.WorkClock(), c.Clock())
+	}
+}

@@ -88,6 +88,11 @@ type Cluster struct {
 	// needRepair marks nodes whose hint buffer overflowed: replaying
 	// the surviving hints cannot converge them, a full repair must.
 	needRepair []bool
+	// brk is the per-replica-link circuit breaker state and retryTokens
+	// the per-link retry budget (see ResilienceOptions.BreakerFailures
+	// and RetryBudgetFrac); both are inert until those options arm them.
+	brk         []breaker
+	retryTokens []float64
 	// overhead is coordinator-side virtual time (timeout and backoff
 	// waits, amortized over the in-flight op window); the cluster is as
 	// slow as its busiest node plus what the coordinator spent waiting.
@@ -105,14 +110,16 @@ func New(opts Options) (*Cluster, error) {
 		return nil, fmt.Errorf("cluster: replication factor %d out of [1, %d]", opts.ReplicationFactor, opts.Nodes)
 	}
 	c := &Cluster{
-		rf:         opts.ReplicationFactor,
-		down:       make([]bool, opts.Nodes),
-		hints:      make([][]hint, opts.Nodes),
-		needRepair: make([]bool, opts.Nodes),
-		readCL:     ConsistencyOne,
-		writeCL:    ConsistencyOne,
-		res:        PassiveResilience(),
-		o:          newClusterObs(opts.Obs),
+		rf:          opts.ReplicationFactor,
+		down:        make([]bool, opts.Nodes),
+		hints:       make([][]hint, opts.Nodes),
+		needRepair:  make([]bool, opts.Nodes),
+		brk:         make([]breaker, opts.Nodes),
+		retryTokens: make([]float64, opts.Nodes),
+		readCL:      ConsistencyOne,
+		writeCL:     ConsistencyOne,
+		res:         PassiveResilience(),
+		o:           newClusterObs(opts.Obs),
 	}
 	for i := 0; i < opts.Nodes; i++ {
 		eng, err := nosql.New(nosql.Options{
@@ -431,6 +438,21 @@ func (c *Cluster) Clock() float64 {
 		}
 	}
 	return maxClock + c.overhead
+}
+
+// WorkClock returns the cluster's total virtual work: the sum of every
+// node's clock plus the coordinator's accumulated wait overhead. Where
+// Clock is the makespan (nodes run in parallel), WorkClock is the
+// serialized cost — its per-op deltas are positive for every executed
+// op regardless of which replicas it landed on, which is what the
+// open-loop front door (internal/frontdoor) uses as deterministic
+// per-request service times.
+func (c *Cluster) WorkClock() float64 {
+	var sum float64
+	for _, n := range c.nodes {
+		sum += n.Clock()
+	}
+	return sum + c.overhead
 }
 
 // KeySpace returns the logical key space (shared by all nodes).

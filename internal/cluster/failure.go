@@ -62,6 +62,18 @@ type Stats struct {
 	// Timeouts counts ops the coordinator abandoned because the target
 	// replica was degraded beyond the per-op timeout.
 	Timeouts uint64
+	// RPCLostTimeouts counts exchanges whose request or response the
+	// network lost outright: the coordinator waited out its op timeout
+	// without an ack. Kept distinct from Timeouts so a partitioned or
+	// lossy link is distinguishable from a straggling replica.
+	RPCLostTimeouts uint64
+	// BreakerOpens counts per-replica-link circuit-breaker open and
+	// re-open transitions; BreakerRejections counts op attempts an open
+	// breaker rejected without spending any coordinator wait.
+	BreakerOpens, BreakerRejections uint64
+	// RetriesSuppressed counts backoff retries skipped because the
+	// link's retry budget was exhausted.
+	RetriesSuppressed uint64
 	// SpeculativeReads counts straggler consultations avoided by
 	// routing a read to a healthier backup replica.
 	SpeculativeReads uint64

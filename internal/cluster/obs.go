@@ -6,15 +6,21 @@ import "rafiki/internal/obs"
 // when observability is disabled (every obs method is nil-safe).
 //
 // The attempt-protocol counters partition exactly: every attempt is
-// either a success, a transient failure, or a timeout fast-fail, so
+// either a success, a transient failure, a timeout fast-fail, or a
+// circuit-breaker rejection, so
 //
 //	cluster.op_attempts == cluster.op_successes
 //	                     + cluster.op_transient_failures
 //	                     + cluster.op_timeouts
+//	                     + cluster.breaker_rejections
 //
 // and cluster.op_retries counts the subset of attempts that were
-// backoff retries. The reconciliation tests in obs_test.go assert
-// these identities against Stats under seeded fault schedules.
+// backoff retries. Timeouts split by cause one level down:
+// cluster.op_timeouts is the straggler fast-fail path, while
+// cluster.rpc_lost_timeouts counts exchanges the network lost after a
+// successful attempt (so they are not part of the attempt partition).
+// The reconciliation tests in obs_test.go assert these identities
+// against Stats under seeded fault schedules.
 type clusterObs struct {
 	reads     *obs.Counter
 	mutations *obs.Counter
@@ -24,6 +30,11 @@ type clusterObs struct {
 	transient *obs.Counter
 	retries   *obs.Counter
 	timeouts  *obs.Counter
+
+	rpcLost           *obs.Counter
+	brkOpens          *obs.Counter
+	brkRejections     *obs.Counter
+	retriesSuppressed *obs.Counter
 
 	unavailReads  *obs.Counter
 	unavailWrites *obs.Counter
@@ -47,13 +58,19 @@ func newClusterObs(r *obs.Registry) clusterObs {
 		return clusterObs{}
 	}
 	return clusterObs{
-		reads:         r.Counter("cluster.reads"),
-		mutations:     r.Counter("cluster.mutations"),
-		attempts:      r.Counter("cluster.op_attempts"),
-		successes:     r.Counter("cluster.op_successes"),
-		transient:     r.Counter("cluster.op_transient_failures"),
-		retries:       r.Counter("cluster.op_retries"),
-		timeouts:      r.Counter("cluster.op_timeouts"),
+		reads:     r.Counter("cluster.reads"),
+		mutations: r.Counter("cluster.mutations"),
+		attempts:  r.Counter("cluster.op_attempts"),
+		successes: r.Counter("cluster.op_successes"),
+		transient: r.Counter("cluster.op_transient_failures"),
+		retries:   r.Counter("cluster.op_retries"),
+		timeouts:  r.Counter("cluster.op_timeouts"),
+
+		rpcLost:           r.Counter("cluster.rpc_lost_timeouts"),
+		brkOpens:          r.Counter("cluster.breaker_opens"),
+		brkRejections:     r.Counter("cluster.breaker_rejections"),
+		retriesSuppressed: r.Counter("cluster.retries_suppressed"),
+
 		unavailReads:  r.Counter("cluster.unavailable_reads"),
 		unavailWrites: r.Counter("cluster.unavailable_writes"),
 		specReads:     r.Counter("cluster.speculative_reads"),

@@ -16,7 +16,8 @@ import (
 //
 //   - every obs counter equals its Stats twin, and
 //   - the attempt protocol partitions exactly:
-//     op_attempts == op_successes + op_transient_failures + op_timeouts,
+//     op_attempts == op_successes + op_transient_failures + op_timeouts
+//   - breaker_rejections,
 //     with op_retries the backoff-retried subset of attempts, and
 //   - hint flow conserves: stored == replayed + dropped once every
 //     outage has recovered.
@@ -131,6 +132,10 @@ func TestStatsObsReconcile(t *testing.T) {
 				{"cluster.op_transient_failures", st.TransientFailures},
 				{"cluster.op_retries", st.Retries},
 				{"cluster.op_timeouts", st.Timeouts},
+				{"cluster.rpc_lost_timeouts", st.RPCLostTimeouts},
+				{"cluster.breaker_opens", st.BreakerOpens},
+				{"cluster.breaker_rejections", st.BreakerRejections},
+				{"cluster.retries_suppressed", st.RetriesSuppressed},
 				{"cluster.unavailable_reads", st.UnavailableReads},
 				{"cluster.unavailable_writes", st.UnavailableWrites},
 				{"cluster.speculative_reads", st.SpeculativeReads},
@@ -148,9 +153,10 @@ func TestStatsObsReconcile(t *testing.T) {
 
 			// The attempt protocol must partition exactly.
 			attempts := cnt["cluster.op_attempts"]
-			sum := cnt["cluster.op_successes"] + cnt["cluster.op_transient_failures"] + cnt["cluster.op_timeouts"]
+			sum := cnt["cluster.op_successes"] + cnt["cluster.op_transient_failures"] +
+				cnt["cluster.op_timeouts"] + cnt["cluster.breaker_rejections"]
 			if attempts != sum {
-				t.Errorf("op_attempts = %d, but successes+transient+timeouts = %d", attempts, sum)
+				t.Errorf("op_attempts = %d, but successes+transient+timeouts+breaker_rejections = %d", attempts, sum)
 			}
 			if cnt["cluster.op_retries"] > attempts {
 				t.Errorf("op_retries = %d exceeds op_attempts = %d", cnt["cluster.op_retries"], attempts)
@@ -194,5 +200,80 @@ func TestStatsObsReconcile(t *testing.T) {
 				t.Error("shared registry missing per-node engine counters")
 			}
 		})
+	}
+}
+
+// TestPartitionLossChargedToDistinctCounter partitions one
+// coordinator<->replica link under a seeded schedule and asserts that
+// the resulting waited-out exchanges land on cluster.rpc_lost_timeouts,
+// not cluster.op_timeouts: a severed link and a straggling replica must
+// be distinguishable in snapshots even though the coordinator
+// experiences both as "no ack within the op timeout".
+func TestPartitionLossChargedToDistinctCounter(t *testing.T) {
+	const seed = 41
+	reg := obs.NewRegistry()
+	c, err := cluster.New(cluster.Options{
+		Nodes:             3,
+		ReplicationFactor: 3,
+		Space:             config.Cassandra(),
+		Seed:              seed,
+		EpochOps:          128,
+		Obs:               reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Preload(1)
+	res := cluster.DefaultResilienceOptions()
+	res.BackoffBase = 1e-6
+	res.BackoffMax = 25e-6
+	res.ExpectedOpSeconds = 1e-6
+	res.OpTimeout = 20e-6
+	if err := c.SetResilience(res); err != nil {
+		t.Fatal(err)
+	}
+	// Sever both directions of the coordinator<->node-0 link for the
+	// whole run; no node is slow, so the straggler path never fires.
+	sched := fault.Schedule{
+		{Kind: fault.Partition, Node: fault.CoordinatorEndpoint, Peer: 0, At: 1e-9, Until: 1e6},
+		{Kind: fault.Partition, Node: 0, Peer: fault.CoordinatorEndpoint, At: 1e-9, Until: 1e6},
+	}
+	inj, err := fault.NewInjector(c, sched, seed^0x5EED)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetFaultInjector(inj)
+	h := fault.NewHarness(c, inj)
+	if _, err := workload.Run(h, workload.Spec{
+		ReadRatio: 0.5,
+		KRDMean:   0.3 * float64(c.KeySpace()),
+		Ops:       5_000,
+		Seed:      seed + 7,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	inj.Finish()
+	if err := inj.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := c.Stats()
+	cnt := reg.Snapshot().Counters
+	if cnt["cluster.rpc_lost_timeouts"] == 0 {
+		t.Error("partitioned link produced no rpc_lost_timeouts")
+	}
+	if cnt["cluster.op_timeouts"] != 0 {
+		t.Errorf("op_timeouts = %d, want 0: no replica is degraded", cnt["cluster.op_timeouts"])
+	}
+	if got, want := cnt["cluster.rpc_lost_timeouts"], st.RPCLostTimeouts; got != want {
+		t.Errorf("cluster.rpc_lost_timeouts = %d, Stats says %d", got, want)
+	}
+	// Every loss charged the coordinator its op-timeout patience.
+	if c.Clock() == 0 {
+		t.Error("waited-out exchanges charged no coordinator time")
+	}
+	// The writes the lost exchanges failed to deliver are owed as hints.
+	if st.HintsStored == 0 {
+		t.Error("lost writes were not hinted")
 	}
 }

@@ -57,7 +57,31 @@ type ResilienceOptions struct {
 	// counts Stats.HintsDropped, and marks the node for a full repair on
 	// recovery, since hint replay alone can no longer converge it.
 	HintCap int
+	// BreakerFailures arms the per-replica-link circuit breaker: after
+	// this many consecutive failed exchanges on one coordinator->replica
+	// link (straggler timeouts, retry-exhausted transient failures, or
+	// exchanges the network lost), the link opens and further attempts
+	// against it fail fast — hinting writes and skipping reads — without
+	// spending any coordinator wait, so one partitioned or straggling
+	// replica cannot consume the coordinator's concurrency. 0 disables
+	// the breaker.
+	BreakerFailures int
+	// BreakerCooldown is how long (virtual seconds) an open breaker
+	// rejects attempts before letting one half-open probe through; a
+	// probe failure re-opens the link for another cooldown, a probe
+	// success closes it. Required (> 0) when BreakerFailures > 0.
+	BreakerCooldown float64
+	// RetryBudgetFrac throttles retry amplification per link: every
+	// first attempt earns the link this fraction of a retry token
+	// (capped at RetryTokenCap) and each backoff retry spends a whole
+	// one, so a link that keeps failing cannot multiply load by
+	// 1+MaxRetries. 0 disables the budget.
+	RetryBudgetFrac float64
 }
+
+// RetryTokenCap bounds the per-link retry-budget bucket: a healthy
+// stretch can bank at most this many retries for the next rough patch.
+const RetryTokenCap = 10
 
 // DefaultResilienceOptions returns the full resilience stack with
 // calibrated defaults: up to 3 retries starting at 2 ms backoff, a
@@ -99,6 +123,12 @@ func (r ResilienceOptions) Validate() error {
 		return fmt.Errorf("cluster: op timeout needs a positive expected op time, got %v", r.ExpectedOpSeconds)
 	case r.SpeculativeReads && r.SpeculationThreshold <= 1:
 		return fmt.Errorf("cluster: speculation threshold must exceed 1, got %v", r.SpeculationThreshold)
+	case r.BreakerFailures < 0:
+		return fmt.Errorf("cluster: negative breaker failure threshold %d", r.BreakerFailures)
+	case r.BreakerFailures > 0 && r.BreakerCooldown <= 0:
+		return fmt.Errorf("cluster: breaker needs a positive cooldown, got %v", r.BreakerCooldown)
+	case r.RetryBudgetFrac < 0:
+		return fmt.Errorf("cluster: negative retry budget fraction %v", r.RetryBudgetFrac)
 	}
 	return nil
 }
@@ -149,19 +179,34 @@ func (c *Cluster) chargeWait(seconds float64) {
 	c.o.overhead.Set(c.overhead)
 }
 
-// attemptOp runs the timeout/retry protocol for one replica op and
-// reports whether the op may proceed on node idx. A straggler beyond
-// the op timeout fails fast (charging the timeout wait); a transient
-// failure is retried up to MaxRetries times with exponential backoff.
+// attemptOp runs the breaker/timeout/retry protocol for one replica op
+// and reports whether the op may proceed on node idx. An open circuit
+// breaker rejects the attempt instantly (no wait charged at all); a
+// straggler beyond the op timeout fails fast (charging the timeout
+// wait); a transient failure is retried up to MaxRetries times with
+// exponential backoff, subject to the link's retry budget.
 func (c *Cluster) attemptOp(idx int) bool {
+	if !c.breakerAllows(idx) {
+		c.stats.BreakerRejections++
+		c.o.attempts.Inc()
+		c.o.brkRejections.Inc()
+		return false
+	}
 	if c.timedOut(idx) {
 		c.stats.Timeouts++
 		c.o.attempts.Inc()
 		c.o.timeouts.Inc()
 		c.chargeWait(c.res.OpTimeout)
+		c.breakerFailure(idx)
 		return false
 	}
 	c.o.attempts.Inc()
+	if c.res.RetryBudgetFrac > 0 {
+		c.retryTokens[idx] += c.res.RetryBudgetFrac
+		if c.retryTokens[idx] > RetryTokenCap {
+			c.retryTokens[idx] = RetryTokenCap
+		}
+	}
 	if c.injector == nil || !c.injector.AttemptFails(idx, c.Clock()) {
 		c.o.successes.Inc()
 		return true
@@ -170,6 +215,14 @@ func (c *Cluster) attemptOp(idx int) bool {
 	c.o.transient.Inc()
 	backoff := c.res.BackoffBase
 	for r := 0; r < c.res.MaxRetries; r++ {
+		if c.res.RetryBudgetFrac > 0 {
+			if c.retryTokens[idx] < 1 {
+				c.stats.RetriesSuppressed++
+				c.o.retriesSuppressed.Inc()
+				break
+			}
+			c.retryTokens[idx]--
+		}
 		c.stats.Retries++
 		c.o.attempts.Inc()
 		c.o.retries.Inc()
@@ -185,7 +238,79 @@ func (c *Cluster) attemptOp(idx int) bool {
 			backoff = c.res.BackoffMax
 		}
 	}
+	c.breakerFailure(idx)
 	return false
+}
+
+// breaker is one coordinator->replica link's circuit state.
+type breaker struct {
+	// fails counts consecutive failed exchanges while closed.
+	fails int
+	// open marks the tripped state; openUntil is when the cooldown ends
+	// and halfOpen that the post-cooldown probe is in flight.
+	open      bool
+	openUntil float64
+	halfOpen  bool
+}
+
+// breakerAllows reports whether the link's breaker admits an attempt
+// against node idx right now. An open breaker past its cooldown admits
+// exactly one half-open probe; its outcome (breakerFailure or
+// breakerSuccess) decides whether the link re-opens or closes.
+func (c *Cluster) breakerAllows(idx int) bool {
+	if c.res.BreakerFailures <= 0 {
+		return true
+	}
+	b := &c.brk[idx]
+	if !b.open {
+		return true
+	}
+	if c.Clock() >= b.openUntil {
+		b.halfOpen = true
+		return true
+	}
+	return false
+}
+
+// breakerFailure records one failed exchange on the link to node idx:
+// a straggler timeout, a retry-exhausted transient failure, or an
+// exchange the network lost. Enough consecutive failures — or a single
+// failed half-open probe — open (or re-open) the breaker.
+func (c *Cluster) breakerFailure(idx int) {
+	if c.res.BreakerFailures <= 0 {
+		return
+	}
+	b := &c.brk[idx]
+	if b.open {
+		// The half-open probe failed: back to fully open.
+		b.openUntil = c.Clock() + c.res.BreakerCooldown
+		b.halfOpen = false
+		c.stats.BreakerOpens++
+		c.o.brkOpens.Inc()
+		return
+	}
+	b.fails++
+	if b.fails >= c.res.BreakerFailures {
+		b.open = true
+		b.openUntil = c.Clock() + c.res.BreakerCooldown
+		b.fails = 0
+		c.stats.BreakerOpens++
+		c.o.brkOpens.Inc()
+	}
+}
+
+// breakerSuccess records one acknowledged exchange on the link to node
+// idx, closing a half-open breaker and clearing the failure streak.
+func (c *Cluster) breakerSuccess(idx int) {
+	if c.res.BreakerFailures <= 0 {
+		return
+	}
+	b := &c.brk[idx]
+	b.fails = 0
+	if b.open {
+		b.open = false
+		b.halfOpen = false
+	}
 }
 
 // addHint buffers a mutation owed to node idx, respecting the per-node

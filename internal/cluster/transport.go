@@ -17,10 +17,17 @@ func (c *Cluster) newRPC() uint64 {
 	return c.reqID
 }
 
-// rpcLost accounts an exchange whose request or response the network
-// lost: the coordinator sat out its per-op patience learning that.
-func (c *Cluster) rpcLost() {
+// rpcLost accounts an exchange with node idx whose request or response
+// the network lost: the coordinator sat out its per-op patience
+// learning that. Loss-driven timeouts are charged to their own counter
+// (cluster.rpc_lost_timeouts) so a partitioned link is distinguishable
+// from a straggling replica (cluster.op_timeouts) in snapshots, and
+// the loss counts against the link's circuit breaker.
+func (c *Cluster) rpcLost(idx int) {
+	c.stats.RPCLostTimeouts++
+	c.o.rpcLost.Inc()
 	c.chargeWait(c.res.OpTimeout)
+	c.breakerFailure(idx)
 }
 
 // writeRPC delivers one versioned mutation to node idx and reports
@@ -33,10 +40,11 @@ func (c *Cluster) writeRPC(idx int, key uint64, wc cell) bool {
 	for _, e := range c.inbox {
 		if a, ok := e.payload.(writeAck); ok && a.id == id && e.from == idx {
 			c.chargeWait(e.at - sent)
+			c.breakerSuccess(idx)
 			return true
 		}
 	}
-	c.rpcLost()
+	c.rpcLost(idx)
 	return false
 }
 
@@ -49,10 +57,11 @@ func (c *Cluster) readRPC(idx int, key uint64) (readResp, bool) {
 	for _, e := range c.inbox {
 		if r, ok := e.payload.(readResp); ok && r.id == id && e.from == idx {
 			c.chargeWait(e.at - sent)
+			c.breakerSuccess(idx)
 			return r, true
 		}
 	}
-	c.rpcLost()
+	c.rpcLost(idx)
 	return readResp{}, false
 }
 
@@ -65,9 +74,10 @@ func (c *Cluster) stateRPC(idx int, key uint64) (stateResp, bool) {
 	for _, e := range c.inbox {
 		if r, ok := e.payload.(stateResp); ok && r.id == id && e.from == idx {
 			c.chargeWait(e.at - sent)
+			c.breakerSuccess(idx)
 			return r, true
 		}
 	}
-	c.rpcLost()
+	c.rpcLost(idx)
 	return stateResp{}, false
 }

@@ -58,6 +58,19 @@ type GuardOptions struct {
 	// (1 - RegressionTolerance) × the surrogate's prediction for the
 	// current window (default 0.5). 0 disables rollback.
 	RegressionTolerance float64
+	// SLOP99Max arms the tail-latency objective: a window whose p99
+	// latency (virtual seconds, reported via ObserveWindow) exceeds it
+	// violates the SLO. A canarying configuration must meet the SLO in
+	// at least SLOMinCompliance of its probation windows or it is rolled
+	// back — even when its mean throughput passes the regression check,
+	// because a config that hits its throughput prediction by starving
+	// the tail is exactly the failure the canary exists to catch.
+	// 0 disables the objective.
+	SLOP99Max float64
+	// SLOMinCompliance is the fraction of probation windows that must
+	// meet SLOP99Max (required in (0, 1] when SLOP99Max > 0; 1 means
+	// every window).
+	SLOMinCompliance float64
 }
 
 // DefaultGuardOptions enables every guard with conservative settings.
@@ -92,6 +105,12 @@ func (o GuardOptions) Validate() error {
 	if o.RegressionTolerance < 0 || o.RegressionTolerance >= 1 {
 		return fmt.Errorf("core: regression tolerance %v out of [0,1)", o.RegressionTolerance)
 	}
+	if o.SLOP99Max < 0 {
+		return fmt.Errorf("core: negative SLO p99 ceiling %v", o.SLOP99Max)
+	}
+	if o.SLOP99Max > 0 && (o.SLOMinCompliance <= 0 || o.SLOMinCompliance > 1) {
+		return fmt.Errorf("core: SLO compliance %v out of (0,1]", o.SLOMinCompliance)
+	}
 	return nil
 }
 
@@ -107,8 +126,12 @@ type GuardStats struct {
 	// ProbeRejections counts candidates the measured probe vetoed.
 	ProbeRejections int
 	// Rollbacks counts canaries reverted to the last-known-good
-	// configuration after a measured regression.
+	// configuration after a measured regression (throughput or SLO).
 	Rollbacks int
+	// SLOViolations counts observation windows whose p99 exceeded the
+	// SLO ceiling; SLORollbacks the subset of Rollbacks triggered by
+	// probation compliance falling below SLOMinCompliance.
+	SLOViolations, SLORollbacks int
 }
 
 // GuardedController is the hardened online re-tuning loop: every
@@ -132,6 +155,10 @@ type GuardedController struct {
 	// read ratio it was tuned for.
 	canaryLeft int
 	canaryRR   float64
+
+	// sloTotal/sloOk count this probation's windows and the subset that
+	// met the p99 ceiling.
+	sloTotal, sloOk int
 
 	maxMeasured float64
 	stats       GuardStats
@@ -206,13 +233,60 @@ func (c *GuardedController) Observe(readRatio, measured float64) (bool, error) {
 	c.current = rec.Config
 	c.stats.Retunes++
 	c.o.retunes.Inc()
-	if c.opts.CanaryWindows > 0 && c.opts.RegressionTolerance > 0 {
+	if c.opts.CanaryWindows > 0 && (c.opts.RegressionTolerance > 0 || c.opts.SLOP99Max > 0) {
 		c.canaryLeft = c.opts.CanaryWindows
 		c.canaryRR = target
+		c.sloTotal, c.sloOk = 0, 0
 	} else {
 		c.commit()
 	}
 	return true, nil
+}
+
+// WindowMetrics is one observation window's report for ObserveWindow:
+// its read ratio, mean throughput (ops/s; <= 0 when unmeasured), and
+// p99 latency (virtual seconds; <= 0 when unmeasured).
+type WindowMetrics struct {
+	ReadRatio  float64
+	Throughput float64
+	P99        float64
+}
+
+// ObserveWindow reports one finished window with tail latency attached.
+// It runs the SLO objective first — a canarying configuration whose
+// probation can no longer reach SLOMinCompliance is rolled back
+// immediately, before (and regardless of) the mean-throughput
+// regression check — then delegates to Observe. A window with P99 <= 0
+// carries no tail measurement and skips the SLO check, exactly as
+// Throughput <= 0 skips the canary and out-of-band checks.
+func (c *GuardedController) ObserveWindow(m WindowMetrics) (bool, error) {
+	if c.opts.SLOP99Max > 0 && m.P99 > 0 {
+		met := m.P99 <= c.opts.SLOP99Max
+		if !met {
+			c.stats.SLOViolations++
+			c.o.sloViolations.Inc()
+		}
+		if c.canaryLeft > 0 {
+			c.sloTotal++
+			if met {
+				c.sloOk++
+			}
+			// Even if every remaining probation window meets the SLO,
+			// can this canary still reach the compliance bar? If not,
+			// waiting out the probation just serves more bad tail.
+			remaining := c.canaryLeft - 1
+			best := float64(c.sloOk+remaining) / float64(c.sloTotal+remaining)
+			if best < c.opts.SLOMinCompliance {
+				if err := c.rollback(); err != nil {
+					return false, err
+				}
+				c.stats.SLORollbacks++
+				c.o.sloRollbacks.Inc()
+				return true, nil
+			}
+		}
+	}
+	return c.Observe(m.ReadRatio, m.Throughput)
 }
 
 // checkCanary compares the probationary configuration's measurement
@@ -224,7 +298,7 @@ func (c *GuardedController) checkCanary(readRatio, measured float64) (bool, erro
 	if err != nil {
 		return false, err
 	}
-	if isFinite(predicted) && predicted > 0 &&
+	if c.opts.RegressionTolerance > 0 && isFinite(predicted) && predicted > 0 &&
 		measured < (1-c.opts.RegressionTolerance)*predicted {
 		if err := c.rollback(); err != nil {
 			return false, err
@@ -241,6 +315,7 @@ func (c *GuardedController) checkCanary(readRatio, measured float64) (bool, erro
 // commit promotes the live configuration to last-known-good.
 func (c *GuardedController) commit() {
 	c.canaryLeft = 0
+	c.sloTotal, c.sloOk = 0, 0
 	c.lastGood = c.current
 	c.stats.Commits++
 	c.o.commits.Inc()
@@ -258,6 +333,7 @@ func (c *GuardedController) rollback() error {
 	}
 	c.current = target
 	c.canaryLeft = 0
+	c.sloTotal, c.sloOk = 0, 0
 	c.stats.Rollbacks++
 	c.o.rollbacks.Inc()
 	return nil

@@ -234,3 +234,108 @@ func TestGuardedControllerProactiveForecasting(t *testing.T) {
 		t.Error("forecast regimes should pick different compaction strategies")
 	}
 }
+
+func TestSLOObjectiveRollsBackDespiteThroughputPass(t *testing.T) {
+	// The canary meets its mean-throughput prediction in every window
+	// but blows the p99 ceiling: the SLO objective must win and roll
+	// the configuration back anyway.
+	tuner := preparedTuner(t)
+	app := &recordingApplier{}
+	opts := DefaultGuardOptions()
+	opts.MaxStdFrac = 0
+	opts.CanaryWindows = 2
+	opts.SLOP99Max = 0.050 // 50 virtual-ms
+	opts.SLOMinCompliance = 1
+	ctrl, err := NewGuardedController(tuner, app, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrl.Observe(0.9, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(app.applied) != 1 {
+		t.Fatalf("first observation should apply, got %d applies", len(app.applied))
+	}
+	predicted, err := tuner.Surrogate().Predict(0.9, ctrl.Current())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Throughput exactly on prediction — the regression check passes —
+	// with a p99 double the ceiling.
+	changed, err := ctrl.ObserveWindow(WindowMetrics{ReadRatio: 0.9, Throughput: predicted, P99: 0.100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("SLO violation during probation should roll back")
+	}
+	st := ctrl.Stats()
+	if st.SLOViolations != 1 || st.SLORollbacks != 1 || st.Rollbacks != 1 {
+		t.Fatalf("stats = %+v, want 1 SLO violation, 1 SLO rollback", st)
+	}
+	if st.Commits != 0 {
+		t.Errorf("commits = %d, want 0", st.Commits)
+	}
+	// The rollback target is the space default: nothing ever committed.
+	def := tuner.Space().Default()
+	got := app.applied[len(app.applied)-1]
+	for name, v := range def {
+		if got[name] != v {
+			t.Fatalf("rollback applied %v for %s, want default %v", got[name], name, v)
+		}
+	}
+}
+
+func TestSLOCompliantCanaryCommits(t *testing.T) {
+	tuner := preparedTuner(t)
+	app := &recordingApplier{}
+	opts := DefaultGuardOptions()
+	opts.MaxStdFrac = 0
+	opts.CanaryWindows = 2
+	opts.SLOP99Max = 0.050
+	opts.SLOMinCompliance = 0.5 // one of two windows may violate
+	ctrl, err := NewGuardedController(tuner, app, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrl.Observe(0.9, 0); err != nil {
+		t.Fatal(err)
+	}
+	predicted, err := tuner.Surrogate().Predict(0.9, ctrl.Current())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One violating window is within the 0.5 compliance bar, the second
+	// window meets the ceiling, and the canary commits.
+	for _, p99 := range []float64{0.100, 0.010} {
+		if _, err := ctrl.ObserveWindow(WindowMetrics{ReadRatio: 0.9, Throughput: predicted, P99: p99}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := ctrl.Stats()
+	if st.SLOViolations != 1 {
+		t.Errorf("SLO violations = %d, want 1", st.SLOViolations)
+	}
+	if st.SLORollbacks != 0 || st.Rollbacks != 0 {
+		t.Errorf("stats = %+v, want no rollbacks", st)
+	}
+	if ctrl.LastGood() == nil || st.Commits != 1 {
+		t.Errorf("compliant canary should commit: %+v", st)
+	}
+}
+
+func TestSLOOptionValidation(t *testing.T) {
+	tuner := preparedTuner(t)
+	app := &recordingApplier{}
+	bad := []GuardOptions{
+		{SLOP99Max: -1},
+		{SLOP99Max: 0.05},                       // ceiling without a compliance bar
+		{SLOP99Max: 0.05, SLOMinCompliance: 2},  // compliance out of range
+		{SLOP99Max: 0.05, SLOMinCompliance: -1}, // compliance out of range
+	}
+	for i, opts := range bad {
+		if _, err := NewGuardedController(tuner, app, opts); err == nil {
+			t.Errorf("case %d: invalid options accepted", i)
+		}
+	}
+}

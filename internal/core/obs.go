@@ -26,6 +26,7 @@ func (c countingCollector) Sample(readRatio float64, cfg config.Config, seed int
 type guardObs struct {
 	retunes, commits, rollbacks          *obs.Counter
 	rejectedPredictions, probeRejections *obs.Counter
+	sloViolations, sloRollbacks          *obs.Counter
 }
 
 func newGuardObs(r *obs.Registry) guardObs {
@@ -38,6 +39,8 @@ func newGuardObs(r *obs.Registry) guardObs {
 		rollbacks:           r.Counter("core.guard.rollbacks"),
 		rejectedPredictions: r.Counter("core.guard.rejected_predictions"),
 		probeRejections:     r.Counter("core.guard.probe_rejections"),
+		sloViolations:       r.Counter("core.guard.slo_violations"),
+		sloRollbacks:        r.Counter("core.guard.slo_rollbacks"),
 	}
 }
 

@@ -1,0 +1,134 @@
+package frontdoor
+
+import (
+	"math/rand"
+)
+
+// ArrivalKind selects a tenant's arrival process.
+type ArrivalKind int
+
+// Supported arrival processes. Poisson is the classic open-loop
+// memoryless stream; OnOff is a bursty two-state process that emits a
+// Poisson stream at the tenant's rate during exponentially-distributed
+// ON dwells and nothing during OFF dwells — the standard model for the
+// batchy submit-then-silence pattern of metagenomics pipelines.
+const (
+	Poisson ArrivalKind = iota + 1
+	OnOff
+)
+
+// String implements fmt.Stringer.
+func (k ArrivalKind) String() string {
+	switch k {
+	case Poisson:
+		return "poisson"
+	case OnOff:
+		return "on-off"
+	default:
+		return "arrival(?)"
+	}
+}
+
+// Surge is a global demand spike: every tenant's arrival rate is
+// multiplied by Factor during [At, Until).
+type Surge struct {
+	At, Until float64
+	Factor    float64
+}
+
+// surgeFactor returns the rate multiplier in effect at time t.
+func surgeFactor(surges []Surge, t float64) float64 {
+	f := 1.0
+	for _, s := range surges {
+		if t >= s.At && t < s.Until {
+			f *= s.Factor
+		}
+	}
+	return f
+}
+
+// arrivalProc generates one tenant's seeded arrival stream. Rates are
+// evaluated at draw time, so a surge window or phase change takes
+// effect from the next arrival on — the usual discretization for
+// piecewise-constant intensity.
+type arrivalProc struct {
+	kind            ArrivalKind
+	rate            float64 // arrivals per virtual second while active
+	onMean, offMean float64 // OnOff dwell means
+	rng             *rand.Rand
+
+	on       bool
+	phaseEnd float64
+}
+
+// newArrivalProc seeds a tenant's process. OnOff tenants start at a
+// uniformly random point of an OFF dwell so a fleet of same-class
+// tenants does not fire in phase.
+func newArrivalProc(kind ArrivalKind, rate, onMean, offMean float64, rng *rand.Rand) *arrivalProc {
+	a := &arrivalProc{kind: kind, rate: rate, onMean: onMean, offMean: offMean, rng: rng}
+	if kind == OnOff {
+		a.on = false
+		a.phaseEnd = rng.Float64() * offMean
+	}
+	return a
+}
+
+// next returns the arrival after now, or a time past horizon when the
+// stream is effectively silent.
+func (a *arrivalProc) next(now, horizon float64, surges []Surge) float64 {
+	for now < horizon {
+		rate := a.rate * surgeFactor(surges, now)
+		if a.kind == Poisson {
+			if rate <= 0 {
+				return horizon + 1
+			}
+			return now + a.rng.ExpFloat64()/rate
+		}
+		if !a.on {
+			// Sleep out the OFF dwell, then start an ON dwell.
+			now = a.phaseEnd
+			a.on = true
+			a.phaseEnd = now + a.rng.ExpFloat64()*a.onMean
+			continue
+		}
+		if rate <= 0 {
+			return horizon + 1
+		}
+		t := now + a.rng.ExpFloat64()/rate
+		if t <= a.phaseEnd {
+			return t
+		}
+		// The draw fell past the ON dwell: enter OFF and try again.
+		now = a.phaseEnd
+		a.on = false
+		a.phaseEnd = now + a.rng.ExpFloat64()*a.offMean
+	}
+	return horizon + 1
+}
+
+// tokenBucket enforces a tenant's admitted-request rate in virtual
+// time: tokens accrue at rate up to burst, one admission spends one.
+type tokenBucket struct {
+	rate   float64
+	burst  float64
+	tokens float64
+	last   float64
+}
+
+// allow reports whether an admission at time now fits the budget,
+// spending a token when it does. A zero-rate bucket admits everything.
+func (b *tokenBucket) allow(now float64) bool {
+	if b.rate <= 0 {
+		return true
+	}
+	b.tokens += (now - b.last) * b.rate
+	b.last = now
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}

@@ -1,0 +1,71 @@
+package frontdoor_test
+
+import (
+	"strings"
+	"testing"
+
+	"rafiki/internal/frontdoor"
+)
+
+// TestOverloadChaosSeedPasses runs the full overload chaos harness on
+// one seed: partition + straggler + demand surge against a 2000-tenant
+// fleet. The harness itself enforces the PR's three promises (SLO
+// compliance for admitted traffic, deterministic shedding, session
+// guarantees); here we assert it reaches a clean verdict and that the
+// report is non-vacuous.
+func TestOverloadChaosSeedPasses(t *testing.T) {
+	rep, err := frontdoor.RunOverload(frontdoor.OverloadConfig{Seeds: []int64{3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatalf("%v\n%s", err, rep.Render())
+	}
+	if len(rep.Outcomes) != 1 {
+		t.Fatalf("outcomes = %d, want 1", len(rep.Outcomes))
+	}
+	o := rep.Outcomes[0]
+	if o.Verdict != "ok" {
+		t.Fatalf("verdict = %q (%s)", o.Verdict, o.Detail)
+	}
+	// The schedule must actually exercise every defense layer.
+	if o.ShedRateLimited == 0 || o.ShedQueueFull == 0 || o.ShedDeadline == 0 {
+		t.Errorf("shed breakdown rate=%d queue=%d deadline=%d: every mechanism should fire",
+			o.ShedRateLimited, o.ShedQueueFull, o.ShedDeadline)
+	}
+	if o.BreakerOpens == 0 {
+		t.Error("partition schedule never opened the breaker")
+	}
+	if o.Compliance < 0.9 {
+		t.Errorf("compliance = %.3f, want >= 0.9", o.Compliance)
+	}
+	if o.Completed == 0 || o.Admitted < o.Completed {
+		t.Errorf("admitted=%d completed=%d inconsistent", o.Admitted, o.Completed)
+	}
+
+	r := rep.Render()
+	if !strings.Contains(r, "overload chaos: 1 seeds, 0 failures") {
+		t.Errorf("render header missing:\n%s", r)
+	}
+	if !strings.Contains(r, "seed 3") || !strings.Contains(r, "ok") {
+		t.Errorf("render missing seed line:\n%s", r)
+	}
+}
+
+// TestOverloadReportErrGates checks the report's gating behavior.
+func TestOverloadReportErrGates(t *testing.T) {
+	rep := &frontdoor.OverloadReport{
+		Outcomes: []frontdoor.OverloadOutcome{{Seed: 1, Verdict: "slo-miss", Detail: "x"}},
+		Failures: 1,
+	}
+	if rep.Err() == nil {
+		t.Error("failing report returned nil error")
+	}
+	if !strings.Contains(rep.Render(), "slo-miss") {
+		t.Error("render omits failing verdict")
+	}
+	clean := &frontdoor.OverloadReport{Outcomes: []frontdoor.OverloadOutcome{{Seed: 1, Verdict: "ok"}}}
+	if clean.Err() != nil {
+		t.Error("clean report returned an error")
+	}
+}

@@ -1,0 +1,447 @@
+package frontdoor_test
+
+import (
+	"bytes"
+	"testing"
+
+	"rafiki/internal/check"
+	"rafiki/internal/cluster"
+	"rafiki/internal/config"
+	"rafiki/internal/frontdoor"
+	"rafiki/internal/obs"
+)
+
+// newServingCluster builds the cluster the front door serves from:
+// per-op epochs (so the work clock ticks every op), quorum reads and
+// writes (so session guarantees hold across replica failures), and the
+// resilience stack scaled to the engine's op cost.
+func newServingCluster(t *testing.T, seed int64, reg *obs.Registry) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(cluster.Options{
+		Nodes:             3,
+		ReplicationFactor: 3,
+		Space:             config.Cassandra(),
+		Seed:              seed,
+		EpochOps:          1,
+		Obs:               reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Preload(1)
+	if err := c.SetReadConsistency(cluster.ConsistencyQuorum); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetWriteConsistency(cluster.ConsistencyQuorum); err != nil {
+		t.Fatal(err)
+	}
+	perOp := calibrate(t, seed)
+	res := cluster.DefaultResilienceOptions()
+	res.BackoffBase = perOp
+	res.BackoffMax = 25 * perOp
+	res.ExpectedOpSeconds = perOp
+	res.OpTimeout = 20 * perOp
+	res.BreakerFailures = 5
+	res.BreakerCooldown = 200 * perOp
+	res.RetryBudgetFrac = 0.2
+	if err := c.SetResilience(res); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// calibrate measures the mean per-request work-clock cost of a healthy
+// cluster identical to the serving one.
+func calibrate(t *testing.T, seed int64) float64 {
+	t.Helper()
+	c, err := cluster.New(cluster.Options{
+		Nodes:             3,
+		ReplicationFactor: 3,
+		Space:             config.Cassandra(),
+		Seed:              seed,
+		EpochOps:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Preload(1)
+	if err := c.SetReadConsistency(cluster.ConsistencyQuorum); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetWriteConsistency(cluster.ConsistencyQuorum); err != nil {
+		t.Fatal(err)
+	}
+	const probe = 400
+	for k := uint64(0); k < probe; k++ {
+		if k%2 == 0 {
+			c.Read(k % uint64(c.KeySpace()))
+		} else {
+			c.Write(k % uint64(c.KeySpace()))
+		}
+	}
+	perOp := c.WorkClock() / probe
+	if perOp <= 0 {
+		t.Fatal("calibration probe measured no work")
+	}
+	return perOp
+}
+
+// steadyOpts builds a modest steady-state run: total offered load well
+// under the concurrency the cluster serves.
+func steadyOpts(t *testing.T, seed int64, perOp float64, reg *obs.Registry) frontdoor.Options {
+	t.Helper()
+	capacity := 8 / perOp // Concurrency / perOp requests per vsec
+	return frontdoor.Options{
+		Seed:        seed,
+		Horizon:     2000 * perOp,
+		Concurrency: 8,
+		QueueCap:    256,
+		Classes: []frontdoor.TenantClass{{
+			Name:          "steady",
+			Tenants:       40,
+			Arrival:       frontdoor.Poisson,
+			RatePerTenant: 0.4 * capacity / 40,
+			ReadRatio:     0.6,
+		}},
+		Obs:           reg,
+		RecordHistory: true,
+	}
+}
+
+func TestFrontDoorValidation(t *testing.T) {
+	c := newServingCluster(t, 3, nil)
+	good := frontdoor.Options{
+		Horizon: 1,
+		Classes: []frontdoor.TenantClass{{Name: "a", Tenants: 1, Arrival: frontdoor.Poisson, RatePerTenant: 1}},
+	}
+	if _, err := frontdoor.New(nil, good); err == nil {
+		t.Error("nil cluster accepted")
+	}
+	bad := []func(*frontdoor.Options){
+		func(o *frontdoor.Options) { o.Horizon = 0 },
+		func(o *frontdoor.Options) { o.Classes = nil },
+		func(o *frontdoor.Options) { o.Classes[0].Name = "" },
+		func(o *frontdoor.Options) { o.Classes[0].Tenants = 0 },
+		func(o *frontdoor.Options) { o.Classes[0].RatePerTenant = 0 },
+		func(o *frontdoor.Options) { o.Classes[0].ReadRatio = 2 },
+		func(o *frontdoor.Options) { o.Classes[0].Arrival = 0 },
+		func(o *frontdoor.Options) { o.Classes[0].Arrival = frontdoor.OnOff }, // no dwells
+		func(o *frontdoor.Options) { o.SLOWindow = -1 },
+	}
+	for i, mutate := range bad {
+		o := good
+		o.Classes = []frontdoor.TenantClass{good.Classes[0]}
+		mutate(&o)
+		if _, err := frontdoor.New(c, o); err == nil {
+			t.Errorf("case %d: invalid options accepted", i)
+		}
+	}
+	fd, err := frontdoor.New(c, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fd.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fd.Run(); err == nil {
+		t.Error("second Run accepted")
+	}
+}
+
+func TestFrontDoorAccountingIdentities(t *testing.T) {
+	const seed = 17
+	perOp := calibrate(t, seed)
+	reg := obs.NewRegistry()
+	c := newServingCluster(t, seed, reg)
+	opts := steadyOpts(t, seed, perOp, reg)
+	fd, err := frontdoor.New(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fd.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arrivals == 0 || res.Completed == 0 {
+		t.Fatalf("empty run: %+v", res)
+	}
+	if got := res.Admitted + res.ShedRateLimited + res.ShedQueueFull; got != res.Arrivals {
+		t.Errorf("admitted+shed = %d, arrivals = %d", got, res.Arrivals)
+	}
+	if got := res.Completed + res.ShedDeadline; got != res.Admitted {
+		t.Errorf("completed+deadline-shed = %d, admitted = %d", got, res.Admitted)
+	}
+	cnt := reg.Snapshot().Counters
+	twins := []struct {
+		name string
+		want uint64
+	}{
+		{"frontdoor.arrivals", res.Arrivals},
+		{"frontdoor.admitted", res.Admitted},
+		{"frontdoor.completed", res.Completed},
+		{"frontdoor.failed_ops", res.FailedOps},
+		{"frontdoor.shed_rate_limited", res.ShedRateLimited},
+		{"frontdoor.shed_queue_full", res.ShedQueueFull},
+		{"frontdoor.shed_deadline", res.ShedDeadline},
+	}
+	for _, tw := range twins {
+		if cnt[tw.name] != tw.want {
+			t.Errorf("%s = %d, Result says %d", tw.name, cnt[tw.name], tw.want)
+		}
+	}
+	// Class totals reconcile with the run totals.
+	var classArr, classDone uint64
+	for _, cr := range res.Classes {
+		classArr += cr.Arrivals
+		classDone += cr.Completed
+	}
+	if classArr != res.Arrivals || classDone != res.Completed {
+		t.Errorf("class totals %d/%d, run totals %d/%d", classArr, classDone, res.Arrivals, res.Completed)
+	}
+	// A steady run under capacity completes nearly everything.
+	if res.Completed < res.Arrivals*9/10 {
+		t.Errorf("steady run completed %d of %d", res.Completed, res.Arrivals)
+	}
+	if res.Classes[0].P99 <= 0 {
+		t.Error("no class p99 recorded")
+	}
+	if fd.TenantQuantile(0, 0.5) <= 0 {
+		t.Error("no tenant latency histogram recorded")
+	}
+}
+
+func TestFrontDoorDeterminism(t *testing.T) {
+	const seed = 29
+	perOp := calibrate(t, seed)
+	run := func() (*frontdoor.Result, []byte) {
+		reg := obs.NewRegistry()
+		c := newServingCluster(t, seed, reg)
+		opts := steadyOpts(t, seed, perOp, reg)
+		// Overload one greedy tenant so the shed set is non-trivial.
+		opts.Classes = append(opts.Classes, frontdoor.TenantClass{
+			Name:          "greedy",
+			Tenants:       4,
+			Arrival:       frontdoor.Poisson,
+			RatePerTenant: 2 / perOp,
+			ReadRatio:     0.5,
+			RateLimit:     0.05 / perOp,
+		})
+		fd, err := frontdoor.New(c, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := fd.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, err := reg.Snapshot().JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, snap
+	}
+	a, snapA := run()
+	b, snapB := run()
+	if a.ShedDigest != b.ShedDigest {
+		t.Errorf("shed digests differ across identical runs: %x vs %x", a.ShedDigest, b.ShedDigest)
+	}
+	if a.Arrivals != b.Arrivals || a.Completed != b.Completed || a.ShedRateLimited != b.ShedRateLimited {
+		t.Errorf("counters differ across identical runs: %+v vs %+v", a, b)
+	}
+	if !bytes.Equal(snapA, snapB) {
+		t.Error("obs snapshots not byte-identical across identical runs")
+	}
+	if a.ShedRateLimited == 0 {
+		t.Error("greedy class was never rate-limited (determinism check is vacuous)")
+	}
+}
+
+func TestFrontDoorOverloadShedsBoundedly(t *testing.T) {
+	const seed = 31
+	perOp := calibrate(t, seed)
+	reg := obs.NewRegistry()
+	c := newServingCluster(t, seed, reg)
+	capacity := 8 / perOp
+	opts := frontdoor.Options{
+		Seed:        seed,
+		Horizon:     2000 * perOp,
+		Concurrency: 8,
+		QueueCap:    64,
+		Classes: []frontdoor.TenantClass{{
+			Name:          "flood",
+			Tenants:       60,
+			Arrival:       frontdoor.Poisson,
+			RatePerTenant: 3 * capacity / 60, // 3x the cluster's capacity
+			ReadRatio:     0.5,
+		}},
+		Obs: reg,
+	}
+	fd, err := frontdoor.New(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fd.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShedQueueFull == 0 {
+		t.Error("3x overload never hit queue backpressure")
+	}
+	if res.MaxQueueDepth > opts.QueueCap {
+		t.Errorf("queue depth %d exceeded cap %d", res.MaxQueueDepth, opts.QueueCap)
+	}
+	if res.MaxInFlight > opts.Concurrency {
+		t.Errorf("in-flight %d exceeded concurrency %d", res.MaxInFlight, opts.Concurrency)
+	}
+	if got := res.Admitted + res.ShedRateLimited + res.ShedQueueFull; got != res.Arrivals {
+		t.Errorf("admitted+shed = %d, arrivals = %d", got, res.Arrivals)
+	}
+}
+
+func TestFrontDoorDeadlineShedding(t *testing.T) {
+	const seed = 37
+	perOp := calibrate(t, seed)
+	c := newServingCluster(t, seed, nil)
+	capacity := 4 / perOp
+	opts := frontdoor.Options{
+		Seed:        seed,
+		Horizon:     1500 * perOp,
+		Concurrency: 4,
+		QueueCap:    512,
+		Classes: []frontdoor.TenantClass{{
+			Name:          "urgent",
+			Tenants:       30,
+			Arrival:       frontdoor.Poisson,
+			RatePerTenant: 2 * capacity / 30,
+			ReadRatio:     0.5,
+			Deadline:      10 * perOp, // overloaded queue blows this fast
+		}},
+	}
+	fd, err := frontdoor.New(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fd.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShedDeadline == 0 {
+		t.Error("overloaded deadline class shed nothing at dispatch")
+	}
+	if got := res.Completed + res.ShedDeadline; got != res.Admitted {
+		t.Errorf("completed+deadline-shed = %d, admitted = %d", got, res.Admitted)
+	}
+}
+
+func TestFrontDoorSessionGuaranteesHealthy(t *testing.T) {
+	const seed = 43
+	perOp := calibrate(t, seed)
+	c := newServingCluster(t, seed, nil)
+	opts := steadyOpts(t, seed, perOp, nil)
+	fd, err := frontdoor.New(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fd.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) == 0 {
+		t.Fatal("no history recorded")
+	}
+	if v := check.CheckReadYourWrites(res.History); len(v) != 0 {
+		t.Errorf("read-your-writes violations: %v", v[0])
+	}
+	if v := check.CheckMonotonicReads(res.History); len(v) != 0 {
+		t.Errorf("monotonic-reads violations: %v", v[0])
+	}
+}
+
+func TestFrontDoorSLOWindows(t *testing.T) {
+	const seed = 47
+	perOp := calibrate(t, seed)
+	c := newServingCluster(t, seed, nil)
+	opts := steadyOpts(t, seed, perOp, nil)
+	opts.SLOWindow = 200 * perOp
+	opts.SLOP99 = 1e-12 // everything violates: exercises the counter
+	var seen int
+	opts.OnWindow = func(w frontdoor.WindowStat) { seen++ }
+	fd, err := frontdoor.New(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fd.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Windows) == 0 {
+		t.Fatal("no SLO windows emitted")
+	}
+	if seen != len(res.Windows) {
+		t.Errorf("OnWindow saw %d windows, result has %d", seen, len(res.Windows))
+	}
+	if res.SLOViolations != len(res.Windows) {
+		t.Errorf("violations = %d, want every one of %d windows", res.SLOViolations, len(res.Windows))
+	}
+	var done int
+	for i, w := range res.Windows {
+		done += w.Completed
+		if w.P50 <= 0 || w.P99 < w.P50 || w.P999 < w.P99 {
+			t.Errorf("window %d quantiles out of order: %+v", i, w)
+		}
+		if i > 0 && w.Index <= res.Windows[i-1].Index {
+			t.Errorf("window indices not increasing at %d", i)
+		}
+	}
+	if done != int(res.Completed) {
+		t.Errorf("windows cover %d completions, run had %d", done, res.Completed)
+	}
+}
+
+func TestFrontDoorBurstyClassBackpressure(t *testing.T) {
+	// ON-OFF tenants concentrate the same mean load into bursts: the
+	// queue's high-water mark must exceed the steady class's.
+	const seed = 53
+	perOp := calibrate(t, seed)
+	depth := func(kind frontdoor.ArrivalKind) int {
+		c := newServingCluster(t, seed, nil)
+		capacity := 8 / perOp
+		tc := frontdoor.TenantClass{
+			Name:          "load",
+			Tenants:       40,
+			Arrival:       kind,
+			RatePerTenant: 0.7 * capacity / 40,
+			ReadRatio:     0.5,
+		}
+		if kind == frontdoor.OnOff {
+			// Same mean rate, delivered in 4x-intense bursts a quarter
+			// of the time.
+			tc.RatePerTenant *= 4
+			tc.OnMean = 100 * perOp
+			tc.OffMean = 300 * perOp
+		}
+		fd, err := frontdoor.New(c, frontdoor.Options{
+			Seed:        seed,
+			Horizon:     2000 * perOp,
+			Concurrency: 8,
+			QueueCap:    4096,
+			Classes:     []frontdoor.TenantClass{tc},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := fd.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Completed == 0 {
+			t.Fatalf("%v run completed nothing", kind)
+		}
+		return res.MaxQueueDepth
+	}
+	steady := depth(frontdoor.Poisson)
+	bursty := depth(frontdoor.OnOff)
+	if bursty <= steady {
+		t.Errorf("bursty high-water %d not above steady %d", bursty, steady)
+	}
+}

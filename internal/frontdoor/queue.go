@@ -1,0 +1,98 @@
+package frontdoor
+
+import "fmt"
+
+// Request is one tenant operation offered to the front door. The op's
+// shape (kind, key) is drawn at arrival time from the tenant's seeded
+// stream, so admission decisions can never perturb the op sequence.
+type Request struct {
+	// Tenant is the flat tenant index; Seq the global arrival sequence
+	// number (unique, monotone in arrival order).
+	Tenant int
+	Seq    uint64
+	// IsRead selects the op kind; Key is the key operated on.
+	IsRead bool
+	Key    uint64
+	// Arrived is the arrival time and Deadline the absolute virtual
+	// time after which executing the request is pointless (0 = none).
+	Arrived  float64
+	Deadline float64
+}
+
+// AdmissionQueue is the front door's bounded waiting room: FIFO within
+// each tenant, deterministic round-robin fairness across tenants, and
+// hard global and per-tenant bounds whose overflow is the backpressure
+// signal. It is deliberately self-contained — no clock, no rand — so
+// its invariants (never over capacity, never reorders a tenant, never
+// emits a rejected request) are directly fuzzable.
+type AdmissionQueue struct {
+	capacity  int
+	perTenant int
+	size      int
+
+	// pending holds each tenant's FIFO backlog; ring holds every tenant
+	// with a non-empty backlog exactly once, in round-robin service
+	// order. Tenants enter the ring when their backlog becomes
+	// non-empty and re-enter at the tail after being served with
+	// backlog remaining, so one chatty tenant cannot starve the rest.
+	pending map[int][]Request
+	ring    []int
+}
+
+// NewAdmissionQueue builds a queue holding at most capacity requests
+// overall and perTenant per tenant (perTenant <= 0 means no per-tenant
+// bound beyond the global one).
+func NewAdmissionQueue(capacity, perTenant int) (*AdmissionQueue, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("frontdoor: queue capacity %d must be positive", capacity)
+	}
+	if perTenant > capacity {
+		return nil, fmt.Errorf("frontdoor: per-tenant bound %d exceeds capacity %d", perTenant, capacity)
+	}
+	return &AdmissionQueue{capacity: capacity, perTenant: perTenant, pending: make(map[int][]Request)}, nil
+}
+
+// Offer enqueues r, reporting false — backpressure — when the global
+// capacity or the tenant's bound is exhausted. A rejected request
+// leaves no trace in the queue.
+func (q *AdmissionQueue) Offer(r Request) bool {
+	if q.size >= q.capacity {
+		return false
+	}
+	backlog := q.pending[r.Tenant]
+	if q.perTenant > 0 && len(backlog) >= q.perTenant {
+		return false
+	}
+	if len(backlog) == 0 {
+		q.ring = append(q.ring, r.Tenant)
+	}
+	q.pending[r.Tenant] = append(backlog, r)
+	q.size++
+	return true
+}
+
+// Pop dequeues the next request in round-robin tenant order, FIFO
+// within the chosen tenant. It reports false on an empty queue.
+func (q *AdmissionQueue) Pop() (Request, bool) {
+	if q.size == 0 {
+		return Request{}, false
+	}
+	t := q.ring[0]
+	q.ring = q.ring[1:]
+	backlog := q.pending[t]
+	r := backlog[0]
+	if rest := backlog[1:]; len(rest) > 0 {
+		q.pending[t] = rest
+		q.ring = append(q.ring, t)
+	} else {
+		delete(q.pending, t)
+	}
+	q.size--
+	return r, true
+}
+
+// Len returns the number of queued requests.
+func (q *AdmissionQueue) Len() int { return q.size }
+
+// TenantLen returns tenant t's backlog length.
+func (q *AdmissionQueue) TenantLen(t int) int { return len(q.pending[t]) }

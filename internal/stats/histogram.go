@@ -45,6 +45,45 @@ func (h *Histogram) AddAll(xs []float64) {
 	}
 }
 
+// Quantile returns an estimate of the q-th quantile (q in [0, 1]) of
+// the recorded observations, interpolating linearly within the bin the
+// quantile falls in. Because out-of-range observations clamp into the
+// edge bins, an estimate landing in an edge bin is a bound, not an
+// exact value: tails beyond [Lo, Hi) saturate at the range edge. An
+// empty histogram returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Total()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the target observation, 1-based; q = 0 selects the first.
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	cum := 0.0
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		frac := (rank - prev) / float64(c)
+		return h.Lo + (float64(i)+frac)*width
+	}
+	return h.Hi
+}
+
 // Total returns the number of recorded observations.
 func (h *Histogram) Total() int {
 	var n int

@@ -2,7 +2,7 @@ GO ?= go
 
 # Aggregate statement-coverage floor: the seed tree measured 79.7%;
 # `make cover` fails if the tree regresses below it.
-COVER_FLOOR ?= 79.7
+COVER_FLOOR ?= 79.9
 
 .PHONY: build test bench check fmt vet lint race fuzz cover guard chaos slo
 
@@ -36,13 +36,17 @@ vet:
 lint:
 	$(GO) run ./cmd/rafikilint ./...
 
+# -count=2 doubles every package's wall time and the race detector
+# multiplies it again; on small hosts the heavier packages brush the
+# default 10m per-binary timeout, so give them explicit headroom.
 race:
-	$(GO) test -race -count=2 ./...
+	$(GO) test -race -count=2 -timeout=20m ./...
 
 # fuzz exercises every fuzz target briefly (smoke mode) — enough to
 # replay the corpus and catch shallow regressions on every check.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzEngineOps -fuzztime=5s ./internal/nosql/
+	$(GO) test -run='^$$' -fuzz=FuzzEngineScan -fuzztime=5s ./internal/nosql/
 	$(GO) test -run='^$$' -fuzz=FuzzLoadSurrogate -fuzztime=5s ./internal/nn/
 	$(GO) test -run='^$$' -fuzz=FuzzHistoryCheck -fuzztime=5s ./internal/check/
 	$(GO) test -run='^$$' -fuzz=FuzzAdmissionQueue -fuzztime=5s ./internal/frontdoor/

@@ -18,6 +18,7 @@ import (
 	"rafiki/internal/anova"
 	"rafiki/internal/bench"
 	"rafiki/internal/config"
+	"rafiki/internal/core"
 	"rafiki/internal/ga"
 	"rafiki/internal/nn"
 	"rafiki/internal/nosql"
@@ -254,7 +255,7 @@ func BenchmarkSurrogatePredict(b *testing.B) {
 	cfg := p.Space.Default()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := p.Surrogate.Predict(0.7, cfg); err != nil {
+		if _, err := p.Surrogate.Predict(core.RR(0.7), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -266,7 +267,7 @@ func BenchmarkGASearch(b *testing.B) {
 	opts := ga.DefaultOptions()
 	for i := 0; i < b.N; i++ {
 		opts.Seed = int64(i)
-		if _, err := p.Surrogate.Optimize(0.7, opts); err != nil {
+		if _, err := p.Surrogate.Optimize(core.RR(0.7), opts); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -6,20 +6,23 @@
 //
 //	experiments [-only figure4,table1] [-ops N] [-seed N] [-out path]
 //	            [-obs] [-obs-json path] [-workers N] [-netsim] [-chaos]
-//	            [-frontdoor] [-slo]
+//	            [-frontdoor] [-slo] [-workload-mix]
 //
-// The netsim, chaos, frontdoor, and slo experiments are opt-in:
-// -netsim replays the standard workload under simulated network
+// The netsim, chaos, frontdoor, slo, and workloadmix experiments are
+// opt-in: -netsim replays the standard workload under simulated network
 // conditions (flaky links, duplication, delay, partitions); -chaos
 // runs the consistency chaos search over a fixed seed set, failing if
 // a corruption-free consistency violation is found and shrunk;
 // -frontdoor demonstrates the multi-tenant front door (admission
 // control, backpressure, load shedding) under an overload + fault
-// schedule; and -slo runs the front-door overload chaos gate over its
+// schedule; -slo runs the front-door overload chaos gate over its
 // fixed seed set, failing if any seed misses its SLO, sheds
-// nondeterministically, or violates session guarantees. Setting any of
-// these flags (or naming the IDs in -only) selects just those
-// experiments unless others are also listed.
+// nondeterministically, or violates session guarantees; and
+// -workload-mix trains a pipeline over a read-ratio x scan-ratio grid
+// and sweeps the scan share at a write-heavy read ratio, failing
+// unless the tuner discovers the leveled-compaction preference as
+// scans rise. Setting any of these flags (or naming the IDs in -only)
+// selects just those experiments unless others are also listed.
 package main
 
 import (
@@ -56,6 +59,7 @@ func run() (err error) {
 		chaos   = flag.Bool("chaos", false, "run the chaos search (consistency checking over explored fault schedules; exits nonzero on a protocol violation); opt-in, never part of the default set")
 		fdoor   = flag.Bool("frontdoor", false, "run the front-door demo (multi-tenant admission control, backpressure, and load shedding under overload + faults); opt-in, never part of the default set")
 		slo     = flag.Bool("slo", false, "run the SLO gate (front-door overload chaos over a fixed seed set; exits nonzero on an SLO miss, nondeterministic shedding, or a session-guarantee violation); opt-in, never part of the default set")
+		wmix    = flag.Bool("workload-mix", false, "run the workload-mix experiment (trains over a read-ratio x scan-ratio grid and sweeps scan share; exits nonzero unless the tuner discovers the leveled-compaction preference as scans rise); opt-in, never part of the default set")
 	)
 	flag.Parse()
 
@@ -77,10 +81,13 @@ func run() (err error) {
 	if *slo {
 		selected["slo"] = true
 	}
+	if *wmix {
+		selected["workloadmix"] = true
+	}
 	// netsim, chaos, frontdoor, and slo are opt-in only: they never
 	// join the implicit "run everything" set, so the default experiment
 	// output is unchanged by their existence.
-	optIn := map[string]bool{"netsim": true, "chaos": true, "frontdoor": true, "slo": true}
+	optIn := map[string]bool{"netsim": true, "chaos": true, "frontdoor": true, "slo": true, "workloadmix": true}
 	want := func(id string) bool {
 		if optIn[id] {
 			return selected[id]
@@ -204,6 +211,21 @@ func run() (err error) {
 			fmt.Fprintf(w, "%s\n", rep.Render())
 		}
 		if err := emit(rep, serr, elapsed); err != nil {
+			return err
+		}
+	}
+
+	if want("workloadmix") {
+		// Trains its own pipeline over the read-ratio x scan-ratio grid,
+		// so it does not share the standard pipeline below.
+		log.Print("running workloadmix (trains a mixed-shape pipeline)...")
+		rep, merr, elapsed := timed(func() (bench.Report, error) { return bench.WorkloadMix(opts) })
+		// A failed discovery still carries the sweep table worth
+		// reading: print it before failing.
+		if merr != nil && rep.ID != "" {
+			fmt.Fprintf(w, "%s\n", rep.Render())
+		}
+		if err := emit(rep, merr, elapsed); err != nil {
 			return err
 		}
 	}

@@ -186,7 +186,7 @@ func run() error {
 			serialSur.Model.Workers = 1
 			serialRecs = serialRecs[:0]
 			for _, rr := range readRatios {
-				rec, err := serialSur.Optimize(rr, gaOpts)
+				rec, err := serialSur.Optimize(core.RR(rr), gaOpts)
 				if err != nil {
 					return err
 				}
@@ -198,7 +198,7 @@ func run() error {
 			parallelSur.Model.Workers = *workers
 			parallelRecs = parallelRecs[:0]
 			for _, rr := range readRatios {
-				rec, err := parallelSur.Optimize(rr, gaOpts)
+				rec, err := parallelSur.Optimize(core.RR(rr), gaOpts)
 				if err != nil {
 					return err
 				}

@@ -114,7 +114,7 @@ func run() error {
 		fmt.Printf("saved trained surrogate to %s\n", *saveTo)
 	}
 
-	rec, err := tuner.Recommend(*rr)
+	rec, err := tuner.Recommend(core.RR(*rr))
 	if err != nil {
 		return err
 	}
@@ -122,11 +122,11 @@ func run() error {
 		*rr*100, rec.Evaluations, space.Describe(rec.Config))
 	fmt.Printf("predicted throughput: %.0f ops/s\n", rec.Predicted)
 
-	defTput, err := collector.Sample(*rr, config.Config{}, *seed+999_001)
+	defTput, err := collector.Sample(core.RR(*rr), config.Config{}, *seed+999_001)
 	if err != nil {
 		return err
 	}
-	recTput, err := collector.Sample(*rr, rec.Config, *seed+999_002)
+	recTput, err := collector.Sample(core.RR(*rr), rec.Config, *seed+999_002)
 	if err != nil {
 		return err
 	}
@@ -148,17 +148,17 @@ func runFromSavedModel(path string, space *config.Space, collector core.Collecto
 	}
 	gaOpts := core.DefaultTunerOptions().GA
 	gaOpts.Seed = seed
-	rec, err := sur.Optimize(rr, gaOpts)
+	rec, err := sur.Optimize(core.RR(rr), gaOpts)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("recommendation for RR=%.0f%% from %s (%d surrogate evaluations):\n  %s\n",
 		rr*100, path, rec.Evaluations, space.Describe(rec.Config))
-	defTput, err := collector.Sample(rr, config.Config{}, seed+999_001)
+	defTput, err := collector.Sample(core.RR(rr), config.Config{}, seed+999_001)
 	if err != nil {
 		return err
 	}
-	recTput, err := collector.Sample(rr, rec.Config, seed+999_002)
+	recTput, err := collector.Sample(core.RR(rr), rec.Config, seed+999_002)
 	if err != nil {
 		return err
 	}

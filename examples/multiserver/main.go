@@ -63,7 +63,7 @@ func run() error {
 	fmt.Printf("%-10s %-12s %-12s %-9s %-12s %-12s %s\n",
 		"workload", "1-node def", "1-node raf", "improve", "2-node def", "2-node raf", "improve")
 	for i, rr := range []float64{0.1, 0.5, 1.0} {
-		rec, err := tuner.Recommend(rr)
+		rec, err := tuner.Recommend(rafiki.RR(rr))
 		if err != nil {
 			return err
 		}

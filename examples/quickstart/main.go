@@ -46,7 +46,7 @@ func run() error {
 	}
 
 	const readRatio = 0.9
-	rec, err := tuner.Recommend(readRatio)
+	rec, err := tuner.Recommend(rafiki.RR(readRatio))
 	if err != nil {
 		return err
 	}
@@ -54,11 +54,11 @@ func run() error {
 	fmt.Printf("surrogate predicts %.0f ops/s after %d surrogate evaluations\n", rec.Predicted, rec.Evaluations)
 
 	// Check the recommendation against the ground truth.
-	defTput, err := collector.Sample(readRatio, rafiki.Config{}, 900_001)
+	defTput, err := collector.Sample(rafiki.RR(readRatio), rafiki.Config{}, 900_001)
 	if err != nil {
 		return err
 	}
-	recTput, err := collector.Sample(readRatio, rec.Config, 900_002)
+	recTput, err := collector.Sample(rafiki.RR(readRatio), rec.Config, 900_002)
 	if err != nil {
 		return err
 	}

@@ -55,15 +55,15 @@ func run() error {
 		if err := tuner.Prepare(); err != nil {
 			return err
 		}
-		rec, err := tuner.Recommend(readRatio)
+		rec, err := tuner.Recommend(rafiki.RR(readRatio))
 		if err != nil {
 			return err
 		}
-		def, err := tg.collector.Sample(readRatio, rafiki.Config{}, 700_001)
+		def, err := tg.collector.Sample(rafiki.RR(readRatio), rafiki.Config{}, 700_001)
 		if err != nil {
 			return err
 		}
-		tuned, err := tg.collector.Sample(readRatio, rec.Config, 700_002)
+		tuned, err := tg.collector.Sample(rafiki.RR(readRatio), rec.Config, 700_002)
 		if err != nil {
 			return err
 		}
@@ -76,14 +76,14 @@ func run() error {
 
 // scyllaCollector benchmarks a fresh ScyllaDB engine per sample.
 func scyllaCollector(sampleOps int, seed int64) rafiki.Collector {
-	return rafiki.CollectorFunc(func(rr float64, cfg rafiki.Config, s int64) (float64, error) {
+	return rafiki.CollectorFunc(func(w rafiki.Workload, cfg rafiki.Config, s int64) (float64, error) {
 		eng, err := rafiki.NewScyllaEngine(rafiki.ScyllaOptions{Config: cfg, Seed: seed ^ s})
 		if err != nil {
 			return 0, err
 		}
 		eng.Preload(3)
 		res, err := rafiki.RunWorkload(eng, rafiki.WorkloadSpec{
-			ReadRatio: rr,
+			ReadRatio: w.ReadRatio,
 			KRDMean:   float64(eng.KeySpace()) / 2,
 			Ops:       sampleOps,
 			Seed:      s + 101,

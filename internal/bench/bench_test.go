@@ -24,7 +24,7 @@ func tinyPipelineOptions() PipelineOptions {
 	opts := DefaultPipelineOptions()
 	opts.Env = tinyEnv()
 	opts.Collect = core.CollectOptions{
-		Workloads: []float64{0, 0.1, 0.3, 0.5, 0.7, 0.9, 1},
+		Workloads: core.RRs(0, 0.1, 0.3, 0.5, 0.7, 0.9, 1),
 		Configs:   10,
 		Seed:      3,
 	}
@@ -123,18 +123,18 @@ func TestEnvValidate(t *testing.T) {
 
 func TestCassandraSampleDeterminism(t *testing.T) {
 	env := tinyEnv()
-	a, err := env.CassandraSample(0.5, config.Config{}, 9)
+	a, err := env.CassandraSample(core.RR(0.5), config.Config{}, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := env.CassandraSample(0.5, config.Config{}, 9)
+	b, err := env.CassandraSample(core.RR(0.5), config.Config{}, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a != b {
 		t.Errorf("same seed produced %v vs %v", a, b)
 	}
-	c, err := env.CassandraSample(0.5, config.Config{}, 10)
+	c, err := env.CassandraSample(core.RR(0.5), config.Config{}, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +175,7 @@ func TestScyllaGridCount(t *testing.T) {
 // fakeCollector is an analytic collector for search tests.
 func fakeCollector() core.Collector {
 	space := config.Cassandra()
-	return core.CollectorFunc(func(rr float64, cfg config.Config, seed int64) (float64, error) {
+	return core.CollectorFunc(func(_ core.Workload, cfg config.Config, seed int64) (float64, error) {
 		cw, err := space.Value(cfg, config.ParamConcurrentWrites)
 		if err != nil {
 			return 0, err
@@ -189,7 +189,7 @@ func fakeCollector() core.Collector {
 }
 
 func TestGridSearch(t *testing.T) {
-	res, err := GridSearch(fakeCollector(), 0.5, GridConfigs(), 1)
+	res, err := GridSearch(fakeCollector(), core.RR(0.5), GridConfigs(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,13 +199,13 @@ func TestGridSearch(t *testing.T) {
 	if res.Best[config.ParamConcurrentWrites] != 64 {
 		t.Errorf("grid best CW = %v, want 64", res.Best[config.ParamConcurrentWrites])
 	}
-	if _, err := GridSearch(fakeCollector(), 0.5, nil, 1); err == nil {
+	if _, err := GridSearch(fakeCollector(), core.RR(0.5), nil, 1); err == nil {
 		t.Error("empty grid should error")
 	}
 }
 
 func TestGreedySearch(t *testing.T) {
-	res, err := GreedySearch(fakeCollector(), config.Cassandra(), 0.5, 2)
+	res, err := GreedySearch(fakeCollector(), config.Cassandra(), core.RR(0.5), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +218,7 @@ func TestGreedySearch(t *testing.T) {
 }
 
 func TestRandomSearch(t *testing.T) {
-	res, err := RandomSearch(fakeCollector(), config.Cassandra(), 0.5, 30, 3)
+	res, err := RandomSearch(fakeCollector(), config.Cassandra(), core.RR(0.5), 30, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +228,7 @@ func TestRandomSearch(t *testing.T) {
 	if res.Best == nil {
 		t.Error("no best found")
 	}
-	if _, err := RandomSearch(fakeCollector(), config.Cassandra(), 0.5, 0, 3); err == nil {
+	if _, err := RandomSearch(fakeCollector(), config.Cassandra(), core.RR(0.5), 0, 3); err == nil {
 		t.Error("n=0 should error")
 	}
 }
@@ -327,7 +327,7 @@ func TestTable4RequiresScyllaPipeline(t *testing.T) {
 
 func TestLatencyCollector(t *testing.T) {
 	env := tinyEnv()
-	inv, err := env.CassandraLatencySample(0.5, config.Config{}, 31)
+	inv, err := env.CassandraLatencySample(core.RR(0.5), config.Config{}, 31)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -336,7 +336,7 @@ func TestLatencyCollector(t *testing.T) {
 	}
 	// Little's law sanity: p99 latency must be at least
 	// clients/throughput of the mean epoch.
-	tput, err := env.CassandraSample(0.5, config.Config{}, 31)
+	tput, err := env.CassandraSample(core.RR(0.5), config.Config{}, 31)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -492,7 +492,7 @@ func TestScyllaPipelineAndTable4Smoke(t *testing.T) {
 		t.Skip("scylla pipeline smoke test is slow")
 	}
 	opts := tinyPipelineOptions()
-	opts.Collect.Workloads = []float64{0.3, 0.7, 1}
+	opts.Collect.Workloads = core.RRs(0.3, 0.7, 1)
 	opts.Collect.Configs = 8
 	sp, err := NewScyllaPipeline(opts)
 	if err != nil {
@@ -509,7 +509,7 @@ func TestScyllaPipelineAndTable4Smoke(t *testing.T) {
 
 func TestClusterSampleSmoke(t *testing.T) {
 	env := tinyEnv()
-	tput, err := env.ClusterSample(2, 2, 0.5, config.Config{}, 71)
+	tput, err := env.ClusterSample(2, 2, core.RR(0.5), config.Config{}, 71)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -520,7 +520,7 @@ func TestClusterSampleSmoke(t *testing.T) {
 
 func TestScyllaSampleSmoke(t *testing.T) {
 	env := tinyEnv()
-	tput, err := env.ScyllaSample(0.5, config.Config{}, 72)
+	tput, err := env.ScyllaSample(core.RR(0.5), config.Config{}, 72)
 	if err != nil {
 		t.Fatal(err)
 	}

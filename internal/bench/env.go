@@ -64,9 +64,34 @@ func (e Env) Validate() error {
 	return nil
 }
 
+// SpecFor translates a workload characterization into the concrete
+// workload.Spec the environment drives: RR-only workloads take the
+// paper's original two-op spec (bit-identical to pre-mix experiments),
+// while workloads with scan-ratio or skew axes run the full CRUD+scan
+// mix — scans at ScanRatio, a fixed 5% delete share of mutations so
+// tombstone pressure is always represented, and a hotspot key
+// distribution whose hot-traffic weight realizes the skew.
+func (e Env) SpecFor(w core.Workload, keySpace int, seed int64) workload.Spec {
+	spec := workload.Spec{
+		ReadRatio: w.ReadRatio,
+		KRDMean:   e.KRDFraction * float64(keySpace),
+		Ops:       e.SampleOps,
+		Seed:      seed + 101,
+	}
+	if w.ScanRatio == 0 && w.Skew == 0 {
+		return spec
+	}
+	spec.Mix = workload.MixForShape(w.ReadRatio, w.ScanRatio, 0.05)
+	if w.Skew > 0 {
+		spec.Distribution = workload.DistHotspot
+		spec.HotspotWeight = w.Skew
+	}
+	return spec
+}
+
 // CassandraSample benchmarks one (workload, config) point on a fresh
 // Cassandra engine.
-func (e Env) CassandraSample(rr float64, cfg config.Config, seed int64) (float64, error) {
+func (e Env) CassandraSample(w core.Workload, cfg config.Config, seed int64) (float64, error) {
 	eng, err := nosql.New(nosql.Options{
 		Space:  config.Cassandra(),
 		Config: cfg,
@@ -77,12 +102,7 @@ func (e Env) CassandraSample(rr float64, cfg config.Config, seed int64) (float64
 		return 0, err
 	}
 	eng.Preload(e.PreloadVersions)
-	res, err := workload.Run(eng, workload.Spec{
-		ReadRatio: rr,
-		KRDMean:   e.KRDFraction * float64(eng.KeySpace()),
-		Ops:       e.SampleOps,
-		Seed:      seed + 101,
-	})
+	res, err := workload.Run(eng, e.SpecFor(w, eng.KeySpace(), seed))
 	if err != nil {
 		return 0, err
 	}
@@ -95,19 +115,19 @@ func (e Env) CassandraSample(rr float64, cfg config.Config, seed int64) (float64
 // telemetry merges back in sample order instead of interleaving.
 type envCollector struct {
 	env    Env
-	sample func(Env, float64, config.Config, int64) (float64, error)
+	sample func(Env, core.Workload, config.Config, int64) (float64, error)
 }
 
 // Sample implements core.Collector.
-func (c envCollector) Sample(rr float64, cfg config.Config, seed int64) (float64, error) {
-	return c.sample(c.env, rr, cfg, seed)
+func (c envCollector) Sample(w core.Workload, cfg config.Config, seed int64) (float64, error) {
+	return c.sample(c.env, w, cfg, seed)
 }
 
 // SampleObs implements core.ObsCollector.
-func (c envCollector) SampleObs(rr float64, cfg config.Config, seed int64, reg *obs.Registry) (float64, error) {
+func (c envCollector) SampleObs(w core.Workload, cfg config.Config, seed int64, reg *obs.Registry) (float64, error) {
 	env := c.env
 	env.Obs = reg
-	return c.sample(env, rr, cfg, seed)
+	return c.sample(env, w, cfg, seed)
 }
 
 // CassandraCollector adapts CassandraSample to the middleware.
@@ -119,7 +139,7 @@ func (e Env) CassandraCollector() core.Collector {
 // of the p99 epoch latency (1/seconds) — the alternative performance
 // metric of Section 3.8, where the DBA tunes for tail latency instead
 // of throughput. Higher is better, as the middleware expects.
-func (e Env) CassandraLatencySample(rr float64, cfg config.Config, seed int64) (float64, error) {
+func (e Env) CassandraLatencySample(w core.Workload, cfg config.Config, seed int64) (float64, error) {
 	eng, err := nosql.New(nosql.Options{
 		Space:  config.Cassandra(),
 		Config: cfg,
@@ -130,12 +150,7 @@ func (e Env) CassandraLatencySample(rr float64, cfg config.Config, seed int64) (
 		return 0, err
 	}
 	eng.Preload(e.PreloadVersions)
-	if _, err := workload.Run(eng, workload.Spec{
-		ReadRatio: rr,
-		KRDMean:   e.KRDFraction * float64(eng.KeySpace()),
-		Ops:       e.SampleOps,
-		Seed:      seed + 101,
-	}); err != nil {
+	if _, err := workload.Run(eng, e.SpecFor(w, eng.KeySpace(), seed)); err != nil {
 		return 0, err
 	}
 	p99 := eng.Metrics().LatencyPercentile(0.99)
@@ -151,7 +166,7 @@ func (e Env) CassandraLatencyCollector() core.Collector {
 }
 
 // ScyllaSample benchmarks one point on a fresh ScyllaDB engine.
-func (e Env) ScyllaSample(rr float64, cfg config.Config, seed int64) (float64, error) {
+func (e Env) ScyllaSample(w core.Workload, cfg config.Config, seed int64) (float64, error) {
 	eng, err := nosql.NewScylla(nosql.ScyllaOptions{
 		Config: cfg,
 		Seed:   e.Seed ^ seed,
@@ -161,12 +176,7 @@ func (e Env) ScyllaSample(rr float64, cfg config.Config, seed int64) (float64, e
 		return 0, err
 	}
 	eng.Preload(e.PreloadVersions)
-	res, err := workload.Run(eng, workload.Spec{
-		ReadRatio: rr,
-		KRDMean:   e.KRDFraction * float64(eng.KeySpace()),
-		Ops:       e.SampleOps,
-		Seed:      seed + 101,
-	})
+	res, err := workload.Run(eng, e.SpecFor(w, eng.KeySpace(), seed))
 	if err != nil {
 		return 0, err
 	}
@@ -180,7 +190,7 @@ func (e Env) ScyllaCollector() core.Collector {
 
 // ClusterSample benchmarks one point on a fresh multi-node cluster with
 // the given node count and replication factor.
-func (e Env) ClusterSample(nodes, rf int, rr float64, cfg config.Config, seed int64) (float64, error) {
+func (e Env) ClusterSample(nodes, rf int, w core.Workload, cfg config.Config, seed int64) (float64, error) {
 	c, err := cluster.New(cluster.Options{
 		Nodes:             nodes,
 		ReplicationFactor: rf,
@@ -193,12 +203,7 @@ func (e Env) ClusterSample(nodes, rf int, rr float64, cfg config.Config, seed in
 		return 0, err
 	}
 	c.Preload(e.PreloadVersions)
-	res, err := workload.Run(c, workload.Spec{
-		ReadRatio: rr,
-		KRDMean:   e.KRDFraction * float64(c.KeySpace()),
-		Ops:       e.SampleOps,
-		Seed:      seed + 101,
-	})
+	res, err := workload.Run(c, e.SpecFor(w, c.KeySpace(), seed))
 	if err != nil {
 		return 0, err
 	}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"rafiki/internal/config"
+	"rafiki/internal/core"
 	"rafiki/internal/ga"
 	"rafiki/internal/nn"
 	"rafiki/internal/obs"
@@ -21,20 +22,20 @@ func AblationSearch(p *Pipeline) (Report, error) {
 	env := p.Opts.Env
 	seed := env.Seed + 130_000
 
-	def, err := p.MeasureDefault(rr, seed)
+	def, err := p.MeasureDefault(core.RR(rr), seed)
 	if err != nil {
 		return Report{}, err
 	}
-	rec, rafiki, err := p.RecommendAndMeasure(rr, seed+1)
+	rec, rafiki, err := p.RecommendAndMeasure(core.RR(rr), seed+1)
 	if err != nil {
 		return Report{}, err
 	}
-	greedy, err := GreedySearch(p.Collector, p.Space, rr, seed+100)
+	greedy, err := GreedySearch(p.Collector, p.Space, core.RR(rr), seed+100)
 	if err != nil {
 		return Report{}, err
 	}
 	// Budget-match random search to greedy's real-sample count.
-	random, err := RandomSearch(p.Collector, p.Space, rr, greedy.Samples, seed+200)
+	random, err := RandomSearch(p.Collector, p.Space, core.RR(rr), greedy.Samples, seed+200)
 	if err != nil {
 		return Report{}, err
 	}
@@ -206,6 +207,7 @@ func AblationModel(p *Pipeline) (Report, error) {
 // random sampling, all budgeted to roughly the same evaluation count.
 func AblationSurrogateSearch(p *Pipeline) (Report, error) {
 	const rr = 0.9
+	prefix := core.RR(rr).Vector()
 	keys, err := p.Space.KeyParams()
 	if err != nil {
 		return Report{}, err
@@ -221,7 +223,7 @@ func AblationSurrogateSearch(p *Pipeline) (Report, error) {
 	problem := ga.Problem{
 		Bounds: bounds,
 		Fitness: func(genes []float64) (float64, error) {
-			vec := append([]float64{rr}, genes...)
+			vec := append(append([]float64{}, prefix...), genes...)
 			return p.Surrogate.Model.Predict(vec)
 		},
 		BatchFitness: func(genes [][]float64, out []float64) error {
@@ -229,7 +231,7 @@ func AblationSurrogateSearch(p *Pipeline) (Report, error) {
 				vecs = append(vecs, nil)
 			}
 			for i, g := range genes {
-				v := append(vecs[i][:0], rr)
+				v := append(vecs[i][:0], prefix...)
 				vecs[i] = append(v, g...)
 			}
 			return p.Surrogate.Model.PredictBatchInto(out, vecs[:len(genes)])
@@ -272,7 +274,7 @@ func AblationSurrogateSearch(p *Pipeline) (Report, error) {
 		if err != nil {
 			return 0, err
 		}
-		return p.Collector.Sample(rr, cfg, seed)
+		return p.Collector.Sample(core.RR(rr), cfg, seed)
 	}
 	seed := p.Opts.Env.Seed + 140_000
 	gaMeasured, err := measure(gaRes.Best, seed)

@@ -84,7 +84,7 @@ func Figure6(env Env) (Report, error) {
 		results[s.name] = make(map[float64]float64)
 		for _, cw := range cwValues {
 			seed++
-			tput, err := env.CassandraSample(rr, config.Config{
+			tput, err := env.CassandraSample(core.RR(rr), config.Config{
 				config.ParamCompactionStrategy: s.value,
 				config.ParamConcurrentWrites:   cw,
 			}, seed)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rafiki/internal/config"
+	"rafiki/internal/core"
 )
 
 // Table3 regenerates the multi-server experiment: the improvement of
@@ -20,24 +21,24 @@ func Table3(p *Pipeline) (Report, error) {
 	seed := env.Seed + 110_000
 	for _, rr := range workloads {
 		seed += 100
-		rec, err := p.Recommend(rr)
+		rec, err := p.Recommend(core.RR(rr))
 		if err != nil {
 			return Report{}, err
 		}
 
-		oneDef, err := env.ClusterSample(1, 1, rr, config.Config{}, seed)
+		oneDef, err := env.ClusterSample(1, 1, core.RR(rr), config.Config{}, seed)
 		if err != nil {
 			return Report{}, err
 		}
-		oneRaf, err := env.ClusterSample(1, 1, rr, rec.Config, seed+1)
+		oneRaf, err := env.ClusterSample(1, 1, core.RR(rr), rec.Config, seed+1)
 		if err != nil {
 			return Report{}, err
 		}
-		twoDef, err := env.ClusterSample(2, 2, rr, config.Config{}, seed+2)
+		twoDef, err := env.ClusterSample(2, 2, core.RR(rr), config.Config{}, seed+2)
 		if err != nil {
 			return Report{}, err
 		}
-		twoRaf, err := env.ClusterSample(2, 2, rr, rec.Config, seed+3)
+		twoRaf, err := env.ClusterSample(2, 2, core.RR(rr), rec.Config, seed+3)
 		if err != nil {
 			return Report{}, err
 		}

@@ -18,7 +18,7 @@ func CrossWorkloadPenalty(p *Pipeline) (Report, error) {
 	workloads := []float64{0.1, 0.9}
 	recs := make(map[float64]core.OptimizeResult, len(workloads))
 	for _, rr := range workloads {
-		rec, err := p.Recommend(rr)
+		rec, err := p.Recommend(core.RR(rr))
 		if err != nil {
 			return Report{}, err
 		}
@@ -34,11 +34,11 @@ func CrossWorkloadPenalty(p *Pipeline) (Report, error) {
 	for _, tunedFor := range workloads {
 		for _, runAt := range workloads {
 			seed++
-			tput, err := p.Collector.Sample(runAt, recs[tunedFor].Config, seed)
+			tput, err := p.Collector.Sample(core.RR(runAt), recs[tunedFor].Config, seed)
 			if err != nil {
 				return Report{}, err
 			}
-			matched, err := p.Collector.Sample(runAt, recs[runAt].Config, seed+500)
+			matched, err := p.Collector.Sample(core.RR(runAt), recs[runAt].Config, seed+500)
 			if err != nil {
 				return Report{}, err
 			}
@@ -209,7 +209,7 @@ func (c *surrogateController) Observe(rr float64) (bool, error) {
 	if c.haveTuned && absf(rr-c.lastTunedRR) < c.threshold {
 		return false, nil
 	}
-	rec, err := c.pipeline.Recommend(rr)
+	rec, err := c.pipeline.Recommend(core.RR(rr))
 	if err != nil {
 		return false, err
 	}

@@ -76,7 +76,7 @@ func splitWorkloads(p *Pipeline, fraction float64, seed int64) (train, test core
 	if n < 1 {
 		n = 1
 	}
-	held := make(map[float64]bool, n)
+	held := make(map[core.Workload]bool, n)
 	for _, w := range ws[:n] {
 		held[w] = true
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rafiki/internal/config"
+	"rafiki/internal/core"
 )
 
 // Table4 regenerates the ScyllaDB tuning comparison: Rafiki's
@@ -27,15 +28,15 @@ func Table4(p *Pipeline) (Report, error) {
 	seed := p.Opts.Env.Seed + 120_000
 	for _, rr := range workloads {
 		seed += 500
-		def, err := p.MeasureDefault(rr, seed)
+		def, err := p.MeasureDefault(core.RR(rr), seed)
 		if err != nil {
 			return Report{}, err
 		}
-		_, raf, err := p.RecommendAndMeasure(rr, seed+1)
+		_, raf, err := p.RecommendAndMeasure(core.RR(rr), seed+1)
 		if err != nil {
 			return Report{}, err
 		}
-		gr, err := GridSearch(p.Collector, rr, grid, seed+2)
+		gr, err := GridSearch(p.Collector, core.RR(rr), grid, seed+2)
 		if err != nil {
 			return Report{}, err
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"rafiki/internal/core"
 	"rafiki/internal/stats"
 )
 
@@ -23,13 +24,14 @@ func Figure4(p *Pipeline) (Report, error) {
 	var gains, readHeavyGains, writeHeavyGains []float64
 	var ratioVsExhaustive []float64
 	seed := p.Opts.Env.Seed + 70_000
-	for _, rr := range workloads {
+	for _, w := range workloads {
+		rr := w.ReadRatio
 		seed += 1000
-		def, err := p.MeasureDefault(rr, seed)
+		def, err := p.MeasureDefault(w, seed)
 		if err != nil {
 			return Report{}, err
 		}
-		_, rafiki, err := p.RecommendAndMeasure(rr, seed+1)
+		_, rafiki, err := p.RecommendAndMeasure(w, seed+1)
 		if err != nil {
 			return Report{}, err
 		}
@@ -44,7 +46,7 @@ func Figure4(p *Pipeline) (Report, error) {
 
 		exhaust, ratio := "-", "-"
 		if gridRRs[math.Round(rr*10)/10] {
-			gr, err := GridSearch(p.Collector, rr, grid, seed+2)
+			gr, err := GridSearch(p.Collector, w, grid, seed+2)
 			if err != nil {
 				return Report{}, err
 			}
@@ -92,7 +94,7 @@ func Table1(p *Pipeline) (Report, error) {
 		var defT float64
 		seen := false
 		for _, s := range p.Dataset.Samples {
-			if math.Abs(s.ReadRatio-rr) > 1e-9 {
+			if math.Abs(s.Workload.ReadRatio-rr) > 1e-9 || s.Workload.ScanRatio != 0 {
 				continue
 			}
 			seen = true
@@ -110,7 +112,7 @@ func Table1(p *Pipeline) (Report, error) {
 			return Report{}, fmt.Errorf("bench: dataset lacks workload RR=%v", rr)
 		}
 		if defT == 0 {
-			d, err := p.MeasureDefault(rr, p.Opts.Env.Seed+80_000)
+			d, err := p.MeasureDefault(core.RR(rr), p.Opts.Env.Seed+80_000)
 			if err != nil {
 				return Report{}, err
 			}
@@ -138,8 +140,8 @@ func Table1(p *Pipeline) (Report, error) {
 // over the surrogate vs exhaustive measurement, in both surrogate-call
 // counts and projected wall-clock time.
 func SearchSpeed(p *Pipeline) (Report, error) {
-	const rr = 0.9
-	rec, err := p.Recommend(rr)
+	w := core.RR(0.9)
+	rec, err := p.Recommend(w)
 	if err != nil {
 		return Report{}, err
 	}
@@ -158,11 +160,11 @@ func SearchSpeed(p *Pipeline) (Report, error) {
 	exhaustiveHours := float64(searchSize) * minutesPerRealSample / 60
 
 	grid := GridConfigs()
-	gr, err := GridSearch(p.Collector, rr, grid, p.Opts.Env.Seed+90_000)
+	gr, err := GridSearch(p.Collector, w, grid, p.Opts.Env.Seed+90_000)
 	if err != nil {
 		return Report{}, err
 	}
-	_, rafikiMeasured, err := p.RecommendAndMeasure(rr, p.Opts.Env.Seed+90_500)
+	_, rafikiMeasured, err := p.RecommendAndMeasure(w, p.Opts.Env.Seed+90_500)
 	if err != nil {
 		return Report{}, err
 	}

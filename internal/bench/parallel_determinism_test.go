@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"rafiki/internal/config"
 	"rafiki/internal/core"
 	"rafiki/internal/obs"
 )
@@ -22,7 +23,7 @@ func pipelineFingerprint(t *testing.T, workers int) ([]byte, core.OptimizeResult
 	opts.Env.SampleOps = 5_000
 	opts.Env.Workers = workers
 	opts.Env.Obs = obs.NewRegistry()
-	opts.Collect.Workloads = []float64{0.1, 0.5, 0.9}
+	opts.Collect.Workloads = core.RRs(0.1, 0.5, 0.9)
 	opts.Collect.Configs = 6
 	opts.Model.EnsembleSize = 3
 	opts.Model.BR.Epochs = 10
@@ -37,7 +38,7 @@ func pipelineFingerprint(t *testing.T, workers int) ([]byte, core.OptimizeResult
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec, err := p.Recommend(0.9)
+	rec, err := p.Recommend(core.RR(0.9))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,13 +73,13 @@ func TestCollectorsStageTelemetry(t *testing.T) {
 		if !ok {
 			t.Fatalf("%s collector does not implement core.ObsCollector", tc.name)
 		}
-		plain, err := tc.c.Sample(0.5, nil, 31)
+		plain, err := tc.c.Sample(core.RR(0.5), nil, 31)
 		if err != nil {
 			t.Fatal(err)
 		}
 		reg := obs.NewRegistry()
 		stage := reg.Stage()
-		staged, err := oc.SampleObs(0.5, nil, 31, stage)
+		staged, err := oc.SampleObs(core.RR(0.5), nil, 31, stage)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -88,6 +89,73 @@ func TestCollectorsStageTelemetry(t *testing.T) {
 		reg.Merge(stage)
 		if len(reg.Snapshot().Counters) == 0 {
 			t.Errorf("%s: staged sample recorded no engine counters", tc.name)
+		}
+	}
+}
+
+// TestMixedOpCollectDeterministicAcrossWorkers pins the parallelism
+// contract for the CRUD+scan suite specifically: collection over
+// workload shapes that exercise range scans, deletes (via the mix's
+// mutation share), and hotspot skew must produce an identical dataset
+// and byte-identical engine telemetry at 1, 2, 4, and 8 workers. The
+// mixed-op driver touches engine paths (merged iterators, tombstone
+// accounting, TTL expiry) the RR-only tests never reach, so worker
+// invariance is asserted for them separately.
+func TestMixedOpCollectDeterministicAcrossWorkers(t *testing.T) {
+	mixed := []core.Workload{
+		{ReadRatio: 0.2, ScanRatio: 0.3},
+		{ReadRatio: 0.8, ScanRatio: 0.1, Skew: 0.9},
+		{ReadRatio: 0.5, Skew: 0.6},
+	}
+	sampleOps := 5_000
+	workerCounts := []int{2, 4, 8}
+	if raceEnabled {
+		// The race build runs everything twice (-count=2) on the
+		// shared 600 s package budget; shrink the samples, keep the
+		// invariance claim.
+		sampleOps = 1_500
+		workerCounts = []int{4}
+	}
+	collect := func(workers int) (core.Dataset, []byte) {
+		env := tinyEnv()
+		env.SampleOps = sampleOps
+		env.Obs = obs.NewRegistry()
+		ds, err := core.Collect(env.CassandraCollector(), config.Cassandra(), core.CollectOptions{
+			Workloads: mixed,
+			Configs:   4,
+			Seed:      17,
+			Workers:   workers,
+			Obs:       env.Obs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := env.Obs.Snapshot()
+		for name := range snap.Gauges {
+			if strings.HasPrefix(name, "par.") {
+				delete(snap.Gauges, name)
+			}
+		}
+		blob, err := snap.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ds, blob
+	}
+	refDS, refSnap := collect(1)
+	if !bytes.Contains(refSnap, []byte("nosql.scans")) {
+		t.Fatalf("mixed-op collection recorded no engine scans:\n%s", refSnap)
+	}
+	if !bytes.Contains(refSnap, []byte("nosql.deletes")) {
+		t.Fatal("mixed-op collection recorded no engine deletes")
+	}
+	for _, workers := range workerCounts {
+		ds, snap := collect(workers)
+		if !reflect.DeepEqual(refDS, ds) {
+			t.Errorf("workers=%d: mixed-op dataset differs from serial run", workers)
+		}
+		if !bytes.Equal(refSnap, snap) {
+			t.Errorf("workers=%d: mixed-op obs snapshot differs from serial run", workers)
 		}
 	}
 }

@@ -109,24 +109,24 @@ func newPipeline(opts PipelineOptions, space *config.Space, collector core.Colle
 	}, nil
 }
 
-// MeasureDefault benchmarks the default configuration at rr.
-func (p *Pipeline) MeasureDefault(rr float64, seed int64) (float64, error) {
-	return p.Collector.Sample(rr, config.Config{}, seed)
+// MeasureDefault benchmarks the default configuration at w.
+func (p *Pipeline) MeasureDefault(w core.Workload, seed int64) (float64, error) {
+	return p.Collector.Sample(w, config.Config{}, seed)
 }
 
-// Recommend runs the GA over the surrogate for rr.
-func (p *Pipeline) Recommend(rr float64) (core.OptimizeResult, error) {
-	return p.Surrogate.Optimize(rr, p.Opts.GA)
+// Recommend runs the GA over the surrogate for w.
+func (p *Pipeline) Recommend(w core.Workload) (core.OptimizeResult, error) {
+	return p.Surrogate.Optimize(w, p.Opts.GA)
 }
 
 // RecommendAndMeasure searches for a configuration and benchmarks it
 // for real, returning (recommendation, measured throughput).
-func (p *Pipeline) RecommendAndMeasure(rr float64, seed int64) (core.OptimizeResult, float64, error) {
-	rec, err := p.Recommend(rr)
+func (p *Pipeline) RecommendAndMeasure(w core.Workload, seed int64) (core.OptimizeResult, float64, error) {
+	rec, err := p.Recommend(w)
 	if err != nil {
 		return core.OptimizeResult{}, 0, err
 	}
-	tput, err := p.Collector.Sample(rr, rec.Config, seed)
+	tput, err := p.Collector.Sample(w, rec.Config, seed)
 	if err != nil {
 		return core.OptimizeResult{}, 0, err
 	}

@@ -46,13 +46,13 @@ func GridConfigs() []config.Config {
 // GridSearch measures every grid configuration at the given workload
 // and returns the best — the paper's "theoretically best achievable"
 // reference point.
-func GridSearch(c core.Collector, rr float64, configs []config.Config, seed int64) (SearchResult, error) {
+func GridSearch(c core.Collector, w core.Workload, configs []config.Config, seed int64) (SearchResult, error) {
 	if len(configs) == 0 {
 		return SearchResult{}, fmt.Errorf("bench: empty grid")
 	}
 	var res SearchResult
 	for i, cfg := range configs {
-		tput, err := c.Sample(rr, cfg, seed+int64(i))
+		tput, err := c.Sample(w, cfg, seed+int64(i))
 		if err != nil {
 			return SearchResult{}, fmt.Errorf("bench: grid point %d: %w", i, err)
 		}
@@ -68,14 +68,14 @@ func GridSearch(c core.Collector, rr float64, configs []config.Config, seed int6
 // GreedySearch tunes one parameter at a time by measured sweeps,
 // holding the others fixed — the baseline Section 4.6 argues cannot
 // find the optimum because parameters interdepend.
-func GreedySearch(c core.Collector, space *config.Space, rr float64, seed int64) (SearchResult, error) {
+func GreedySearch(c core.Collector, space *config.Space, w core.Workload, seed int64) (SearchResult, error) {
 	keys, err := space.KeyParams()
 	if err != nil {
 		return SearchResult{}, err
 	}
 	current := config.Config{}
 	var res SearchResult
-	best, err := c.Sample(rr, current, seed)
+	best, err := c.Sample(w, current, seed)
 	if err != nil {
 		return SearchResult{}, err
 	}
@@ -86,7 +86,7 @@ func GreedySearch(c core.Collector, space *config.Space, rr float64, seed int64)
 			trial := current.Clone()
 			trial[p.Name] = v
 			seed++
-			tput, err := c.Sample(rr, trial, seed)
+			tput, err := c.Sample(w, trial, seed)
 			if err != nil {
 				return SearchResult{}, fmt.Errorf("bench: greedy %s=%v: %w", p.Name, v, err)
 			}
@@ -108,7 +108,7 @@ func GreedySearch(c core.Collector, space *config.Space, rr float64, seed int64)
 
 // RandomSearch measures n uniformly random key-parameter configurations
 // and keeps the best, a budget-matched baseline for the GA ablation.
-func RandomSearch(c core.Collector, space *config.Space, rr float64, n int, seed int64) (SearchResult, error) {
+func RandomSearch(c core.Collector, space *config.Space, w core.Workload, n int, seed int64) (SearchResult, error) {
 	if n <= 0 {
 		return SearchResult{}, fmt.Errorf("bench: random search needs n > 0, got %d", n)
 	}
@@ -123,7 +123,7 @@ func RandomSearch(c core.Collector, space *config.Space, rr float64, n int, seed
 		for _, p := range keys {
 			cfg[p.Name] = p.Clamp(p.Min + rng.Float64()*(p.Max-p.Min))
 		}
-		tput, err := c.Sample(rr, cfg, seed+int64(i)+1)
+		tput, err := c.Sample(w, cfg, seed+int64(i)+1)
 		if err != nil {
 			return SearchResult{}, err
 		}

@@ -336,6 +336,9 @@ func (cfg ChaosConfig) run(seed int64, sched fault.Schedule) (History, float64, 
 		c.SetFaultInjector(inj)
 	}
 	wrng := rand.New(rand.NewSource(seed*2862933555777941757 + 3037000493))
+	// Scans draw from their own stream so adding them never perturbs
+	// the read/write key sequence existing seeds reproduce.
+	srng := rand.New(rand.NewSource(seed ^ 0x5ca4))
 	h := make(History, 0, cfg.Rounds*cfg.Clients)
 	for round := 0; round < cfg.Rounds; round++ {
 		// Every op in the round shares the round's start as its
@@ -344,6 +347,17 @@ func (cfg ChaosConfig) run(seed int64, sched fault.Schedule) (History, float64, 
 		// each op's true effect lies between round start and its own
 		// completion.
 		start := c.Clock()
+		// Every few rounds a client issues a range scan, so partitions,
+		// drops, and restarts also hit the coordinator's scatter path.
+		// Scans are not history-recorded — the register model checks
+		// single-key linearizability — but they must not crash, wedge,
+		// or corrupt the cluster under any schedule.
+		if round%4 == 3 {
+			if inj != nil {
+				inj.Advance(c.Clock())
+			}
+			c.ScanOp(uint64(srng.Intn(int(cfg.Keys))), 16)
+		}
 		for cl := 0; cl < cfg.Clients; cl++ {
 			if inj != nil {
 				inj.Advance(c.Clock())

@@ -42,7 +42,7 @@ func TestHealthyQuorumClusterIsConsistent(t *testing.T) {
 func TestSeededConsistencyBugCaughtAndShrunk(t *testing.T) {
 	// The test-only weakened read quorum must be caught and each
 	// failing schedule shrunk to a minimal reproducer.
-	cfg := ChaosConfig{Seeds: []int64{9, 13, 28}, Events: 10, WeakenReadQuorum: true}
+	cfg := ChaosConfig{Seeds: []int64{2, 13, 35}, Events: 10, WeakenReadQuorum: true}
 	rep, err := RunChaos(cfg)
 	if err != nil {
 		t.Fatal(err)

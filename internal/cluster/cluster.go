@@ -68,8 +68,10 @@ type Cluster struct {
 	seq   int64
 	reqID uint64
 	inbox []inboxEntry
-	// reads are rotated across replicas per key.
-	rotation uint64
+	// reads are rotated across replicas per key; scans rotate on their
+	// own counter so the two balancing streams stay independent.
+	rotation     uint64
+	scanRotation uint64
 	// down marks failed nodes; hints buffers mutations owed to them.
 	down    []bool
 	hints   [][]hint
@@ -385,6 +387,83 @@ func (c *Cluster) ReadOp(key uint64) ReadResult {
 	}
 }
 
+// ScanResult reports a range scan's coordinator-visible outcome.
+type ScanResult struct {
+	// Rows is the newest (largest) live-row count among the replicas
+	// that answered.
+	Rows int
+	// Served is how many replicas answered; OK whether the configured
+	// read consistency level was met.
+	Served int
+	OK     bool
+}
+
+// Scan walks keys in ascending order from start across the cluster and
+// returns the live rows found before reaching limit; it satisfies
+// workload.Scanner so mixed-op workloads drive the coordinator's scan
+// path. See ScanOp.
+func (c *Cluster) Scan(start uint64, limit int) int {
+	return c.ScanOp(start, limit).Rows
+}
+
+// ScanOp serves a range scan from as many live replicas as the read
+// consistency level requires. A range scan spans token ranges, so any
+// replica can serve it; the coordinator consults a rotated set of live
+// nodes (the same balancing as reads), each walking its local merged
+// iterator, and the newest view — the largest live-row count — wins.
+// A scan that cannot hear back from enough replicas counts as
+// unavailable.
+func (c *Cluster) ScanOp(start uint64, limit int) ScanResult {
+	c.o.scans.Inc()
+	var live []int
+	for idx := range c.reps {
+		if !c.down[idx] {
+			live = append(live, idx)
+		}
+	}
+	need := c.readCL.replicasNeeded(c.rf)
+	if c.weakRead && need > 1 {
+		need = 1
+	}
+	if len(live) < need {
+		c.stats.UnavailableScans++
+		c.o.unavailScans.Inc()
+		return ScanResult{}
+	}
+	c.scanRotation = c.scanRotation*6364136223846793005 + 1442695040888963407
+	begin := int((c.scanRotation >> 33) % uint64(len(live)))
+	order := make([]int, len(live))
+	for i := range live {
+		order[i] = live[(begin+i)%len(live)]
+	}
+	if c.res.SpeculativeReads {
+		order = c.speculate(order, need)
+	}
+	served, best := 0, 0
+	for _, idx := range order {
+		if served == need {
+			break
+		}
+		if !c.attemptOp(idx) {
+			continue
+		}
+		resp, ok := c.scanRPC(idx, start, limit)
+		if !ok {
+			continue
+		}
+		served++
+		if resp.rows > best {
+			best = resp.rows
+		}
+	}
+	if served < need {
+		c.stats.UnavailableScans++
+		c.o.unavailScans.Inc()
+		return ScanResult{Served: served}
+	}
+	return ScanResult{Rows: best, Served: served, OK: true}
+}
+
 // speculate demotes stragglers behind healthy replicas in the read
 // order, preserving the rotation order within each class, and counts
 // how many straggler consultations the reorder avoided.
@@ -465,6 +544,11 @@ func (c *Cluster) Metrics() nosql.Metrics {
 		m := n.Metrics()
 		agg.Reads += m.Reads
 		agg.Writes += m.Writes
+		agg.Deletes += m.Deletes
+		agg.Scans += m.Scans
+		agg.ScanRows += m.ScanRows
+		agg.TombstonesEvicted += m.TombstonesEvicted
+		agg.ExpiredCells += m.ExpiredCells
 		agg.Flushes += m.Flushes
 		agg.ForcedFlushes += m.ForcedFlushes
 		agg.Compactions += m.Compactions

@@ -47,9 +47,10 @@ func (cl ConsistencyLevel) replicasNeeded(rf int) int {
 
 // Stats counts cluster-level availability and resilience events.
 type Stats struct {
-	// UnavailableReads/Writes count operations that could not reach the
-	// required replicas.
+	// UnavailableReads/Writes/Scans count operations that could not
+	// reach the required replicas.
 	UnavailableReads, UnavailableWrites uint64
+	UnavailableScans                    uint64
 	// HintsStored counts writes buffered for a down replica and
 	// HintsReplayed those delivered on recovery.
 	HintsStored, HintsReplayed uint64

@@ -24,6 +24,7 @@ import "rafiki/internal/obs"
 type clusterObs struct {
 	reads     *obs.Counter
 	mutations *obs.Counter
+	scans     *obs.Counter
 
 	attempts  *obs.Counter
 	successes *obs.Counter
@@ -38,6 +39,7 @@ type clusterObs struct {
 
 	unavailReads  *obs.Counter
 	unavailWrites *obs.Counter
+	unavailScans  *obs.Counter
 	specReads     *obs.Counter
 
 	hintsStored   *obs.Counter
@@ -60,6 +62,7 @@ func newClusterObs(r *obs.Registry) clusterObs {
 	return clusterObs{
 		reads:     r.Counter("cluster.reads"),
 		mutations: r.Counter("cluster.mutations"),
+		scans:     r.Counter("cluster.scans"),
 		attempts:  r.Counter("cluster.op_attempts"),
 		successes: r.Counter("cluster.op_successes"),
 		transient: r.Counter("cluster.op_transient_failures"),
@@ -73,6 +76,7 @@ func newClusterObs(r *obs.Registry) clusterObs {
 
 		unavailReads:  r.Counter("cluster.unavailable_reads"),
 		unavailWrites: r.Counter("cluster.unavailable_writes"),
+		unavailScans:  r.Counter("cluster.unavailable_scans"),
 		specReads:     r.Counter("cluster.speculative_reads"),
 		hintsStored:   r.Counter("cluster.hints_stored"),
 		hintsDropped:  r.Counter("cluster.hints_dropped"),

@@ -66,6 +66,18 @@ type (
 		c      cell
 		hasVer bool
 	}
+	// scanReq asks a replica to serve a range scan from start.
+	scanReq struct {
+		id    uint64
+		start uint64
+		limit int
+	}
+	// scanResp carries the replica's live row count for the range.
+	scanResp struct {
+		id    uint64
+		start uint64
+		rows  int
+	}
 )
 
 // undoWindow bounds each replica's corruptible tail: applies older
@@ -122,6 +134,13 @@ func (r *replica) read(key uint64) (cell, bool) {
 	r.eng.Read(key)
 	c, has := r.cur[key]
 	return c, has
+}
+
+// scan serves one delivered range scan: the engine walks its merged
+// iterator (memtable plus all SSTables, honoring tombstones and TTL
+// expiry) and the replica reports the live rows it found.
+func (r *replica) scan(start uint64, limit int) int {
+	return r.eng.Scan(start, limit)
 }
 
 // pushUndo appends one tail record, sliding the durability window
@@ -195,6 +214,9 @@ func (c *Cluster) handleAtNode(node int, from int, payload any, at float64) {
 	case writeReq:
 		r.apply(m.key, m.c)
 		c.net.Send(node, from, writeAck{id: m.id, key: m.key, ver: m.c.ver}, at)
+	case scanReq:
+		rows := r.scan(m.start, m.limit)
+		c.net.Send(node, from, scanResp{id: m.id, start: m.start, rows: rows}, at)
 	case stateReq:
 		cl, hasVer := r.cur[m.key]
 		c.net.Send(node, from, stateResp{

@@ -65,6 +65,23 @@ func (c *Cluster) readRPC(idx int, key uint64) (readResp, bool) {
 	return readResp{}, false
 }
 
+// scanRPC asks node idx to serve a range scan and returns the reply.
+func (c *Cluster) scanRPC(idx int, start uint64, limit int) (scanResp, bool) {
+	id := c.newRPC()
+	c.inbox = c.inbox[:0]
+	sent := c.Clock()
+	c.net.Send(netsim.Coordinator, idx, scanReq{id: id, start: start, limit: limit}, sent)
+	for _, e := range c.inbox {
+		if r, ok := e.payload.(scanResp); ok && r.id == id && e.from == idx {
+			c.chargeWait(e.at - sent)
+			c.breakerSuccess(idx)
+			return r, true
+		}
+	}
+	c.rpcLost(idx)
+	return scanResp{}, false
+}
+
 // stateRPC asks node idx for repair introspection on key.
 func (c *Cluster) stateRPC(idx int, key uint64) (stateResp, bool) {
 	id := c.newRPC()

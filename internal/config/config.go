@@ -305,12 +305,17 @@ func (s *Space) KeyParams() ([]Parameter, error) {
 	return out, nil
 }
 
-// FeatureVector encodes readRatio plus the key-parameter values of c in
-// KeyNames order: the input layout of Equation (2),
-// fnet(RR, CM, CW, FCZ, MT, CC).
-func (s *Space) FeatureVector(readRatio float64, c Config) ([]float64, error) {
-	out := make([]float64, 0, len(s.KeyNames)+1)
-	out = append(out, readRatio)
+// FeatureVector encodes the workload features plus the key-parameter
+// values of c in KeyNames order: the input layout of Equation (2),
+// fnet(W, CM, CW, FCZ, MT, CC), where W is the workload
+// characterization (the paper's scalar RR, extended here to
+// [RR, scan ratio, skew] — see core.Workload.Vector).
+func (s *Space) FeatureVector(workload []float64, c Config) ([]float64, error) {
+	if len(workload) == 0 {
+		return nil, fmt.Errorf("config: empty workload features")
+	}
+	out := make([]float64, 0, len(s.KeyNames)+len(workload))
+	out = append(out, workload...)
 	for _, n := range s.KeyNames {
 		v, err := s.Value(c, n)
 		if err != nil {

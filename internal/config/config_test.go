@@ -224,17 +224,17 @@ func TestFeatureVectorRoundTrip(t *testing.T) {
 		ParamMemtableCleanup:      0.3,
 		ParamConcurrentCompactors: 8,
 	}
-	vec, err := s.FeatureVector(0.7, c)
+	vec, err := s.FeatureVector([]float64{0.7, 0.2, 0.8}, c)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(vec) != 6 {
-		t.Fatalf("feature vector length %d, want 6 (Eq. 2)", len(vec))
+	if len(vec) != 8 {
+		t.Fatalf("feature vector length %d, want 8 (Eq. 2 plus shape axes)", len(vec))
 	}
-	if vec[0] != 0.7 {
-		t.Errorf("RR feature = %v", vec[0])
+	if vec[0] != 0.7 || vec[1] != 0.2 || vec[2] != 0.8 {
+		t.Errorf("workload features = %v", vec[:3])
 	}
-	back, err := s.ConfigFromVector(vec[1:])
+	back, err := s.ConfigFromVector(vec[3:])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +250,7 @@ func TestFeatureVectorRoundTrip(t *testing.T) {
 
 func TestFeatureVectorUsesDefaults(t *testing.T) {
 	s := Cassandra()
-	vec, err := s.FeatureVector(0.5, Config{})
+	vec, err := s.FeatureVector([]float64{0.5}, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

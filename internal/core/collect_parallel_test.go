@@ -16,15 +16,15 @@ type obsProbeCollector struct {
 	inner Collector
 }
 
-func (c obsProbeCollector) Sample(rr float64, cfg config.Config, seed int64) (float64, error) {
-	return c.SampleObs(rr, cfg, seed, nil)
+func (c obsProbeCollector) Sample(w Workload, cfg config.Config, seed int64) (float64, error) {
+	return c.SampleObs(w, cfg, seed, nil)
 }
 
-func (c obsProbeCollector) SampleObs(rr float64, cfg config.Config, seed int64, reg *obs.Registry) (float64, error) {
-	tput, err := c.inner.Sample(rr, cfg, seed)
+func (c obsProbeCollector) SampleObs(w Workload, cfg config.Config, seed int64, reg *obs.Registry) (float64, error) {
+	tput, err := c.inner.Sample(w, cfg, seed)
 	reg.Counter("probe.samples").Inc()
 	reg.Gauge("probe.last_seed").Set(float64(seed))
-	reg.Record(obs.Span{Name: "probe.sample", Start: rr, End: rr + 1, Unit: "rr", Attrs: map[string]float64{"tput": tput}})
+	reg.Record(obs.Span{Name: "probe.sample", Start: w.ReadRatio, End: w.ReadRatio + 1, Unit: "rr", Attrs: map[string]float64{"tput": tput}})
 	return tput, err
 }
 
@@ -38,7 +38,7 @@ func TestCollectDeterministicAcrossWorkers(t *testing.T) {
 	run := func(workers int) (Dataset, []byte) {
 		reg := obs.NewRegistry()
 		ds, err := Collect(obsProbeCollector{inner: analyticCollector(space)}, space, CollectOptions{
-			Workloads: []float64{0, 0.3, 0.7, 1},
+			Workloads: RRs(0, 0.3, 0.7, 1),
 			Configs:   6,
 			Seed:      11,
 			DropRate:  0.15,
@@ -77,7 +77,7 @@ func TestCollectDeterministicAcrossWorkers(t *testing.T) {
 func TestCollectErrorDeterministicAcrossWorkers(t *testing.T) {
 	space := config.Cassandra()
 	boom := errors.New("generator crashed")
-	failing := CollectorFunc(func(rr float64, cfg config.Config, seed int64) (float64, error) {
+	failing := CollectorFunc(func(w Workload, cfg config.Config, seed int64) (float64, error) {
 		if seed%3 == 0 {
 			return 0, boom
 		}
@@ -86,7 +86,7 @@ func TestCollectErrorDeterministicAcrossWorkers(t *testing.T) {
 	var refMsg string
 	for _, workers := range []int{1, 2, 4} {
 		_, err := Collect(failing, space, CollectOptions{
-			Workloads: []float64{0, 0.5, 1},
+			Workloads: RRs(0, 0.5, 1),
 			Configs:   5,
 			Seed:      21,
 			Workers:   workers,

@@ -12,9 +12,10 @@ import (
 
 // CollectOptions tunes the training-data collection stage.
 type CollectOptions struct {
-	// Workloads lists the read ratios to benchmark; the paper uses 11
-	// values spanning 0%..100% in 10% steps.
-	Workloads []float64
+	// Workloads lists the workload characterizations to benchmark; the
+	// paper uses 11 read ratios spanning 0%..100% in 10% steps, and
+	// mixed-op suites add scan-ratio/skew points (see Workload).
+	Workloads []Workload
 	// Configs is the number of configurations (20 in the paper, for
 	// 220 total samples).
 	Configs int
@@ -36,9 +37,9 @@ type CollectOptions struct {
 
 // DefaultCollectOptions mirrors the paper's data-collection setup.
 func DefaultCollectOptions() CollectOptions {
-	ws := make([]float64, 0, 11)
+	ws := make([]Workload, 0, 11)
 	for rr := 0.0; rr <= 1.0001; rr += 0.1 {
-		ws = append(ws, math.Round(rr*10)/10)
+		ws = append(ws, RR(math.Round(rr*10)/10))
 	}
 	return CollectOptions{Workloads: ws, Configs: 20}
 }
@@ -96,9 +97,9 @@ func Collect(c Collector, space *config.Space, opts CollectOptions) (Dataset, er
 	if len(opts.Workloads) == 0 {
 		return Dataset{}, fmt.Errorf("core: no workloads to collect")
 	}
-	for _, rr := range opts.Workloads {
-		if rr < 0 || rr > 1 {
-			return Dataset{}, fmt.Errorf("core: workload read ratio %v out of [0,1]", rr)
+	for _, w := range opts.Workloads {
+		if err := w.Validate(); err != nil {
+			return Dataset{}, err
 		}
 	}
 	if opts.DropRate < 0 || opts.DropRate >= 1 {
@@ -116,14 +117,14 @@ func Collect(c Collector, space *config.Space, opts CollectOptions) (Dataset, er
 	// count. The samples themselves then fan out.
 	type task struct {
 		cfg  config.Config
-		rr   float64
+		w    Workload
 		seed int64
 	}
 	var ds Dataset
 	var tasks []task
 	seed := opts.Seed + 1000
 	for _, cfg := range configs {
-		for _, rr := range opts.Workloads {
+		for _, w := range opts.Workloads {
 			seed++
 			if opts.DropRate > 0 && rng.Float64() < opts.DropRate {
 				// A faulted load generator: the sample is discarded, as
@@ -131,7 +132,7 @@ func Collect(c Collector, space *config.Space, opts CollectOptions) (Dataset, er
 				ds.Dropped++
 				continue
 			}
-			tasks = append(tasks, task{cfg: cfg, rr: rr, seed: seed})
+			tasks = append(tasks, task{cfg: cfg, w: w, seed: seed})
 		}
 	}
 
@@ -145,12 +146,12 @@ func Collect(c Collector, space *config.Space, opts CollectOptions) (Dataset, er
 		if hasObs {
 			stage := opts.Obs.Stage()
 			stages[i] = stage
-			tput, err = oc.SampleObs(t.rr, t.cfg, t.seed, stage)
+			tput, err = oc.SampleObs(t.w, t.cfg, t.seed, stage)
 		} else {
-			tput, err = c.Sample(t.rr, t.cfg, t.seed)
+			tput, err = c.Sample(t.w, t.cfg, t.seed)
 		}
 		if err != nil {
-			return fmt.Errorf("core: sampling %s at RR=%v: %w", space.Describe(t.cfg), t.rr, err)
+			return fmt.Errorf("core: sampling %s at %v: %w", space.Describe(t.cfg), t.w, err)
 		}
 		tputs[i] = tput
 		return nil
@@ -160,7 +161,7 @@ func Collect(c Collector, space *config.Space, opts CollectOptions) (Dataset, er
 	}
 	for i, t := range tasks {
 		opts.Obs.Merge(stages[i])
-		ds.Samples = append(ds.Samples, Sample{ReadRatio: t.rr, Config: t.cfg.Clone(), Throughput: tputs[i]})
+		ds.Samples = append(ds.Samples, Sample{Workload: t.w, Config: t.cfg.Clone(), Throughput: tputs[i]})
 	}
 	return ds, nil
 }

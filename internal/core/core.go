@@ -20,15 +20,15 @@ import (
 // container between data-collection events so no state leaks across
 // samples.
 type Collector interface {
-	Sample(readRatio float64, cfg config.Config, seed int64) (float64, error)
+	Sample(w Workload, cfg config.Config, seed int64) (float64, error)
 }
 
 // CollectorFunc adapts a function to the Collector interface.
-type CollectorFunc func(readRatio float64, cfg config.Config, seed int64) (float64, error)
+type CollectorFunc func(w Workload, cfg config.Config, seed int64) (float64, error)
 
 // Sample implements Collector.
-func (f CollectorFunc) Sample(readRatio float64, cfg config.Config, seed int64) (float64, error) {
-	return f(readRatio, cfg, seed)
+func (f CollectorFunc) Sample(w Workload, cfg config.Config, seed int64) (float64, error) {
+	return f(w, cfg, seed)
 }
 
 // ObsCollector is a Collector whose samples emit telemetry. When
@@ -39,14 +39,14 @@ func (f CollectorFunc) Sample(readRatio float64, cfg config.Config, seed int64) 
 // disabled).
 type ObsCollector interface {
 	Collector
-	SampleObs(readRatio float64, cfg config.Config, seed int64, reg *obs.Registry) (float64, error)
+	SampleObs(w Workload, cfg config.Config, seed int64, reg *obs.Registry) (float64, error)
 }
 
 // Sample is one training observation S_i = {W_i, C_i, P_i}
 // (Section 3.5).
 type Sample struct {
-	// ReadRatio is the workload feature W.
-	ReadRatio float64
+	// Workload is the workload characterization W.
+	Workload Workload
 	// Config is the configuration C.
 	Config config.Config
 	// Throughput is the measured performance P in ops/s.
@@ -70,7 +70,7 @@ func (d Dataset) Features(space *config.Space) ([][]float64, []float64, error) {
 	xs := make([][]float64, 0, len(d.Samples))
 	ys := make([]float64, 0, len(d.Samples))
 	for i, s := range d.Samples {
-		vec, err := space.FeatureVector(s.ReadRatio, s.Config)
+		vec, err := space.FeatureVector(s.Workload.Vector(), s.Config)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: sample %d: %w", i, err)
 		}
@@ -96,11 +96,11 @@ func (d Dataset) SplitByConfig(space *config.Space, testConfigs map[string]bool)
 	return train, test
 }
 
-// SplitByWorkload partitions so that held-out read ratios only appear
+// SplitByWorkload partitions so that held-out workloads only appear
 // in the test set — the "unseen workloads" axis.
-func (d Dataset) SplitByWorkload(testWorkloads map[float64]bool) (train, test Dataset) {
+func (d Dataset) SplitByWorkload(testWorkloads map[Workload]bool) (train, test Dataset) {
 	for _, s := range d.Samples {
-		if testWorkloads[s.ReadRatio] {
+		if testWorkloads[s.Workload] {
 			test.Samples = append(test.Samples, s)
 		} else {
 			train.Samples = append(train.Samples, s)
@@ -123,14 +123,14 @@ func (d Dataset) ConfigKeys(space *config.Space) []string {
 	return out
 }
 
-// Workloads returns the distinct read ratios present.
-func (d Dataset) Workloads() []float64 {
-	seen := make(map[float64]bool)
-	var out []float64
+// Workloads returns the distinct workload characterizations present.
+func (d Dataset) Workloads() []Workload {
+	seen := make(map[Workload]bool)
+	var out []Workload
 	for _, s := range d.Samples {
-		if !seen[s.ReadRatio] {
-			seen[s.ReadRatio] = true
-			out = append(out, s.ReadRatio)
+		if !seen[s.Workload] {
+			seen[s.Workload] = true
+			out = append(out, s.Workload)
 		}
 	}
 	return out

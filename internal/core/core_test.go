@@ -17,7 +17,8 @@ import (
 // an interior optimum that moves with the read ratio — enough structure
 // to exercise the whole pipeline deterministically.
 func analyticCollector(space *config.Space) Collector {
-	return CollectorFunc(func(rr float64, cfg config.Config, seed int64) (float64, error) {
+	return CollectorFunc(func(w Workload, cfg config.Config, seed int64) (float64, error) {
+		rr := w.ReadRatio
 		get := func(name string) float64 {
 			v, err := space.Value(cfg, name)
 			if err != nil {
@@ -124,7 +125,7 @@ func TestSampleConfigsErrors(t *testing.T) {
 func TestCollectShapes(t *testing.T) {
 	space := config.Cassandra()
 	ds, err := Collect(analyticCollector(space), space, CollectOptions{
-		Workloads: []float64{0, 0.5, 1},
+		Workloads: RRs(0, 0.5, 1),
 		Configs:   4,
 		Seed:      2,
 	})
@@ -144,7 +145,7 @@ func TestCollectShapes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(xs) != 12 || len(ys) != 12 || len(xs[0]) != 6 {
+	if len(xs) != 12 || len(ys) != 12 || len(xs[0]) != WorkloadDims+5 {
 		t.Errorf("feature shapes: %d x %d", len(xs), len(xs[0]))
 	}
 }
@@ -152,7 +153,7 @@ func TestCollectShapes(t *testing.T) {
 func TestCollectDropRate(t *testing.T) {
 	space := config.Cassandra()
 	ds, err := Collect(analyticCollector(space), space, CollectOptions{
-		Workloads: []float64{0, 0.5, 1},
+		Workloads: RRs(0, 0.5, 1),
 		Configs:   10,
 		Seed:      3,
 		DropRate:  0.2,
@@ -174,10 +175,10 @@ func TestCollectValidation(t *testing.T) {
 	if _, err := Collect(c, space, CollectOptions{Configs: 2}); err == nil {
 		t.Error("no workloads should error")
 	}
-	if _, err := Collect(c, space, CollectOptions{Workloads: []float64{2}, Configs: 2}); err == nil {
+	if _, err := Collect(c, space, CollectOptions{Workloads: RRs(2), Configs: 2}); err == nil {
 		t.Error("bad workload should error")
 	}
-	if _, err := Collect(c, space, CollectOptions{Workloads: []float64{0.5}, Configs: 2, DropRate: 1}); err == nil {
+	if _, err := Collect(c, space, CollectOptions{Workloads: RRs(0.5), Configs: 2, DropRate: 1}); err == nil {
 		t.Error("drop rate 1 should error")
 	}
 }
@@ -185,19 +186,19 @@ func TestCollectValidation(t *testing.T) {
 func TestDatasetSplits(t *testing.T) {
 	space := config.Cassandra()
 	ds, err := Collect(analyticCollector(space), space, CollectOptions{
-		Workloads: []float64{0, 0.5, 1},
+		Workloads: RRs(0, 0.5, 1),
 		Configs:   4,
 		Seed:      4,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	train, test := ds.SplitByWorkload(map[float64]bool{0.5: true})
+	train, test := ds.SplitByWorkload(map[Workload]bool{RR(0.5): true})
 	if len(test.Samples) != 4 || len(train.Samples) != 8 {
 		t.Errorf("workload split: %d train, %d test", len(train.Samples), len(test.Samples))
 	}
 	for _, s := range test.Samples {
-		if s.ReadRatio != 0.5 {
+		if s.Workload.ReadRatio != 0.5 {
 			t.Error("test split contains wrong workload")
 		}
 	}
@@ -257,7 +258,7 @@ func TestIdentifyValidation(t *testing.T) {
 	if _, err := IdentifyKeyParameters(analyticCollector(space), space, IdentifyOptions{ReadRatio: 2}); err == nil {
 		t.Error("bad read ratio should error")
 	}
-	boom := CollectorFunc(func(float64, config.Config, int64) (float64, error) {
+	boom := CollectorFunc(func(Workload, config.Config, int64) (float64, error) {
 		return 0, errors.New("boom")
 	})
 	if _, err := IdentifyKeyParameters(boom, space, DefaultIdentifyOptions()); err == nil {
@@ -271,7 +272,7 @@ func TestEndToEndTunerOnAnalytic(t *testing.T) {
 	opts := TunerOptions{
 		SkipIdentify: true,
 		Collect: CollectOptions{
-			Workloads: []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1},
+			Workloads: RRs(0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1),
 			Configs:   20,
 			Seed:      6,
 		},
@@ -282,7 +283,7 @@ func TestEndToEndTunerOnAnalytic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := tuner.Recommend(0.5); !errors.Is(err, ErrNotPrepared) {
+	if _, err := tuner.Recommend(RR(0.5)); !errors.Is(err, ErrNotPrepared) {
 		t.Errorf("Recommend before Prepare = %v, want ErrNotPrepared", err)
 	}
 	if err := tuner.Prepare(); err != nil {
@@ -292,7 +293,7 @@ func TestEndToEndTunerOnAnalytic(t *testing.T) {
 		t.Errorf("dataset size = %d, want 220", got)
 	}
 
-	rec, err := tuner.Recommend(0.9)
+	rec, err := tuner.Recommend(RR(0.9))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,11 +302,11 @@ func TestEndToEndTunerOnAnalytic(t *testing.T) {
 	}
 	// The recommendation must beat the default configuration according
 	// to the ground-truth analytic function.
-	defTput, err := c.Sample(0.9, config.Config{}, 999)
+	defTput, err := c.Sample(RR(0.9), config.Config{}, 999)
 	if err != nil {
 		t.Fatal(err)
 	}
-	recTput, err := c.Sample(0.9, rec.Config, 999)
+	recTput, err := c.Sample(RR(0.9), rec.Config, 999)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,7 +321,7 @@ func TestEndToEndTunerOnAnalytic(t *testing.T) {
 		t.Errorf("GA used only %d evaluations", rec.Evaluations)
 	}
 
-	if _, err := tuner.Recommend(1.5); err == nil {
+	if _, err := tuner.Recommend(RR(1.5)); err == nil {
 		t.Error("bad read ratio should error")
 	}
 }
@@ -353,7 +354,7 @@ func TestControllerRetunesOnWorkloadShift(t *testing.T) {
 	space := config.Cassandra()
 	tuner, err := NewTuner(analyticCollector(space), space, TunerOptions{
 		SkipIdentify: true,
-		Collect:      CollectOptions{Workloads: []float64{0, 0.25, 0.5, 0.75, 1}, Configs: 16, Seed: 8},
+		Collect:      CollectOptions{Workloads: RRs(0, 0.25, 0.5, 0.75, 1), Configs: 16, Seed: 8},
 		Model:        fastModelConfig(),
 		GA:           fastGAOptions(),
 	})
@@ -433,7 +434,7 @@ func TestControllerApplyFailure(t *testing.T) {
 	space := config.Cassandra()
 	tuner, err := NewTuner(analyticCollector(space), space, TunerOptions{
 		SkipIdentify: true,
-		Collect:      CollectOptions{Workloads: []float64{0, 1}, Configs: 8, Seed: 10},
+		Collect:      CollectOptions{Workloads: RRs(0, 1), Configs: 8, Seed: 10},
 		Model:        fastModelConfig(),
 		GA:           fastGAOptions(),
 	})

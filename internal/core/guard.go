@@ -14,8 +14,8 @@ import (
 // configuration. High disagreement flags regions the training data
 // barely covers — exactly where a single-point prediction is least
 // trustworthy and re-tuning on it is most dangerous.
-func (s *Surrogate) PredictWithStd(readRatio float64, cfg config.Config) (mean, std float64, err error) {
-	vec, err := s.Space.FeatureVector(readRatio, cfg)
+func (s *Surrogate) PredictWithStd(w Workload, cfg config.Config) (mean, std float64, err error) {
+	vec, err := s.Space.FeatureVector(w.Vector(), cfg)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -45,7 +45,7 @@ type GuardOptions struct {
 	// measured run before it is applied (the canary probe). A candidate
 	// failing ProbeTolerance × prediction is rejected without touching
 	// the datastore.
-	Probe func(readRatio float64, cfg config.Config) (float64, error)
+	Probe func(w Workload, cfg config.Config) (float64, error)
 	// ProbeTolerance is the fraction of the predicted throughput the
 	// probe must reach (default 0.5).
 	ProbeTolerance float64
@@ -146,15 +146,19 @@ type GuardedController struct {
 	applier Applier
 	opts    GuardOptions
 
-	haveTuned   bool
-	lastTunedRR float64
-	current     config.Config
-	lastGood    config.Config // nil means the space default
+	haveTuned bool
+	lastTuned Workload
+	current   config.Config
+	lastGood  config.Config // nil means the space default
 
-	// canaryLeft > 0 means current is on probation; canaryRR is the
-	// read ratio it was tuned for.
+	// shape carries the workload's scan-ratio and skew axes; Observe
+	// composes them with the per-window read ratio (see SetShape).
+	shape Workload
+
+	// canaryLeft > 0 means current is on probation; canaryW is the
+	// workload it was tuned for.
 	canaryLeft int
-	canaryRR   float64
+	canaryW    Workload
 
 	// sloTotal/sloOk count this probation's windows and the subset that
 	// met the p99 ceiling.
@@ -176,6 +180,20 @@ func NewGuardedController(t *Tuner, a Applier, opts GuardOptions) (*GuardedContr
 	return &GuardedController{tuner: t, applier: a, opts: opts, o: newGuardObs(t.opts.Obs)}, nil
 }
 
+// SetShape fixes the scan-ratio and skew axes of the workloads the
+// controller tunes for; Observe supplies the per-window read ratio.
+// Use this when trace characterization reports a stable op-mix shape
+// (e.g. an analytics tenant whose scans are structural) while the read
+// ratio swings with MG-RAST-style regime switches.
+func (c *GuardedController) SetShape(scanRatio, skew float64) error {
+	w := Workload{ScanRatio: scanRatio, Skew: skew}
+	if err := w.Validate(); err != nil {
+		return err
+	}
+	c.shape = w
+	return nil
+}
+
 // Observe reports one finished window: its read ratio and its measured
 // throughput (ops/s; pass <= 0 when no measurement is available, which
 // skips the canary and out-of-band checks for this window). It returns
@@ -192,7 +210,7 @@ func (c *GuardedController) Observe(readRatio, measured float64) (bool, error) {
 	// Canary bookkeeping first: the measurement just delivered is the
 	// probationary configuration's report card.
 	if c.canaryLeft > 0 && measured > 0 {
-		rolled, err := c.checkCanary(readRatio, measured)
+		rolled, err := c.checkCanary(c.workloadAt(readRatio), measured)
 		if err != nil {
 			return false, err
 		}
@@ -201,12 +219,13 @@ func (c *GuardedController) Observe(readRatio, measured float64) (bool, error) {
 		}
 	}
 
-	target := readRatio
+	targetRR := readRatio
 	if c.opts.Forecaster != nil {
 		c.opts.Forecaster.Observe(readRatio)
-		target = clamp01(c.opts.Forecaster.Predict())
+		targetRR = clamp01(c.opts.Forecaster.Predict())
 	}
-	if c.haveTuned && abs(target-c.lastTunedRR) < c.opts.Threshold {
+	target := c.workloadAt(targetRR)
+	if c.haveTuned && target.dist(c.lastTuned) < c.opts.Threshold {
 		return false, nil
 	}
 
@@ -219,28 +238,36 @@ func (c *GuardedController) Observe(readRatio, measured float64) (bool, error) {
 		return false, err
 	}
 	if !ok {
-		// The veto still pins lastTunedRR: re-deriving the same doomed
+		// The veto still pins lastTuned: re-deriving the same doomed
 		// candidate every window would burn search time for nothing.
 		c.haveTuned = true
-		c.lastTunedRR = target
+		c.lastTuned = target
 		return false, nil
 	}
 	if err := c.applier.Apply(rec.Config); err != nil {
 		return false, fmt.Errorf("core: applying guarded recommendation: %w", err)
 	}
 	c.haveTuned = true
-	c.lastTunedRR = target
+	c.lastTuned = target
 	c.current = rec.Config
 	c.stats.Retunes++
 	c.o.retunes.Inc()
 	if c.opts.CanaryWindows > 0 && (c.opts.RegressionTolerance > 0 || c.opts.SLOP99Max > 0) {
 		c.canaryLeft = c.opts.CanaryWindows
-		c.canaryRR = target
+		c.canaryW = target
 		c.sloTotal, c.sloOk = 0, 0
 	} else {
 		c.commit()
 	}
 	return true, nil
+}
+
+// workloadAt composes the controller's fixed shape axes with a window's
+// read ratio.
+func (c *GuardedController) workloadAt(readRatio float64) Workload {
+	w := c.shape
+	w.ReadRatio = readRatio
+	return w
 }
 
 // WindowMetrics is one observation window's report for ObserveWindow:
@@ -293,8 +320,8 @@ func (c *GuardedController) ObserveWindow(m WindowMetrics) (bool, error) {
 // against the surrogate's own prediction for this window, rolling back
 // on a regression and committing after the probation expires. It
 // returns whether a rollback was applied.
-func (c *GuardedController) checkCanary(readRatio, measured float64) (bool, error) {
-	predicted, err := c.tuner.surrogate.Predict(readRatio, c.current)
+func (c *GuardedController) checkCanary(w Workload, measured float64) (bool, error) {
+	predicted, err := c.tuner.surrogate.Predict(w, c.current)
 	if err != nil {
 		return false, err
 	}
@@ -340,7 +367,7 @@ func (c *GuardedController) rollback() error {
 }
 
 // vet sanity-checks a recommendation before it touches the datastore.
-func (c *GuardedController) vet(target float64, rec OptimizeResult) (bool, error) {
+func (c *GuardedController) vet(target Workload, rec OptimizeResult) (bool, error) {
 	mean, std, err := c.tuner.surrogate.PredictWithStd(target, rec.Config)
 	if err != nil {
 		return false, err

@@ -62,7 +62,7 @@ func TestGuardedControllerAppliesAndCommits(t *testing.T) {
 	}
 	// Feed two healthy windows: measured matches the surrogate's view.
 	for i := 0; i < 2; i++ {
-		predicted, err := tuner.Surrogate().Predict(0.9, ctrl.Current())
+		predicted, err := tuner.Surrogate().Predict(RR(0.9), ctrl.Current())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -173,7 +173,7 @@ func TestGuardProbeVetoesCandidate(t *testing.T) {
 	opts := DefaultGuardOptions()
 	opts.MaxStdFrac = 0
 	probes := 0
-	opts.Probe = func(readRatio float64, cfg config.Config) (float64, error) {
+	opts.Probe = func(w Workload, cfg config.Config) (float64, error) {
 		probes++
 		return 1, nil // the measured probe collapses
 	}
@@ -193,7 +193,7 @@ func TestGuardProbeVetoesCandidate(t *testing.T) {
 	}
 
 	// A probe error propagates.
-	opts.Probe = func(float64, config.Config) (float64, error) {
+	opts.Probe = func(Workload, config.Config) (float64, error) {
 		return 0, errors.New("probe rig unavailable")
 	}
 	ctrl, err = NewGuardedController(tuner, app, opts)
@@ -256,7 +256,7 @@ func TestSLOObjectiveRollsBackDespiteThroughputPass(t *testing.T) {
 	if len(app.applied) != 1 {
 		t.Fatalf("first observation should apply, got %d applies", len(app.applied))
 	}
-	predicted, err := tuner.Surrogate().Predict(0.9, ctrl.Current())
+	predicted, err := tuner.Surrogate().Predict(RR(0.9), ctrl.Current())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,7 +301,7 @@ func TestSLOCompliantCanaryCommits(t *testing.T) {
 	if _, err := ctrl.Observe(0.9, 0); err != nil {
 		t.Fatal(err)
 	}
-	predicted, err := tuner.Surrogate().Predict(0.9, ctrl.Current())
+	predicted, err := tuner.Surrogate().Predict(RR(0.9), ctrl.Current())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,5 +337,48 @@ func TestSLOOptionValidation(t *testing.T) {
 		if _, err := NewGuardedController(tuner, app, opts); err == nil {
 			t.Errorf("case %d: invalid options accepted", i)
 		}
+	}
+}
+
+// TestControllerSetShape: fixing the scan/skew axes changes the
+// workload the controllers tune for, so a shape change alone must push
+// the L1 re-tune distance past the threshold; invalid axes are
+// rejected on both controller flavors.
+func TestControllerSetShape(t *testing.T) {
+	tuner := preparedTuner(t)
+	ctrl, err := NewController(tuner, &recordingApplier{}, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.SetShape(1.2, 0); err == nil {
+		t.Error("scan ratio > 1 should be rejected")
+	}
+	if err := ctrl.SetShape(0, -0.5); err == nil {
+		t.Error("negative skew should be rejected")
+	}
+	if retuned, err := ctrl.Observe(0.8); err != nil || !retuned {
+		t.Fatalf("first observation should tune: %v %v", retuned, err)
+	}
+	if retuned, err := ctrl.Observe(0.8); err != nil || retuned {
+		t.Fatalf("steady workload should not retune: %v %v", retuned, err)
+	}
+	if err := ctrl.SetShape(0.4, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	// Same read ratio, but the shape axes moved 0.7 in L1 — past the
+	// 0.2 threshold, so the next window must retune.
+	if retuned, err := ctrl.Observe(0.8); err != nil || !retuned {
+		t.Errorf("shape change should force a retune: %v %v", retuned, err)
+	}
+
+	guarded, err := NewGuardedController(tuner, &recordingApplier{}, DefaultGuardOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := guarded.SetShape(-0.1, 0); err == nil {
+		t.Error("guarded controller should reject a negative scan ratio")
+	}
+	if err := guarded.SetShape(0.3, 0.9); err != nil {
+		t.Errorf("valid shape rejected: %v", err)
 	}
 }

@@ -15,9 +15,9 @@ type countingCollector struct {
 	samples *obs.Counter
 }
 
-func (c countingCollector) Sample(readRatio float64, cfg config.Config, seed int64) (float64, error) {
+func (c countingCollector) Sample(w Workload, cfg config.Config, seed int64) (float64, error) {
 	c.samples.Inc()
-	return c.inner.Sample(readRatio, cfg, seed)
+	return c.inner.Sample(w, cfg, seed)
 }
 
 // guardObs mirrors GuardStats onto obs counters so guarded re-tuning

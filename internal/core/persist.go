@@ -70,12 +70,14 @@ func LoadSurrogate(path string, space *config.Space) (*Surrogate, error) {
 		return nil, fmt.Errorf("core: surrogate model failed validation: %w", err)
 	}
 	// The key-name list and the model's trained feature width must agree
-	// with the space: readRatio plus one feature per key parameter. A
-	// stale or hand-edited file that passes the name check but was
-	// trained at a different width would otherwise predict garbage.
-	if want := 1 + len(space.KeyNames); model.InputWidth() != want {
-		return nil, fmt.Errorf("core: surrogate expects %d features, space needs %d (readRatio + %d key parameters)",
-			model.InputWidth(), want, len(space.KeyNames))
+	// with the space: the workload characterization (read ratio, scan
+	// ratio, skew) plus one feature per key parameter. A stale or
+	// hand-edited file that passes the name check but was trained at a
+	// different width would otherwise predict garbage — including
+	// RR-only surrogates saved before the op-mix axes existed.
+	if want := WorkloadDims + len(space.KeyNames); model.InputWidth() != want {
+		return nil, fmt.Errorf("core: surrogate expects %d features, space needs %d (%d workload features + %d key parameters)",
+			model.InputWidth(), want, WorkloadDims, len(space.KeyNames))
 	}
 	return &Surrogate{Model: &model, Space: space}, nil
 }

@@ -14,7 +14,7 @@ import (
 func TestSurrogateSaveLoadRoundTrip(t *testing.T) {
 	space := config.Cassandra()
 	ds, err := Collect(analyticCollector(space), space, CollectOptions{
-		Workloads: []float64{0, 0.5, 1},
+		Workloads: RRs(0, 0.5, 1),
 		Configs:   8,
 		Seed:      41,
 	})
@@ -36,11 +36,11 @@ func TestSurrogateSaveLoadRoundTrip(t *testing.T) {
 	}
 
 	for _, rr := range []float64{0.1, 0.5, 0.9} {
-		a, err := sur.Predict(rr, config.Config{})
+		a, err := sur.Predict(RR(rr), config.Config{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := back.Predict(rr, config.Config{})
+		b, err := back.Predict(RR(rr), config.Config{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -50,7 +50,7 @@ func TestSurrogateSaveLoadRoundTrip(t *testing.T) {
 	}
 
 	// The reloaded surrogate must still drive the GA.
-	rec, err := back.Optimize(0.9, fastGAOptions())
+	rec, err := back.Optimize(RR(0.9), fastGAOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +62,7 @@ func TestSurrogateSaveLoadRoundTrip(t *testing.T) {
 func TestLoadSurrogateValidation(t *testing.T) {
 	space := config.Cassandra()
 	ds, err := Collect(analyticCollector(space), space, CollectOptions{
-		Workloads: []float64{0, 1},
+		Workloads: RRs(0, 1),
 		Configs:   6,
 		Seed:      43,
 	})
@@ -102,7 +102,7 @@ func TestLoadSurrogateValidation(t *testing.T) {
 func TestTunerUseSurrogate(t *testing.T) {
 	space := config.Cassandra()
 	ds, err := Collect(analyticCollector(space), space, CollectOptions{
-		Workloads: []float64{0, 1},
+		Workloads: RRs(0, 1),
 		Configs:   6,
 		Seed:      45,
 	})
@@ -123,7 +123,7 @@ func TestTunerUseSurrogate(t *testing.T) {
 	if err := tuner.UseSurrogate(sur); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := tuner.Recommend(0.5); err != nil {
+	if _, err := tuner.Recommend(RR(0.5)); err != nil {
 		t.Errorf("Recommend after UseSurrogate: %v", err)
 	}
 	if err := tuner.UseSurrogate(nil); err == nil {
@@ -141,7 +141,7 @@ func TestTunerUseSurrogate(t *testing.T) {
 func TestLoadSurrogateRejectsCorruptFiles(t *testing.T) {
 	space := config.Cassandra()
 	ds, err := Collect(analyticCollector(space), space, CollectOptions{
-		Workloads: []float64{0, 1},
+		Workloads: RRs(0, 1),
 		Configs:   6,
 		Seed:      47,
 	})
@@ -193,7 +193,7 @@ func TestLoadSurrogateRejectsCorruptFiles(t *testing.T) {
 	narrow := config.Cassandra()
 	narrow.KeyNames = narrow.KeyNames[:4]
 	dsN, err := Collect(analyticCollector(narrow), narrow, CollectOptions{
-		Workloads: []float64{0, 1},
+		Workloads: RRs(0, 1),
 		Configs:   6,
 		Seed:      48,
 	})

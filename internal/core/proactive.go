@@ -51,7 +51,7 @@ func (c *ProactiveController) Observe(readRatio float64) (bool, error) {
 	if c.haveTuned && abs(next-c.lastTunedRR) < c.threshold {
 		return false, nil
 	}
-	rec, err := c.tuner.Recommend(next)
+	rec, err := c.tuner.Recommend(RR(next))
 	if err != nil {
 		return false, err
 	}

@@ -12,7 +12,7 @@ func preparedTuner(t *testing.T) *Tuner {
 	space := config.Cassandra()
 	tuner, err := NewTuner(analyticCollector(space), space, TunerOptions{
 		SkipIdentify: true,
-		Collect:      CollectOptions{Workloads: []float64{0, 0.25, 0.5, 0.75, 1}, Configs: 12, Seed: 21},
+		Collect:      CollectOptions{Workloads: RRs(0, 0.25, 0.5, 0.75, 1), Configs: 12, Seed: 21},
 		Model:        fastModelConfig(),
 		GA:           fastGAOptions(),
 	})

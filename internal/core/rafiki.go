@@ -163,23 +163,24 @@ func (t *Tuner) UseSurrogate(s *Surrogate) error {
 // Space returns the tuner's configuration space.
 func (t *Tuner) Space() *config.Space { return t.space }
 
-// Recommend searches for the best configuration for the observed read
-// ratio. This is the online stage: it costs only surrogate calls.
-func (t *Tuner) Recommend(readRatio float64) (OptimizeResult, error) {
+// Recommend searches for the best configuration for the observed
+// workload. This is the online stage: it costs only surrogate calls.
+func (t *Tuner) Recommend(w Workload) (OptimizeResult, error) {
 	if t.surrogate == nil {
 		return OptimizeResult{}, ErrNotPrepared
 	}
-	if readRatio < 0 || readRatio > 1 {
-		return OptimizeResult{}, fmt.Errorf("core: read ratio %v out of [0,1]", readRatio)
+	if err := w.Validate(); err != nil {
+		return OptimizeResult{}, err
 	}
 	evals := t.opts.Obs.Counter("ga.evaluations")
 	searchStart := evals.Value()
-	res, err := t.surrogate.Optimize(readRatio, t.opts.GA)
+	res, err := t.surrogate.Optimize(w, t.opts.GA)
 	if err != nil {
 		return OptimizeResult{}, err
 	}
 	t.recordStage("core.search", searchStart, evals.Value(), "evals",
-		map[string]float64{"read_ratio": readRatio, "predicted": res.Predicted})
+		map[string]float64{"read_ratio": w.ReadRatio, "scan_ratio": w.ScanRatio,
+			"skew": w.Skew, "predicted": res.Predicted})
 	return res, nil
 }
 
@@ -196,15 +197,19 @@ type Applier interface {
 type Controller struct {
 	tuner   *Tuner
 	applier Applier
-	// threshold is the minimum |RR - lastTunedRR| that triggers a
-	// re-tune; small jitters are ignored to avoid reconfiguration
-	// downtime.
+	// threshold is the minimum workload movement (L1 distance over the
+	// characterization vector) that triggers a re-tune; small jitters
+	// are ignored to avoid reconfiguration downtime.
 	threshold float64
 
-	haveTuned   bool
-	lastTunedRR float64
-	current     config.Config
-	retunes     int
+	// shape carries the workload's scan-ratio and skew axes; Observe
+	// supplies the per-window read ratio.
+	shape Workload
+
+	haveTuned bool
+	lastTuned Workload
+	current   config.Config
+	retunes   int
 }
 
 // NewController builds a controller with the given re-tune threshold.
@@ -218,15 +223,28 @@ func NewController(t *Tuner, a Applier, threshold float64) (*Controller, error) 
 	return &Controller{tuner: t, applier: a, threshold: threshold}, nil
 }
 
+// SetShape fixes the scan-ratio and skew axes of the workloads the
+// controller tunes for; Observe supplies the per-window read ratio.
+func (c *Controller) SetShape(scanRatio, skew float64) error {
+	w := Workload{ScanRatio: scanRatio, Skew: skew}
+	if err := w.Validate(); err != nil {
+		return err
+	}
+	c.shape = w
+	return nil
+}
+
 // Observe reports one workload window's read ratio. When the workload
 // has moved beyond the threshold since the last tuning point, a new
 // configuration is searched and applied; Observe returns whether a
 // reconfiguration happened.
 func (c *Controller) Observe(readRatio float64) (bool, error) {
-	if c.haveTuned && abs(readRatio-c.lastTunedRR) < c.threshold {
+	w := c.shape
+	w.ReadRatio = readRatio
+	if c.haveTuned && w.dist(c.lastTuned) < c.threshold {
 		return false, nil
 	}
-	rec, err := c.tuner.Recommend(readRatio)
+	rec, err := c.tuner.Recommend(w)
 	if err != nil {
 		return false, err
 	}
@@ -234,7 +252,7 @@ func (c *Controller) Observe(readRatio float64) (bool, error) {
 		return false, fmt.Errorf("core: applying recommendation: %w", err)
 	}
 	c.haveTuned = true
-	c.lastTunedRR = readRatio
+	c.lastTuned = w
 	c.current = rec.Config
 	c.retunes++
 	c.tuner.opts.Obs.Counter("core.retunes").Inc()

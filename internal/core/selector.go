@@ -11,6 +11,12 @@ import (
 type IdentifyOptions struct {
 	// ReadRatio is the workload under which parameters are swept.
 	ReadRatio float64
+	// ScanRatio and Skew extend the sweep workload with the op-mix
+	// shape axes, so ANOVA ranks parameters under the workload the
+	// datastore will actually see (a scan-heavy sweep surfaces
+	// compaction-strategy variance a point-op sweep hides).
+	ScanRatio float64
+	Skew      float64
 	// MinK and MaxK bound the elbow search for the key-parameter count
 	// (the paper lands on 5 for Cassandra).
 	MinK, MaxK int
@@ -24,6 +30,11 @@ type IdentifyOptions struct {
 // DefaultIdentifyOptions mirrors the paper's protocol.
 func DefaultIdentifyOptions() IdentifyOptions {
 	return IdentifyOptions{ReadRatio: 0.5, MinK: 3, MaxK: 8, Repeats: 1}
+}
+
+// Workload returns the sweep workload the options describe.
+func (o IdentifyOptions) Workload() Workload {
+	return Workload{ReadRatio: o.ReadRatio, ScanRatio: o.ScanRatio, Skew: o.Skew}
 }
 
 // Identification is the outcome of the ANOVA stage.
@@ -45,8 +56,8 @@ func IdentifyKeyParameters(c Collector, space *config.Space, opts IdentifyOption
 	if opts.Repeats < 1 {
 		opts.Repeats = 1
 	}
-	if opts.ReadRatio < 0 || opts.ReadRatio > 1 {
-		return Identification{}, fmt.Errorf("core: identify read ratio %v out of [0,1]", opts.ReadRatio)
+	if err := opts.Workload().Validate(); err != nil {
+		return Identification{}, fmt.Errorf("core: identify workload: %w", err)
 	}
 	sweeps := make(map[string][][]float64)
 	seed := opts.Seed
@@ -62,7 +73,7 @@ func IdentifyKeyParameters(c Collector, space *config.Space, opts IdentifyOption
 			group := make([]float64, 0, opts.Repeats)
 			for r := 0; r < opts.Repeats; r++ {
 				seed++
-				tput, err := c.Sample(opts.ReadRatio, config.Config{p.Name: v}, seed)
+				tput, err := c.Sample(opts.Workload(), config.Config{p.Name: v}, seed)
 				if err != nil {
 					return Identification{}, fmt.Errorf("core: sweeping %s=%v: %w", p.Name, v, err)
 				}

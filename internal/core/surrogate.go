@@ -35,8 +35,8 @@ func TrainSurrogate(ds Dataset, space *config.Space, cfg nn.ModelConfig) (*Surro
 // and configuration. One call costs microseconds, which is what makes
 // GA search over the surrogate ~4 orders of magnitude faster than
 // benchmarking real configurations (Section 4.8).
-func (s *Surrogate) Predict(readRatio float64, cfg config.Config) (float64, error) {
-	vec, err := s.Space.FeatureVector(readRatio, cfg)
+func (s *Surrogate) Predict(w Workload, cfg config.Config) (float64, error) {
+	vec, err := s.Space.FeatureVector(w.Vector(), cfg)
 	if err != nil {
 		return 0, err
 	}
@@ -56,9 +56,9 @@ type OptimizeResult struct {
 }
 
 // Optimize searches the key-parameter space for the configuration that
-// maximizes predicted throughput at the given read ratio (Equation 4),
+// maximizes predicted throughput at the given workload (Equation 4),
 // using the genetic algorithm of Section 3.7.2.
-func (s *Surrogate) Optimize(readRatio float64, opts ga.Options) (OptimizeResult, error) {
+func (s *Surrogate) Optimize(w Workload, opts ga.Options) (OptimizeResult, error) {
 	keys, err := s.Space.KeyParams()
 	if err != nil {
 		return OptimizeResult{}, err
@@ -74,12 +74,13 @@ func (s *Surrogate) Optimize(readRatio float64, opts ga.Options) (OptimizeResult
 	// The GA prefers BatchFitness: one ensemble batch call per brood,
 	// with the feature-vector scratch reused across generations. The
 	// scalar Fitness stays as the single-candidate fallback.
+	prefix := w.Vector()
 	var vecs [][]float64
 	problem := ga.Problem{
 		Bounds: bounds,
 		Fitness: func(genes []float64) (float64, error) {
-			vec := make([]float64, 0, len(genes)+1)
-			vec = append(vec, readRatio)
+			vec := make([]float64, 0, len(genes)+len(prefix))
+			vec = append(vec, prefix...)
 			vec = append(vec, genes...)
 			return s.Model.Predict(vec)
 		},
@@ -88,7 +89,7 @@ func (s *Surrogate) Optimize(readRatio float64, opts ga.Options) (OptimizeResult
 				vecs = append(vecs, nil)
 			}
 			for i, g := range genes {
-				v := append(vecs[i][:0], readRatio)
+				v := append(vecs[i][:0], prefix...)
 				vecs[i] = append(v, g...)
 			}
 			return s.Model.PredictBatchInto(out, vecs[:len(genes)])

@@ -1,0 +1,44 @@
+package core
+
+import "testing"
+
+func TestWorkloadValidate(t *testing.T) {
+	if err := (Workload{ReadRatio: 0.5, ScanRatio: 0.3, Skew: 0.9}).Validate(); err != nil {
+		t.Errorf("valid workload rejected: %v", err)
+	}
+	for _, w := range []Workload{
+		{ReadRatio: -0.1},
+		{ReadRatio: 1.1},
+		{ReadRatio: 0.5, ScanRatio: -0.1},
+		{ReadRatio: 0.5, ScanRatio: 1.1},
+		{ReadRatio: 0.5, Skew: -0.1},
+		{ReadRatio: 0.5, Skew: 1.1},
+	} {
+		if err := w.Validate(); err == nil {
+			t.Errorf("%+v should fail validation", w)
+		}
+	}
+}
+
+func TestWorkloadString(t *testing.T) {
+	if got := RR(0.9).String(); got != "RR=0.9" {
+		t.Errorf("RR-only workload renders %q", got)
+	}
+	if got := (Workload{ReadRatio: 0.5, ScanRatio: 0.2, Skew: 0.8}).String(); got != "RR=0.5 scan=0.2 skew=0.8" {
+		t.Errorf("mixed workload renders %q", got)
+	}
+}
+
+func TestWorkloadVectorAndDist(t *testing.T) {
+	w := Workload{ReadRatio: 0.7, ScanRatio: 0.2, Skew: 0.1}
+	v := w.Vector()
+	if len(v) != WorkloadDims || v[0] != 0.7 || v[1] != 0.2 || v[2] != 0.1 {
+		t.Errorf("vector = %v", v)
+	}
+	if d := w.dist(RR(0.7)); d < 0.3-1e-12 || d > 0.3+1e-12 {
+		t.Errorf("L1 distance = %v, want 0.3", d)
+	}
+	if rrs := RRs(0.1, 0.9); len(rrs) != 2 || rrs[1] != RR(0.9) {
+		t.Errorf("RRs = %v", rrs)
+	}
+}

@@ -37,7 +37,7 @@ var NetBypass = &Analyzer{
 					return true
 				}
 				switch sel.Sel.Name {
-				case "Read", "Write", "Delete":
+				case "Read", "Write", "Delete", "Scan":
 				default:
 					return true
 				}

@@ -19,6 +19,17 @@ func (e *Engine) Write(key, val uint64) { e.rows[key] = val }
 // Delete is the engine's data-path delete.
 func (e *Engine) Delete(key uint64) { delete(e.rows, key) }
 
+// Scan is the engine's data-path range scan.
+func (e *Engine) Scan(start uint64, limit int) int {
+	n := 0
+	for k := range e.rows {
+		if k >= start && n < limit {
+			n++
+		}
+	}
+	return n
+}
+
 // Close is not a data-path method; calling it directly is fine.
 func (e *Engine) Close() {}
 
@@ -39,6 +50,11 @@ func (c *Coordinator) Put(key, val uint64) {
 		}
 		r.Write(key, val)
 	}
+}
+
+// Count bypasses the transport on its scan path.
+func (c *Coordinator) Count(start uint64, limit int) int {
+	return c.replicas[0].Scan(start, limit)
 }
 
 // Shutdown only uses non-data-path methods, so it is clean.

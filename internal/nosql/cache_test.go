@@ -168,9 +168,9 @@ func TestMemtable(t *testing.T) {
 	if m.Len() != 0 || m.Bytes() != 0 {
 		t.Error("fresh memtable should be empty")
 	}
-	m.Insert(1)
-	m.Insert(2)
-	m.Insert(1) // overwrite dedups keys but still accounts bytes
+	m.Insert(1, 0, 100)
+	m.Insert(2, 0, 100)
+	m.Insert(1, 0, 100) // overwrite dedups keys but still accounts bytes
 	if m.Len() != 2 {
 		t.Errorf("Len = %d, want 2", m.Len())
 	}
@@ -180,7 +180,7 @@ func TestMemtable(t *testing.T) {
 	if !m.Contains(1) || m.Contains(3) {
 		t.Error("Contains is wrong")
 	}
-	keys, tombs := m.Drain()
+	keys, tombs, _ := m.Drain()
 	if len(keys) != 2 {
 		t.Errorf("Drain returned %d keys, want 2", len(keys))
 	}

@@ -17,10 +17,13 @@ type commitLog struct {
 	segmentsRolled uint64
 }
 
-// logRecord is one durable mutation: a write or a delete.
+// logRecord is one durable mutation: a write or a delete. TTL'd writes
+// carry their absolute virtual expiry time so crash recovery replays
+// them with the same lifetime.
 type logRecord struct {
 	key       uint64
 	tombstone bool
+	expiry    float64
 }
 
 func newCommitLog(segmentBytes, rowBytes float64) *commitLog {
@@ -30,13 +33,16 @@ func newCommitLog(segmentBytes, rowBytes float64) *commitLog {
 	return &commitLog{segmentBytes: segmentBytes, rowBytes: rowBytes}
 }
 
-// Append records one write or delete.
-func (l *commitLog) Append(key uint64, tombstone bool) {
-	l.pending = append(l.pending, logRecord{key: key, tombstone: tombstone})
+// Append records one write or delete occupying size bytes of log
+// space (size <= 0 falls back to the row size; tombstones are small).
+func (l *commitLog) Append(key uint64, tombstone bool, expiry, size float64) {
+	l.pending = append(l.pending, logRecord{key: key, tombstone: tombstone, expiry: expiry})
 	before := l.bytes
-	size := l.rowBytes
-	if tombstone {
-		size /= 8
+	if size <= 0 {
+		size = l.rowBytes
+		if tombstone {
+			size /= 8
+		}
 	}
 	l.bytes += size
 	if int(before/l.segmentBytes) != int(l.bytes/l.segmentBytes) {

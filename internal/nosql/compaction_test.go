@@ -172,8 +172,8 @@ func TestNewStrategyUnknown(t *testing.T) {
 
 func TestCommitLog(t *testing.T) {
 	l := newCommitLog(1000, 100)
-	l.Append(1, false)
-	l.Append(2, true)
+	l.Append(1, false, 0, 0)
+	l.Append(2, true, 0, 0)
 	if got := l.Bytes(); got != 100+100.0/8 {
 		t.Errorf("Bytes = %v", got)
 	}
@@ -188,14 +188,14 @@ func TestCommitLog(t *testing.T) {
 	// Segment rollovers count.
 	l2 := newCommitLog(250, 100)
 	for i := 0; i < 10; i++ {
-		l2.Append(uint64(i), false)
+		l2.Append(uint64(i), false, 0, 0)
 	}
 	if l2.segmentsRolled == 0 {
 		t.Error("no segment rollovers recorded")
 	}
 	// Degenerate segment size falls back to a positive value.
 	l3 := newCommitLog(0, 100)
-	l3.Append(1, false)
+	l3.Append(1, false, 0, 0)
 	if l3.Bytes() != 100 {
 		t.Error("zero segment size mishandled")
 	}

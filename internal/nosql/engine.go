@@ -29,6 +29,15 @@ type CostModel struct {
 	// IndexCPUSeconds is the partition-index lookup cost per table that
 	// may hold the key; the key cache elides part of it.
 	IndexCPUSeconds float64
+	// ScanSeekCPUSeconds is charged per SSTable a range scan must
+	// position a cursor in. Bloom filters answer point membership only,
+	// so every table overlapping the range pays it — the mechanism that
+	// makes many overlapping generations (size-tiered under churn)
+	// expensive for scans and few wide runs (leveled) cheap.
+	ScanSeekCPUSeconds float64
+	// ScanNextCPUSeconds is the per-cell merge step cost of a range
+	// scan's iterator (heap pop, cell version comparison).
+	ScanNextCPUSeconds float64
 	// MemtableDepthCoeff scales the log2(len) skiplist-depth term of
 	// memtable inserts (the mechanism that penalizes very large
 	// memtable_cleanup_threshold values).
@@ -112,6 +121,8 @@ func DefaultCostModel() CostModel {
 		ReadCPUSeconds:             50e-6,
 		BloomCheckCPUSeconds:       1.0e-6,
 		IndexCPUSeconds:            4e-6,
+		ScanSeekCPUSeconds:         18e-6,
+		ScanNextCPUSeconds:         0.8e-6,
 		MemtableDepthCoeff:         0.035,
 		MergeCPUSecondsPerByte:     8e-9,
 		CommitLogWriteAmp:          1.5,
@@ -221,6 +232,10 @@ type Engine struct {
 	ep epochAcc
 	m  Metrics
 	o  engineObs
+
+	// scanSrcs is the merged range iterator's reusable cursor scratch;
+	// scans are the hot path the alloc guard pins.
+	scanSrcs []scanSource
 
 	// throughputFactor, when set, scales each epoch's duration; the
 	// ScyllaDB auto-tuner variance hooks in here.
@@ -453,15 +468,46 @@ func (e *Engine) restingLevel(bytes float64) int {
 	return level
 }
 
-// Write applies one write operation.
+// Write applies one write operation with the default payload size and
+// no TTL.
 func (e *Engine) Write(key uint64) {
+	e.writeCell(key, 0, float64(e.hw.RowBytes))
+}
+
+// WriteTTL applies one write whose cell expires ttlSeconds of virtual
+// time after it lands; ttlSeconds <= 0 writes a plain cell. Expired
+// cells disappear from reads and scans immediately and are converted to
+// tombstones when compaction next touches them.
+func (e *Engine) WriteTTL(key uint64, ttlSeconds float64) {
+	var expiry float64
+	if ttlSeconds > 0 {
+		expiry = e.clock + ttlSeconds
+	}
+	e.writeCell(key, expiry, float64(e.hw.RowBytes))
+}
+
+// WriteSized applies one write with an explicit payload size; the
+// commit-log, memtable, and CPU accounting scale with it. A size <= 0
+// falls back to the hardware's default row size.
+func (e *Engine) WriteSized(key uint64, payloadBytes int) {
+	if payloadBytes <= 0 {
+		payloadBytes = e.hw.RowBytes
+	}
+	e.writeCell(key, 0, float64(payloadBytes))
+}
+
+// writeCell is the shared write path behind Write/WriteTTL/WriteSized.
+func (e *Engine) writeCell(key uint64, expiry, payloadBytes float64) {
 	e.ep.writes++
 	e.ep.ops++
 	depth := 1 + e.model.MemtableDepthCoeff*math.Log2(float64(e.mem.Len()+2))
-	e.ep.writeCPU += e.model.WriteCPUSeconds * depth
-	e.ep.commitBytes += float64(e.hw.RowBytes)
-	e.log.Append(key, false)
-	e.mem.Insert(key)
+	// Serialization cost grows sublinearly with payload; the default
+	// row size keeps the calibrated per-write CPU exactly.
+	sizeFactor := 0.75 + 0.25*payloadBytes/float64(e.hw.RowBytes)
+	e.ep.writeCPU += e.model.WriteCPUSeconds * depth * sizeFactor
+	e.ep.commitBytes += payloadBytes
+	e.log.Append(key, false, expiry, payloadBytes)
+	e.mem.Insert(key, expiry, payloadBytes)
 	e.m.Writes++
 	e.o.writes.Inc()
 
@@ -573,13 +619,14 @@ func (e *Engine) newTableID() uint64 {
 // flush drains the memtable into a new level-0 SSTable and enqueues the
 // background disk write, then lets the strategy plan compactions.
 func (e *Engine) flush(forced bool) {
-	keys, tombstones := e.mem.Drain()
+	keys, tombstones, expiries := e.mem.Drain()
 	e.log.MarkFlushed()
 	if len(keys) == 0 {
 		return
 	}
 	t := newSSTable(e.newTableID(), keys, e.hw.RowBytes, e.hw.KeysPerBlock(), e.hw.ScaledKeySpace())
 	t.markTombstones(tombstones)
+	t.markExpiries(expiries)
 	t.createdAt = e.clock
 	e.tables.Add(t)
 	if e.tables.Len() > e.m.MaxSSTables {
@@ -642,6 +689,24 @@ func (e *Engine) newCompactionTask(inputs []*ssTable, outputLevel int) *backgrou
 		inBytes += t.Bytes()
 	}
 	out := mergeTables(e.newTableID(), inputs, outputLevel, e.hw.RowBytes, e.hw.KeysPerBlock(), e.hw.ScaledKeySpace())
+	// TTL expiry at merge time: cells whose lifetime has passed become
+	// tombstones ("expired data is evicted like deleted data"), then
+	// follow the normal tombstone-eviction rules below. Keys are
+	// extracted and sorted first so eviction never follows map order.
+	if len(out.expiry) > 0 {
+		expired := make([]uint64, 0, len(out.expiry))
+		for k, exp := range out.expiry {
+			if exp <= e.clock {
+				expired = append(expired, k)
+			}
+		}
+		sort.Slice(expired, func(i, j int) bool { return expired[i] < expired[j] })
+		for _, k := range expired {
+			delete(out.expiry, k)
+			out.tombs[k] = struct{}{}
+			e.m.ExpiredCells++
+		}
+	}
 	// Tombstone eviction (Section 2.2.1): a delete marker can disappear
 	// once no table outside the merge may still hold an older version.
 	if len(out.tombs) > 0 {
@@ -972,7 +1037,7 @@ func (e *Engine) Restart() {
 		if rec.tombstone {
 			e.mem.Tombstone(rec.key)
 		} else {
-			e.mem.Insert(rec.key)
+			e.mem.Insert(rec.key, rec.expiry, float64(e.hw.RowBytes))
 		}
 	}
 
@@ -1032,7 +1097,7 @@ func (e *Engine) Delete(key uint64) {
 	depth := 1 + e.model.MemtableDepthCoeff*math.Log2(float64(e.mem.Len()+2))
 	e.ep.writeCPU += e.model.WriteCPUSeconds * depth
 	e.ep.commitBytes += float64(e.hw.RowBytes) / 8
-	e.log.Append(key, true)
+	e.log.Append(key, true, 0, float64(e.hw.RowBytes)/8)
 	e.mem.Tombstone(key)
 	e.m.Deletes++
 	e.o.deletes.Inc()
@@ -1080,10 +1145,11 @@ func (e *Engine) HasCell(key uint64) bool {
 	return false
 }
 
-// resolve returns whether the newest cell for key is live.
+// resolve returns whether the newest cell for key is live: not a
+// tombstone and not past its TTL expiry.
 func (e *Engine) resolve(key uint64) bool {
-	if e.mem.Contains(key) {
-		return !e.mem.IsTombstone(key)
+	if c, ok := e.mem.Cell(key); ok {
+		return !c.tomb && !cellExpired(c.expiry, e.clock)
 	}
 	var newest *ssTable
 	for _, t := range e.tables.tables {
@@ -1091,7 +1157,16 @@ func (e *Engine) resolve(key uint64) bool {
 			newest = t
 		}
 	}
-	return newest != nil && !newest.IsTombstone(key)
+	if newest == nil || newest.IsTombstone(key) {
+		return false
+	}
+	return !cellExpired(newest.ExpiryOf(key), e.clock)
+}
+
+// cellExpired reports whether a cell with the given expiry (0 = none)
+// is past its TTL at virtual time now.
+func cellExpired(expiry, now float64) bool {
+	return expiry > 0 && expiry <= now
 }
 
 // CompactAll schedules a major compaction: every idle SSTable is merged

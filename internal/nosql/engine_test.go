@@ -632,3 +632,68 @@ func TestMajorCompactionImprovesReads(t *testing.T) {
 		t.Errorf("major compaction should speed reads: %v vs %v", compacted, fragmented)
 	}
 }
+
+// TestWriteSizedScalesWithPayload pins the sized-write path the
+// workload suite's payload sampler drives: oversized payloads must
+// cost more CPU and fill the memtable faster than default rows, and a
+// non-positive size must fall back to the hardware default exactly.
+func TestWriteSizedScalesWithPayload(t *testing.T) {
+	run := func(write func(e *nosql.Engine, key uint64)) nosql.Metrics {
+		eng := newTestEngine(t, nil, 77)
+		for i := 0; i < 4000; i++ {
+			write(eng, uint64(i%257))
+		}
+		eng.FinishEpoch()
+		return eng.Metrics()
+	}
+	plain := run(func(e *nosql.Engine, key uint64) { e.Write(key) })
+	fallback := run(func(e *nosql.Engine, key uint64) { e.WriteSized(key, 0) })
+	big := run(func(e *nosql.Engine, key uint64) { e.WriteSized(key, 64*1024) })
+	if plain.VirtualSeconds != fallback.VirtualSeconds || plain.Flushes != fallback.Flushes {
+		t.Errorf("WriteSized(0) fallback diverged from Write: %v/%d vs %v/%d",
+			fallback.VirtualSeconds, fallback.Flushes, plain.VirtualSeconds, plain.Flushes)
+	}
+	if big.VirtualSeconds <= plain.VirtualSeconds {
+		t.Errorf("64KiB writes cost %vs, default rows %vs; sized path should charge more CPU",
+			big.VirtualSeconds, plain.VirtualSeconds)
+	}
+	if big.Flushes <= plain.Flushes {
+		t.Errorf("64KiB writes flushed %d times, default rows %d; bigger payloads should fill the memtable faster",
+			big.Flushes, plain.Flushes)
+	}
+}
+
+// TestHasCellSeesTombstonesEverywhere: HasCell must report physical
+// presence (live cells and tombstones, memtable or SSTable) while
+// Alive tracks logical liveness.
+func TestHasCellSeesTombstonesEverywhere(t *testing.T) {
+	eng := newTestEngine(t, config.Config{config.ParamMemtableCleanup: 0.05}, 78)
+	if eng.HasCell(1) {
+		t.Error("fresh engine should have no cell for key 1")
+	}
+	eng.Write(1)
+	if !eng.HasCell(1) || !eng.Alive(1) {
+		t.Error("memtable write should be visible to HasCell and Alive")
+	}
+	eng.Delete(1)
+	if !eng.HasCell(1) {
+		t.Error("memtable tombstone is still a physical cell")
+	}
+	if eng.Alive(1) {
+		t.Error("deleted key should not be Alive")
+	}
+	// Force a flush by writing enough other keys.
+	for k := uint64(100); k < 8000; k++ {
+		eng.Write(k)
+	}
+	eng.FinishEpoch()
+	if eng.Metrics().Flushes == 0 {
+		t.Fatal("test needs a flush")
+	}
+	if !eng.HasCell(1) {
+		t.Error("flushed tombstone should be found in SSTables")
+	}
+	if eng.Alive(1) {
+		t.Error("flushed tombstone should keep the key dead")
+	}
+}

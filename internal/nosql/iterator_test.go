@@ -1,0 +1,333 @@
+package nosql
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"rafiki/internal/config"
+)
+
+// scanModelCell is the reference model's view of one key: whether the
+// newest acknowledged mutation was a live write and, if TTL'd, when it
+// stops being visible.
+type scanModelCell struct {
+	alive  bool
+	expiry float64 // 0 = never expires
+}
+
+// scanModel is the sorted-map reference the merged iterator is checked
+// against.
+type scanModel map[uint64]scanModelCell
+
+func (m scanModel) aliveAt(key uint64, now float64) bool {
+	c := m[key]
+	return c.alive && !cellExpired(c.expiry, now)
+}
+
+// scanRef computes the reference scan result: the number of live,
+// unexpired keys >= start, capped at limit.
+func (m scanModel) scanRef(start uint64, limit int, now float64) int {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	rows := 0
+	for _, k := range keys {
+		if rows >= limit {
+			break
+		}
+		if k >= start && m.aliveAt(k, now) {
+			rows++
+		}
+	}
+	return rows
+}
+
+// scanOpKind enumerates the operations the scan property tests drive.
+type scanOpKind int
+
+const (
+	scanOpPut scanOpKind = iota
+	scanOpPutTTL
+	scanOpDelete
+	scanOpScan
+	scanOpFlushEpoch
+	scanOpCompactAll
+	scanOpDrain
+	scanOpRestart
+	scanOpKinds
+)
+
+// applyScanOp drives one operation against both the engine and the
+// reference model, checking scan results against the model whenever a
+// scan runs. Returns false (after reporting) on divergence.
+func applyScanOp(t *testing.T, e *Engine, model scanModel, kind scanOpKind, key uint64, arg uint64, seed int64) bool {
+	t.Helper()
+	switch kind {
+	case scanOpPut:
+		e.Write(key)
+		model[key] = scanModelCell{alive: true}
+	case scanOpPutTTL:
+		// TTLs span sub-epoch to multi-epoch lifetimes so some expire
+		// mid-run and some survive it.
+		ttl := 0.001 + float64(arg%64)*0.01
+		expiry := e.Clock() + ttl
+		e.WriteTTL(key, ttl)
+		model[key] = scanModelCell{alive: true, expiry: expiry}
+	case scanOpDelete:
+		e.Delete(key)
+		model[key] = scanModelCell{}
+	case scanOpScan:
+		limit := int(arg%128) + 1
+		got := e.Scan(key, limit)
+		want := model.scanRef(key, limit, e.Clock())
+		if got != want {
+			t.Errorf("seed %d: Scan(%d, %d) = %d, model says %d", seed, key, limit, got, want)
+			return false
+		}
+	case scanOpFlushEpoch:
+		e.FinishEpoch()
+	case scanOpCompactAll:
+		e.CompactAll()
+		e.DrainBackground(0.2)
+	case scanOpDrain:
+		e.DrainBackground(0.1)
+	case scanOpRestart:
+		e.Restart()
+	}
+	if got, want := e.Alive(key), model.aliveAt(key, e.Clock()); got != want {
+		t.Errorf("seed %d: Alive(%d) = %v, model says %v", seed, key, got, want)
+		return false
+	}
+	return true
+}
+
+// TestEngineScanMatchesModel runs random op sequences — writes,
+// TTL'd writes, deletes, scans, flushes, compactions, crash-restarts —
+// against the sorted-map reference model and fails with the replay
+// seed on any divergence.
+func TestEngineScanMatchesModel(t *testing.T) {
+	seeds := []int64{7, 1234, 99991}
+	ops := 8_000
+	if testing.Short() {
+		ops = 2_000
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			e, err := New(Options{Space: config.Cassandra(), Seed: seed, EpochOps: 512})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ks := uint64(e.KeySpace())
+			model := make(scanModel)
+			// Seed history through the normal write path so scans cross
+			// flushed tables, not just the memtable.
+			for k := uint64(0); k < ks; k += 3 {
+				e.Write(k)
+				model[k] = scanModelCell{alive: true}
+			}
+			scans := 0
+			for i := 0; i < ops; i++ {
+				kind := scanOpKind(rng.Intn(int(scanOpKinds)))
+				// Structural ops are rare; data ops and scans dominate.
+				if kind >= scanOpFlushEpoch && rng.Intn(8) != 0 {
+					kind = scanOpKind(rng.Intn(4))
+				}
+				if kind == scanOpScan {
+					scans++
+				}
+				key := rng.Uint64() % ks
+				if !applyScanOp(t, e, model, kind, key, rng.Uint64(), seed) {
+					t.Fatalf("seed %d: diverged after %d ops", seed, i+1)
+				}
+			}
+			if scans == 0 {
+				t.Fatalf("seed %d: degenerate sequence ran no scans", seed)
+			}
+			// Final sweep: a full-range scan must agree with the model.
+			e.FinishEpoch()
+			e.DrainBackground(1)
+			if got, want := e.Scan(0, int(ks)), model.scanRef(0, int(ks), e.Clock()); got != want {
+				t.Fatalf("seed %d: final full scan = %d rows, model says %d", seed, got, want)
+			}
+			m := e.Metrics()
+			if m.Scans == 0 || m.ScanCells == 0 {
+				t.Fatalf("seed %d: scan metrics not accounted (%+v)", seed, m.Scans)
+			}
+		})
+	}
+}
+
+// FuzzEngineScan drives the merged iterator from fuzzer-chosen op
+// tapes: each byte triple is (op, key, arg). The engine must never
+// panic and every scan must agree with the sorted-map model, whatever
+// the interleaving of writes, TTLs, deletes, flushes, compactions, and
+// restarts.
+func FuzzEngineScan(f *testing.F) {
+	f.Add([]byte{0, 10, 0, 3, 5, 20, 0, 11, 0, 2, 10, 0, 3, 5, 20})
+	f.Add([]byte{1, 4, 9, 6, 0, 0, 3, 0, 50, 7, 0, 0, 3, 0, 50})
+	f.Add([]byte{0, 1, 0, 5, 0, 0, 2, 1, 0, 3, 0, 16})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		if len(tape) > 1536 {
+			tape = tape[:1536]
+		}
+		e, err := New(Options{Space: config.Cassandra(), Seed: 1331, EpochOps: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ks := uint64(e.KeySpace())
+		model := make(scanModel)
+		restarts := 0
+		for i := 0; i+2 < len(tape); i += 3 {
+			kind := scanOpKind(tape[i]) % scanOpKinds
+			if kind == scanOpRestart {
+				// Cap restarts: each is expensive and a tape of pure
+				// restarts would time the fuzzer out without testing much.
+				if restarts >= 4 {
+					kind = scanOpPut
+				} else {
+					restarts++
+				}
+			}
+			key := uint64(tape[i+1]) % ks
+			arg := uint64(tape[i+2])
+			switch kind {
+			case scanOpPut:
+				e.Write(key)
+				model[key] = scanModelCell{alive: true}
+			case scanOpPutTTL:
+				ttl := 0.001 + float64(arg%16)*0.005
+				expiry := e.Clock() + ttl
+				e.WriteTTL(key, ttl)
+				model[key] = scanModelCell{alive: true, expiry: expiry}
+			case scanOpDelete:
+				e.Delete(key)
+				model[key] = scanModelCell{}
+			case scanOpScan:
+				limit := int(arg%64) + 1
+				if got, want := e.Scan(key, limit), model.scanRef(key, limit, e.Clock()); got != want {
+					t.Fatalf("Scan(%d, %d) = %d, model %d (tape %v)", key, limit, got, want, tape)
+				}
+			case scanOpFlushEpoch:
+				e.FinishEpoch()
+			case scanOpCompactAll:
+				e.CompactAll()
+				e.DrainBackground(0.05)
+			case scanOpDrain:
+				e.DrainBackground(0.02)
+			case scanOpRestart:
+				e.Restart()
+			}
+		}
+	})
+}
+
+// TestScanMemtableTombstoneShadowsSSTable pins the tombstone-merge
+// edge case: a key deleted in the memtable but still live in a flushed
+// SSTable must not appear in a scan, while its neighbours do.
+func TestScanMemtableTombstoneShadowsSSTable(t *testing.T) {
+	e := newBareEngine(t, nil)
+	for k := uint64(10); k <= 14; k++ {
+		e.Write(k)
+	}
+	e.flush(false) // keys 10..14 now live in an SSTable
+	e.Delete(12)   // tombstone only in the memtable
+	if e.mem.IsTombstone(12) != true {
+		t.Fatal("setup: tombstone should sit in the memtable")
+	}
+	if got := e.Scan(10, 10); got != 4 {
+		t.Fatalf("Scan(10, 10) = %d rows, want 4 (key 12 shadowed by memtable tombstone)", got)
+	}
+	if got := e.Scan(12, 1); got != 1 {
+		t.Fatalf("Scan(12, 1) = %d rows, want 1 (key 13 is the first live key)", got)
+	}
+}
+
+// TestScanTTLExpiry pins TTL visibility at scan time: a cell whose
+// expiry has passed is skipped, one whose expiry lies ahead is
+// returned, and the boundary (expiry == now) counts as expired.
+func TestScanTTLExpiry(t *testing.T) {
+	e := newBareEngine(t, nil)
+	e.WriteTTL(20, 0.05) // will expire during the drain below
+	e.WriteTTL(21, 1e9)  // effectively immortal
+	e.Write(22)
+	if got := e.Scan(20, 10); got != 3 {
+		t.Fatalf("Scan before expiry = %d rows, want 3", got)
+	}
+	e.flush(false) // the TTL'd cells land in an SSTable
+	e.FinishEpoch()
+	e.DrainBackground(0.2) // push the clock past key 20's expiry
+	if got := e.Scan(20, 10); got != 2 {
+		t.Fatalf("Scan after expiry = %d rows, want 2 (key 20 expired mid-run)", got)
+	}
+	if e.Alive(20) {
+		t.Fatal("expired cell should not be alive")
+	}
+	// Compaction converts the expired cell into a tombstone. A second
+	// table gives CompactAll something to merge.
+	e.Write(19)
+	e.flush(false)
+	e.CompactAll()
+	e.DrainBackground(2)
+	if got := e.Scan(20, 10); got != 2 {
+		t.Fatalf("Scan after compaction = %d rows, want 2", got)
+	}
+	if e.Metrics().ExpiredCells == 0 {
+		t.Fatal("compaction should have converted the expired cell")
+	}
+}
+
+// TestScanSpansFlushAndCompactionBoundary pins the invariant that
+// flushes and compactions never change a scan's logical result: the
+// same range returns the same rows as the data migrates memtable →
+// L0 SSTable → compacted table.
+func TestScanSpansFlushAndCompactionBoundary(t *testing.T) {
+	e := newBareEngine(t, nil)
+	for k := uint64(100); k < 120; k++ {
+		e.Write(k)
+	}
+	e.flush(false) // first half on disk
+	for k := uint64(120); k < 140; k++ {
+		e.Write(k)
+	}
+	// The scan now spans the SSTable (100..119), the memtable
+	// (120..139), and the boundary between them.
+	if got := e.Scan(100, 100); got != 40 {
+		t.Fatalf("scan across flush boundary = %d rows, want 40", got)
+	}
+	e.flush(false)
+	e.CompactAll()
+	e.DrainBackground(2)
+	if got := e.Scan(100, 100); got != 40 {
+		t.Fatalf("scan after compaction = %d rows, want 40", got)
+	}
+	if got := e.Scan(110, 100); got != 30 {
+		t.Fatalf("mid-range scan = %d rows, want 30", got)
+	}
+}
+
+// TestScanAllocGuard pins the scan hot path's allocation budget: once
+// the cursor scratch and the memtable's sorted cache are warm, a scan
+// must not allocate.
+func TestScanAllocGuard(t *testing.T) {
+	e, err := New(Options{Space: config.Cassandra(), Seed: 5, EpochOps: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Preload(3)
+	for k := uint64(0); k < 64; k++ {
+		e.Write(k * 7)
+	}
+	e.Scan(0, 64) // warm the scratch, sorted, and block caches
+	allocs := testing.AllocsPerRun(50, func() {
+		e.Scan(0, 64)
+	})
+	if allocs > 0.5 {
+		t.Fatalf("Scan allocates %.1f times per op, want 0", allocs)
+	}
+}

@@ -2,70 +2,121 @@ package nosql
 
 import "slices"
 
+// memCell is one memtable entry: the newest cell written for a key
+// since the last flush.
+type memCell struct {
+	tomb bool
+	// expiry is the virtual time at which a TTL'd cell stops being
+	// visible; 0 means the cell never expires.
+	expiry float64
+}
+
 // memtable is the in-memory write-back cache of rows (Section 2.2.1).
 // Writes are batched here until the cleanup threshold triggers a flush
 // that turns the contents into an immutable SSTable.
 type memtable struct {
-	// keys maps a key to whether its newest cell is a tombstone.
-	keys     map[uint64]bool
+	cells    map[uint64]memCell
 	rowBytes int
 	bytes    float64
+
+	// sorted caches the ascending key order for range scans; it is
+	// rebuilt lazily after an insert of a previously absent key
+	// invalidates it.
+	sorted      []uint64
+	sortedValid bool
 }
 
 func newMemtable(rowBytes int) *memtable {
 	return &memtable{
-		keys:     make(map[uint64]bool, 1024),
+		cells:    make(map[uint64]memCell, 1024),
 		rowBytes: rowBytes,
 	}
 }
 
-// Insert records a write of key. Re-writing a key overwrites in place
-// (the memtable deduplicates), but still accounts bytes because the
-// commit-log entry and cell versions occupy space until flush.
-func (m *memtable) Insert(key uint64) {
-	m.keys[key] = false
-	m.bytes += float64(m.rowBytes)
+// Insert records a write of key carrying payloadBytes of cell data,
+// expiring at the given virtual time (0 = never). Re-writing a key
+// overwrites in place (the memtable deduplicates), but still accounts
+// bytes because the commit-log entry and cell versions occupy space
+// until flush.
+func (m *memtable) Insert(key uint64, expiry, payloadBytes float64) {
+	if _, ok := m.cells[key]; !ok {
+		m.sortedValid = false
+	}
+	m.cells[key] = memCell{expiry: expiry}
+	m.bytes += payloadBytes
 }
 
 // Tombstone records a delete of key (Section 2.2.1: compaction later
 // "evicts tombstones").
 func (m *memtable) Tombstone(key uint64) {
-	m.keys[key] = true
+	if _, ok := m.cells[key]; !ok {
+		m.sortedValid = false
+	}
+	m.cells[key] = memCell{tomb: true}
 	m.bytes += float64(m.rowBytes) / 8 // tombstones are small cells
 }
 
 // Contains reports whether key has been written since the last flush.
 func (m *memtable) Contains(key uint64) bool {
-	_, ok := m.keys[key]
+	_, ok := m.cells[key]
 	return ok
+}
+
+// Cell returns the newest cell for key and whether one exists.
+func (m *memtable) Cell(key uint64) (memCell, bool) {
+	c, ok := m.cells[key]
+	return c, ok
 }
 
 // IsTombstone reports whether the memtable's newest cell for key is a
 // delete marker.
 func (m *memtable) IsTombstone(key uint64) bool {
-	return m.keys[key]
+	return m.cells[key].tomb
 }
 
 // Bytes returns the accounted size of the memtable.
 func (m *memtable) Bytes() float64 { return m.bytes }
 
 // Len returns the number of distinct keys held.
-func (m *memtable) Len() int { return len(m.keys) }
+func (m *memtable) Len() int { return len(m.cells) }
 
-// Drain empties the memtable and returns its distinct keys plus the
-// subset that are tombstones, ready to become an SSTable. Both slices
-// are sorted so drain order never inherits map iteration order.
-func (m *memtable) Drain() (keys []uint64, tombstones []uint64) {
-	keys = make([]uint64, 0, len(m.keys))
-	for k, dead := range m.keys {
+// SortedKeys returns the memtable's distinct keys in ascending order.
+// The returned slice is owned by the memtable and valid until the next
+// mutation; range scans use it as the memtable's merge source.
+func (m *memtable) SortedKeys() []uint64 {
+	if !m.sortedValid {
+		m.sorted = m.sorted[:0]
+		for k := range m.cells {
+			m.sorted = append(m.sorted, k)
+		}
+		slices.Sort(m.sorted)
+		m.sortedValid = true
+	}
+	return m.sorted
+}
+
+// Drain empties the memtable and returns its distinct keys, the subset
+// that are tombstones, and the expiry times of the TTL'd subset, ready
+// to become an SSTable. Both slices are sorted so drain order never
+// inherits map iteration order.
+func (m *memtable) Drain() (keys []uint64, tombstones []uint64, expiries map[uint64]float64) {
+	keys = make([]uint64, 0, len(m.cells))
+	for k, c := range m.cells {
 		keys = append(keys, k)
-		if dead {
+		if c.tomb {
 			tombstones = append(tombstones, k)
+		} else if c.expiry > 0 {
+			if expiries == nil {
+				expiries = make(map[uint64]float64)
+			}
+			expiries[k] = c.expiry
 		}
 	}
 	slices.Sort(keys)
 	slices.Sort(tombstones)
-	m.keys = make(map[uint64]bool, len(keys))
+	m.cells = make(map[uint64]memCell, len(keys))
 	m.bytes = 0
-	return keys, tombstones
+	m.sorted = m.sorted[:0]
+	m.sortedValid = false
+	return keys, tombstones, expiries
 }

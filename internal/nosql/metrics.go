@@ -4,9 +4,13 @@ import "rafiki/internal/stats"
 
 // Metrics is a snapshot of the engine's counters and derived statistics.
 type Metrics struct {
-	// Reads and Writes count completed operations; Deletes is the
-	// subset of mutations that were tombstone writes.
+	// Reads and Writes count completed operations; Deletes counts
+	// tombstone writes; Scans counts range-scan operations, ScanRows
+	// the live rows they returned, and ScanCells every cell version
+	// their merged iterators examined (the scan read amplification).
 	Reads, Writes, Deletes uint64
+	Scans, ScanRows        uint64
+	ScanCells              uint64
 	// VirtualSeconds is the simulated wall-clock time consumed.
 	VirtualSeconds float64
 	// EpochThroughputs records ops/s for each closed accounting epoch —
@@ -55,10 +59,13 @@ type Metrics struct {
 	// TombstonesEvicted counts delete markers garbage-collected by
 	// compaction once no older version could survive.
 	TombstonesEvicted uint64
+	// ExpiredCells counts TTL'd cells converted to tombstones when
+	// compaction found them past their expiry.
+	ExpiredCells uint64
 }
 
 // Ops returns the total operation count.
-func (m Metrics) Ops() uint64 { return m.Reads + m.Writes }
+func (m Metrics) Ops() uint64 { return m.Reads + m.Writes + m.Deletes + m.Scans }
 
 // Throughput returns average operations per simulated second.
 func (m Metrics) Throughput() float64 {

@@ -16,6 +16,8 @@ type engineObs struct {
 	reads    *obs.Counter
 	writes   *obs.Counter
 	deletes  *obs.Counter
+	scans    *obs.Counter
+	scanRows *obs.Counter
 	flushes  *obs.Counter
 	forced   *obs.Counter
 	compacts *obs.Counter
@@ -27,6 +29,7 @@ type engineObs struct {
 
 	epochTput *obs.Histogram
 	epochLat  *obs.Histogram
+	scanLen   *obs.Histogram
 }
 
 // newEngineObs resolves the engine's instruments against r. With r ==
@@ -40,6 +43,8 @@ func newEngineObs(r *obs.Registry) engineObs {
 		reads:    r.Counter("nosql.reads"),
 		writes:   r.Counter("nosql.writes"),
 		deletes:  r.Counter("nosql.deletes"),
+		scans:    r.Counter("nosql.scans"),
+		scanRows: r.Counter("nosql.scan_rows"),
 		flushes:  r.Counter("nosql.flushes"),
 		forced:   r.Counter("nosql.flushes_forced"),
 		compacts: r.Counter("nosql.compactions"),
@@ -52,5 +57,6 @@ func newEngineObs(r *obs.Registry) engineObs {
 		// values at those rates.
 		epochTput: r.Histogram("nosql.epoch_throughput", 0, 200_000, 40),
 		epochLat:  r.Histogram("nosql.epoch_latency_vsec", 0, 0.01, 40),
+		scanLen:   r.Histogram("nosql.scan_len", 0, 512, 32),
 	}
 }

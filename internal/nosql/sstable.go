@@ -1,5 +1,7 @@
 package nosql
 
+import "slices"
+
 // ssTable is an immutable on-disk sorted table. The simulator tracks the
 // exact key set of every table so that read amplification — how many
 // tables actually hold a version of a key — is mechanistic rather than
@@ -10,6 +12,13 @@ type ssTable struct {
 	// tombs marks the subset that are delete markers.
 	keys  map[uint64]struct{}
 	tombs map[uint64]struct{}
+	// expiry holds the virtual expiry time of the TTL'd subset of
+	// cells; absent keys never expire. nil until a TTL'd cell lands.
+	expiry map[uint64]float64
+	// sorted is the ascending key order — the table's physical layout —
+	// with minKey/maxKey caching the range for scan overlap pruning.
+	sorted         []uint64
+	minKey, maxKey uint64
 	// seq is the logical recency of the table's cells: flush order for
 	// fresh tables, the max input seq for merged ones. Conflict
 	// resolution across tables picks the highest seq.
@@ -48,6 +57,7 @@ func newSSTable(id uint64, keys []uint64, rowBytes, keysPerBlock, keySpace int) 
 	}
 	t.setBlockSpan(keySpace)
 	t.buildBloom()
+	t.buildSorted()
 	return t
 }
 
@@ -57,6 +67,26 @@ func (t *ssTable) markTombstones(keys []uint64) {
 	for _, k := range keys {
 		t.tombs[k] = struct{}{}
 	}
+}
+
+// markExpiries records the expiry times of the table's TTL'd cells;
+// the keys must already be present in the table's cell set.
+func (t *ssTable) markExpiries(expiries map[uint64]float64) {
+	if len(expiries) == 0 {
+		return
+	}
+	if t.expiry == nil {
+		t.expiry = make(map[uint64]float64, len(expiries))
+	}
+	for k, exp := range expiries {
+		t.expiry[k] = exp
+	}
+}
+
+// ExpiryOf returns the virtual expiry time of the table's cell for key,
+// or 0 when the cell never expires.
+func (t *ssTable) ExpiryOf(key uint64) float64 {
+	return t.expiry[key]
 }
 
 // IsTombstone reports whether the table's cell for key is a delete
@@ -70,12 +100,28 @@ func (t *ssTable) IsTombstone(key uint64) bool {
 func (t *ssTable) dropCell(key uint64) {
 	delete(t.keys, key)
 	delete(t.tombs, key)
+	delete(t.expiry, key)
 }
 
 // rebuild refreshes the derived structures after cells changed.
 func (t *ssTable) rebuild(keySpace int) {
 	t.setBlockSpan(keySpace)
 	t.buildBloom()
+	t.buildSorted()
+}
+
+// buildSorted (re)derives the table's physical key order and range.
+func (t *ssTable) buildSorted() {
+	t.sorted = t.sorted[:0]
+	for k := range t.keys {
+		t.sorted = append(t.sorted, k)
+	}
+	slices.Sort(t.sorted)
+	if n := len(t.sorted); n > 0 {
+		t.minKey, t.maxKey = t.sorted[0], t.sorted[n-1]
+	} else {
+		t.minKey, t.maxKey = 0, 0
+	}
 }
 
 // buildBloom (re)constructs the table's Bloom filter from its key set.
@@ -167,10 +213,16 @@ func mergeTables(id uint64, tables []*ssTable, level, rowBytes, keysPerBlock, ke
 		out.keys[k] = struct{}{}
 		if src.IsTombstone(k) {
 			out.tombs[k] = struct{}{}
+		} else if exp := src.ExpiryOf(k); exp > 0 {
+			if out.expiry == nil {
+				out.expiry = make(map[uint64]float64)
+			}
+			out.expiry[k] = exp
 		}
 	}
 	out.setBlockSpan(keySpace)
 	out.buildBloom()
+	out.buildSorted()
 	return out
 }
 

@@ -1,0 +1,288 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Mix is a YCSB-style op-type percentage mix (the c/r/u/d/q fractions
+// of the YCSB lineage): reads, in-place updates, inserts of new keys,
+// deletes, and range scans. Fractions must sum to 1. The zero Mix
+// selects the legacy ReadRatio/DeleteFraction behaviour of Spec.
+type Mix struct {
+	Read   float64
+	Update float64
+	Insert float64
+	Delete float64
+	Scan   float64
+}
+
+// IsZero reports whether the mix is unset.
+func (m Mix) IsZero() bool { return m == Mix{} }
+
+// Validate reports mix errors.
+func (m Mix) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"read", m.Read}, {"update", m.Update}, {"insert", m.Insert},
+		{"delete", m.Delete}, {"scan", m.Scan},
+	} {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("workload: mix %s fraction %v out of [0,1]", f.name, f.v)
+		}
+	}
+	if sum := m.Read + m.Update + m.Insert + m.Delete + m.Scan; math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("workload: mix fractions sum to %v, want 1", sum)
+	}
+	return nil
+}
+
+// Key-distribution names for Spec.Distribution.
+const (
+	// DistKRD is the paper's key-reuse-distance model (the default).
+	DistKRD = "krd"
+	// DistUniform draws keys uniformly.
+	DistUniform = "uniform"
+	// DistZipfian draws Zipf-skewed keys (YCSB's web model).
+	DistZipfian = "zipfian"
+	// DistHotspot sends HotspotWeight of the traffic to a scattered
+	// HotspotFraction of the key space.
+	DistHotspot = "hotspot"
+	// DistLatest skews traffic toward the most recently inserted keys
+	// (YCSB's latest distribution).
+	DistLatest = "latest"
+)
+
+// Scanner is optionally implemented by stores that support range scans
+// (the single-node engine and the cluster both do). Scan walks keys in
+// ascending order from start and returns the live rows found before
+// reaching limit.
+type Scanner interface {
+	Scan(start uint64, limit int) int
+}
+
+// TTLWriter is optionally implemented by stores whose writes can carry
+// a time-to-live in virtual seconds.
+type TTLWriter interface {
+	WriteTTL(key uint64, ttlSeconds float64)
+}
+
+// SizedWriter is optionally implemented by stores whose writes can
+// carry an explicit payload size.
+type SizedWriter interface {
+	WriteSized(key uint64, payloadBytes int)
+}
+
+// HotspotKeyGenerator sends a fixed share of traffic to a small,
+// scattered subset of the key space — YCSB's hotspot distribution. The
+// hot set is scattered by a multiplicative hash so hot keys do not
+// cluster into adjacent SSTable blocks.
+type HotspotKeyGenerator struct {
+	rng       *rand.Rand
+	keySpace  uint64
+	hotKeys   uint64
+	hotWeight float64
+}
+
+// NewHotspotKeyGenerator builds a generator over keySpace keys where
+// hotWeight (0..1) of the draws land in a hotFraction (0..1) share of
+// the key space.
+func NewHotspotKeyGenerator(keySpace int, hotFraction, hotWeight float64, seed int64) (*HotspotKeyGenerator, error) {
+	if keySpace <= 0 {
+		return nil, fmt.Errorf("workload: key space must be positive, got %d", keySpace)
+	}
+	if hotFraction <= 0 || hotFraction >= 1 {
+		return nil, fmt.Errorf("workload: hotspot fraction %v out of (0,1)", hotFraction)
+	}
+	if hotWeight < 0 || hotWeight > 1 {
+		return nil, fmt.Errorf("workload: hotspot weight %v out of [0,1]", hotWeight)
+	}
+	hot := uint64(hotFraction * float64(keySpace))
+	if hot < 1 {
+		hot = 1
+	}
+	return &HotspotKeyGenerator{
+		rng:       rand.New(rand.NewSource(seed)),
+		keySpace:  uint64(keySpace),
+		hotKeys:   hot,
+		hotWeight: hotWeight,
+	}, nil
+}
+
+// Next returns the next key: a hot-set rank with probability hotWeight,
+// otherwise a cold-set rank, scattered over the key space.
+func (g *HotspotKeyGenerator) Next() uint64 {
+	var rank uint64
+	if g.rng.Float64() < g.hotWeight {
+		rank = uint64(g.rng.Int63n(int64(g.hotKeys)))
+	} else {
+		rank = g.hotKeys + uint64(g.rng.Int63n(int64(g.keySpace-g.hotKeys)))
+	}
+	return (rank * 2654435761) % g.keySpace
+}
+
+// LatestKeyGenerator skews traffic toward the most recently inserted
+// keys — YCSB's latest distribution, the insert-heavy companion shape.
+// The generator tracks the insert frontier; draws fall an
+// exponentially-distributed distance behind it.
+type LatestKeyGenerator struct {
+	rng      *rand.Rand
+	frontier uint64
+	mean     float64
+}
+
+// NewLatestKeyGenerator builds a generator whose frontier starts at
+// keySpace (the first insert lands there) with mean lookback distance
+// mean (defaults to keySpace/64 when <= 0).
+func NewLatestKeyGenerator(keySpace int, mean float64, seed int64) (*LatestKeyGenerator, error) {
+	if keySpace <= 0 {
+		return nil, fmt.Errorf("workload: key space must be positive, got %d", keySpace)
+	}
+	if mean <= 0 {
+		mean = float64(keySpace) / 64
+		if mean < 1 {
+			mean = 1
+		}
+	}
+	return &LatestKeyGenerator{
+		rng:      rand.New(rand.NewSource(seed)),
+		frontier: uint64(keySpace),
+		mean:     mean,
+	}, nil
+}
+
+// SetFrontier advances the generator's view of the newest inserted key
+// boundary (the next insert position).
+func (g *LatestKeyGenerator) SetFrontier(frontier uint64) {
+	if frontier > g.frontier {
+		g.frontier = frontier
+	}
+}
+
+// Next returns the next key: an exponential distance behind the
+// frontier, clamped to the existing key range.
+func (g *LatestKeyGenerator) Next() uint64 {
+	d := uint64(g.rng.ExpFloat64() * g.mean)
+	if d >= g.frontier {
+		d = g.frontier - 1
+	}
+	return g.frontier - 1 - d
+}
+
+// uniformKeyGenerator draws keys uniformly over the key space.
+type uniformKeyGenerator struct {
+	rng      *rand.Rand
+	keySpace uint64
+}
+
+func (g *uniformKeyGenerator) Next() uint64 {
+	return uint64(g.rng.Int63n(int64(g.keySpace)))
+}
+
+// keySource is the generator surface the driver consumes.
+type keySource interface {
+	Next() uint64
+}
+
+// newKeySource builds the generator spec.Distribution selects.
+func newKeySource(spec Spec, keySpace int) (keySource, error) {
+	switch spec.Distribution {
+	case "", DistKRD:
+		return NewKeyGenerator(keySpace, spec.KRDMean, spec.Seed)
+	case DistUniform:
+		return &uniformKeyGenerator{
+			rng:      rand.New(rand.NewSource(spec.Seed)),
+			keySpace: uint64(keySpace),
+		}, nil
+	case DistZipfian:
+		s := spec.ZipfS
+		if s <= 1 {
+			s = 1.4
+		}
+		return NewZipfKeyGenerator(keySpace, s, spec.Seed)
+	case DistHotspot:
+		frac, weight := spec.HotspotFraction, spec.HotspotWeight
+		if frac <= 0 {
+			frac = 0.2
+		}
+		if weight <= 0 {
+			weight = 0.8
+		}
+		return NewHotspotKeyGenerator(keySpace, frac, weight, spec.Seed)
+	case DistLatest:
+		return NewLatestKeyGenerator(keySpace, 0, spec.Seed)
+	default:
+		return nil, fmt.Errorf("workload: unknown distribution %q", spec.Distribution)
+	}
+}
+
+// Skew returns the workload's hotspot-skew feature in [0,1]: 0 for the
+// unskewed KRD/uniform models, the hot-traffic share for hotspot, a
+// normalized exponent for zipfian, and a high constant for latest —
+// one scalar axis of the characterization vector.
+func (s Spec) Skew() float64 {
+	switch s.Distribution {
+	case DistZipfian:
+		z := s.ZipfS
+		if z <= 1 {
+			z = 1.4
+		}
+		return math.Min(1, z-1)
+	case DistHotspot:
+		w := s.HotspotWeight
+		if w <= 0 {
+			w = 0.8
+		}
+		return w
+	case DistLatest:
+		return 0.9
+	default:
+		return 0
+	}
+}
+
+// EffectiveMix returns the op mix the driver will run: the explicit Mix
+// when set, otherwise the legacy ReadRatio/DeleteFraction split.
+func (s Spec) EffectiveMix() Mix {
+	if !s.Mix.IsZero() {
+		return s.Mix
+	}
+	mutate := 1 - s.ReadRatio
+	return Mix{
+		Read:   s.ReadRatio,
+		Update: mutate * (1 - s.DeleteFraction),
+		Delete: mutate * s.DeleteFraction,
+	}
+}
+
+// Shape returns the workload-shape features the tuner characterizes:
+// the read ratio over point operations, the scan ratio over all
+// operations, and the hotspot skew. It inverts MixForShape.
+func (s Spec) Shape() (readRatio, scanRatio, skew float64) {
+	m := s.EffectiveMix()
+	point := m.Read + m.Update + m.Insert + m.Delete
+	rr := m.Read
+	if point > 0 {
+		rr = m.Read / point
+	}
+	return rr, m.Scan, s.Skew()
+}
+
+// MixForShape builds the op mix realizing a characterization shape:
+// scanRatio of all operations are range scans; the remaining point
+// operations split readRatio reads versus mutations, and
+// deleteFraction of the mutations are deletes. Inserts stay at zero so
+// the key space is identical across collection samples.
+func MixForShape(readRatio, scanRatio, deleteFraction float64) Mix {
+	point := 1 - scanRatio
+	mutate := point * (1 - readRatio)
+	return Mix{
+		Read:   point * readRatio,
+		Update: mutate * (1 - deleteFraction),
+		Delete: mutate * deleteFraction,
+		Scan:   scanRatio,
+	}
+}

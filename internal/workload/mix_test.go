@@ -1,0 +1,476 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMixValidate(t *testing.T) {
+	good := Mix{Read: 0.5, Update: 0.2, Insert: 0.1, Delete: 0.1, Scan: 0.1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Mix{
+		{Read: 0.5, Update: 0.6},                 // sums past 1
+		{Read: 1.2, Update: -0.2},                // out of range
+		{Read: 0.5, Update: 0.4, Scan: 0.000001}, // sums short of 1... actually 0.900001
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("mix %d (%+v) should fail validation", i, m)
+		}
+	}
+	if !(Mix{}).IsZero() {
+		t.Error("zero mix should report IsZero")
+	}
+	if good.IsZero() {
+		t.Error("set mix should not report IsZero")
+	}
+}
+
+func TestSpecValidateMixFields(t *testing.T) {
+	base := Spec{ReadRatio: 0.5, Ops: 10}
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+	}{
+		{"bad distribution", func(s *Spec) { s.Distribution = "pareto" }},
+		{"bad mix", func(s *Spec) { s.Mix = Mix{Read: 2} }},
+		{"bad ttl fraction", func(s *Spec) { s.TTLFraction = 1.5 }},
+		{"ttl fraction without seconds", func(s *Spec) { s.TTLFraction = 0.5 }},
+		{"negative scan len", func(s *Spec) { s.ScanLen = -1 }},
+		{"negative payload spread", func(s *Spec) { s.PayloadSpread = -0.1 }},
+	}
+	for _, c := range cases {
+		s := base
+		c.mut(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: spec %+v should fail validation", c.name, s)
+		}
+	}
+}
+
+// bucketHistogram draws n keys and buckets them into 16 equal slices of
+// the key space (overflow keys — inserts past the frontier — land in
+// the last bucket).
+func bucketHistogram(t *testing.T, next func() uint64, keySpace uint64, n int) [16]int {
+	t.Helper()
+	var h [16]int
+	for i := 0; i < n; i++ {
+		b := next() / (keySpace / 16)
+		if b > 15 {
+			b = 15
+		}
+		h[b]++
+	}
+	return h
+}
+
+// TestGeneratorGoldenHistograms pins the exact fixed-seed bucket
+// histograms of every key distribution. math/rand's algorithms are
+// frozen, so these counts are stable; any drift means the key streams
+// changed and previously collected datasets no longer reproduce.
+func TestGeneratorGoldenHistograms(t *testing.T) {
+	const keySpace = 4096
+	const draws = 100_000
+
+	zipf, err := NewZipfKeyGenerator(keySpace, 1.4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantZipf := [16]int{38308, 2174, 1506, 10020, 2630, 1761, 4854, 3237, 1872, 14042, 4261, 2365, 1451, 8236, 1876, 1407}
+	if got := bucketHistogram(t, zipf.Next, keySpace, draws); got != wantZipf {
+		t.Errorf("zipfian histogram drifted:\n got %v\nwant %v", got, wantZipf)
+	}
+
+	hot, err := NewHotspotKeyGenerator(keySpace, 0.2, 0.8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHot := [16]int{6297, 6057, 6001, 6324, 6102, 6280, 6324, 6401, 6177, 6268, 6299, 6078, 6387, 6549, 6322, 6134}
+	if got := bucketHistogram(t, hot.Next, keySpace, draws); got != wantHot {
+		t.Errorf("hotspot histogram drifted:\n got %v\nwant %v", got, wantHot)
+	}
+
+	latest, err := NewLatestKeyGenerator(keySpace, 0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLatest := [16]int{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 39, 1767, 98193}
+	if got := bucketHistogram(t, latest.Next, keySpace, draws); got != wantLatest {
+		t.Errorf("latest histogram drifted:\n got %v\nwant %v", got, wantLatest)
+	}
+
+	krd, err := NewKeyGenerator(keySpace, 64, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKRD := [16]int{6197, 6131, 6036, 5658, 6038, 5795, 6127, 7451, 6100, 6009, 6090, 6421, 5977, 6077, 7462, 6431}
+	if got := bucketHistogram(t, krd.Next, keySpace, draws); got != wantKRD {
+		t.Errorf("KRD histogram drifted:\n got %v\nwant %v", got, wantKRD)
+	}
+}
+
+// TestHotspotConcentration pins the hotspot property itself: the bucket
+// histogram above is flat because the hot set is scattered, so the
+// skew shows as per-key concentration — ~20% of keys carry ~80% of the
+// traffic.
+func TestHotspotConcentration(t *testing.T) {
+	const keySpace = 4096
+	const draws = 100_000
+	g, err := NewHotspotKeyGenerator(keySpace, 0.2, 0.8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[uint64]int)
+	for i := 0; i < draws; i++ {
+		counts[g.Next()]++
+	}
+	// A key seeing more than twice the uniform share is "busy"; with the
+	// fixed seed exactly the scattered hot set qualifies.
+	busy, busyTraffic := 0, 0
+	for _, c := range counts {
+		if c > 2*draws/keySpace {
+			busy++
+			busyTraffic += c
+		}
+	}
+	if busy != 819 {
+		t.Errorf("busy keys = %d, want the 819-key hot set", busy)
+	}
+	if share := float64(busyTraffic) / draws; share < 0.75 || share > 0.85 {
+		t.Errorf("hot-set traffic share = %v, want ~0.8", share)
+	}
+}
+
+func TestHotspotGeneratorValidation(t *testing.T) {
+	if _, err := NewHotspotKeyGenerator(0, 0.2, 0.8, 1); err == nil {
+		t.Error("zero key space should error")
+	}
+	if _, err := NewHotspotKeyGenerator(100, 0, 0.8, 1); err == nil {
+		t.Error("zero hot fraction should error")
+	}
+	if _, err := NewHotspotKeyGenerator(100, 1, 0.8, 1); err == nil {
+		t.Error("full hot fraction should error")
+	}
+	if _, err := NewHotspotKeyGenerator(100, 0.2, 1.5, 1); err == nil {
+		t.Error("out-of-range hot weight should error")
+	}
+}
+
+func TestLatestGeneratorChasesFrontier(t *testing.T) {
+	const keySpace = 4096
+	g, err := NewLatestKeyGenerator(keySpace, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewLatestKeyGenerator(0, 0, 7); err == nil {
+		t.Error("zero key space should error")
+	}
+	for i := 0; i < 10_000; i++ {
+		if k := g.Next(); k >= keySpace {
+			t.Fatalf("key %d beyond initial frontier", k)
+		}
+	}
+	// After inserts push the frontier, draws concentrate on the new keys.
+	g.SetFrontier(keySpace + 1000)
+	recent := 0
+	for i := 0; i < 10_000; i++ {
+		k := g.Next()
+		if k >= keySpace+1000 {
+			t.Fatalf("key %d beyond advanced frontier", k)
+		}
+		if k >= keySpace {
+			recent++
+		}
+	}
+	if recent < 9000 {
+		t.Errorf("only %d of 10000 draws hit the 1000 newest keys; latest skew broken", recent)
+	}
+	// The frontier never moves backwards.
+	g.SetFrontier(10)
+	if k := g.Next(); k >= keySpace+1000 {
+		t.Errorf("frontier regressed: drew %d", k)
+	}
+}
+
+func TestSpecShape(t *testing.T) {
+	legacy := Spec{ReadRatio: 0.7, DeleteFraction: 0.1}
+	rr, scan, skew := legacy.Shape()
+	if rr != 0.7 || scan != 0 || skew != 0 {
+		t.Errorf("legacy shape = (%v, %v, %v), want (0.7, 0, 0)", rr, scan, skew)
+	}
+	m := legacy.EffectiveMix()
+	if math.Abs(m.Update-0.27) > 1e-12 || math.Abs(m.Delete-0.03) > 1e-12 {
+		t.Errorf("legacy effective mix = %+v", m)
+	}
+
+	mixed := Spec{
+		Mix:          Mix{Read: 0.4, Update: 0.2, Insert: 0.1, Delete: 0.1, Scan: 0.2},
+		Distribution: DistHotspot,
+	}
+	rr, scan, skew = mixed.Shape()
+	if rr != 0.5 || scan != 0.2 || skew != 0.8 {
+		t.Errorf("mixed shape = (%v, %v, %v), want (0.5, 0.2, 0.8)", rr, scan, skew)
+	}
+	// MixForShape and Shape are inverses.
+	m2 := MixForShape(0.6, 0.25, 0.1)
+	if err := m2.Validate(); err != nil {
+		t.Fatalf("MixForShape produced invalid mix: %v", err)
+	}
+	rr2, scan2, _ := (Spec{Mix: m2}).Shape()
+	if math.Abs(rr2-0.6) > 1e-12 || math.Abs(scan2-0.25) > 1e-12 {
+		t.Errorf("MixForShape round trip = (%v, %v), want (0.6, 0.25)", rr2, scan2)
+	}
+	if s := (Spec{Distribution: DistZipfian, ZipfS: 1.6}).Skew(); math.Abs(s-0.6) > 1e-12 {
+		t.Errorf("zipfian skew = %v, want 0.6", s)
+	}
+	if s := (Spec{Distribution: DistZipfian}).Skew(); math.Abs(s-0.4) > 1e-12 {
+		t.Errorf("default zipfian skew = %v, want 0.4", s)
+	}
+	if s := (Spec{Distribution: DistLatest}).Skew(); s != 0.9 {
+		t.Errorf("latest skew = %v, want 0.9", s)
+	}
+}
+
+// mixStore extends the fake store with every optional capability so
+// mixed runs exercise all op routes.
+type mixStore struct {
+	fakeStore
+
+	deletes   int
+	scans     int
+	scanRows  int
+	ttlWrites int
+	sized     int
+	sizes     []int
+	maxKey    uint64
+}
+
+func (m *mixStore) note(key uint64) {
+	if key > m.maxKey {
+		m.maxKey = key
+	}
+}
+
+func (m *mixStore) Read(key uint64)  { m.note(key); m.reads++ }
+func (m *mixStore) Write(key uint64) { m.note(key); m.writes++ }
+func (m *mixStore) Delete(key uint64) {
+	m.note(key)
+	m.deletes++
+	m.writes++
+}
+
+func (m *mixStore) Scan(start uint64, limit int) int {
+	m.note(start)
+	m.scans++
+	rows := limit / 2
+	m.scanRows += rows
+	return rows
+}
+
+func (m *mixStore) WriteTTL(key uint64, ttlSeconds float64) {
+	m.note(key)
+	m.ttlWrites++
+	m.writes++
+}
+
+func (m *mixStore) WriteSized(key uint64, payloadBytes int) {
+	m.note(key)
+	m.sized++
+	m.sizes = append(m.sizes, payloadBytes)
+	m.writes++
+}
+
+func (m *mixStore) Clock() float64 {
+	return float64(m.reads+m.writes+m.scans) * 1e-5
+}
+
+// TestRunFullMix drives every op type through one mixed run and checks
+// the realized fractions, the insert frontier, and the optional-route
+// accounting.
+func TestRunFullMix(t *testing.T) {
+	store := &mixStore{}
+	spec := Spec{
+		Mix:           Mix{Read: 0.4, Update: 0.25, Insert: 0.1, Delete: 0.1, Scan: 0.15},
+		Distribution:  DistUniform,
+		ScanLen:       32,
+		TTLFraction:   0.3,
+		TTLSeconds:    5,
+		PayloadSpread: 0.5,
+		Ops:           40_000,
+		Seed:          11,
+	}
+	res, err := Run(store, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.Reads + res.Updates + res.Inserts + res.Deletes + res.Scans
+	if total != spec.Ops {
+		t.Fatalf("op count %d != %d", total, spec.Ops)
+	}
+	checks := []struct {
+		name string
+		got  int
+		want float64
+	}{
+		{"reads", res.Reads, 0.4},
+		{"updates", res.Updates, 0.25},
+		{"inserts", res.Inserts, 0.1},
+		{"deletes", res.Deletes, 0.1},
+		{"scans", res.Scans, 0.15},
+	}
+	for _, c := range checks {
+		if frac := float64(c.got) / float64(spec.Ops); math.Abs(frac-c.want) > 0.01 {
+			t.Errorf("%s fraction = %v, want ~%v", c.name, frac, c.want)
+		}
+	}
+	if res.Writes != res.Updates+res.Inserts+res.Deletes {
+		t.Errorf("Writes = %d, want updates+inserts+deletes = %d",
+			res.Writes, res.Updates+res.Inserts+res.Deletes)
+	}
+	if store.deletes != res.Deletes || store.deletes == 0 {
+		t.Errorf("store deletes = %d, result says %d", store.deletes, res.Deletes)
+	}
+	if store.scans != res.Scans || store.scanRows != res.ScanRows || res.ScanRows == 0 {
+		t.Errorf("scan accounting: store (%d ops, %d rows) vs result (%d, %d)",
+			store.scans, store.scanRows, res.Scans, res.ScanRows)
+	}
+	if store.ttlWrites == 0 {
+		t.Error("TTL fraction set but no TTL writes issued")
+	}
+	// TTL writes come out of the update+insert stream (deletes carry no
+	// payload) at ~TTLFraction.
+	if frac := float64(store.ttlWrites) / float64(res.Updates+res.Inserts); math.Abs(frac-0.3) > 0.03 {
+		t.Errorf("TTL write fraction = %v, want ~0.3", frac)
+	}
+	if store.sized == 0 {
+		t.Error("payload spread set but no sized writes issued")
+	}
+	varied := false
+	for _, s := range store.sizes {
+		if s != store.sizes[0] {
+			varied = true
+			break
+		}
+	}
+	if !varied {
+		t.Error("sized writes all used the same payload; spread not applied")
+	}
+	// Inserts allocate keys past the preloaded space, monotonically.
+	if store.maxKey < uint64(store.KeySpace()) {
+		t.Errorf("max key %d never passed the key space %d; inserts missing",
+			store.maxKey, store.KeySpace())
+	}
+	wantMax := uint64(store.KeySpace() + res.Inserts - 1)
+	if store.maxKey != wantMax {
+		t.Errorf("insert frontier reached %d, want %d", store.maxKey, wantMax)
+	}
+}
+
+// TestRunMixedFallbacks checks that mixed specs degrade gracefully on
+// stores without the optional capabilities: deletes and TTL'd writes
+// become plain writes, scans become reads.
+func TestRunMixedFallbacks(t *testing.T) {
+	store := &fakeStore{}
+	spec := Spec{
+		Mix:         Mix{Read: 0.3, Update: 0.3, Delete: 0.2, Scan: 0.2},
+		TTLFraction: 0.5,
+		TTLSeconds:  1,
+		Ops:         10_000,
+		Seed:        3,
+	}
+	res, err := Run(store, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scans == 0 || res.Deletes == 0 {
+		t.Fatalf("degenerate mix: %+v", res)
+	}
+	if store.reads != res.Reads+res.Scans {
+		t.Errorf("scan fallback: store reads %d, want reads+scans = %d",
+			store.reads, res.Reads+res.Scans)
+	}
+	if store.writes != res.Writes {
+		t.Errorf("write fallback: store writes %d, want %d", store.writes, res.Writes)
+	}
+	if res.ScanRows != 0 {
+		t.Errorf("scan fallback returned %d rows from a store with no scans", res.ScanRows)
+	}
+}
+
+// TestRunMixedDeterminism pins that a mixed spec replays an identical
+// op schedule for the same seed and a different one for another seed.
+func TestRunMixedDeterminism(t *testing.T) {
+	run := func(seed int64) (Result, *mixStore) {
+		store := &mixStore{}
+		res, err := Run(store, Spec{
+			Mix:          Mix{Read: 0.5, Update: 0.2, Insert: 0.1, Delete: 0.1, Scan: 0.1},
+			Distribution: DistZipfian,
+			Ops:          5_000,
+			Seed:         seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, store
+	}
+	a, sa := run(21)
+	b, sb := run(21)
+	if a != b || sa.maxKey != sb.maxKey {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+	c, _ := run(22)
+	if a.Reads == c.Reads && a.Scans == c.Scans && a.Inserts == c.Inserts {
+		t.Error("different seeds produced identical op schedules")
+	}
+}
+
+// TestRunLegacySpecUnchanged pins the legacy two-op path bit-for-bit:
+// a mixless spec must produce exactly the op counts the pre-mix driver
+// did, so previously collected datasets remain reproducible.
+func TestRunLegacySpecUnchanged(t *testing.T) {
+	store := &deleterStore{}
+	res, err := Run(store, Spec{ReadRatio: 0.7, DeleteFraction: 0.2, KRDMean: 100, Ops: 10_000, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Golden counts from the pre-mix driver at this seed.
+	if res.Reads != 6948 || res.Writes != 3052 {
+		t.Errorf("legacy op counts (%d reads, %d writes) drifted from golden (6948, 3052)",
+			res.Reads, res.Writes)
+	}
+	if res.Deletes != store.deletes {
+		t.Errorf("legacy delete accounting: result %d, store %d", res.Deletes, store.deletes)
+	}
+	if res.Scans != 0 || res.Inserts != 0 || res.Updates != 0 {
+		t.Errorf("legacy run reported mixed-op counts: %+v", res)
+	}
+}
+
+// TestRunEveryDistribution drives the full driver once per key
+// distribution so the spec-to-generator routing (including the
+// defaulted Zipf exponent and hotspot parameters) is exercised through
+// Run, not only via the generators' own unit tests.
+func TestRunEveryDistribution(t *testing.T) {
+	for _, dist := range []string{DistKRD, DistUniform, DistZipfian, DistHotspot, DistLatest} {
+		store := &mixStore{}
+		res, err := Run(store, Spec{
+			Mix:          Mix{Read: 0.5, Update: 0.3, Delete: 0.1, Scan: 0.1},
+			Distribution: dist,
+			Ops:          2000,
+			Seed:         9,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", dist, err)
+		}
+		if res.Reads == 0 || res.Scans == 0 {
+			t.Errorf("%s: reads=%d scans=%d, want both > 0", dist, res.Reads, res.Scans)
+		}
+	}
+	if _, err := Run(&mixStore{}, Spec{
+		Mix: Mix{Read: 1}, Distribution: "bogus", Ops: 10,
+	}); err == nil {
+		t.Error("unknown distribution should fail Run")
+	}
+}

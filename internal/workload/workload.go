@@ -10,6 +10,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 )
 
@@ -31,12 +32,42 @@ type Store interface {
 // Spec is the parametrization of a synthetic workload.
 type Spec struct {
 	// ReadRatio is the fraction of operations that are reads (the
-	// paper's RR; write ratio is 1-RR).
+	// paper's RR; write ratio is 1-RR). Ignored when Mix is set.
 	ReadRatio float64
 	// DeleteFraction is the fraction of mutations (the non-read ops)
 	// issued as deletes; stores that don't support deletes receive them
-	// as writes.
+	// as writes. Ignored when Mix is set.
 	DeleteFraction float64
+	// Mix, when non-zero, selects a full YCSB-style op mix — reads,
+	// updates, inserts, deletes, and range scans — replacing the
+	// ReadRatio/DeleteFraction split.
+	Mix Mix
+	// Distribution selects the key popularity model (DistKRD,
+	// DistUniform, DistZipfian, DistHotspot, DistLatest). Empty means
+	// DistKRD, the paper's characterization.
+	Distribution string
+	// ZipfS is the Zipf exponent for DistZipfian (must exceed 1;
+	// defaults to 1.4 when unset).
+	ZipfS float64
+	// HotspotFraction and HotspotWeight parameterize DistHotspot: the
+	// share of the key space that is hot and the share of traffic it
+	// receives (defaults 0.2 and 0.8).
+	HotspotFraction float64
+	HotspotWeight   float64
+	// ScanLen is the row limit of each range scan (default 64).
+	ScanLen int
+	// TTLFraction is the fraction of writes carrying a time-to-live of
+	// TTLSeconds virtual seconds; stores without TTL support receive
+	// them as plain writes.
+	TTLFraction float64
+	TTLSeconds  float64
+	// PayloadSpread, when positive, log-normally mixes write payload
+	// sizes around PayloadBytes with sigma PayloadSpread; stores
+	// without sized writes receive them as plain writes.
+	PayloadSpread float64
+	// PayloadBytes is the nominal payload size for spread writes
+	// (default 1024).
+	PayloadBytes int
 	// KRDMean is the mean key-reuse distance in operations. Zero means
 	// uniform random access (effectively infinite KRD).
 	KRDMean float64
@@ -60,7 +91,38 @@ func (s Spec) Validate() error {
 	if s.DeleteFraction < 0 || s.DeleteFraction > 1 {
 		return fmt.Errorf("workload: delete fraction %v out of [0,1]", s.DeleteFraction)
 	}
+	if !s.Mix.IsZero() {
+		if err := s.Mix.Validate(); err != nil {
+			return err
+		}
+	}
+	switch s.Distribution {
+	case "", DistKRD, DistUniform, DistZipfian, DistHotspot, DistLatest:
+	default:
+		return fmt.Errorf("workload: unknown distribution %q", s.Distribution)
+	}
+	if s.TTLFraction < 0 || s.TTLFraction > 1 {
+		return fmt.Errorf("workload: TTL fraction %v out of [0,1]", s.TTLFraction)
+	}
+	if s.TTLFraction > 0 && s.TTLSeconds <= 0 {
+		return fmt.Errorf("workload: TTL fraction set but TTL seconds is %v", s.TTLSeconds)
+	}
+	if s.ScanLen < 0 {
+		return fmt.Errorf("workload: negative scan length %d", s.ScanLen)
+	}
+	if s.PayloadSpread < 0 {
+		return fmt.Errorf("workload: negative payload spread %v", s.PayloadSpread)
+	}
 	return nil
+}
+
+// legacy reports whether the spec describes a workload the original
+// two-op driver can run; the legacy loop is kept bit-identical so
+// same-seed results from earlier experiments reproduce exactly.
+func (s Spec) legacy() bool {
+	return s.Mix.IsZero() &&
+		(s.Distribution == "" || s.Distribution == DistKRD) &&
+		s.TTLFraction == 0 && s.PayloadSpread == 0
 }
 
 // Deleter is optionally implemented by stores that support tombstone
@@ -150,8 +212,14 @@ type Result struct {
 	Throughput float64
 	// Seconds is the virtual duration of the run.
 	Seconds float64
-	// Reads and Writes count the issued operations.
+	// Reads and Writes count the issued operations; Writes includes
+	// every mutation (updates, inserts, and deletes).
 	Reads, Writes int
+	// Updates, Inserts, Deletes, and Scans break mixed-op runs down by
+	// op type (zero for legacy two-op runs except Deletes); ScanRows is
+	// the total live rows the scans returned.
+	Updates, Inserts, Deletes, Scans int
+	ScanRows                         int
 }
 
 // Run applies spec to store and returns the measured result. The store
@@ -162,6 +230,15 @@ func Run(store Store, spec Spec) (Result, error) {
 	if err := spec.Validate(); err != nil {
 		return Result{}, err
 	}
+	if spec.legacy() {
+		return runLegacy(store, spec)
+	}
+	return runMixed(store, spec)
+}
+
+// runLegacy is the original two-op driver, kept bit-identical for
+// same-seed reproducibility of pre-mix experiments.
+func runLegacy(store Store, spec Spec) (Result, error) {
 	gen, err := NewKeyGenerator(store.KeySpace(), spec.KRDMean, spec.Seed)
 	if err != nil {
 		return Result{}, err
@@ -169,7 +246,7 @@ func Run(store Store, spec Spec) (Result, error) {
 	rng := rand.New(rand.NewSource(spec.Seed + 1))
 	deleter, canDelete := store.(Deleter)
 	start := store.Clock()
-	var reads, writes int
+	var reads, writes, deletes int
 	for i := 0; i < spec.Ops; i++ {
 		key := gen.Next()
 		if rng.Float64() < spec.ReadRatio {
@@ -179,6 +256,7 @@ func Run(store Store, spec Spec) (Result, error) {
 		}
 		if canDelete && spec.DeleteFraction > 0 && rng.Float64() < spec.DeleteFraction {
 			deleter.Delete(key)
+			deletes++
 		} else {
 			store.Write(key)
 		}
@@ -195,7 +273,107 @@ func Run(store Store, spec Spec) (Result, error) {
 		Seconds:    seconds,
 		Reads:      reads,
 		Writes:     writes,
+		Deletes:    deletes,
 	}, nil
+}
+
+// runMixed drives the full CRUD+scan mix: reads, in-place updates,
+// frontier inserts, deletes, and range scans, with optional TTL'd and
+// size-mixed writes. One seeded RNG stream picks op types and
+// parameters; the key generator owns its own stream, so the op schedule
+// is deterministic for a given spec.
+func runMixed(store Store, spec Spec) (Result, error) {
+	gen, err := newKeySource(spec, store.KeySpace())
+	if err != nil {
+		return Result{}, err
+	}
+	mix := spec.EffectiveMix()
+	// Cumulative op-type thresholds: [read | update | insert | delete | scan].
+	cumUpdate := mix.Read + mix.Update
+	cumInsert := cumUpdate + mix.Insert
+	cumDelete := cumInsert + mix.Delete
+	rng := rand.New(rand.NewSource(spec.Seed + 1))
+	deleter, canDelete := store.(Deleter)
+	scanner, canScan := store.(Scanner)
+	ttlWriter, canTTL := store.(TTLWriter)
+	sizedWriter, canSize := store.(SizedWriter)
+	latest, _ := gen.(*LatestKeyGenerator)
+	scanLen := spec.ScanLen
+	if scanLen == 0 {
+		scanLen = 64
+	}
+	payloadBytes := spec.PayloadBytes
+	if payloadBytes == 0 {
+		payloadBytes = 1024
+	}
+	// Inserts allocate fresh keys past the preloaded key space; the
+	// latest-distribution generator chases this frontier.
+	frontier := uint64(store.KeySpace())
+
+	writeKey := func(key uint64) {
+		if spec.TTLFraction > 0 && canTTL && rng.Float64() < spec.TTLFraction {
+			ttlWriter.WriteTTL(key, spec.TTLSeconds)
+			return
+		}
+		if spec.PayloadSpread > 0 && canSize {
+			size := int(float64(payloadBytes) * math.Exp(rng.NormFloat64()*spec.PayloadSpread))
+			if size < 1 {
+				size = 1
+			}
+			sizedWriter.WriteSized(key, size)
+			return
+		}
+		store.Write(key)
+	}
+
+	start := store.Clock()
+	var res Result
+	for i := 0; i < spec.Ops; i++ {
+		u := rng.Float64()
+		switch {
+		case u < mix.Read:
+			store.Read(gen.Next())
+			res.Reads++
+		case u < cumUpdate:
+			writeKey(gen.Next())
+			res.Updates++
+			res.Writes++
+		case u < cumInsert:
+			writeKey(frontier)
+			frontier++
+			if latest != nil {
+				latest.SetFrontier(frontier)
+			}
+			res.Inserts++
+			res.Writes++
+		case u < cumDelete:
+			key := gen.Next()
+			if canDelete {
+				deleter.Delete(key)
+			} else {
+				store.Write(key)
+			}
+			res.Deletes++
+			res.Writes++
+		default:
+			key := gen.Next()
+			if canScan {
+				res.ScanRows += scanner.Scan(key, scanLen)
+			} else {
+				store.Read(key)
+			}
+			res.Scans++
+		}
+	}
+	store.FinishEpoch()
+	seconds := store.Clock() - start
+	if seconds <= 0 {
+		return Result{}, fmt.Errorf("workload: run consumed no virtual time")
+	}
+	res.Spec = spec
+	res.Throughput = float64(spec.Ops) / seconds
+	res.Seconds = seconds
+	return res, nil
 }
 
 // ZipfKeyGenerator produces keys with a Zipfian popularity distribution

@@ -16,7 +16,7 @@
 //	collector := rafiki.NewSimulatorCollector(rafiki.SimulatorConfig{})
 //	tuner, _ := rafiki.NewTuner(collector, rafiki.CassandraSpace(), rafiki.DefaultTunerOptions())
 //	_ = tuner.Prepare()                 // offline: collect + train
-//	rec, _ := tuner.Recommend(0.9)      // online: tune for a read-heavy workload
+//	rec, _ := tuner.Recommend(rafiki.RR(0.9)) // online: tune for a read-heavy workload
 //	fmt.Println(rafiki.CassandraSpace().Describe(rec.Config))
 //
 // See examples/ for runnable scenarios and internal/bench for the
@@ -141,6 +141,10 @@ type (
 	Collector = core.Collector
 	// CollectorFunc adapts a function to Collector.
 	CollectorFunc = core.CollectorFunc
+	// Workload is the characterization vector a sample is collected
+	// under: read ratio over point operations, range-scan ratio, and
+	// hotspot skew.
+	Workload = core.Workload
 	// Tuner is the Rafiki middleware (offline pipeline + online search).
 	Tuner = core.Tuner
 	// TunerOptions configures the workflow.
@@ -166,6 +170,14 @@ type (
 
 // ErrNotPrepared is returned by online queries before Tuner.Prepare.
 var ErrNotPrepared = core.ErrNotPrepared
+
+// RR builds a point-operation-only Workload from a read ratio — the
+// paper's original single-axis characterization.
+func RR(readRatio float64) Workload { return core.RR(readRatio) }
+
+// RRs wraps scalar read ratios as point-operation-only Workloads — the
+// shape of the paper's collection grid.
+func RRs(readRatios ...float64) []Workload { return core.RRs(readRatios...) }
 
 // NewTuner wires the middleware for a datastore described by space.
 func NewTuner(c Collector, space *Space, opts TunerOptions) (*Tuner, error) {
@@ -227,7 +239,7 @@ func NewSimulatorCollector(sc SimulatorConfig) Collector {
 	if sc.PreloadVersions <= 0 {
 		sc.PreloadVersions = 3
 	}
-	return core.CollectorFunc(func(rr float64, cfg config.Config, seed int64) (float64, error) {
+	return core.CollectorFunc(func(w core.Workload, cfg config.Config, seed int64) (float64, error) {
 		eng, err := nosql.New(nosql.Options{
 			Space:  sc.Space,
 			Config: cfg,
@@ -238,12 +250,22 @@ func NewSimulatorCollector(sc SimulatorConfig) Collector {
 			return 0, err
 		}
 		eng.Preload(sc.PreloadVersions)
-		res, err := workload.Run(eng, workload.Spec{
-			ReadRatio: rr,
+		spec := workload.Spec{
+			ReadRatio: w.ReadRatio,
 			KRDMean:   sc.KRDFraction * float64(eng.KeySpace()),
 			Ops:       sc.SampleOps,
 			Seed:      seed + 101,
-		})
+		}
+		// RR-only workloads keep the legacy spec bit-identical; op-mix
+		// shapes route through the full CRUD+scan driver.
+		if w.ScanRatio != 0 || w.Skew != 0 {
+			spec.Mix = workload.MixForShape(w.ReadRatio, w.ScanRatio, 0.05)
+			if w.Skew > 0 {
+				spec.Distribution = workload.DistHotspot
+				spec.HotspotWeight = w.Skew
+			}
+		}
+		res, err := workload.Run(eng, spec)
 		if err != nil {
 			return 0, err
 		}

@@ -106,7 +106,7 @@ func TestPublicAPITunerEndToEnd(t *testing.T) {
 	})
 	opts := rafiki.DefaultTunerOptions()
 	opts.SkipIdentify = true
-	opts.Collect.Workloads = []float64{0, 0.3, 0.6, 0.9}
+	opts.Collect.Workloads = rafiki.RRs(0, 0.3, 0.6, 0.9)
 	opts.Collect.Configs = 10
 	opts.Model.EnsembleSize = 4
 	opts.Model.BR.Epochs = 30
@@ -120,7 +120,7 @@ func TestPublicAPITunerEndToEnd(t *testing.T) {
 	if err := tuner.Prepare(); err != nil {
 		t.Fatal(err)
 	}
-	rec, err := tuner.Recommend(0.9)
+	rec, err := tuner.Recommend(rafiki.RR(0.9))
 	if err != nil {
 		t.Fatal(err)
 	}

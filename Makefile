@@ -12,13 +12,17 @@ build:
 test:
 	$(GO) test ./...
 
-# bench runs the kernel microbenchmarks (with allocation reporting)
-# and then the end-to-end pipeline harness, which writes
-# BENCH_pipeline.json: per-stage serial-vs-parallel wall time, alloc
-# counts, and an inline determinism cross-check.
+# bench runs the kernel microbenchmarks (with allocation reporting),
+# the end-to-end pipeline harness (BENCH_pipeline.json: per-stage
+# serial-vs-parallel wall time, alloc counts, and an inline determinism
+# cross-check), and the engine hot-path harness (BENCH_engine.json:
+# wall-clock ops/s and allocs/op per op type). Both JSON files are
+# committed trajectory files — regenerate them when the hot path
+# changes.
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem ./internal/linalg/ ./internal/nn/
 	$(GO) run ./cmd/pipelinebench -out BENCH_pipeline.json
+	$(GO) run ./cmd/enginebench -out BENCH_engine.json
 
 fmt:
 	@out="$$(gofmt -l .)"; \

@@ -18,6 +18,7 @@ import (
 	"os"
 	"reflect"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"rafiki/internal/config"
@@ -41,13 +42,18 @@ type stageResult struct {
 
 // report is the file this command writes.
 type report struct {
-	NumCPU     int           `json:"num_cpu"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	Workers    int           `json:"workers"`
-	SampleOps  int           `json:"sample_ops"`
-	Seed       int64         `json:"seed"`
-	Stages     []stageResult `json:"stages"`
-	Pipeline   stageResult   `json:"pipeline"`
+	NumCPU     int   `json:"num_cpu"`
+	GOMAXPROCS int   `json:"gomaxprocs"`
+	Workers    int   `json:"workers"`
+	SampleOps  int   `json:"sample_ops"`
+	Seed       int64 `json:"seed"`
+	// ParallelComparable is false when GOMAXPROCS is 1: the "parallel"
+	// runs then share one CPU, so their wall times measure scheduling
+	// overhead, not speedup — the speedup fields are reported for
+	// completeness but are not meaningful as a parallelism measurement.
+	ParallelComparable bool          `json:"parallel_comparable"`
+	Stages             []stageResult `json:"stages"`
+	Pipeline           stageResult   `json:"pipeline"`
 	// Deterministic reports the inline cross-check: the parallel run
 	// produced a byte-identical model and an identical recommendation.
 	Deterministic bool `json:"deterministic"`
@@ -56,7 +62,7 @@ type report struct {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pipelinebench: ")
-	if err := run(); err != nil {
+	if err := run(os.Args[1:]); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -93,14 +99,61 @@ func stage(name string, serial, parallel func() error) (stageResult, error) {
 	}, nil
 }
 
-func run() error {
+// writeAllocProfile dumps the post-GC allocation profile to path.
+func writeAllocProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	werr := pprof.Lookup("allocs").WriteTo(f, 0)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pipelinebench", flag.ContinueOnError)
 	var (
-		out     = flag.String("out", "BENCH_pipeline.json", "output path for the JSON report")
-		ops     = flag.Int("ops", 60_000, "operations per benchmark sample")
-		seed    = flag.Int64("seed", 1, "base seed")
-		workers = flag.Int("workers", 0, "parallel worker bound (0 = one per CPU)")
+		out        = fs.String("out", "BENCH_pipeline.json", "output path for the JSON report")
+		ops        = fs.Int("ops", 60_000, "operations per benchmark sample")
+		seed       = fs.Int64("seed", 1, "base seed")
+		workers    = fs.Int("workers", 0, "parallel worker bound (0 = one per CPU)")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write an allocation profile to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			if cerr := f.Close(); cerr != nil {
+				log.Printf("cpuprofile: %v", cerr)
+			}
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if cerr := f.Close(); cerr != nil {
+				log.Printf("cpuprofile: %v", cerr)
+			}
+		}()
+	}
+	if *memprofile != "" {
+		// Written on every exit path (including a determinism failure)
+		// so the profile of a failing run is still inspectable.
+		defer func() {
+			if err := writeAllocProfile(*memprofile); err != nil {
+				log.Printf("memprofile: %v", err)
+			}
+		}()
+	}
 
 	env := bench.DefaultEnv()
 	env.SampleOps = *ops
@@ -116,11 +169,12 @@ func run() error {
 	gaOpts.Seed = *seed + 41
 
 	rep := report{
-		NumCPU:     runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Workers:    par.Workers(*workers),
-		SampleOps:  *ops,
-		Seed:       *seed,
+		NumCPU:             runtime.NumCPU(),
+		GOMAXPROCS:         runtime.GOMAXPROCS(0),
+		Workers:            par.Workers(*workers),
+		SampleOps:          *ops,
+		Seed:               *seed,
+		ParallelComparable: runtime.GOMAXPROCS(0) > 1,
 	}
 
 	// Stage 1: data collection. Serial and parallel must produce the
@@ -233,6 +287,10 @@ func run() error {
 	if !deterministic {
 		return fmt.Errorf("parallel pipeline diverged from serial run (see %s)", *out)
 	}
-	log.Printf("wrote %s (pipeline speedup %.2fx on %d workers, deterministic)", *out, rep.Pipeline.Speedup, rep.Workers)
+	if rep.ParallelComparable {
+		log.Printf("wrote %s (pipeline speedup %.2fx on %d workers, deterministic)", *out, rep.Pipeline.Speedup, rep.Workers)
+	} else {
+		log.Printf("wrote %s (GOMAXPROCS=1: speedup not meaningful, parallel_comparable=false; deterministic)", *out)
+	}
 	return nil
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -46,5 +48,28 @@ func TestStageComputesSpeedupAndWrapsErrors(t *testing.T) {
 	}
 	if _, err := stage("demo", func() error { return nil }, func() error { return boom }); err == nil || !strings.Contains(err.Error(), "demo parallel") {
 		t.Errorf("parallel error not wrapped: %v", err)
+	}
+}
+
+func TestWriteAllocProfile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mem.pprof")
+	if err := writeAllocProfile(path); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() == 0 {
+		t.Fatal("allocation profile is empty")
+	}
+	if err := writeAllocProfile(filepath.Join(t.TempDir(), "no", "such", "dir", "mem.pprof")); err == nil {
+		t.Fatal("writeAllocProfile to a missing directory must fail")
+	}
+}
+
+func TestRunRejectsUnknownFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("run accepted an unknown flag")
 	}
 }

@@ -196,6 +196,45 @@ func (s *Space) Params() []Parameter {
 	return out
 }
 
+// Len returns the number of parameters in the space.
+func (s *Space) Len() int { return len(s.params) }
+
+// Index returns the declaration-order index of name, interning the
+// string parameter name into a dense position. Hot paths resolve names
+// to indices once and thereafter address resolved configurations as
+// []float64 vectors (see ResolveInto) instead of map[string]float64.
+func (s *Space) Index(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// ParamAt returns the parameter at declaration-order index i.
+func (s *Space) ParamAt(i int) Parameter { return s.params[i] }
+
+// ResolveInto writes the effective value of every parameter — the
+// override in c where present, the parameter default otherwise — into
+// dst in declaration order, growing dst as needed, and returns it.
+// The dense vector form is the hot-path representation of a resolved
+// configuration: readers address it by interned index (see Index) with
+// no map lookups and no per-call allocation once dst has capacity.
+// Unknown names in c are ignored; Validate catches them at the public
+// boundary.
+func (s *Space) ResolveInto(dst []float64, c Config) []float64 {
+	if cap(dst) < len(s.params) {
+		dst = make([]float64, len(s.params))
+	}
+	dst = dst[:len(s.params)]
+	for i := range s.params {
+		dst[i] = s.params[i].Default
+	}
+	for name, v := range c {
+		if i, ok := s.index[name]; ok {
+			dst[i] = v
+		}
+	}
+	return dst
+}
+
 // Param looks a parameter up by name.
 func (s *Space) Param(name string) (Parameter, bool) {
 	i, ok := s.index[name]

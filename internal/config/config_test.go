@@ -348,3 +348,61 @@ func TestCassandraExtendedInConfigPackage(t *testing.T) {
 		t.Errorf("extended space should accept TimeWindow: %v", err)
 	}
 }
+
+func TestSpaceIndexAccessors(t *testing.T) {
+	s := Cassandra()
+	if s.Len() != len(s.Params()) {
+		t.Fatalf("Len() = %d, want %d", s.Len(), len(s.Params()))
+	}
+	for i, p := range s.Params() {
+		j, ok := s.Index(p.Name)
+		if !ok || j != i {
+			t.Errorf("Index(%q) = %d,%v, want %d,true", p.Name, j, ok, i)
+		}
+		if got := s.ParamAt(i); got.Name != p.Name {
+			t.Errorf("ParamAt(%d) = %q, want %q", i, got.Name, p.Name)
+		}
+	}
+	if _, ok := s.Index("no_such_parameter"); ok {
+		t.Error("Index accepted an unknown parameter name")
+	}
+}
+
+func TestResolveInto(t *testing.T) {
+	s := Cassandra()
+	p := s.Params()[0]
+	cfg := Config{p.Name: p.Max, "no_such_parameter": 42}
+
+	// Nil destination: allocates, defaults everywhere except the set key.
+	v := s.ResolveInto(nil, cfg)
+	if len(v) != s.Len() {
+		t.Fatalf("len = %d, want %d", len(v), s.Len())
+	}
+	if v[0] != p.Max {
+		t.Errorf("v[0] = %v, want the configured %v", v[0], p.Max)
+	}
+	for i := 1; i < len(v); i++ {
+		if v[i] != s.ParamAt(i).Default {
+			t.Errorf("v[%d] = %v, want default %v", i, v[i], s.ParamAt(i).Default)
+		}
+	}
+
+	// Reuse: a big-enough destination must be reused in place, and stale
+	// contents from the previous resolve must be overwritten.
+	w := s.ResolveInto(v, nil)
+	if &w[0] != &v[0] {
+		t.Error("ResolveInto reallocated a destination with sufficient capacity")
+	}
+	for i := range w {
+		if w[i] != s.ParamAt(i).Default {
+			t.Errorf("reused w[%d] = %v, want default %v", i, w[i], s.ParamAt(i).Default)
+		}
+	}
+
+	// Undersized destination grows.
+	small := make([]float64, 0, 1)
+	g := s.ResolveInto(small, cfg)
+	if len(g) != s.Len() || g[0] != p.Max {
+		t.Errorf("grown resolve = len %d g[0] %v, want len %d / %v", len(g), g[0], s.Len(), p.Max)
+	}
+}

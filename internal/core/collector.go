@@ -159,6 +159,7 @@ func Collect(c Collector, space *config.Space, opts CollectOptions) (Dataset, er
 	if err != nil {
 		return Dataset{}, err
 	}
+	ds.Samples = make([]Sample, 0, len(tasks))
 	for i, t := range tasks {
 		opts.Obs.Merge(stages[i])
 		ds.Samples = append(ds.Samples, Sample{Workload: t.w, Config: t.cfg.Clone(), Throughput: tputs[i]})

@@ -1,0 +1,58 @@
+package nosql
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"rafiki/internal/config"
+)
+
+// TestOpAllocGuard pins the steady-state point-op path's allocation
+// budget, the per-op analogue of TestScanAllocGuard: once the engine
+// is warm (block-cache node chunks carved, memtable map grown, first
+// flush generation digested), a mixed read/update/delete stream must
+// average well under a tenth of an allocation per operation. Before
+// the freelist/scratch-reuse pass this path ran at ~0.55 allocs/op —
+// a per-Touch *cacheNode plus per-flush planner maps — so the 0.1
+// ceiling fails loudly on any regression to per-op allocation while
+// leaving headroom for amortized growth (map rehashes, epoch-series
+// doubling, background SSTable churn).
+func TestOpAllocGuard(t *testing.T) {
+	e, err := New(Options{Space: config.Cassandra(), Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Preload(3)
+	rng := rand.New(rand.NewSource(11))
+	n := int64(e.KeySpace())
+	mixed := func(i int, k uint64) {
+		switch i % 4 {
+		case 0, 1:
+			e.Read(k)
+		case 2:
+			e.Write(k)
+		case 3:
+			e.Delete(k)
+		}
+	}
+	for i := 0; i < 50_000; i++ {
+		mixed(i, uint64(rng.Int63n(n)))
+	}
+	e.FinishEpoch()
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	const ops = 50_000
+	for i := 0; i < ops; i++ {
+		mixed(i, uint64(rng.Int63n(n)))
+	}
+	e.FinishEpoch()
+	runtime.ReadMemStats(&m1)
+
+	perOp := float64(m1.Mallocs-m0.Mallocs) / ops
+	if perOp > 0.1 {
+		t.Fatalf("steady-state point ops allocate %.3f/op, want <= 0.1", perOp)
+	}
+}

@@ -14,7 +14,22 @@ type blockCache struct {
 	tail     *cacheNode // least recently used
 	hits     uint64
 	misses   uint64
+	// free is a freelist of recycled nodes (linked through next).
+	// Evictions, removals, and invalidations park their nodes here and
+	// admissions pop them, so the steady-state miss path — the hottest
+	// allocation site of the whole collect stage before the freelist
+	// existed — recycles instead of allocating a *cacheNode per Admit.
+	free *cacheNode
+	// chunk is the tail of the most recent bulk node allocation. While
+	// a cold cache fills toward capacity the freelist is empty, so nodes
+	// are carved from fixed-size chunks instead of being allocated one
+	// heap object at a time. Chunk nodes are never freed individually —
+	// they cycle through the LRU list and freelist like any other node.
+	chunk []cacheNode
 }
+
+// nodeChunkLen is the bulk-allocation granularity for cache nodes.
+const nodeChunkLen = 256
 
 // blockID identifies one block of one SSTable. Table identifiers are
 // unique for the lifetime of an engine, so block IDs never collide
@@ -63,7 +78,7 @@ func (c *blockCache) Touch(id blockID) bool {
 	if c.capacity <= 0 {
 		return false
 	}
-	n := &cacheNode{id: id}
+	n := c.newNode(id)
 	c.entries[id] = n
 	c.pushFront(n)
 	if len(c.entries) > c.capacity {
@@ -82,7 +97,7 @@ func (c *blockCache) Admit(id blockID) {
 		c.moveToFront(n)
 		return
 	}
-	n := &cacheNode{id: id}
+	n := c.newNode(id)
 	c.entries[id] = n
 	c.pushFront(n)
 	if len(c.entries) > c.capacity {
@@ -96,6 +111,7 @@ func (c *blockCache) Remove(id blockID) {
 	if n, ok := c.entries[id]; ok {
 		c.unlink(n)
 		delete(c.entries, id)
+		c.recycle(n)
 	}
 }
 
@@ -106,6 +122,7 @@ func (c *blockCache) InvalidateTable(table uint64) {
 		if id.table == table {
 			c.unlink(n)
 			delete(c.entries, id)
+			c.recycle(n)
 		}
 	}
 }
@@ -125,6 +142,33 @@ func (c *blockCache) evict() {
 	victim := c.tail
 	c.unlink(victim)
 	delete(c.entries, victim.id)
+	c.recycle(victim)
+}
+
+// newNode pops a recycled node from the freelist, or carves one from
+// the current chunk when the freelist is empty (cold cache, or capacity
+// still growing).
+func (c *blockCache) newNode(id blockID) *cacheNode {
+	if n := c.free; n != nil {
+		c.free = n.next
+		n.id = id
+		n.next = nil
+		return n
+	}
+	if len(c.chunk) == 0 {
+		c.chunk = make([]cacheNode, nodeChunkLen)
+	}
+	n := &c.chunk[0]
+	c.chunk = c.chunk[1:]
+	n.id = id
+	return n
+}
+
+// recycle parks an unlinked node on the freelist for reuse.
+func (c *blockCache) recycle(n *cacheNode) {
+	n.next = c.free
+	n.prev = nil
+	c.free = n
 }
 
 func (c *blockCache) pushFront(n *cacheNode) {

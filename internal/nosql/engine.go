@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"rafiki/internal/config"
 	"rafiki/internal/obs"
@@ -194,6 +194,61 @@ type Options struct {
 	Obs *obs.Registry
 }
 
+// paramIndices holds the interned declaration-order indices of every
+// parameter the engine reads, resolved against the space once at
+// construction so that configure() addresses resolved configurations as
+// dense []float64 vectors with no map lookups.
+type paramIndices struct {
+	compaction           int
+	concurrentWrites     int
+	fileCacheMB          int
+	memtableCleanup      int
+	concurrentCompactors int
+
+	concurrentReads       int
+	flushWriters          int
+	memHeapMB             int
+	memOffheapMB          int
+	compactionThroughput  int
+	commitlogSyncPeriodMs int
+	commitlogSegmentMB    int
+	commitlogTotalMB      int
+	keyCacheMB            int
+	rowCacheMB            int
+	columnIndexKB         int
+}
+
+// internParams resolves the engine's parameter names to space indices.
+func internParams(space *config.Space) paramIndices {
+	idx := func(name string) int {
+		i, ok := space.Index(name)
+		if !ok {
+			// A space without one of the engine's parameters cannot drive
+			// the engine at all; surface it at construction.
+			panic(fmt.Sprintf("nosql: space %q missing parameter %q", space.Name, name))
+		}
+		return i
+	}
+	return paramIndices{
+		compaction:            idx(config.ParamCompactionStrategy),
+		concurrentWrites:      idx(config.ParamConcurrentWrites),
+		fileCacheMB:           idx(config.ParamFileCacheSize),
+		memtableCleanup:       idx(config.ParamMemtableCleanup),
+		concurrentCompactors:  idx(config.ParamConcurrentCompactors),
+		concurrentReads:       idx(config.ParamConcurrentReads),
+		flushWriters:          idx(config.ParamMemtableFlushWriters),
+		memHeapMB:             idx(config.ParamMemtableHeapSpace),
+		memOffheapMB:          idx(config.ParamMemtableOffheapSpace),
+		compactionThroughput:  idx(config.ParamCompactionThroughput),
+		commitlogSyncPeriodMs: idx(config.ParamCommitlogSyncPeriod),
+		commitlogSegmentMB:    idx(config.ParamCommitlogSegmentSize),
+		commitlogTotalMB:      idx(config.ParamCommitlogTotalSpace),
+		keyCacheMB:            idx(config.ParamKeyCacheSize),
+		rowCacheMB:            idx(config.ParamRowCacheSize),
+		columnIndexKB:         idx(config.ParamColumnIndexSize),
+	}
+}
+
 // Engine is the simulated storage engine. It is not safe for concurrent
 // use; the benchmark drivers are single-goroutine and deterministic.
 type Engine struct {
@@ -205,6 +260,12 @@ type Engine struct {
 	epochOps int
 	p        params
 	strategy compactionStrategy
+	// pidx interns the parameter names the engine reads; cfgVec is the
+	// reusable dense resolved-configuration scratch configure() fills.
+	pidx   paramIndices
+	cfgVec []float64
+	// paramsCache memoizes Params(); configure() invalidates it.
+	paramsCache map[string]float64
 
 	mem       *memtable
 	tables    tableSet
@@ -236,6 +297,10 @@ type Engine struct {
 	// scanSrcs is the merged range iterator's reusable cursor scratch;
 	// scans are the hot path the alloc guard pins.
 	scanSrcs []scanSource
+	// expiredScratch is the compaction planner's reusable buffer for
+	// TTL-expired keys (sorted before eviction so merge results never
+	// follow map iteration order).
+	expiredScratch []uint64
 
 	// throughputFactor, when set, scales each epoch's duration; the
 	// ScyllaDB auto-tuner variance hooks in here.
@@ -277,11 +342,17 @@ func New(opts Options) (*Engine, error) {
 		model:    model,
 		rng:      rand.New(rand.NewSource(opts.Seed)),
 		epochOps: epochOps,
+		pidx:     internParams(opts.Space),
 		mem:      newMemtable(hw.RowBytes),
 		diskTax:  1,
 		cpuTax:   1,
 		o:        newEngineObs(opts.Obs),
 	}
+	// Preallocate the epoch series: a collect-stage sample produces a
+	// few dozen epochs, so one up-front allocation absorbs the whole
+	// append-driven doubling ladder for typical runs.
+	e.m.EpochThroughputs = make([]float64, 0, 128)
+	e.m.EpochLatencies = make([]float64, 0, 128)
 	e.log = newCommitLog(hw.ScaledBytes(32), float64(hw.RowBytes))
 	cfg := opts.Config
 	if cfg == nil {
@@ -294,38 +365,36 @@ func New(opts Options) (*Engine, error) {
 }
 
 // configure resolves cfg into params and rebuilds strategy and caches.
+// The map form of cfg stops here: it is validated once at this public
+// boundary, resolved into the engine's dense cfgVec scratch, and read
+// by interned index — the apply/sample path performs no per-parameter
+// map lookups and no per-call allocation after the first configure.
 func (e *Engine) configure(cfg config.Config) error {
 	if err := e.space.Validate(cfg); err != nil {
 		return err
 	}
-	get := func(name string) float64 {
-		v, err := e.space.Value(cfg, name)
-		if err != nil {
-			// Space mismatch would have failed Validate; a missing
-			// parameter here means the space itself lacks it.
-			panic(fmt.Sprintf("nosql: space %q missing parameter %q", e.space.Name, name))
-		}
-		return v
-	}
+	e.cfgVec = e.space.ResolveInto(e.cfgVec, cfg)
+	v := e.cfgVec
 	p := params{
-		compaction:            int(get(config.ParamCompactionStrategy)),
-		concurrentWrites:      get(config.ParamConcurrentWrites),
-		fileCacheMB:           get(config.ParamFileCacheSize),
-		memtableCleanup:       get(config.ParamMemtableCleanup),
-		concurrentCompactors:  get(config.ParamConcurrentCompactors),
-		concurrentReads:       get(config.ParamConcurrentReads),
-		flushWriters:          get(config.ParamMemtableFlushWriters),
-		memHeapMB:             get(config.ParamMemtableHeapSpace),
-		memOffheapMB:          get(config.ParamMemtableOffheapSpace),
-		compactionThroughput:  get(config.ParamCompactionThroughput),
-		commitlogSyncPeriodMs: get(config.ParamCommitlogSyncPeriod),
-		commitlogSegmentMB:    get(config.ParamCommitlogSegmentSize),
-		commitlogTotalMB:      get(config.ParamCommitlogTotalSpace),
-		keyCacheMB:            get(config.ParamKeyCacheSize),
-		rowCacheMB:            get(config.ParamRowCacheSize),
-		columnIndexKB:         get(config.ParamColumnIndexSize),
+		compaction:            int(v[e.pidx.compaction]),
+		concurrentWrites:      v[e.pidx.concurrentWrites],
+		fileCacheMB:           v[e.pidx.fileCacheMB],
+		memtableCleanup:       v[e.pidx.memtableCleanup],
+		concurrentCompactors:  v[e.pidx.concurrentCompactors],
+		concurrentReads:       v[e.pidx.concurrentReads],
+		flushWriters:          v[e.pidx.flushWriters],
+		memHeapMB:             v[e.pidx.memHeapMB],
+		memOffheapMB:          v[e.pidx.memOffheapMB],
+		compactionThroughput:  v[e.pidx.compactionThroughput],
+		commitlogSyncPeriodMs: v[e.pidx.commitlogSyncPeriodMs],
+		commitlogSegmentMB:    v[e.pidx.commitlogSegmentMB],
+		commitlogTotalMB:      v[e.pidx.commitlogTotalMB],
+		keyCacheMB:            v[e.pidx.keyCacheMB],
+		rowCacheMB:            v[e.pidx.rowCacheMB],
+		columnIndexKB:         v[e.pidx.columnIndexKB],
 	}
 	e.p = p
+	e.paramsCache = nil
 
 	strategy, err := newStrategy(p.compaction, e)
 	if err != nil {
@@ -369,15 +438,20 @@ func (e *Engine) Apply(cfg config.Config) error {
 	return nil
 }
 
-// Config returns a copy of the engine's effective key-parameter values.
+// Params returns the engine's effective key-parameter values. The map
+// is built once per configuration and shared across calls — callers
+// must treat it as read-only (Apply invalidates and rebuilds it).
 func (e *Engine) Params() map[string]float64 {
-	return map[string]float64{
-		config.ParamCompactionStrategy:   float64(e.p.compaction),
-		config.ParamConcurrentWrites:     e.p.concurrentWrites,
-		config.ParamFileCacheSize:        e.p.fileCacheMB,
-		config.ParamMemtableCleanup:      e.p.memtableCleanup,
-		config.ParamConcurrentCompactors: e.p.concurrentCompactors,
+	if e.paramsCache == nil {
+		e.paramsCache = map[string]float64{
+			config.ParamCompactionStrategy:   float64(e.p.compaction),
+			config.ParamConcurrentWrites:     e.p.concurrentWrites,
+			config.ParamFileCacheSize:        e.p.fileCacheMB,
+			config.ParamMemtableCleanup:      e.p.memtableCleanup,
+			config.ParamConcurrentCompactors: e.p.concurrentCompactors,
+		}
 	}
+	return e.paramsCache
 }
 
 // KeySpace returns the scaled number of distinct keys.
@@ -386,19 +460,16 @@ func (e *Engine) KeySpace() int { return e.hw.ScaledKeySpace() }
 // Clock returns the virtual time in seconds.
 func (e *Engine) Clock() float64 { return e.clock }
 
-// Metrics returns a snapshot of counters (epoch series is copied).
+// Metrics returns a snapshot of counters. The epoch series share the
+// engine's backing arrays instead of being copied per call: the engine
+// only ever appends past the snapshot's length, so the returned slices
+// are stable read-only views — callers must not mutate them.
 func (e *Engine) Metrics() Metrics {
 	m := e.m
 	m.SSTables = e.tables.Len()
 	for _, task := range e.compQ {
 		m.CompactionBacklogBytes += task.remaining
 	}
-	series := make([]float64, len(e.m.EpochThroughputs))
-	copy(series, e.m.EpochThroughputs)
-	m.EpochThroughputs = series
-	lats := make([]float64, len(e.m.EpochLatencies))
-	copy(lats, e.m.EpochLatencies)
-	m.EpochLatencies = lats
 	return m
 }
 
@@ -650,21 +721,21 @@ func (e *Engine) flush(forced bool) {
 
 	// Some freshly written blocks stay hot in the page cache; under
 	// write pressure the kernel evicts the rest quickly, so only a
-	// fraction is admitted. Admission is in sorted block order so runs
-	// are deterministic regardless of map iteration order.
-	blockSet := make(map[uint32]struct{}, t.Len()/e.hw.KeysPerBlock()+1)
-	for k := range t.keys {
-		blockSet[t.BlockFor(k).block] = struct{}{}
-	}
-	blocks := make([]uint32, 0, len(blockSet))
-	for b := range blockSet {
-		blocks = append(blocks, b)
-	}
-	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
-	for i, b := range blocks {
-		if i%2 == 0 {
+	// fraction is admitted. The table's sorted key order maps to
+	// nondecreasing block numbers, so walking it yields the distinct
+	// blocks in ascending order with no per-flush set or sort.
+	nth := 0
+	var lastBlock uint32
+	for i, k := range t.sorted {
+		b := uint32(k / t.blockSpan)
+		if i > 0 && b == lastBlock {
+			continue
+		}
+		lastBlock = b
+		if nth%2 == 0 {
 			e.fileCache.Admit(blockID{table: t.id, block: b})
 		}
+		nth++
 	}
 
 	// Writes stall when flushes outnumber flush writers: the memtable
@@ -694,31 +765,30 @@ func (e *Engine) newCompactionTask(inputs []*ssTable, outputLevel int) *backgrou
 	// follow the normal tombstone-eviction rules below. Keys are
 	// extracted and sorted first so eviction never follows map order.
 	if len(out.expiry) > 0 {
-		expired := make([]uint64, 0, len(out.expiry))
+		expired := e.expiredScratch[:0]
 		for k, exp := range out.expiry {
 			if exp <= e.clock {
 				expired = append(expired, k)
 			}
 		}
-		sort.Slice(expired, func(i, j int) bool { return expired[i] < expired[j] })
+		slices.Sort(expired)
 		for _, k := range expired {
 			delete(out.expiry, k)
-			out.tombs[k] = struct{}{}
+			out.setTombstone(k)
 			e.m.ExpiredCells++
 		}
+		e.expiredScratch = expired[:0]
 	}
 	// Tombstone eviction (Section 2.2.1): a delete marker can disappear
 	// once no table outside the merge may still hold an older version.
+	// Merge fan-in is small (maxThreshold-bounded), so membership in the
+	// input set is a linear scan rather than a per-task map.
 	if len(out.tombs) > 0 {
-		inputIDs := make(map[uint64]bool, len(inputs))
-		for _, in := range inputs {
-			inputIDs[in.id] = true
-		}
 		var evicted uint64
 		for k := range out.tombs {
 			shadowed := false
 			for _, other := range e.tables.tables {
-				if !inputIDs[other.id] && other.Contains(k) {
+				if !tablesContain(inputs, other.id) && other.Contains(k) {
 					shadowed = true
 					break
 				}
@@ -748,6 +818,16 @@ func (e *Engine) newCompactionTask(inputs []*ssTable, outputLevel int) *backgrou
 
 func (e *Engine) enqueueTasks(tasks []*backgroundTask) {
 	e.compQ = append(e.compQ, tasks...)
+}
+
+// tablesContain reports whether id belongs to one of the tables.
+func tablesContain(tables []*ssTable, id uint64) bool {
+	for _, t := range tables {
+		if t.id == id {
+			return true
+		}
+	}
+	return false
 }
 
 // closeEpoch converts the epoch's accumulated demand into elapsed
@@ -987,12 +1067,10 @@ func (e *Engine) advanceBackground(dt, foreUtil float64) {
 // completeCompaction publishes a finished merge: inputs disappear (and
 // their cached blocks with them), the output becomes live.
 func (e *Engine) completeCompaction(t *backgroundTask) {
-	ids := make(map[uint64]bool, len(t.inputs))
 	for _, in := range t.inputs {
-		ids[in.id] = true
 		e.fileCache.InvalidateTable(in.id)
 	}
-	e.tables.Remove(ids)
+	e.tables.RemoveTables(t.inputs)
 	e.tables.Add(t.output)
 	if e.tables.Len() > e.m.MaxSSTables {
 		e.m.MaxSSTables = e.tables.Len()

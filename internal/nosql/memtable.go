@@ -24,6 +24,13 @@ type memtable struct {
 	// invalidates it.
 	sorted      []uint64
 	sortedValid bool
+
+	// drainKeys/drainTombs/drainExp are flush scratch: Drain's outputs
+	// are copied into the new SSTable's own structures immediately, so
+	// the memtable owns the buffers and reuses them across flushes.
+	drainKeys  []uint64
+	drainTombs []uint64
+	drainExp   map[uint64]float64
 }
 
 func newMemtable(rowBytes int) *memtable {
@@ -98,23 +105,32 @@ func (m *memtable) SortedKeys() []uint64 {
 // Drain empties the memtable and returns its distinct keys, the subset
 // that are tombstones, and the expiry times of the TTL'd subset, ready
 // to become an SSTable. Both slices are sorted so drain order never
-// inherits map iteration order.
+// inherits map iteration order. The returned slices and map are scratch
+// owned by the memtable, valid only until the next Drain — callers copy
+// them into the flushed table before returning.
 func (m *memtable) Drain() (keys []uint64, tombstones []uint64, expiries map[uint64]float64) {
-	keys = make([]uint64, 0, len(m.cells))
+	keys = m.drainKeys[:0]
+	tombstones = m.drainTombs[:0]
+	clear(m.drainExp)
 	for k, c := range m.cells {
 		keys = append(keys, k)
 		if c.tomb {
 			tombstones = append(tombstones, k)
 		} else if c.expiry > 0 {
-			if expiries == nil {
-				expiries = make(map[uint64]float64)
+			if m.drainExp == nil {
+				m.drainExp = make(map[uint64]float64)
 			}
-			expiries[k] = c.expiry
+			m.drainExp[k] = c.expiry
 		}
 	}
 	slices.Sort(keys)
 	slices.Sort(tombstones)
-	m.cells = make(map[uint64]memCell, len(keys))
+	if len(m.drainExp) > 0 {
+		expiries = m.drainExp
+	}
+	m.drainKeys = keys
+	m.drainTombs = tombstones
+	clear(m.cells)
 	m.bytes = 0
 	m.sorted = m.sorted[:0]
 	m.sortedValid = false

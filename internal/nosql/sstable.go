@@ -47,7 +47,6 @@ func newSSTable(id uint64, keys []uint64, rowBytes, keysPerBlock, keySpace int) 
 	t := &ssTable{
 		id:           id,
 		keys:         make(map[uint64]struct{}, len(keys)),
-		tombs:        make(map[uint64]struct{}),
 		seq:          id,
 		rowBytes:     rowBytes,
 		keysPerBlock: keysPerBlock,
@@ -64,9 +63,25 @@ func newSSTable(id uint64, keys []uint64, rowBytes, keysPerBlock, keySpace int) 
 // markTombstones flags the given keys as delete markers; they must
 // already be present in the table's cell set.
 func (t *ssTable) markTombstones(keys []uint64) {
+	if len(keys) == 0 {
+		return
+	}
+	if t.tombs == nil {
+		t.tombs = make(map[uint64]struct{}, len(keys))
+	}
 	for _, k := range keys {
 		t.tombs[k] = struct{}{}
 	}
+}
+
+// setTombstone flags a single key as a delete marker. The tombs map is
+// allocated lazily so that tombstone-free tables — the overwhelmingly
+// common case on the collect hot path — carry no map at all.
+func (t *ssTable) setTombstone(key uint64) {
+	if t.tombs == nil {
+		t.tombs = make(map[uint64]struct{})
+	}
+	t.tombs[key] = struct{}{}
 }
 
 // markExpiries records the expiry times of the table's TTL'd cells;
@@ -195,7 +210,6 @@ func mergeTables(id uint64, tables []*ssTable, level, rowBytes, keysPerBlock, ke
 	out := &ssTable{
 		id:           id,
 		keys:         make(map[uint64]struct{}, total),
-		tombs:        make(map[uint64]struct{}),
 		seq:          maxSeq,
 		level:        level,
 		rowBytes:     rowBytes,
@@ -212,7 +226,7 @@ func mergeTables(id uint64, tables []*ssTable, level, rowBytes, keysPerBlock, ke
 	for k, src := range newest {
 		out.keys[k] = struct{}{}
 		if src.IsTombstone(k) {
-			out.tombs[k] = struct{}{}
+			out.setTombstone(k)
 		} else if exp := src.ExpiryOf(k); exp > 0 {
 			if out.expiry == nil {
 				out.expiry = make(map[uint64]float64)
@@ -246,6 +260,27 @@ func (s *tableSet) Remove(ids map[uint64]bool) int {
 	removed := 0
 	for _, t := range s.tables {
 		if ids[t.id] {
+			removed++
+			continue
+		}
+		kept = append(kept, t)
+	}
+	s.tables = kept
+	return removed
+}
+
+// RemoveTables drops exactly the given tables (matched by ID) and
+// returns how many were removed. Compaction completion uses this form
+// to avoid building a per-call ID map: input sets are tiny (a handful
+// of tables), so the linear membership scan is cheaper than a map.
+func (s *tableSet) RemoveTables(tables []*ssTable) int {
+	if len(tables) == 0 {
+		return 0
+	}
+	kept := s.tables[:0]
+	removed := 0
+	for _, t := range s.tables {
+		if tablesContain(tables, t.id) {
 			removed++
 			continue
 		}

@@ -177,3 +177,29 @@ func TestHistogramInvalidRange(t *testing.T) {
 		t.Fatal("invalid histogram range should return nil instrument")
 	}
 }
+
+// TestObsFastPathAllocGuard pins the per-op instrument methods the
+// engine hits on every operation — Counter.Inc/Add, Gauge.Set, and
+// Histogram.Observe, enabled and disabled (nil) alike — at zero heap
+// allocations. The engine's op loop calls these unconditionally, so a
+// single allocation here multiplies into millions per collect stage.
+func TestObsFastPathAllocGuard(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("guard.counter")
+	g := r.Gauge("guard.gauge")
+	h := r.Histogram("guard.hist", 0, 100, 32)
+	var nilC *Counter
+	var nilG *Gauge
+	var nilH *Histogram
+	if allocs := testing.AllocsPerRun(200, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(42)
+		h.Observe(17)
+		nilC.Inc()
+		nilG.Set(1)
+		nilH.Observe(1)
+	}); allocs > 0 {
+		t.Fatalf("instrument fast path allocates %.1f times per op set, want 0", allocs)
+	}
+}

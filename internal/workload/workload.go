@@ -165,12 +165,27 @@ func NewKeyGenerator(keySpace int, meanKRD float64, seed int64) (*KeyGenerator, 
 	if histLen < 1 {
 		histLen = 1
 	}
+	// lastIndex accumulates every key the stream ever touches; sizing
+	// it to the history window (its working-set scale) up front absorbs
+	// most of the incremental rehash growth a run would otherwise pay.
+	// The cap bounds the up-front spend for huge-KRD generators whose
+	// runs may touch far fewer keys than the window could hold.
+	hint := histLen
+	if hint > keySpace {
+		hint = keySpace
+	}
+	if hint > 1<<16 {
+		hint = 1 << 16
+	}
+	if hint < 4096 {
+		hint = 4096
+	}
 	return &KeyGenerator{
 		rng:       rand.New(rand.NewSource(seed)),
 		keySpace:  uint64(keySpace),
 		mean:      meanKRD,
 		history:   make([]uint64, histLen),
-		lastIndex: make(map[uint64]uint64, 4096),
+		lastIndex: make(map[uint64]uint64, hint),
 	}, nil
 }
 
@@ -310,12 +325,18 @@ func runMixed(store Store, spec Spec) (Result, error) {
 	// latest-distribution generator chases this frontier.
 	frontier := uint64(store.KeySpace())
 
+	// The capability checks are loop-invariant; folding them into two
+	// booleans keeps the per-write path to the RNG draws the spec
+	// actually requires (draw order is unchanged: the TTL draw happens
+	// iff ttlOn, exactly as before).
+	ttlOn := spec.TTLFraction > 0 && canTTL
+	sizeOn := spec.PayloadSpread > 0 && canSize
 	writeKey := func(key uint64) {
-		if spec.TTLFraction > 0 && canTTL && rng.Float64() < spec.TTLFraction {
+		if ttlOn && rng.Float64() < spec.TTLFraction {
 			ttlWriter.WriteTTL(key, spec.TTLSeconds)
 			return
 		}
-		if spec.PayloadSpread > 0 && canSize {
+		if sizeOn {
 			size := int(float64(payloadBytes) * math.Exp(rng.NormFloat64()*spec.PayloadSpread))
 			if size < 1 {
 				size = 1

@@ -2,7 +2,7 @@ GO ?= go
 
 # Aggregate statement-coverage floor: the seed tree measured 79.7%;
 # `make cover` fails if the tree regresses below it.
-COVER_FLOOR ?= 79.9
+COVER_FLOOR ?= 80.5
 
 .PHONY: build test bench check fmt vet lint race fuzz cover guard chaos slo
 
@@ -35,8 +35,11 @@ vet:
 
 # lint runs the repo's own analyzers (cmd/rafikilint): virtual-time,
 # pooled-concurrency, seeded-randomness, map-order, obs-nil-safety,
-# and dropped-error invariants, machine-checked over the whole tree.
-# Suppressions (//lint:allow <analyzer> <reason>) require a reason.
+# dropped-error, and net-bypass invariants, plus the flow-aware
+# hot-path memory-model suite (scratchescape, viewmut, hotalloc)
+# driven by //rafiki:hot//view//scratch markers — machine-checked
+# over the whole tree. Suppressions (//lint:allow <analyzer>
+# <reason>) require a reason; add -timing for a cost breakdown.
 lint:
 	$(GO) run ./cmd/rafikilint ./...
 

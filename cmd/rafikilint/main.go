@@ -14,6 +14,7 @@
 //	-exclude p1,p2   skip packages whose module-relative path starts
 //	                 with one of the given prefixes
 //	-analyzers a,b   run only the named analyzers (default: all)
+//	-timing          report per-analyzer wall time on stderr
 //
 // Suppression comments take the form
 //
@@ -29,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"rafiki/internal/lint"
 )
@@ -38,6 +40,7 @@ func main() {
 	showSuppressed := flag.Bool("show-suppressed", false, "also list suppressed findings")
 	exclude := flag.String("exclude", "", "comma-separated module-relative path prefixes to skip")
 	only := flag.String("analyzers", "", "comma-separated analyzer names to run (default all)")
+	timing := flag.Bool("timing", false, "report per-analyzer wall time on stderr")
 	flag.Parse()
 
 	patterns := flag.Args()
@@ -80,7 +83,21 @@ func main() {
 		}
 	}
 
-	diags := lint.Run(kept, analyzers)
+	// The wall clock lives here, in cmd/, where nowall permits it;
+	// internal/lint only ever sees the injected reading.
+	var clock func() int64
+	if *timing {
+		clock = func() int64 { return time.Now().UnixNano() }
+	}
+	diags, timings := lint.RunTimed(kept, analyzers, clock)
+	if *timing {
+		var total int64
+		for _, t := range timings {
+			fmt.Fprintf(os.Stderr, "rafikilint: %-14s %10.3fms\n", t.Analyzer, float64(t.Nanos)/1e6)
+			total += t.Nanos
+		}
+		fmt.Fprintf(os.Stderr, "rafikilint: %-14s %10.3fms\n", "total", float64(total)/1e6)
+	}
 	failing := lint.Unsuppressed(diags)
 	shown := failing
 	if *showSuppressed {

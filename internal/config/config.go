@@ -203,6 +203,8 @@ func (s *Space) Len() int { return len(s.params) }
 // string parameter name into a dense position. Hot paths resolve names
 // to indices once and thereafter address resolved configurations as
 // []float64 vectors (see ResolveInto) instead of map[string]float64.
+//
+//rafiki:hot
 func (s *Space) Index(name string) (int, bool) {
 	i, ok := s.index[name]
 	return i, ok
@@ -219,6 +221,9 @@ func (s *Space) ParamAt(i int) Parameter { return s.params[i] }
 // no map lookups and no per-call allocation once dst has capacity.
 // Unknown names in c are ignored; Validate catches them at the public
 // boundary.
+//
+//rafiki:hot
+//rafiki:scratch
 func (s *Space) ResolveInto(dst []float64, c Config) []float64 {
 	if cap(dst) < len(s.params) {
 		dst = make([]float64, len(s.params))

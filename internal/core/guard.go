@@ -402,10 +402,16 @@ func (c *GuardedController) vet(target Workload, rec OptimizeResult) (bool, erro
 }
 
 // Current returns the live configuration (nil before the first apply).
+// The map is shared with the controller, not a copy.
+//
+//rafiki:view
 func (c *GuardedController) Current() config.Config { return c.current }
 
 // LastGood returns the last committed configuration (nil before the
 // first commit, meaning the space default is the rollback target).
+// The map is shared with the controller, not a copy.
+//
+//rafiki:view
 func (c *GuardedController) LastGood() config.Config { return c.lastGood }
 
 // Stats returns the guard outcome counters.

@@ -69,6 +69,8 @@ func (w Workload) String() string {
 
 // dist is the L1 distance between two workload characterizations — the
 // movement the controllers compare against their re-tune threshold.
+//
+//rafiki:hot
 func (w Workload) dist(o Workload) float64 {
 	return abs(w.ReadRatio-o.ReadRatio) + abs(w.ScanRatio-o.ScanRatio) + abs(w.Skew-o.Skew)
 }

@@ -6,6 +6,16 @@
 // silently dropped errors — so the reproducibility guarantees the
 // tests sample are instead proven over the whole tree on every build.
 //
+// On top of the per-file syntactic passes sits a flow-aware layer: a
+// facts store (facts.go) reads the //rafiki:hot, //rafiki:view, and
+// //rafiki:scratch annotation vocabulary off function declarations,
+// derives allocation/mutation/retention facts per function, and
+// propagates them through a one-level call graph over the module; a
+// taint engine (flow.go) tracks aliases of interesting values through
+// local def/use chains. The scratchescape, viewmut, and hotalloc
+// analyzers consume both to enforce the hot-path memory model from
+// DESIGN.md §14 across package boundaries.
+//
 // Diagnostics are suppressible per line with a mandatory reason:
 //
 //	//lint:allow <analyzer> <reason...>
@@ -42,6 +52,9 @@ type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Pkg      *Package
+	// Facts is the cross-analyzer fact store built once per Run over
+	// every loaded package (annotations + derived behavior facts).
+	Facts *Facts
 
 	report func(Diagnostic)
 }
@@ -129,31 +142,69 @@ func buildSuppressions(fset *token.FileSet, files []*ast.File) (suppressionIndex
 	return idx, malformed
 }
 
+// A Timing reports one analyzer's wall time across all packages, in
+// nanoseconds of whatever clock the caller injected. The facts-store
+// build is reported under the pseudo-analyzer "(facts)".
+type Timing struct {
+	Analyzer string
+	Nanos    int64
+}
+
 // Run applies every analyzer to every package and returns all
 // diagnostics in deterministic (file, line, col, analyzer) order.
 // Suppressed findings are included with Suppressed=true so callers can
 // audit them; malformed //lint:allow comments surface as diagnostics
-// from the pseudo-analyzer "suppression".
+// from the pseudo-analyzer "suppression", and //rafiki:* markers
+// outside the known vocabulary as diagnostics from "annotation".
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunTimed(pkgs, analyzers, nil)
+	return diags
+}
+
+// RunTimed is Run with per-analyzer wall-time accounting. The clock is
+// injected (a monotonic nanosecond reading) so this package never
+// touches the wall clock itself — the repo's own nowall analyzer
+// guards that invariant. A nil clock skips timing.
+func RunTimed(pkgs []*Package, analyzers []*Analyzer, clock func() int64) ([]Diagnostic, []Timing) {
+	read := func() int64 {
+		if clock == nil {
+			return 0
+		}
+		return clock()
+	}
+
+	// One facts pass over every package, shared by all analyzers.
+	factsStart := read()
+	facts := BuildFacts(pkgs)
+	timings := []Timing{{Analyzer: "(facts)", Nanos: read() - factsStart}}
+	for _, a := range analyzers {
+		timings = append(timings, Timing{Analyzer: a.Name})
+	}
+
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		idx, malformed := buildSuppressions(pkg.Fset, pkg.Files)
-		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Fset: pkg.Fset, Pkg: pkg}
+		suppress := func(d *Diagnostic) {
+			for _, s := range idx[d.File][d.Line] {
+				if s.analyzer == d.Analyzer {
+					d.Suppressed = true
+					d.Reason = s.reason
+					break
+				}
+			}
+		}
+		for ai, a := range analyzers {
+			pass := &Pass{Analyzer: a, Fset: pkg.Fset, Pkg: pkg, Facts: facts}
 			pass.report = func(d Diagnostic) {
 				d.File = d.Pos.Filename
 				d.Line = d.Pos.Line
 				d.Col = d.Pos.Column
-				for _, s := range idx[d.File][d.Line] {
-					if s.analyzer == d.Analyzer {
-						d.Suppressed = true
-						d.Reason = s.reason
-						break
-					}
-				}
+				suppress(&d)
 				diags = append(diags, d)
 			}
+			start := read()
 			a.Run(pass)
+			timings[ai+1].Nanos += read() - start
 		}
 		// Malformed directives are findings in their own right: a
 		// suppression without a reason hides an invariant violation
@@ -167,6 +218,21 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Col:      s.pos.Column,
 				Message:  "//lint:allow needs an analyzer name and a reason",
 			})
+		}
+		// Unknown //rafiki:* markers are typos waiting to silently
+		// disable an invariant; surface them like malformed allows.
+		for _, u := range facts.unknown[pkg] {
+			pos := pkg.Fset.Position(u.pos)
+			d := Diagnostic{
+				Analyzer: "annotation",
+				Pos:      pos,
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Message:  fmt.Sprintf("unknown //%s marker (known: //%s, //%s, //%s)", u.text, markerHot, markerView, markerScratch),
+			}
+			suppress(&d)
+			diags = append(diags, d)
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -182,7 +248,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags
+	return diags, timings
 }
 
 // Unsuppressed filters to the findings that should fail a build.
@@ -196,7 +262,8 @@ func Unsuppressed(diags []Diagnostic) []Diagnostic {
 	return out
 }
 
-// All returns the full analyzer suite in stable order.
+// All returns the full analyzer suite in stable order. The last three
+// are the flow-aware analyzers built on the shared facts store.
 func All() []*Analyzer {
 	return []*Analyzer{
 		NowAll,
@@ -206,6 +273,9 @@ func All() []*Analyzer {
 		ObsNil,
 		ErrDrop,
 		NetBypass,
+		ScratchEscape,
+		ViewMut,
+		HotAlloc,
 	}
 }
 

@@ -35,6 +35,12 @@ var fixtures = []struct {
 	{"errdrop_ok", "internal/errok"},
 	{"netbypass_bad", "internal/cluster"},
 	{"netbypass_ok", "internal/cluster"},
+	{"scratchescape_bad", "internal/scratchfix"},
+	{"scratchescape_ok", "internal/scratchok"},
+	{"viewmut_bad", "internal/viewfix"},
+	{"viewmut_ok", "internal/viewok"},
+	{"hotalloc_bad", "internal/hotfix"},
+	{"hotalloc_ok", "internal/hotok"},
 	{"suppress", "internal/suppressfix"},
 }
 
@@ -153,6 +159,109 @@ func TestSuppressionSemantics(t *testing.T) {
 	}
 	if malformed != 1 {
 		t.Errorf("malformed-suppression findings = %d, want 1", malformed)
+	}
+}
+
+// TestLoaderParsesOncePerRun pins the shared single-pass invariant:
+// one Loader serves every analyzer from one parse+type-check per
+// package, even when packages import each other, and running the full
+// suite re-parses nothing.
+func TestLoaderParsesOncePerRun(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// nosql and config import shared dependencies (config, obs, stats);
+	// loading both must still parse each import path exactly once.
+	pkgs, err := loader.Load("internal/nosql", "internal/config", "internal/obs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := loader.ParseCounts()
+	for path, n := range before {
+		if n != 1 {
+			t.Errorf("%s parsed %d times during Load, want 1", path, n)
+		}
+	}
+	Run(pkgs, All())
+	after := loader.ParseCounts()
+	if len(after) != len(before) {
+		t.Errorf("Run grew the parse set from %d to %d packages; analyzers must not load code", len(before), len(after))
+	}
+	for path, n := range after {
+		if n != 1 {
+			t.Errorf("%s parsed %d times after Run, want 1 (analyzer re-parsed the tree)", path, n)
+		}
+	}
+}
+
+// TestRunTimedReportsAllAnalyzers pins the -timing contract: one entry
+// per analyzer plus the shared facts pass, all positive under a
+// strictly increasing injected clock.
+func TestRunTimedReportsAllAnalyzers(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDirAs(filepath.Join("testdata", "src", "hotalloc_ok"), "fixturetiming/hotalloc_ok", "internal/hotok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tick int64
+	clock := func() int64 { tick += 7; return tick }
+	_, timings := RunTimed([]*Package{pkg}, All(), clock)
+	if want := len(All()) + 1; len(timings) != want {
+		t.Fatalf("got %d timings, want %d (analyzers + facts)", len(timings), want)
+	}
+	if timings[0].Analyzer != "(facts)" {
+		t.Errorf("first timing entry = %q, want (facts)", timings[0].Analyzer)
+	}
+	seen := map[string]bool{}
+	for _, tm := range timings {
+		if tm.Nanos <= 0 {
+			t.Errorf("%s reported %d nanos, want > 0 under a ticking clock", tm.Analyzer, tm.Nanos)
+		}
+		if seen[tm.Analyzer] {
+			t.Errorf("%s reported twice", tm.Analyzer)
+		}
+		seen[tm.Analyzer] = true
+	}
+}
+
+// TestDiagnosticsSortedAcrossAnalyzers pins the mergeable-output
+// contract: diagnostics from different analyzers and packages come out
+// in one global (file, line, col, analyzer) order, identically on
+// every run.
+func TestDiagnosticsSortedAcrossAnalyzers(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkgs []*Package
+	for _, fx := range fixtures {
+		if !strings.HasSuffix(fx.name, "_bad") {
+			continue
+		}
+		pkg, err := loader.LoadDirAs(filepath.Join("testdata", "src", fx.name), "fixturesort/"+fx.name, fx.rel)
+		if err != nil {
+			t.Fatalf("load %s: %v", fx.name, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags := Run(pkgs, All())
+	if len(diags) == 0 {
+		t.Fatal("bad fixtures produced no diagnostics")
+	}
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		ka := fmt.Sprintf("%s\x00%08d\x00%08d\x00%s", a.File, a.Line, a.Col, a.Analyzer)
+		kb := fmt.Sprintf("%s\x00%08d\x00%08d\x00%s", b.File, b.Line, b.Col, b.Analyzer)
+		if ka > kb {
+			t.Errorf("diagnostics out of order: %s before %s", a, b)
+		}
+	}
+	if again := renderAll(Run(pkgs, All())); again != renderAll(diags) {
+		t.Error("two identical runs rendered different output")
 	}
 }
 

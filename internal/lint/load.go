@@ -42,6 +42,11 @@ type Loader struct {
 
 	std   types.ImporterFrom
 	cache map[string]*Package
+	// parsed counts how many times each import path was actually
+	// parsed+type-checked (as opposed to served from cache). Every
+	// entry should be exactly 1 for the life of the Loader; the
+	// regression test for the shared-pass invariant asserts it.
+	parsed map[string]int
 }
 
 // NewLoader locates go.mod at or above dir and returns a Loader rooted
@@ -83,6 +88,7 @@ func NewLoader(dir string) (*Loader, error) {
 		ModulePath: modpath,
 		ModuleDir:  root,
 		cache:      make(map[string]*Package),
+		parsed:     make(map[string]int),
 	}
 	l.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
 	return l, nil
@@ -206,10 +212,22 @@ func (l *Loader) LoadDirAs(dir, importPath, relPath string) (*Package, error) {
 	return pkg, nil
 }
 
+// ParseCounts returns a copy of the per-import-path parse counters. A
+// value above 1 means a package was re-parsed — the shared single-pass
+// invariant is broken.
+func (l *Loader) ParseCounts() map[string]int {
+	out := make(map[string]int, len(l.parsed))
+	for k, v := range l.parsed {
+		out[k] = v
+	}
+	return out
+}
+
 func (l *Loader) loadDir(dir, importPath string) (*Package, error) {
 	if pkg, ok := l.cache[importPath]; ok {
 		return pkg, nil
 	}
+	l.parsed[importPath]++
 	names, err := goSourceFiles(dir)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,50 @@
+// Package hotfix allocates inside //rafiki:hot functions in every way
+// the analyzer knows about: composite literals, new, unguarded make,
+// string building, conversions, fmt, closures, interface boxing, and
+// calls to non-hot allocating callees. It also carries one unknown
+// //rafiki:* marker for the annotation pseudo-analyzer.
+package hotfix
+
+import "fmt"
+
+type engine struct {
+	buf []int
+}
+
+// Read is the hot point-read path.
+//
+//rafiki:hot
+func (e *engine) Read(k string) int {
+	m := map[string]int{k: 1}  // map literal
+	s := []int{1, 2}           // slice literal
+	p := &engine{}             // &composite literal
+	n := new(engine)           // new
+	b := make([]byte, 8)       // make without reused backing
+	msg := "key=" + k          // string concatenation
+	raw := []byte(k)           // allocating conversion
+	back := string(raw)        // allocating conversion
+	fmt.Println(msg)           // fmt call
+	f := func() int { return len(s) } // closure
+	sink(len(m))               // interface boxing of a non-pointer int
+	grow()                     // non-hot callee whose facts say it allocates
+	_, _, _, _ = p, n, b, back
+	return f()
+}
+
+// sink takes anything; boxing a non-pointer into it allocates.
+func sink(v any) {}
+
+// grow is a cold helper that allocates.
+func grow() []int { return make([]int, 16) }
+
+// Warm carries a marker outside the vocabulary.
+//
+//rafiki:blazing
+func (e *engine) Warm() {}
+
+// Suppressed shows a reasoned escape hatch.
+//
+//rafiki:hot
+func (e *engine) Suppressed() []int {
+	return make([]int, 1) //lint:allow hotalloc fixture: proves reasoned suppression works
+}

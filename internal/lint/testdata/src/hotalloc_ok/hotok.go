@@ -1,0 +1,48 @@
+// Package hotok shows allocation-free shapes that hot functions may
+// legally use: struct/array value literals, the cap()/len()-guarded
+// grow-once make, calls to other hot functions, pointer arguments into
+// interface parameters, and spread of an existing variadic slice.
+// Every shape here is a false-positive trap the analyzer must not take.
+package hotok
+
+type key struct {
+	a, b int
+}
+
+type engine struct {
+	buf   []int
+	chunk []key
+	attrs []any
+}
+
+// Lookup is hot: value literals and guarded growth do not allocate on
+// the steady path.
+//
+//rafiki:hot
+func (e *engine) Lookup(n int) int {
+	if cap(e.buf) < n {
+		e.buf = make([]int, n) // grow-once; amortized free
+	}
+	e.buf = e.buf[:n]
+	id := key{a: 1, b: 2} // struct value literal lives on the stack
+	var tbl [4]int        // array value, no heap
+	tbl[id.a&3] = n
+	return e.buf[0] + tbl[0] + e.step()
+}
+
+// step is hot and pure.
+//
+//rafiki:hot
+func (e *engine) step() int { return 1 }
+
+// observe is variadic over any.
+func observe(vs ...any) {}
+
+// Forward is hot: a pointer boxes without allocating, and spreading an
+// existing slice creates no new boxes.
+//
+//rafiki:hot
+func (e *engine) Forward() {
+	observe(e)          // pointer into any: no box allocation
+	observe(e.attrs...) // spread of an existing []any: no new boxes
+}

@@ -1,0 +1,74 @@
+// Package scratchfix violates the //rafiki:scratch ownership contract
+// in every way the analyzer knows about: field stores, global stores,
+// aliased stores, channel sends, closure captures, returns past the
+// owning frame, retained appends, and handoff to a retaining callee.
+package scratchfix
+
+type pool struct {
+	buf  []byte
+	rows [][]byte
+}
+
+// Drain hands out the pool's internal buffer; callers must copy.
+//
+//rafiki:scratch
+func (p *pool) Drain() []byte { return p.buf }
+
+// DrainPair returns two scratch slices at once.
+//
+//rafiki:scratch
+func (p *pool) DrainPair() ([]byte, [][]byte) { return p.buf, p.rows }
+
+var stash []byte
+
+type holder struct {
+	data []byte
+	rows [][]byte
+}
+
+func storeField(p *pool, h *holder) {
+	h.data = p.Drain() // escapes into a struct field
+}
+
+func storeGlobal(p *pool) {
+	stash = p.Drain() // escapes into a package-level variable
+}
+
+func storeAlias(p *pool, h *holder) {
+	s := p.Drain()
+	tail := s[1:]
+	h.data = tail // the alias still points into scratch
+}
+
+func storePair(p *pool, h *holder) {
+	h.data, h.rows = p.DrainPair() // multi-result scratch into fields
+}
+
+func sendScratch(p *pool, ch chan []byte) {
+	ch <- p.Drain() // the receiver outlives the owner's next call
+}
+
+func captureScratch(p *pool) func() int {
+	s := p.Drain()
+	return func() int { return len(s) } // closure may run later
+}
+
+func returnScratch(p *pool) []byte {
+	return p.Drain() // unannotated function forwards scratch
+}
+
+func appendRetained(p *pool, h *holder) {
+	h.rows = append(h.rows, p.Drain()) // slice header retained in a field
+}
+
+func keep(rows [][]byte, row []byte) {
+	rows[0] = row // retains row in the caller-visible backing
+}
+
+func retainingCallee(p *pool, h *holder) {
+	keep(h.rows, p.Drain()) // callee stores the scratch header
+}
+
+func suppressed(p *pool, h *holder) {
+	h.data = p.Drain() //lint:allow scratchescape fixture: proves reasoned suppression works
+}

@@ -1,0 +1,64 @@
+// Package scratchok uses //rafiki:scratch results correctly: consume
+// locally, copy before storing, recycle the destination buffer through
+// the call, or append scalar elements (which are copied, not aliased).
+// Every shape here is a false-positive trap the analyzer must not take.
+package scratchok
+
+type pool struct {
+	buf []byte
+}
+
+// Drain hands out the pool's internal buffer; callers must copy.
+//
+//rafiki:scratch
+func (p *pool) Drain() []byte { return p.buf }
+
+// ResolveInto fills dst (growing it at most once) and returns it; the
+// result is the caller's own recycled buffer.
+//
+//rafiki:scratch
+func ResolveInto(dst []byte, n int) []byte {
+	if cap(dst) < n {
+		dst = make([]byte, n)
+	}
+	dst = dst[:n]
+	return dst
+}
+
+type holder struct {
+	data []byte
+	vec  []byte
+}
+
+func consumeLocally(p *pool) int {
+	s := p.Drain()
+	total := 0
+	for _, b := range s {
+		total += int(b)
+	}
+	return total // scalar result, not the scratch itself
+}
+
+func copyThenStore(p *pool, h *holder) {
+	s := p.Drain()
+	cp := make([]byte, len(s))
+	copy(cp, s)
+	h.data = cp // the copy is the caller's own allocation
+}
+
+func dstRecycle(h *holder) {
+	h.vec = ResolveInto(h.vec, 16) // blessed dst-recycle idiom
+}
+
+func appendScalars(p *pool, h *holder) {
+	// Appending bytes copies them out of scratch; only reference-shaped
+	// elements would alias it.
+	h.data = append(h.data[:0], p.Drain()...)
+}
+
+func freshReturn(p *pool) []byte {
+	s := p.Drain()
+	out := make([]byte, len(s))
+	copy(out, s)
+	return out // a private copy may leave the frame
+}

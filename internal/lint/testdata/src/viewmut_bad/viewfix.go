@@ -1,0 +1,66 @@
+// Package viewfix writes through //rafiki:view results in every way
+// the analyzer knows about: index assignment, increment, append into
+// the view, builtin clear/delete/copy, stdlib in-place sorts, and
+// handoff to module callees that mutate their argument or receiver.
+package viewfix
+
+import "sort"
+
+type store struct {
+	series []float64
+	tags   map[string]string
+}
+
+// Series returns the live epoch series; callers must not write it.
+//
+//rafiki:view
+func (s *store) Series() []float64 { return s.series }
+
+// Tags returns the shared tag map; callers must not write it.
+//
+//rafiki:view
+func (s *store) Tags() map[string]string { return s.tags }
+
+func writeIndex(s *store) {
+	v := s.Series()
+	v[0] = 1 // index write through the view
+}
+
+func bumpDirect(s *store) {
+	s.Series()[0]++ // increment through the view
+}
+
+func appendInto(s *store) []float64 {
+	return append(s.Series(), 2) // may write the shared backing array
+}
+
+func sortView(s *store) {
+	sort.Float64s(s.Series()) // stdlib in-place mutator
+}
+
+func clearView(s *store) {
+	clear(s.Tags()) // builtin wipes the shared map
+}
+
+func deleteKey(s *store) {
+	delete(s.Tags(), "host") // builtin deletes from the shared map
+}
+
+func copyOnto(s *store, src []float64) {
+	copy(s.Series(), src) // copy writes INTO the view
+}
+
+func scale(xs []float64, k float64) {
+	for i := range xs {
+		xs[i] *= k
+	}
+}
+
+func mutatingCallee(s *store) {
+	scale(s.Series(), 2) // callee's facts say it writes through arg 0
+}
+
+func suppressedWrite(s *store) {
+	v := s.Series()
+	v[1] = 2 //lint:allow viewmut fixture: proves reasoned suppression works
+}

@@ -1,0 +1,66 @@
+// Package viewok consumes //rafiki:view results correctly: read-only
+// access, copy-before-mutate, and struct wrappers whose own fields are
+// written (the wrapper is not the view). Every shape here is a
+// false-positive trap the analyzer must not take.
+package viewok
+
+import "sort"
+
+type store struct {
+	series []float64
+	tags   map[string]string
+}
+
+// Series returns the live epoch series; callers must not write it.
+//
+//rafiki:view
+func (s *store) Series() []float64 { return s.series }
+
+// Tags returns the shared tag map; callers must not write it.
+//
+//rafiki:view
+func (s *store) Tags() map[string]string { return s.tags }
+
+func readOnly(s *store) float64 {
+	v := s.Series()
+	total := 0.0
+	for _, x := range v {
+		total += x
+	}
+	if len(v) > 0 {
+		total += v[len(v)-1] // reads are fine
+	}
+	return total
+}
+
+func sortACopy(s *store) []float64 {
+	v := s.Series()
+	cp := make([]float64, len(v))
+	copy(cp, v) // copy FROM the view into private backing
+	sort.Float64s(cp)
+	cp[0] = 0 // writes hit the copy, not the view
+	return cp
+}
+
+// cursor wraps a view; writing the cursor's own fields is not writing
+// through the view.
+type cursor struct {
+	view []float64
+	pos  int
+}
+
+func advance(s *store) int {
+	c := cursor{view: s.Series()}
+	c.pos++ // the cursor is ours even though the view is not
+	return c.pos
+}
+
+func rebind(s *store) {
+	v := s.Series()
+	v = nil // rebinding the local drops the alias; no write-through
+	_ = v
+}
+
+func lookupOnly(s *store) string {
+	return s.Tags()["host"] // map reads are fine
+}

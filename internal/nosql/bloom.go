@@ -43,6 +43,8 @@ func newBloomFilter(n int, fpRate float64) *bloomFilter {
 // hash2 derives two independent 64-bit hashes of key (splitmix64-style
 // finalizers); the k probe positions are h1 + i*h2 (Kirsch-Mitzenmacher
 // double hashing).
+//
+//rafiki:hot
 func hash2(key uint64) (uint64, uint64) {
 	x := key + 0x9E3779B97F4A7C15
 	x ^= x >> 30
@@ -69,6 +71,8 @@ func (b *bloomFilter) Add(key uint64) {
 }
 
 // MayContain reports whether key might be present (no false negatives).
+//
+//rafiki:hot
 func (b *bloomFilter) MayContain(key uint64) bool {
 	h1, h2 := hash2(key)
 	for i := 0; i < b.nHashes; i++ {

@@ -68,6 +68,8 @@ func (c *blockCache) HitRate() float64 {
 
 // Touch records an access to id. It returns true on a cache hit; on a
 // miss the block is admitted (evicting the LRU block if full).
+//
+//rafiki:hot
 func (c *blockCache) Touch(id blockID) bool {
 	if n, ok := c.entries[id]; ok {
 		c.hits++
@@ -89,6 +91,8 @@ func (c *blockCache) Touch(id blockID) bool {
 
 // Admit inserts id without recording a hit or miss — used when a flush
 // writes fresh blocks that land in the page cache for free.
+//
+//rafiki:hot
 func (c *blockCache) Admit(id blockID) {
 	if c.capacity <= 0 {
 		return
@@ -107,6 +111,8 @@ func (c *blockCache) Admit(id blockID) {
 
 // Remove drops id from the cache if present (a write invalidating a
 // cached row).
+//
+//rafiki:hot
 func (c *blockCache) Remove(id blockID) {
 	if n, ok := c.entries[id]; ok {
 		c.unlink(n)
@@ -135,6 +141,7 @@ func (c *blockCache) Resize(capacity int) {
 	}
 }
 
+//rafiki:hot
 func (c *blockCache) evict() {
 	if c.tail == nil {
 		return
@@ -148,6 +155,8 @@ func (c *blockCache) evict() {
 // newNode pops a recycled node from the freelist, or carves one from
 // the current chunk when the freelist is empty (cold cache, or capacity
 // still growing).
+//
+//rafiki:hot
 func (c *blockCache) newNode(id blockID) *cacheNode {
 	if n := c.free; n != nil {
 		c.free = n.next
@@ -165,12 +174,15 @@ func (c *blockCache) newNode(id blockID) *cacheNode {
 }
 
 // recycle parks an unlinked node on the freelist for reuse.
+//
+//rafiki:hot
 func (c *blockCache) recycle(n *cacheNode) {
 	n.next = c.free
 	n.prev = nil
 	c.free = n
 }
 
+//rafiki:hot
 func (c *blockCache) pushFront(n *cacheNode) {
 	n.prev = nil
 	n.next = c.head
@@ -183,6 +195,7 @@ func (c *blockCache) pushFront(n *cacheNode) {
 	}
 }
 
+//rafiki:hot
 func (c *blockCache) moveToFront(n *cacheNode) {
 	if c.head == n {
 		return
@@ -191,6 +204,7 @@ func (c *blockCache) moveToFront(n *cacheNode) {
 	c.pushFront(n)
 }
 
+//rafiki:hot
 func (c *blockCache) unlink(n *cacheNode) {
 	if n.prev != nil {
 		n.prev.next = n.next

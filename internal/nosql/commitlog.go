@@ -35,6 +35,8 @@ func newCommitLog(segmentBytes, rowBytes float64) *commitLog {
 
 // Append records one write or delete occupying size bytes of log
 // space (size <= 0 falls back to the row size; tombstones are small).
+//
+//rafiki:hot
 func (l *commitLog) Append(key uint64, tombstone bool, expiry, size float64) {
 	l.pending = append(l.pending, logRecord{key: key, tombstone: tombstone, expiry: expiry})
 	before := l.bytes

@@ -441,6 +441,8 @@ func (e *Engine) Apply(cfg config.Config) error {
 // Params returns the engine's effective key-parameter values. The map
 // is built once per configuration and shared across calls — callers
 // must treat it as read-only (Apply invalidates and rebuilds it).
+//
+//rafiki:view
 func (e *Engine) Params() map[string]float64 {
 	if e.paramsCache == nil {
 		e.paramsCache = map[string]float64{
@@ -464,6 +466,8 @@ func (e *Engine) Clock() float64 { return e.clock }
 // engine's backing arrays instead of being copied per call: the engine
 // only ever appends past the snapshot's length, so the returned slices
 // are stable read-only views — callers must not mutate them.
+//
+//rafiki:view
 func (e *Engine) Metrics() Metrics {
 	m := e.m
 	m.SSTables = e.tables.Len()
@@ -541,6 +545,8 @@ func (e *Engine) restingLevel(bytes float64) int {
 
 // Write applies one write operation with the default payload size and
 // no TTL.
+//
+//rafiki:hot
 func (e *Engine) Write(key uint64) {
 	e.writeCell(key, 0, float64(e.hw.RowBytes))
 }
@@ -549,6 +555,8 @@ func (e *Engine) Write(key uint64) {
 // time after it lands; ttlSeconds <= 0 writes a plain cell. Expired
 // cells disappear from reads and scans immediately and are converted to
 // tombstones when compaction next touches them.
+//
+//rafiki:hot
 func (e *Engine) WriteTTL(key uint64, ttlSeconds float64) {
 	var expiry float64
 	if ttlSeconds > 0 {
@@ -560,6 +568,8 @@ func (e *Engine) WriteTTL(key uint64, ttlSeconds float64) {
 // WriteSized applies one write with an explicit payload size; the
 // commit-log, memtable, and CPU accounting scale with it. A size <= 0
 // falls back to the hardware's default row size.
+//
+//rafiki:hot
 func (e *Engine) WriteSized(key uint64, payloadBytes int) {
 	if payloadBytes <= 0 {
 		payloadBytes = e.hw.RowBytes
@@ -568,6 +578,8 @@ func (e *Engine) WriteSized(key uint64, payloadBytes int) {
 }
 
 // writeCell is the shared write path behind Write/WriteTTL/WriteSized.
+//
+//rafiki:hot
 func (e *Engine) writeCell(key uint64, expiry, payloadBytes float64) {
 	e.ep.writes++
 	e.ep.ops++
@@ -592,9 +604,9 @@ func (e *Engine) writeCell(key uint64, expiry, payloadBytes float64) {
 
 	flushThreshold := e.p.memtableCleanup * e.hw.ScaledBytes(e.p.memHeapMB+e.p.memOffheapMB)
 	if e.mem.Bytes() >= flushThreshold {
-		e.flush(false)
+		e.flush(false) //lint:allow hotalloc flush runs once per full memtable; its sstable build amortizes over thousands of writes
 	} else if e.log.Bytes() >= e.hw.ScaledBytes(e.p.commitlogTotalMB) {
-		e.flush(true)
+		e.flush(true) //lint:allow hotalloc log-pressure flush is a rare backpressure branch, not the steady write path
 	}
 	if e.ep.ops >= e.epochOps {
 		e.closeEpoch()
@@ -602,6 +614,8 @@ func (e *Engine) writeCell(key uint64, expiry, payloadBytes float64) {
 }
 
 // Read applies one read operation.
+//
+//rafiki:hot
 func (e *Engine) Read(key uint64) {
 	e.ep.reads++
 	e.ep.ops++
@@ -665,6 +679,8 @@ func (e *Engine) FinishEpoch() {
 // keyCacheHitProb estimates the chance a key's index position is cached:
 // entries follow an LRU over a uniform key space, approximated by the
 // coverage ratio.
+//
+//rafiki:hot
 func (e *Engine) keyCacheHitProb() float64 {
 	const entryBytes = 64
 	entries := e.hw.ScaledBytes(e.p.keyCacheMB) / entryBytes
@@ -832,6 +848,8 @@ func tablesContain(tables []*ssTable, id uint64) bool {
 
 // closeEpoch converts the epoch's accumulated demand into elapsed
 // virtual time and advances background work by that much.
+//
+//rafiki:hot
 func (e *Engine) closeEpoch() {
 	acc := e.ep
 	e.ep = epochAcc{}
@@ -894,6 +912,7 @@ func (e *Engine) closeEpoch() {
 	// binds.
 	dt := math.Max(tDisk, math.Max(tCPU, tWritePath)) * contention
 	if debugEpochs {
+		//lint:allow hotalloc debug-only branch behind the debugEpochs build knob; off in every benchmark
 		fmt.Printf("epoch ops=%d tDisk=%.1fus tCPU=%.1fus tW=%.1fus inter=%.2f bgBusy=%.2f bgCPU=%.2f cont=%.2f wCPU=%.1f rCPU=%.1f miss=%d\n",
 			acc.ops, tDisk/float64(acc.ops)*1e6, tCPU/float64(acc.ops)*1e6, tWritePath/float64(acc.ops)*1e6,
 			interference, e.bgDiskBusyFrac, e.bgCPUFrac, contention,
@@ -974,7 +993,7 @@ func (e *Engine) closeEpoch() {
 	e.o.sstables.Set(float64(e.tables.Len()))
 
 	foreUtil := math.Min(1, (commitDisk+readDisk)/dt)
-	e.advanceBackground(dt, foreUtil)
+	e.advanceBackground(dt, foreUtil) //lint:allow hotalloc epoch close runs once per epochOps operations; compaction bookkeeping amortizes away
 }
 
 // advanceBackground spends dt seconds of background capacity on flush
@@ -1169,6 +1188,8 @@ func (e *Engine) CorruptLogTail(fraction float64) int {
 // Delete applies one delete operation: a tombstone is written through
 // the commit log and memtable exactly like a write; compaction
 // eventually evicts it along with the shadowed versions.
+//
+//rafiki:hot
 func (e *Engine) Delete(key uint64) {
 	e.ep.writes++
 	e.ep.ops++
@@ -1185,9 +1206,9 @@ func (e *Engine) Delete(key uint64) {
 	}
 	flushThreshold := e.p.memtableCleanup * e.hw.ScaledBytes(e.p.memHeapMB+e.p.memOffheapMB)
 	if e.mem.Bytes() >= flushThreshold {
-		e.flush(false)
+		e.flush(false) //lint:allow hotalloc flush runs once per full memtable; its sstable build amortizes over thousands of writes
 	} else if e.log.Bytes() >= e.hw.ScaledBytes(e.p.commitlogTotalMB) {
-		e.flush(true)
+		e.flush(true) //lint:allow hotalloc log-pressure flush is a rare backpressure branch, not the steady write path
 	}
 	if e.ep.ops >= e.epochOps {
 		e.closeEpoch()
@@ -1197,6 +1218,8 @@ func (e *Engine) Delete(key uint64) {
 // Lookup performs a read and additionally reports whether a live
 // (non-deleted) version of key exists after merging the memtable and
 // every table's newest cell.
+//
+//rafiki:hot
 func (e *Engine) Lookup(key uint64) bool {
 	alive := e.resolve(key)
 	e.Read(key)
@@ -1207,10 +1230,14 @@ func (e *Engine) Lookup(key uint64) bool {
 // charges no virtual time: repair machinery streams data in bulk rather
 // than issuing point reads, and the cluster's repair path accounts its
 // write work on the receiving node.
+//
+//rafiki:hot
 func (e *Engine) Alive(key uint64) bool { return e.resolve(key) }
 
 // HasCell reports whether any version of key — live or tombstone — is
 // present in the memtable or any SSTable, without charging time.
+//
+//rafiki:hot
 func (e *Engine) HasCell(key uint64) bool {
 	if e.mem.Contains(key) {
 		return true
@@ -1225,6 +1252,8 @@ func (e *Engine) HasCell(key uint64) bool {
 
 // resolve returns whether the newest cell for key is live: not a
 // tombstone and not past its TTL expiry.
+//
+//rafiki:hot
 func (e *Engine) resolve(key uint64) bool {
 	if c, ok := e.mem.Cell(key); ok {
 		return !c.tomb && !cellExpired(c.expiry, e.clock)
@@ -1243,6 +1272,8 @@ func (e *Engine) resolve(key uint64) bool {
 
 // cellExpired reports whether a cell with the given expiry (0 = none)
 // is past its TTL at virtual time now.
+//
+//rafiki:hot
 func cellExpired(expiry, now float64) bool {
 	return expiry > 0 && expiry <= now
 }

@@ -26,6 +26,8 @@ type scanSource struct {
 // therefore make scans expensive, while leveled compaction's few wide
 // runs keep them cheap; the tuner can discover that trade-off rather
 // than having it hard-coded.
+//
+//rafiki:hot
 func (e *Engine) Scan(start uint64, limit int) int {
 	e.ep.ops++
 	e.m.Scans++
@@ -136,6 +138,8 @@ func (e *Engine) Scan(start uint64, limit int) int {
 // keys that is >= start (len(keys) if none). It is a plain binary
 // search rather than sort.Search so the scan hot path stays
 // allocation-free (closures passed to sort.Search escape).
+//
+//rafiki:hot
 func seekGE(keys []uint64, start uint64) int {
 	lo, hi := 0, len(keys)
 	for lo < hi {

@@ -45,6 +45,8 @@ func newMemtable(rowBytes int) *memtable {
 // overwrites in place (the memtable deduplicates), but still accounts
 // bytes because the commit-log entry and cell versions occupy space
 // until flush.
+//
+//rafiki:hot
 func (m *memtable) Insert(key uint64, expiry, payloadBytes float64) {
 	if _, ok := m.cells[key]; !ok {
 		m.sortedValid = false
@@ -55,6 +57,8 @@ func (m *memtable) Insert(key uint64, expiry, payloadBytes float64) {
 
 // Tombstone records a delete of key (Section 2.2.1: compaction later
 // "evicts tombstones").
+//
+//rafiki:hot
 func (m *memtable) Tombstone(key uint64) {
 	if _, ok := m.cells[key]; !ok {
 		m.sortedValid = false
@@ -64,12 +68,16 @@ func (m *memtable) Tombstone(key uint64) {
 }
 
 // Contains reports whether key has been written since the last flush.
+//
+//rafiki:hot
 func (m *memtable) Contains(key uint64) bool {
 	_, ok := m.cells[key]
 	return ok
 }
 
 // Cell returns the newest cell for key and whether one exists.
+//
+//rafiki:hot
 func (m *memtable) Cell(key uint64) (memCell, bool) {
 	c, ok := m.cells[key]
 	return c, ok
@@ -77,19 +85,28 @@ func (m *memtable) Cell(key uint64) (memCell, bool) {
 
 // IsTombstone reports whether the memtable's newest cell for key is a
 // delete marker.
+//
+//rafiki:hot
 func (m *memtable) IsTombstone(key uint64) bool {
 	return m.cells[key].tomb
 }
 
 // Bytes returns the accounted size of the memtable.
+//
+//rafiki:hot
 func (m *memtable) Bytes() float64 { return m.bytes }
 
 // Len returns the number of distinct keys held.
+//
+//rafiki:hot
 func (m *memtable) Len() int { return len(m.cells) }
 
 // SortedKeys returns the memtable's distinct keys in ascending order.
 // The returned slice is owned by the memtable and valid until the next
 // mutation; range scans use it as the memtable's merge source.
+//
+//rafiki:view
+//rafiki:hot
 func (m *memtable) SortedKeys() []uint64 {
 	if !m.sortedValid {
 		m.sorted = m.sorted[:0]
@@ -108,6 +125,8 @@ func (m *memtable) SortedKeys() []uint64 {
 // inherits map iteration order. The returned slices and map are scratch
 // owned by the memtable, valid only until the next Drain — callers copy
 // them into the flushed table before returning.
+//
+//rafiki:scratch
 func (m *memtable) Drain() (keys []uint64, tombstones []uint64, expiries map[uint64]float64) {
 	keys = m.drainKeys[:0]
 	tombstones = m.drainTombs[:0]

@@ -120,9 +120,13 @@ func (s *ScyllaEngine) Apply(cfg config.Config) error {
 }
 
 // Write forwards a write to the engine.
+//
+//rafiki:hot
 func (s *ScyllaEngine) Write(key uint64) { s.eng.Write(key) }
 
 // Read forwards a read to the engine.
+//
+//rafiki:hot
 func (s *ScyllaEngine) Read(key uint64) { s.eng.Read(key) }
 
 // FinishEpoch closes the current accounting epoch.
@@ -134,7 +138,10 @@ func (s *ScyllaEngine) Preload(versions int) { s.eng.Preload(versions) }
 // Clock returns virtual seconds.
 func (s *ScyllaEngine) Clock() float64 { return s.eng.Clock() }
 
-// Metrics returns engine counters.
+// Metrics returns engine counters; slice-valued fields are shared
+// views owned by the engine.
+//
+//rafiki:view
 func (s *ScyllaEngine) Metrics() Metrics { return s.eng.Metrics() }
 
 // KeySpace returns the scaled number of distinct keys.

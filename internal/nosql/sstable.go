@@ -100,12 +100,16 @@ func (t *ssTable) markExpiries(expiries map[uint64]float64) {
 
 // ExpiryOf returns the virtual expiry time of the table's cell for key,
 // or 0 when the cell never expires.
+//
+//rafiki:hot
 func (t *ssTable) ExpiryOf(key uint64) float64 {
 	return t.expiry[key]
 }
 
 // IsTombstone reports whether the table's cell for key is a delete
 // marker.
+//
+//rafiki:hot
 func (t *ssTable) IsTombstone(key uint64) bool {
 	_, ok := t.tombs[key]
 	return ok
@@ -151,6 +155,8 @@ func (t *ssTable) buildBloom() {
 const defaultBloomFPRate = 0.01
 
 // MayContain consults the Bloom filter: false means definitely absent.
+//
+//rafiki:hot
 func (t *ssTable) MayContain(key uint64) bool {
 	return t.bloom.MayContain(key)
 }
@@ -170,6 +176,8 @@ func (t *ssTable) setBlockSpan(keySpace int) {
 }
 
 // Contains reports whether the table holds a version of key.
+//
+//rafiki:hot
 func (t *ssTable) Contains(key uint64) bool {
 	_, ok := t.keys[key]
 	return ok
@@ -188,6 +196,8 @@ func (t *ssTable) Len() int { return len(t.keys) }
 // Tables are sorted by key, so adjacent keys share blocks; a compacted
 // output is a new table with new block IDs, which is exactly the cache
 // churn real compaction causes.
+//
+//rafiki:hot
 func (t *ssTable) BlockFor(key uint64) blockID {
 	return blockID{table: t.id, block: uint32(key / t.blockSpan)}
 }

@@ -34,6 +34,8 @@ type Counter struct {
 }
 
 // Add increments the counter by n. No-op on a nil receiver.
+//
+//rafiki:hot
 func (c *Counter) Add(n uint64) {
 	if c == nil {
 		return
@@ -42,6 +44,8 @@ func (c *Counter) Add(n uint64) {
 }
 
 // Inc increments the counter by one. No-op on a nil receiver.
+//
+//rafiki:hot
 func (c *Counter) Inc() {
 	if c == nil {
 		return
@@ -50,6 +54,8 @@ func (c *Counter) Inc() {
 }
 
 // Value returns the current count; zero on a nil receiver.
+//
+//rafiki:hot
 func (c *Counter) Value() uint64 {
 	if c == nil {
 		return 0
@@ -64,6 +70,8 @@ type Gauge struct {
 }
 
 // Set stores x. No-op on a nil receiver.
+//
+//rafiki:hot
 func (g *Gauge) Set(x float64) {
 	if g == nil {
 		return
@@ -72,6 +80,8 @@ func (g *Gauge) Set(x float64) {
 }
 
 // Value returns the current value; zero on a nil receiver.
+//
+//rafiki:hot
 func (g *Gauge) Value() float64 {
 	if g == nil {
 		return 0
@@ -89,6 +99,8 @@ type Histogram struct {
 }
 
 // Observe records one observation. No-op on a nil receiver.
+//
+//rafiki:hot
 func (h *Histogram) Observe(x float64) {
 	if h == nil {
 		return

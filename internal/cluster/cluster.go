@@ -1,9 +1,12 @@
 // Package cluster deploys several simulated storage engines as a
-// peer-to-peer cluster, the paper's multi-server setup (Section 4.9):
-// keys are placed by a hash partitioner, writes go to every replica,
-// and reads are balanced across replicas. Multiple client "shooters"
-// are modeled by letting node clocks advance independently — the
-// cluster is as slow as its busiest node.
+// peer-to-peer cluster, the paper's multi-server setup (Section 4.9)
+// grown into a production topology: keys are placed by a consistent-
+// hash token ring with virtual nodes (internal/ring), every request is
+// routed token-aware to the key's RF owners, and the topology is
+// elastic — AddNode/DecommissionNode trigger a deterministic streaming
+// rebalance with a pending-range protocol (see rebalance.go). Multiple
+// client "shooters" are modeled by letting node clocks advance
+// independently — the cluster is as slow as its busiest node.
 //
 // All replica traffic — reads, writes, hint replay, repair streaming —
 // travels as messages through a simulated network (internal/netsim)
@@ -21,6 +24,7 @@ import (
 	"rafiki/internal/netsim"
 	"rafiki/internal/nosql"
 	"rafiki/internal/obs"
+	"rafiki/internal/ring"
 )
 
 // Options configures a cluster.
@@ -52,12 +56,38 @@ type Options struct {
 	// like direct calls.
 	NetBaseLatency float64
 	NetJitter      float64
+	// VNodes is the virtual-node count per ring member (0 selects
+	// ring.DefaultVNodes). Token positions derive from Seed alone, so
+	// the same seed always yields byte-identical placement.
+	VNodes int
 }
 
 // Cluster is a set of replicated engines behind a coordinator.
 type Cluster struct {
 	nodes []*nosql.Engine
 	rf    int
+	// ring is the consistent-hash partitioner (always the *target*
+	// topology); member marks which node slots are current ring members
+	// (false once a decommission is requested — slots are never
+	// reused). pending holds the token ranges mid-rebalance; see
+	// rebalance.go for the pending-range protocol.
+	ring    *ring.Ring
+	member  []bool
+	pending []*pendingRange
+	// pumpRR round-robins pump work across pending ranges; streamSeq
+	// issues stream ids; movedSpan accumulates the token-space length
+	// of every range ever scheduled to move (for the moved-fraction
+	// report).
+	pumpRR    uint64
+	streamSeq uint64
+	movedSpan float64
+	// ownerScratch backs the per-op ownership walk; baseOpts remembers
+	// the construction options so elastically added nodes are built
+	// identically; preloadVersions lets a joining node bootstrap the
+	// preloaded dataset the original members carry.
+	ownerScratch    []int
+	baseOpts        Options
+	preloadVersions int
 	// net carries every replica interaction; reps are the node-side
 	// message endpoints wrapping the engines.
 	net  *netsim.Network
@@ -111,8 +141,13 @@ func New(opts Options) (*Cluster, error) {
 	if opts.ReplicationFactor <= 0 || opts.ReplicationFactor > opts.Nodes {
 		return nil, fmt.Errorf("cluster: replication factor %d out of [1, %d]", opts.ReplicationFactor, opts.Nodes)
 	}
+	if opts.VNodes < 0 {
+		return nil, fmt.Errorf("cluster: negative virtual-node count %d", opts.VNodes)
+	}
 	c := &Cluster{
 		rf:          opts.ReplicationFactor,
+		ring:        ring.New(opts.Seed^0x72696e67, opts.VNodes), // decorrelate from node seeds
+		member:      make([]bool, opts.Nodes),
 		down:        make([]bool, opts.Nodes),
 		hints:       make([][]hint, opts.Nodes),
 		needRepair:  make([]bool, opts.Nodes),
@@ -121,7 +156,14 @@ func New(opts Options) (*Cluster, error) {
 		readCL:      ConsistencyOne,
 		writeCL:     ConsistencyOne,
 		res:         PassiveResilience(),
+		baseOpts:    opts,
 		o:           newClusterObs(opts.Obs),
+	}
+	for i := 0; i < opts.Nodes; i++ {
+		if err := c.ring.AddNode(i); err != nil {
+			return nil, fmt.Errorf("cluster: ring: %w", err)
+		}
+		c.member[i] = true
 	}
 	for i := 0; i < opts.Nodes; i++ {
 		eng, err := nosql.New(nosql.Options{
@@ -166,15 +208,18 @@ func (c *Cluster) Nodes() int { return len(c.nodes) }
 // Preload installs the dataset on every node. Preloaded data is
 // replicated everywhere (the paper's two-server setup stores an
 // equivalent number of keys per instance); runtime writes respect the
-// replica placement.
+// replica placement. Nodes joining later bootstrap the same dataset,
+// so only versioned runtime state ever needs streaming.
 func (c *Cluster) Preload(versions int) {
+	c.preloadVersions = versions
 	for _, n := range c.nodes {
 		n.Preload(versions)
 	}
 }
 
-// Apply reconfigures every node.
+// Apply reconfigures every node (and nodes added later).
 func (c *Cluster) Apply(cfg config.Config) error {
+	c.baseOpts.Config = cfg
 	for i, n := range c.nodes {
 		if err := n.Apply(cfg); err != nil {
 			return fmt.Errorf("cluster: node %d: %w", i, err)
@@ -183,16 +228,50 @@ func (c *Cluster) Apply(cfg config.Config) error {
 	return nil
 }
 
-// replicas returns the node indexes holding key, primary first.
+// replicas returns the node indexes currently serving key, primary
+// first. The returned slice is coordinator scratch, valid until the
+// next placement lookup.
 func (c *Cluster) replicas(key uint64) []int {
-	// Multiplicative hashing stands in for the ring's token ownership.
-	h := key * 0x9E3779B97F4A7C15
-	primary := int(h % uint64(len(c.nodes)))
-	out := make([]int, 0, c.rf)
-	for i := 0; i < c.rf; i++ {
-		out = append(out, (primary+i)%len(c.nodes))
+	return c.serving(ring.KeyPos(key))
+}
+
+// serving resolves a ring position to the nodes serving it right now:
+// the target ring's RF distinct owners, with every in-flight pending
+// range swapping its destination back to the streaming source — the
+// old owner keeps serving (and acknowledging) the moving range until
+// the handoff completes, so read and write quorums keep intersecting
+// across the topology change.
+func (c *Cluster) serving(pos uint64) []int {
+	owners := c.ring.OwnersAt(c.ownerScratch[:0], pos, c.rf)
+	c.ownerScratch = owners
+	for _, pr := range c.pending {
+		if !pr.iv.Contains(pos) {
+			continue
+		}
+		for i, n := range owners {
+			if n == pr.dest {
+				owners[i] = pr.src
+			}
+		}
 	}
-	return out
+	// A swap can alias two slots onto one node (the source may already
+	// be an owner of the same arc); dedupe preserving order so quorum
+	// accounting never counts one node twice.
+	w := 0
+	for _, n := range owners {
+		dup := false
+		for j := 0; j < w; j++ {
+			if owners[j] == n {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			owners[w] = n
+			w++
+		}
+	}
+	return owners[:w]
 }
 
 // hint is a versioned mutation buffered for a replica that could not
@@ -241,11 +320,13 @@ func (c *Cluster) DeleteOp(key uint64) WriteResult {
 }
 
 func (c *Cluster) mutate(key uint64, tombstone bool) WriteResult {
+	c.pumpRebalance()
 	c.o.mutations.Inc()
 	c.seq++
 	wc := cell{ver: c.seq, tomb: tombstone}
 	acked := 0
-	for _, idx := range c.replicas(key) {
+	owners := c.replicas(key)
+	for _, idx := range owners {
 		// A down replica — or a live one whose op attempt timed out or
 		// failed past its retry budget — is owed the mutation as a hint.
 		if c.down[idx] || !c.attemptOp(idx) {
@@ -258,6 +339,38 @@ func (c *Cluster) mutate(key uint64, tombstone bool) WriteResult {
 			// The write or its ack was lost in the network; the replica
 			// is owed the mutation exactly like a down node would be.
 			c.addHint(idx, hint{key: key, c: wc})
+		}
+	}
+	// Forward the mutation to every pending destination catching up on
+	// this key's range: the new owner must observe writes issued while
+	// its stream is in flight, and one it cannot be handed is owed as a
+	// hint exactly like to a down node. Forwarded copies never count
+	// toward the ack quorum — the serving owners alone decide that.
+	pos := ring.KeyPos(key)
+	for _, pr := range c.pending {
+		if !pr.iv.Contains(pos) {
+			continue
+		}
+		dest := pr.dest
+		already := false
+		for _, idx := range owners {
+			if idx == dest {
+				already = true
+				break
+			}
+		}
+		if already {
+			continue
+		}
+		if c.down[dest] || !c.attemptOp(dest) {
+			c.addHint(dest, hint{key: key, c: wc})
+			continue
+		}
+		if c.writeRPC(dest, key, wc) {
+			c.stats.ForwardedWrites++
+			c.o.forwardedWrites.Inc()
+		} else {
+			c.addHint(dest, hint{key: key, c: wc})
 		}
 	}
 	if acked == 0 {
@@ -306,6 +419,7 @@ func (c *Cluster) Read(key uint64) {
 // version wins and stale responders are repaired in the background
 // (read repair).
 func (c *Cluster) ReadOp(key uint64) ReadResult {
+	c.pumpRebalance()
 	c.o.reads.Inc()
 	reps := c.replicas(key)
 	var live []int
@@ -407,16 +521,20 @@ func (c *Cluster) Scan(start uint64, limit int) int {
 }
 
 // ScanOp serves a range scan from as many live replicas as the read
-// consistency level requires. A range scan spans token ranges, so any
-// replica can serve it; the coordinator consults a rotated set of live
-// nodes (the same balancing as reads), each walking its local merged
+// consistency level requires. Routing is token-aware: the coordinator
+// consults the serving owners of the scan's start key in rotated order
+// (the same balancing as reads), each walking its local merged
 // iterator, and the newest view — the largest live-row count — wins.
-// A scan that cannot hear back from enough replicas counts as
-// unavailable.
+// (A long scan can run past the start key's token range; owners of
+// later ranges hold the preloaded base plus their own writes, so the
+// count is an approximation the moment the cluster outgrows RF ==
+// Nodes — acceptable for a row-count oracle.) A scan that cannot hear
+// back from enough replicas counts as unavailable.
 func (c *Cluster) ScanOp(start uint64, limit int) ScanResult {
+	c.pumpRebalance()
 	c.o.scans.Inc()
 	var live []int
-	for idx := range c.reps {
+	for _, idx := range c.serving(ring.KeyPos(start)) {
 		if !c.down[idx] {
 			live = append(live, idx)
 		}

@@ -87,6 +87,21 @@ type Stats struct {
 	// UnackedWrites counts writes acknowledged by at least one replica
 	// but fewer than the write consistency level requires.
 	UnackedWrites uint64
+	// RangesMoved counts token ranges scheduled to change owners by
+	// topology changes (AddNode/DecommissionNode).
+	RangesMoved uint64
+	// StreamsStarted/Completed/Severed count rebalance stream
+	// lifecycle events: established on the source, finished with the
+	// delta handoff, or interrupted (loss, crash, down endpoint,
+	// superseding topology change) and re-established from scratch.
+	StreamsStarted, StreamsCompleted, StreamsSevered uint64
+	// StreamedCells counts key states delivered over rebalance
+	// streams (catch-up chunks plus delta pushes).
+	StreamedCells uint64
+	// ForwardedWrites counts live writes forwarded to a pending
+	// range's catching-up destination (never counted toward the ack
+	// quorum).
+	ForwardedWrites uint64
 }
 
 // SetReadConsistency selects the read consistency level (default ONE).

@@ -50,6 +50,18 @@ type clusterObs struct {
 	readRepairs   *obs.Counter
 	unackedWrites *obs.Counter
 
+	// Rebalance instruments, twinned with the Stats fields of the
+	// same names; rangesPending tracks the live pending-range count
+	// and reg records the per-stream spans.
+	rangesMoved      *obs.Counter
+	streamsStarted   *obs.Counter
+	streamsCompleted *obs.Counter
+	streamsSevered   *obs.Counter
+	streamedCells    *obs.Counter
+	forwardedWrites  *obs.Counter
+	rangesPending    *obs.Gauge
+	reg              *obs.Registry
+
 	overhead *obs.Gauge
 }
 
@@ -85,6 +97,16 @@ func newClusterObs(r *obs.Registry) clusterObs {
 		repairedKeys:  r.Counter("cluster.repaired_keys"),
 		readRepairs:   r.Counter("cluster.read_repairs"),
 		unackedWrites: r.Counter("cluster.unacked_writes"),
-		overhead:      r.Gauge("cluster.coordinator_overhead_vsec"),
+
+		rangesMoved:      r.Counter("ring.ranges_moved"),
+		streamsStarted:   r.Counter("ring.streams_started"),
+		streamsCompleted: r.Counter("ring.streams_completed"),
+		streamsSevered:   r.Counter("ring.streams_severed"),
+		streamedCells:    r.Counter("ring.streamed_cells"),
+		forwardedWrites:  r.Counter("cluster.forwarded_writes"),
+		rangesPending:    r.Gauge("ring.ranges_pending"),
+		reg:              r,
+
+		overhead: r.Gauge("cluster.coordinator_overhead_vsec"),
 	}
 }

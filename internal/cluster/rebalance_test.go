@@ -1,0 +1,357 @@
+package cluster
+
+import (
+	"testing"
+
+	"rafiki/internal/config"
+	"rafiki/internal/obs"
+	"rafiki/internal/ring"
+)
+
+// newElastic builds a small cluster at QUORUM/QUORUM for rebalance
+// tests.
+func newElastic(t *testing.T, nodes, rf int, seed int64, reg *obs.Registry) *Cluster {
+	t.Helper()
+	c, err := New(Options{
+		Nodes:             nodes,
+		ReplicationFactor: rf,
+		Space:             config.Cassandra(),
+		Seed:              seed,
+		EpochOps:          64,
+		NetBaseLatency:    1e-4,
+		Obs:               reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetReadConsistency(ConsistencyQuorum); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetWriteConsistency(ConsistencyQuorum); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// drain runs the rebalance to quiescence and fails the test if it
+// does not get there.
+func drain(t *testing.T, c *Cluster) {
+	t.Helper()
+	c.DrainRebalance(100_000)
+	if n := c.PendingRanges(); n != 0 {
+		t.Fatalf("rebalance did not drain: %d ranges still pending", n)
+	}
+}
+
+// checkReadable asserts every recorded acked write is readable at
+// QUORUM at (at least) its acked version.
+func checkReadable(t *testing.T, c *Cluster, acked map[uint64]int64) {
+	t.Helper()
+	for key, ver := range acked {
+		res := c.ReadOp(key)
+		if !res.OK {
+			t.Fatalf("key %d: QUORUM read unavailable after rebalance", key)
+		}
+		if res.Version < ver {
+			t.Fatalf("key %d: QUORUM read saw version %d, acked write was %d", key, res.Version, ver)
+		}
+	}
+}
+
+// TestAddNodeStreamsAndServes: a node joins under write load; after
+// the rebalance drains, the ring includes it, moved ranges streamed
+// (not reshuffled wholesale), and every acked write is readable at
+// QUORUM.
+func TestAddNodeStreamsAndServes(t *testing.T) {
+	c := newElastic(t, 4, 2, 71, nil)
+	c.Preload(2)
+	acked := map[uint64]int64{}
+	for key := uint64(0); key < 128; key++ {
+		if res := c.WriteOp(key); res.OK {
+			acked[key] = res.Version
+		}
+	}
+	idx, err := c.AddNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 4 {
+		t.Fatalf("AddNode assigned index %d, want 4", idx)
+	}
+	if c.PendingRanges() == 0 {
+		t.Fatal("join scheduled no pending ranges")
+	}
+	// Keep writing while the rebalance pumps in the background of each
+	// op; writes to moving ranges are forwarded to the joiner.
+	for key := uint64(0); key < 128; key++ {
+		if res := c.WriteOp(key); res.OK {
+			acked[key] = res.Version
+		}
+	}
+	drain(t, c)
+	st := c.Stats()
+	if st.StreamsCompleted == 0 {
+		t.Fatal("no streams completed")
+	}
+	if st.StreamedCells == 0 {
+		t.Fatal("no cells streamed")
+	}
+	if !c.Ring().HasMember(4) {
+		t.Fatal("joiner missing from ring")
+	}
+	// The joiner must actually serve: some key's owner set includes it.
+	serves := false
+	for key := uint64(0); key < 128 && !serves; key++ {
+		for _, idx := range c.replicas(key) {
+			if idx == 4 {
+				serves = true
+			}
+		}
+	}
+	if !serves {
+		t.Fatal("joiner serves no keys")
+	}
+	// Minimal movement: one join among five nodes should move roughly
+	// rf/5 of the token circle, nowhere near all of it.
+	if frac := c.MovedTokenFraction(); frac <= 0 || frac > 0.9 {
+		t.Fatalf("moved token fraction %.3f out of (0, 0.9]", frac)
+	}
+	checkReadable(t, c, acked)
+}
+
+// TestRebalanceSurvivesSeveredStream is the acceptance regression:
+// a partition severs the streams mid-handoff, writes issued during
+// the outage are forwarded or hinted, and after healing + drain every
+// acked write to the moving ranges is readable at QUORUM.
+func TestRebalanceSurvivesSeveredStream(t *testing.T) {
+	c := newElastic(t, 4, 2, 72, nil)
+	c.Preload(2)
+	acked := map[uint64]int64{}
+	for key := uint64(0); key < 128; key++ {
+		if res := c.WriteOp(key); res.OK {
+			acked[key] = res.Version
+		}
+	}
+	if _, err := c.AddNode(); err != nil {
+		t.Fatal(err)
+	}
+	// Let a stream or two open before the cut.
+	c.DrainRebalance(2)
+	// Sever every stream leg touching the joiner: src -> dest chunk
+	// legs and the coordinator -> dest forward/ack legs.
+	now := c.Clock()
+	for n := 0; n < 4; n++ {
+		if err := c.Net().Partition(n, 4, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Net().Partition(-1, 4, now); err != nil {
+		t.Fatal(err)
+	}
+	// Write through the outage: moving-range writes cannot reach the
+	// joiner and are owed as hints; serving owners still ack QUORUM.
+	for key := uint64(0); key < 128; key++ {
+		if res := c.WriteOp(key); res.OK {
+			acked[key] = res.Version
+		} else {
+			t.Fatalf("key %d: QUORUM write failed during joiner partition", key)
+		}
+	}
+	// Pump against the partition: pulls fail, streams sever and park.
+	c.DrainRebalance(200)
+	if c.Stats().StreamsSevered == 0 {
+		t.Fatal("partition severed no streams")
+	}
+	if c.PendingRanges() == 0 {
+		t.Fatal("rebalance completed through a partition that cut every stream leg")
+	}
+	// Heal and finish: the anti-entropy reopen re-freezes and restreams.
+	now = c.Clock()
+	for n := 0; n < 4; n++ {
+		if err := c.Net().Heal(n, 4, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Net().Heal(-1, 4, now); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, c)
+	checkReadable(t, c, acked)
+}
+
+// TestRestartSeversStreamViaGone: a src crash-restart wipes its frozen
+// stream lists; the next pull answers streamGone and the coordinator
+// re-establishes. Acked writes survive.
+func TestRestartSeversStreamViaGone(t *testing.T) {
+	c := newElastic(t, 4, 2, 73, nil)
+	c.Preload(2)
+	acked := map[uint64]int64{}
+	for key := uint64(0); key < 128; key++ {
+		if res := c.WriteOp(key); res.OK {
+			acked[key] = res.Version
+		}
+	}
+	if _, err := c.AddNode(); err != nil {
+		t.Fatal(err)
+	}
+	// Open at least one stream, then restart every src mid-catchup.
+	c.DrainRebalance(3)
+	restarted := map[int]bool{}
+	for _, pr := range c.pending {
+		if pr.opened && !restarted[pr.src] {
+			restarted[pr.src] = true
+			if err := c.RestartNode(pr.src); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if len(restarted) == 0 {
+		t.Fatal("no stream opened within the first pumps")
+	}
+	drain(t, c)
+	if c.Stats().StreamsSevered == 0 {
+		t.Fatal("src restarts severed no streams (streamGone path untested)")
+	}
+	checkReadable(t, c, acked)
+}
+
+// TestDecommissionNode: a drained node leaves every serving set, its
+// ranges stream to the survivors, and acked writes stay readable.
+func TestDecommissionNode(t *testing.T) {
+	c := newElastic(t, 5, 2, 74, nil)
+	c.Preload(2)
+	acked := map[uint64]int64{}
+	for key := uint64(0); key < 128; key++ {
+		if res := c.WriteOp(key); res.OK {
+			acked[key] = res.Version
+		}
+	}
+	if err := c.DecommissionNode(2); err != nil {
+		t.Fatal(err)
+	}
+	// The leaver keeps serving its moving ranges until each handoff
+	// completes; writes during the drain still ack at QUORUM.
+	for key := uint64(0); key < 128; key++ {
+		if res := c.WriteOp(key); res.OK {
+			acked[key] = res.Version
+		}
+	}
+	drain(t, c)
+	for _, m := range c.Members() {
+		if m == 2 {
+			t.Fatal("decommissioned node still a ring member")
+		}
+	}
+	for key := uint64(0); key < 512; key++ {
+		for _, idx := range c.replicas(key) {
+			if idx == 2 {
+				t.Fatalf("key %d still served by decommissioned node", key)
+			}
+		}
+	}
+	checkReadable(t, c, acked)
+	// A second decommission of the same node must be rejected, as must
+	// one that would dip below RF.
+	if err := c.DecommissionNode(2); err == nil {
+		t.Fatal("double decommission accepted")
+	}
+	if err := c.DecommissionNode(0); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, c)
+	if err := c.DecommissionNode(1); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, c)
+	if err := c.DecommissionNode(3); err == nil {
+		t.Fatal("decommission below RF accepted")
+	}
+}
+
+// TestRingObsReconcile: the rebalance counters and their Stats twins
+// are two exact views of the same event stream, the pending gauge
+// lands at zero, and completed streams record spans.
+func TestRingObsReconcile(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := newElastic(t, 4, 2, 75, reg)
+	c.Preload(2)
+	for key := uint64(0); key < 96; key++ {
+		c.WriteOp(key)
+	}
+	if _, err := c.AddNode(); err != nil {
+		t.Fatal(err)
+	}
+	c.DrainRebalance(2)
+	// A partition window forces severs so those counters reconcile
+	// non-vacuously.
+	now := c.Clock()
+	for n := 0; n < 4; n++ {
+		if err := c.Net().Partition(n, 4, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for key := uint64(0); key < 96; key++ {
+		c.WriteOp(key)
+	}
+	c.DrainRebalance(100)
+	now = c.Clock()
+	for n := 0; n < 4; n++ {
+		if err := c.Net().Heal(n, 4, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.DecommissionNode(1); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, c)
+	st := c.Stats()
+	twins := []struct {
+		name string
+		want uint64
+	}{
+		{"ring.ranges_moved", st.RangesMoved},
+		{"ring.streams_started", st.StreamsStarted},
+		{"ring.streams_completed", st.StreamsCompleted},
+		{"ring.streams_severed", st.StreamsSevered},
+		{"ring.streamed_cells", st.StreamedCells},
+		{"cluster.forwarded_writes", st.ForwardedWrites},
+	}
+	for _, tw := range twins {
+		if got := reg.Counter(tw.name).Value(); got != tw.want {
+			t.Errorf("%s = %d, Stats twin = %d", tw.name, got, tw.want)
+		}
+	}
+	for _, tw := range []string{"ring.ranges_moved", "ring.streams_started", "ring.streams_completed",
+		"ring.streams_severed", "ring.streamed_cells", "cluster.forwarded_writes"} {
+		if reg.Counter(tw).Value() == 0 {
+			t.Errorf("%s never incremented: reconciliation is vacuous", tw)
+		}
+	}
+	if g := reg.Gauge("ring.ranges_pending").Value(); g != 0 {
+		t.Errorf("ring.ranges_pending gauge = %v after drain, want 0", g)
+	}
+	if got, want := reg.SpanCount(), int(st.StreamsCompleted); got < want {
+		t.Errorf("span count %d < completed streams %d", got, want)
+	}
+}
+
+// TestServingFullReplicationUnchanged: with RF == Nodes every key is
+// served by every node regardless of ring order — the placement the
+// paper's experiments and the pre-ring tests assume.
+func TestServingFullReplicationUnchanged(t *testing.T) {
+	c := newElastic(t, 3, 3, 76, nil)
+	for key := uint64(0); key < 256; key++ {
+		owners := c.replicas(key)
+		if len(owners) != 3 {
+			t.Fatalf("key %d: %d owners, want 3", key, len(owners))
+		}
+		seen := map[int]bool{}
+		for _, o := range owners {
+			seen[o] = true
+		}
+		if len(seen) != 3 {
+			t.Fatalf("key %d: duplicate owners %v", key, owners)
+		}
+	}
+	_ = ring.KeyPos(0) // keep the import honest about what placement uses
+}

@@ -2,9 +2,11 @@ package cluster
 
 import (
 	"math"
+	"sort"
 
 	"rafiki/internal/netsim"
 	"rafiki/internal/nosql"
+	"rafiki/internal/ring"
 )
 
 // This file is the cluster's netsim delivery layer: the node-side
@@ -80,6 +82,85 @@ type (
 	}
 )
 
+// Rebalance stream payloads (see rebalance.go for the protocol). The
+// coordinator drives every step; data legs travel src -> dest directly,
+// acks come back to the coordinator — all over the same lossy network
+// as serving traffic.
+type (
+	// streamItem is one key's versioned state in flight.
+	streamItem struct {
+		key uint64
+		c   cell
+	}
+	// streamOpenReq asks the src to freeze the sorted key list of a
+	// moving range under a stream id.
+	streamOpenReq struct {
+		id     uint64
+		stream uint64
+		iv     ring.Interval
+	}
+	// streamOpenResp answers with the frozen list's length.
+	streamOpenResp struct {
+		id     uint64
+		stream uint64
+		total  int
+	}
+	// streamPullReq asks the src to forward the next chunk of frozen
+	// keys to dest.
+	streamPullReq struct {
+		id     uint64
+		stream uint64
+		dest   int
+		offset int
+		max    int
+	}
+	// streamChunk carries one chunk src -> dest. consumed is how many
+	// frozen-list slots the chunk covers (items may be fewer when keys
+	// vanished since the freeze).
+	streamChunk struct {
+		id       uint64
+		stream   uint64
+		consumed int
+		items    []streamItem
+	}
+	// streamApplied is dest's ack to the coordinator for one chunk.
+	streamApplied struct {
+		id       uint64
+		stream   uint64
+		consumed int
+		applied  int
+	}
+	// streamGone tells the coordinator the src no longer knows the
+	// stream (it crash-restarted since the open); the stream must be
+	// re-established.
+	streamGone struct {
+		id     uint64
+		stream uint64
+	}
+	// deltaReq asks the src to re-push a whole range to dest: the
+	// final handoff closing the gap between the frozen snapshot and
+	// the src's live state.
+	deltaReq struct {
+		id   uint64
+		iv   ring.Interval
+		dest int
+	}
+	// deltaPush carries the full-range delta src -> dest.
+	deltaPush struct {
+		id    uint64
+		items []streamItem
+	}
+	// deltaAck is dest's ack to the coordinator for a delta.
+	deltaAck struct {
+		id     uint64
+		pushed int
+	}
+	// streamCloseReq releases the src's frozen list (fire-and-forget).
+	streamCloseReq struct {
+		stream uint64
+	}
+)
+
 // undoWindow bounds each replica's corruptible tail: applies older
 // than the window count as flushed (durable) and can no longer be
 // lost to a torn commit log.
@@ -105,6 +186,12 @@ type replica struct {
 	cur  map[uint64]cell
 	undo []undoRec
 	torn int
+	// streams holds the frozen sorted key lists of rebalance streams
+	// this replica is the source of, by stream id. The state is RAM
+	// only: a crash-restart wipes it, and a later pull answers
+	// streamGone — which is how the coordinator learns it must
+	// re-establish the stream.
+	streams map[uint64][]uint64
 }
 
 func newReplica(eng *nosql.Engine) *replica {
@@ -141,6 +228,20 @@ func (r *replica) read(key uint64) (cell, bool) {
 // expiry) and the replica reports the live rows it found.
 func (r *replica) scan(start uint64, limit int) int {
 	return r.eng.Scan(start, limit)
+}
+
+// rangeKeys collects the replica's versioned keys whose ring position
+// falls in iv, sorted ascending so the frozen stream list is
+// deterministic regardless of map iteration order.
+func (r *replica) rangeKeys(iv ring.Interval) []uint64 {
+	var keys []uint64
+	for k := range r.cur {
+		if iv.Contains(ring.KeyPos(k)) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
 }
 
 // pushUndo appends one tail record, sliding the durability window
@@ -200,6 +301,9 @@ func (r *replica) restart() {
 	}
 	r.undo = r.undo[:0]
 	r.torn = 0
+	// Frozen stream lists are RAM state: gone after a crash. Pulls
+	// against them will answer streamGone.
+	r.streams = nil
 }
 
 // handleAtNode is the node-side delivery handler: it executes the
@@ -224,6 +328,59 @@ func (c *Cluster) handleAtNode(node int, from int, payload any, at float64) {
 			has: r.eng.HasCell(m.key), alive: r.eng.Alive(m.key),
 			c: cl, hasVer: hasVer,
 		}, at)
+	case streamOpenReq:
+		if r.streams == nil {
+			r.streams = make(map[uint64][]uint64)
+		}
+		keys := r.rangeKeys(m.iv)
+		r.streams[m.stream] = keys
+		c.net.Send(node, from, streamOpenResp{id: m.id, stream: m.stream, total: len(keys)}, at)
+	case streamPullReq:
+		keys, ok := r.streams[m.stream]
+		if !ok {
+			c.net.Send(node, netsim.Coordinator, streamGone{id: m.id, stream: m.stream}, at)
+			return
+		}
+		if m.offset > len(keys) {
+			m.offset = len(keys)
+		}
+		end := m.offset + m.max
+		if end > len(keys) {
+			end = len(keys)
+		}
+		chunk := streamChunk{id: m.id, stream: m.stream, consumed: end - m.offset}
+		for _, key := range keys[m.offset:end] {
+			cl, has := r.read(key)
+			if !has {
+				continue
+			}
+			chunk.items = append(chunk.items, streamItem{key: key, c: cl})
+		}
+		c.net.Send(node, m.dest, chunk, at)
+	case streamChunk:
+		for _, it := range m.items {
+			r.apply(it.key, it.c)
+		}
+		c.net.Send(node, netsim.Coordinator, streamApplied{
+			id: m.id, stream: m.stream, consumed: m.consumed, applied: len(m.items),
+		}, at)
+	case deltaReq:
+		push := deltaPush{id: m.id}
+		for _, key := range r.rangeKeys(m.iv) {
+			cl, has := r.read(key)
+			if !has {
+				continue
+			}
+			push.items = append(push.items, streamItem{key: key, c: cl})
+		}
+		c.net.Send(node, m.dest, push, at)
+	case deltaPush:
+		for _, it := range m.items {
+			r.apply(it.key, it.c)
+		}
+		c.net.Send(node, netsim.Coordinator, deltaAck{id: m.id, pushed: len(m.items)}, at)
+	case streamCloseReq:
+		delete(r.streams, m.stream)
 	}
 }
 

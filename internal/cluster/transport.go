@@ -1,6 +1,9 @@
 package cluster
 
-import "rafiki/internal/netsim"
+import (
+	"rafiki/internal/netsim"
+	"rafiki/internal/ring"
+)
 
 // Coordinator-side RPC helpers. Each helper is one synchronous
 // request/response exchange over the simulated network: the request is
@@ -80,6 +83,79 @@ func (c *Cluster) scanRPC(idx int, start uint64, limit int) (scanResp, bool) {
 	}
 	c.rpcLost(idx)
 	return scanResp{}, false
+}
+
+// streamOpenRPC asks src to freeze the key list of a moving range and
+// returns its length.
+func (c *Cluster) streamOpenRPC(src int, stream uint64, iv ring.Interval) (int, bool) {
+	id := c.newRPC()
+	c.inbox = c.inbox[:0]
+	sent := c.Clock()
+	c.net.Send(netsim.Coordinator, src, streamOpenReq{id: id, stream: stream, iv: iv}, sent)
+	for _, e := range c.inbox {
+		if r, ok := e.payload.(streamOpenResp); ok && r.id == id && e.from == src {
+			c.chargeWait(e.at - sent)
+			c.breakerSuccess(src)
+			return r.total, true
+		}
+	}
+	c.rpcLost(src)
+	return 0, false
+}
+
+// streamPullRPC asks src to forward the next chunk of a frozen stream
+// to dest and waits for dest's ack. Three legs can lose it — request,
+// chunk, ack — and any loss reads as a failed exchange against src's
+// link; gone reports that src no longer knows the stream (it restarted
+// since the open).
+func (c *Cluster) streamPullRPC(src, dest int, stream uint64, offset, max int) (consumed, applied int, gone, ok bool) {
+	id := c.newRPC()
+	c.inbox = c.inbox[:0]
+	sent := c.Clock()
+	c.net.Send(netsim.Coordinator, src, streamPullReq{id: id, stream: stream, dest: dest, offset: offset, max: max}, sent)
+	for _, e := range c.inbox {
+		switch r := e.payload.(type) {
+		case streamApplied:
+			if r.id == id && e.from == dest {
+				c.chargeWait(e.at - sent)
+				c.breakerSuccess(src)
+				return r.consumed, r.applied, false, true
+			}
+		case streamGone:
+			if r.id == id && e.from == src {
+				c.chargeWait(e.at - sent)
+				c.breakerSuccess(src)
+				return 0, 0, true, false
+			}
+		}
+	}
+	c.rpcLost(src)
+	return 0, 0, false, false
+}
+
+// deltaRPC asks src to re-push a whole range to dest (the final
+// handoff) and waits for dest's ack.
+func (c *Cluster) deltaRPC(src, dest int, iv ring.Interval) (int, bool) {
+	id := c.newRPC()
+	c.inbox = c.inbox[:0]
+	sent := c.Clock()
+	c.net.Send(netsim.Coordinator, src, deltaReq{id: id, iv: iv, dest: dest}, sent)
+	for _, e := range c.inbox {
+		if r, ok := e.payload.(deltaAck); ok && r.id == id && e.from == dest {
+			c.chargeWait(e.at - sent)
+			c.breakerSuccess(src)
+			return r.pushed, true
+		}
+	}
+	c.rpcLost(src)
+	return 0, false
+}
+
+// streamCloseRPC releases src's frozen stream list. Fire-and-forget: a
+// lost close only strands a few kilobytes of simulated RAM, so no one
+// waits for it.
+func (c *Cluster) streamCloseRPC(src int, stream uint64) {
+	c.net.Send(netsim.Coordinator, src, streamCloseReq{stream: stream}, c.Clock())
 }
 
 // stateRPC asks node idx for repair introspection on key.

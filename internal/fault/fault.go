@@ -51,6 +51,17 @@ const (
 	// NetDelay multiplies the directed link Node -> Peer's base latency
 	// by DelayFactor from At to Until.
 	NetDelay
+	// AddNode elastically joins a new node at At; its index is assigned
+	// by the target (the next free slot). Node is ignored.
+	AddNode
+	// DecommissionNode removes node Node from the serving topology at
+	// At; its ranges stream to the surviving owners (the node keeps
+	// serving them until each handoff completes).
+	DecommissionNode
+	// RollingRestart crash-restarts every node present at At, one at a
+	// time, spread evenly across [At, Until] — the operational pattern
+	// most likely to race a rebalance. Node is ignored.
+	RollingRestart
 )
 
 // CoordinatorEndpoint is the Node/Peer value addressing the cluster
@@ -78,6 +89,12 @@ func (k Kind) String() string {
 		return "net-dup"
 	case NetDelay:
 		return "net-delay"
+	case AddNode:
+		return "add-node"
+	case DecommissionNode:
+		return "decommission"
+	case RollingRestart:
+		return "rolling-restart"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -125,7 +142,26 @@ type Event struct {
 // windowed reports whether the event has a duration.
 func (e Event) windowed() bool {
 	switch e.Kind {
-	case Fail, Slow, Transient, Partition, NetFlaky, NetDup, NetDelay:
+	case Fail, Slow, Transient, Partition, NetFlaky, NetDup, NetDelay, RollingRestart:
+		return true
+	}
+	return false
+}
+
+// topology reports whether the event changes the node set.
+func (e Event) topology() bool {
+	switch e.Kind {
+	case AddNode, DecommissionNode:
+		return true
+	}
+	return false
+}
+
+// targetless reports whether the event addresses the whole target
+// rather than one node or link (Node/Peer are ignored).
+func (e Event) targetless() bool {
+	switch e.Kind {
+	case AddNode, RollingRestart:
 		return true
 	}
 	return false
@@ -143,7 +179,7 @@ func (e Event) Validate(nodes int) error {
 		if e.Node == e.Peer {
 			return fmt.Errorf("fault: network event targets self-link %d", e.Node)
 		}
-	} else if e.Node < 0 || e.Node >= nodes {
+	} else if !e.targetless() && (e.Node < 0 || e.Node >= nodes) {
 		return fmt.Errorf("fault: event targets node %d of %d", e.Node, nodes)
 	}
 	if e.At < 0 {
@@ -182,6 +218,7 @@ func (e Event) Validate(nodes int) error {
 		if e.CorruptFraction <= 0 || e.CorruptFraction > 1 {
 			return fmt.Errorf("fault: corrupt fraction %v out of (0,1]", e.CorruptFraction)
 		}
+	case AddNode, DecommissionNode, RollingRestart:
 	default:
 		return fmt.Errorf("fault: unknown event kind %d", int(e.Kind))
 	}
@@ -192,18 +229,46 @@ func (e Event) Validate(nodes int) error {
 // injector sorts by start time.
 type Schedule []Event
 
-// Validate reports schedule errors against a cluster of n nodes.
-// Overlapping Fail windows on the same node are rejected — a down node
-// cannot fail again — as are schedules that would fail every node at
-// once only in the sense of being invalid per event; total-outage
-// schedules are legal (that is a scenario worth measuring).
+// Validate reports schedule errors against a cluster initially of n
+// nodes. Topology events change the node count over virtual time, so
+// each event is validated against the node-index bound in force when
+// it fires — an AddNode at t=10 makes node index n targetable by any
+// event at or after t=10. Events fire in (At, definition order), the
+// injector's stable sort, and the walk here mirrors it. Overlapping
+// Fail windows on the same node are rejected — a down node cannot fail
+// again — as are double decommissions and schedules that decommission
+// the last member; total-outage schedules are legal (that is a
+// scenario worth measuring).
 func (s Schedule) Validate(nodes int) error {
 	if nodes <= 0 {
 		return fmt.Errorf("fault: need a positive node count, got %d", nodes)
 	}
-	for i, e := range s {
-		if err := e.Validate(nodes); err != nil {
+	order := make([]int, len(s))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return s[order[a]].At < s[order[b]].At })
+	bound := nodes   // node-index bound: slots ever allocated
+	members := nodes // current member count
+	decommissioned := make(map[int]bool)
+	for _, i := range order {
+		e := s[i]
+		if err := e.Validate(bound); err != nil {
 			return fmt.Errorf("fault: event %d: %w", i, err)
+		}
+		switch e.Kind {
+		case AddNode:
+			bound++
+			members++
+		case DecommissionNode:
+			if decommissioned[e.Node] {
+				return fmt.Errorf("fault: event %d: node %d decommissioned twice", i, e.Node)
+			}
+			decommissioned[e.Node] = true
+			members--
+			if members < 1 {
+				return fmt.Errorf("fault: event %d: decommissioning node %d leaves no members", i, e.Node)
+			}
 		}
 	}
 	// Reject overlapping fail-stop windows per node.

@@ -17,6 +17,14 @@ type NetTarget interface {
 	Net() *netsim.Network
 }
 
+// TopologyTarget is optionally implemented by targets whose node set
+// is elastic (*cluster.Cluster is). Topology events — AddNode,
+// DecommissionNode — require it and error against targets without it.
+type TopologyTarget interface {
+	AddNode() (int, error)
+	DecommissionNode(i int) error
+}
+
 // Target is what the injector drives. *cluster.Cluster satisfies it;
 // EngineTarget adapts a single nosql.Engine.
 type Target interface {
@@ -63,8 +71,22 @@ type Injector struct {
 	// and probabilities recompute exactly on each edge.
 	activeEvents []Event
 
+	// rolling holds the in-flight rolling-restart state machines; each
+	// resolves the node set when its window opens and fires one restart
+	// per sub-deadline as Advance observes the clock pass it.
+	rolling []*rollingMachine
+
 	lost int // commit-log records torn by corruption events
 	errs []error
+}
+
+// rollingMachine spreads one RollingRestart event's restarts evenly
+// across its window, over the nodes present when the window opened.
+type rollingMachine struct {
+	ev    Event
+	nodes []int
+	times []float64
+	next  int
 }
 
 // NewInjector validates the schedule against the target and prepares a
@@ -106,8 +128,23 @@ func NewInjector(target Target, schedule Schedule, seed int64) (*Injector, error
 func (inj *Injector) Advance(now float64) {
 	for inj.next < len(inj.transitions) && inj.transitions[inj.next].at <= now {
 		tr := inj.transitions[inj.next]
+		// Rolling restarts due before this transition fire first, so a
+		// machine's sub-restarts interleave with later events in time
+		// order.
+		inj.stepRolling(tr.at)
 		inj.next++
 		inj.apply(tr)
+	}
+	inj.stepRolling(now)
+}
+
+// stepRolling fires every rolling-restart sub-deadline at or before now.
+func (inj *Injector) stepRolling(now float64) {
+	for _, m := range inj.rolling {
+		for m.next < len(m.nodes) && m.times[m.next] <= now {
+			inj.record(inj.target.RestartNode(m.nodes[m.next]))
+			m.next++
+		}
 	}
 }
 
@@ -164,6 +201,48 @@ func (inj *Injector) apply(tr transition) {
 			inj.remove(e)
 		}
 		inj.recomputeLink(nt, e.Node, e.Peer)
+	case AddNode:
+		tt, ok := inj.target.(TopologyTarget)
+		if !ok {
+			inj.record(fmt.Errorf("fault: %s event needs an elastic target", e.Kind))
+			return
+		}
+		_, err := tt.AddNode()
+		inj.record(err)
+		// Grow the per-node state to cover the new slot.
+		inj.failProb = append(inj.failProb, 0)
+		inj.diskTax = append(inj.diskTax, 1)
+		inj.cpuTax = append(inj.cpuTax, 1)
+	case DecommissionNode:
+		tt, ok := inj.target.(TopologyTarget)
+		if !ok {
+			inj.record(fmt.Errorf("fault: %s event needs an elastic target", e.Kind))
+			return
+		}
+		inj.record(tt.DecommissionNode(e.Node))
+	case RollingRestart:
+		if tr.start {
+			// Resolve the node set now, not at schedule time: nodes
+			// added before the window opened are included.
+			n := inj.target.Nodes()
+			m := &rollingMachine{ev: e}
+			for i := 0; i < n; i++ {
+				m.nodes = append(m.nodes, i)
+				m.times = append(m.times, e.At+(e.Until-e.At)*float64(i)/float64(n))
+			}
+			inj.rolling = append(inj.rolling, m)
+			inj.stepRolling(tr.at) // the first restart is due at At itself
+			return
+		}
+		// Window closed: flush any sub-restarts the clock jumped past
+		// and retire the machine.
+		for i, m := range inj.rolling {
+			if m.ev == e {
+				inj.stepRolling(e.Until)
+				inj.rolling = append(inj.rolling[:i], inj.rolling[i+1:]...)
+				return
+			}
+		}
 	}
 }
 

@@ -1,0 +1,181 @@
+package fault
+
+import (
+	"fmt"
+	"testing"
+
+	"rafiki/internal/config"
+	"rafiki/internal/nosql"
+)
+
+// TestTopologyScheduleValidation pins the time-varying node-count
+// rules: AddNode raises the index bound for every later event, double
+// decommissions and last-member decommissions are rejected, and
+// rolling restarts need a real window.
+func TestTopologyScheduleValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		nodes int
+		s     Schedule
+		ok    bool
+	}{
+		{"added node targetable after join", 3, Schedule{
+			{Kind: AddNode, At: 1},
+			{Kind: Fail, Node: 3, At: 2, Until: 3},
+		}, true},
+		{"node 3 of 3 without a join", 3, Schedule{
+			{Kind: Fail, Node: 3, At: 2, Until: 3},
+		}, false},
+		{"added node targeted before its join fires", 3, Schedule{
+			{Kind: AddNode, At: 1},
+			{Kind: Fail, Node: 3, At: 0.5, Until: 0.8},
+		}, false},
+		{"decommission the joiner", 2, Schedule{
+			{Kind: AddNode, At: 1},
+			{Kind: DecommissionNode, Node: 2, At: 2},
+		}, true},
+		{"double decommission", 3, Schedule{
+			{Kind: DecommissionNode, Node: 0, At: 1},
+			{Kind: DecommissionNode, Node: 0, At: 2},
+		}, false},
+		{"decommission the last member", 1, Schedule{
+			{Kind: DecommissionNode, Node: 0, At: 1},
+		}, false},
+		{"decommission down to one member", 2, Schedule{
+			{Kind: DecommissionNode, Node: 0, At: 1},
+		}, true},
+		{"empty rolling-restart window", 3, Schedule{
+			{Kind: RollingRestart, At: 2, Until: 2},
+		}, false},
+		{"rolling restart", 3, Schedule{
+			{Kind: RollingRestart, At: 2, Until: 4},
+		}, true},
+	}
+	for _, tc := range cases {
+		err := tc.s.Validate(tc.nodes)
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error: %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: invalid schedule accepted", tc.name)
+		}
+	}
+}
+
+// topoFake records every injector call so topology tests can assert
+// exact firing order. It implements Target and TopologyTarget.
+type topoFake struct {
+	n   int
+	log []string
+}
+
+func (f *topoFake) Nodes() int     { return f.n }
+func (f *topoFake) Clock() float64 { return 0 }
+func (f *topoFake) FailNode(i int) error {
+	f.log = append(f.log, fmt.Sprintf("fail %d", i))
+	return nil
+}
+func (f *topoFake) RecoverNode(i int) error {
+	f.log = append(f.log, fmt.Sprintf("recover %d", i))
+	return nil
+}
+func (f *topoFake) RestartNode(i int) error {
+	f.log = append(f.log, fmt.Sprintf("restart %d", i))
+	return nil
+}
+func (f *topoFake) SetNodeDegradation(i int, diskTax, cpuTax float64) error { return nil }
+func (f *topoFake) CorruptNodeLog(i int, fraction float64) (int, error)     { return 0, nil }
+func (f *topoFake) AddNode() (int, error) {
+	idx := f.n
+	f.n++
+	f.log = append(f.log, fmt.Sprintf("add %d", idx))
+	return idx, nil
+}
+func (f *topoFake) DecommissionNode(i int) error {
+	f.log = append(f.log, fmt.Sprintf("decommission %d", i))
+	return nil
+}
+
+// TestInjectorFiresTopologyEvents drives a join, a rolling restart,
+// and a decommission of the joiner through the injector: the rolling
+// window must cover the node added before it opened, spread its
+// restarts evenly across the window, and the decommission must target
+// the index the join created.
+func TestInjectorFiresTopologyEvents(t *testing.T) {
+	f := &topoFake{n: 4}
+	sched := Schedule{
+		{Kind: AddNode, At: 1},
+		{Kind: RollingRestart, At: 2, Until: 4},
+		{Kind: DecommissionNode, Node: 4, At: 5},
+	}
+	inj, err := NewInjector(f, sched, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inj.Advance(1.5)
+	if f.n != 5 {
+		t.Fatalf("after join: %d nodes, want 5", f.n)
+	}
+	// Restarts land at 2 + 2i/5: nodes 0..2 are due by t=3, 3..4 not.
+	inj.Advance(3.0)
+	want := []string{"add 4", "restart 0", "restart 1", "restart 2"}
+	if got := fmt.Sprint(f.log); got != fmt.Sprint(want) {
+		t.Fatalf("at t=3: log %v, want %v", f.log, want)
+	}
+	inj.Advance(10)
+	inj.Finish()
+	if err := inj.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, "restart 3", "restart 4", "decommission 4")
+	if got := fmt.Sprint(f.log); got != fmt.Sprint(want) {
+		t.Fatalf("final log %v, want %v", f.log, want)
+	}
+}
+
+// TestRollingRestartFlushesOnWindowEnd: a clock that jumps straight
+// past the window must still fire every sub-restart exactly once, in
+// node order, before the window's end edge retires the machine.
+func TestRollingRestartFlushesOnWindowEnd(t *testing.T) {
+	f := &topoFake{n: 3}
+	inj, err := NewInjector(f, Schedule{{Kind: RollingRestart, At: 1, Until: 2}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Advance(100)
+	inj.Finish()
+	if err := inj.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"restart 0", "restart 1", "restart 2"}
+	if got := fmt.Sprint(f.log); got != fmt.Sprint(want) {
+		t.Fatalf("log %v, want %v", f.log, want)
+	}
+}
+
+// TestTopologyEventsRejectInelasticTarget: a single-engine target has
+// no elastic node set, so topology events must surface errors rather
+// than silently no-op.
+func TestTopologyEventsRejectInelasticTarget(t *testing.T) {
+	eng, err := nosql.New(nosql.Options{Space: config.Cassandra(), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The decommission targets the slot the join would have created, so
+	// the schedule itself is well-formed; both events must then fail at
+	// fire time against the inelastic target.
+	sched := Schedule{
+		{Kind: AddNode, At: 0.4},
+		{Kind: DecommissionNode, Node: 1, At: 0.5},
+	}
+	inj, err := NewInjector(EngineTarget{Engine: eng}, sched, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Advance(1)
+	inj.Finish()
+	if inj.Err() == nil {
+		t.Error("topology events on a single engine should surface errors")
+	}
+}

@@ -15,6 +15,15 @@ import (
 // quietly falsifies every chaos result involving that code path. Only
 // replica.go, the delivery layer that handles messages arriving at a
 // node, may touch the engine's data path.
+//
+// The same boundary protects the streaming/handoff path: replica's own
+// data-path wrappers (apply, read, scan, rangeKeys) are how messages
+// landing at a node touch state, so calling them from coordinator code
+// — say, a rebalance "streaming" keys by reading the source replica
+// in-process and applying them to the destination — would move data
+// without a single message crossing the network. A partition could
+// then never sever a stream, which is exactly the failure mode the
+// rebalance protocol must survive.
 var NetBypass = &Analyzer{
 	Name: "netbypass",
 	Doc:  "cluster code must route engine reads/writes through the netsim transport, not call them directly",
@@ -38,23 +47,25 @@ var NetBypass = &Analyzer{
 				}
 				switch sel.Sel.Name {
 				case "Read", "Write", "Delete", "Scan":
-				default:
-					return true
+					if isDataPathValue(pass.Pkg.Info, sel.X, "Engine") {
+						pass.Reportf(call.Pos(), "direct engine %s bypasses the netsim transport; replica traffic must travel as messages (deliver via the network, handle in replica.go)", sel.Sel.Name)
+					}
+				case "apply", "read", "scan", "rangeKeys":
+					if isDataPathValue(pass.Pkg.Info, sel.X, "replica") {
+						pass.Reportf(call.Pos(), "direct replica %s bypasses the netsim transport; stream and handoff traffic must travel as messages (deliver via the network, handle in replica.go)", sel.Sel.Name)
+					}
 				}
-				if !isEngineValue(pass.Pkg.Info, sel.X) {
-					return true
-				}
-				pass.Reportf(call.Pos(), "direct engine %s bypasses the netsim transport; replica traffic must travel as messages (deliver via the network, handle in replica.go)", sel.Sel.Name)
 				return true
 			})
 		}
 	},
 }
 
-// isEngineValue reports whether expr's type is a named type Engine or
-// a pointer to one. The type's name alone decides, not its package, so
-// fixture packages can declare their own Engine to exercise the rule.
-func isEngineValue(info *types.Info, expr ast.Expr) bool {
+// isDataPathValue reports whether expr's type is the named type (or a
+// pointer to it). The type's name alone decides, not its package, so
+// fixture packages can declare their own Engine or replica to exercise
+// the rule.
+func isDataPathValue(info *types.Info, expr ast.Expr, name string) bool {
 	t := info.TypeOf(expr)
 	if t == nil {
 		return false
@@ -66,5 +77,5 @@ func isEngineValue(info *types.Info, expr ast.Expr) bool {
 	if !ok {
 		return false
 	}
-	return named.Obj().Name() == "Engine"
+	return named.Obj().Name() == name
 }

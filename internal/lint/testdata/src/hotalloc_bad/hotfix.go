@@ -15,18 +15,18 @@ type engine struct {
 //
 //rafiki:hot
 func (e *engine) Read(k string) int {
-	m := map[string]int{k: 1}  // map literal
-	s := []int{1, 2}           // slice literal
-	p := &engine{}             // &composite literal
-	n := new(engine)           // new
-	b := make([]byte, 8)       // make without reused backing
-	msg := "key=" + k          // string concatenation
-	raw := []byte(k)           // allocating conversion
-	back := string(raw)        // allocating conversion
-	fmt.Println(msg)           // fmt call
+	m := map[string]int{k: 1}         // map literal
+	s := []int{1, 2}                  // slice literal
+	p := &engine{}                    // &composite literal
+	n := new(engine)                  // new
+	b := make([]byte, 8)              // make without reused backing
+	msg := "key=" + k                 // string concatenation
+	raw := []byte(k)                  // allocating conversion
+	back := string(raw)               // allocating conversion
+	fmt.Println(msg)                  // fmt call
 	f := func() int { return len(s) } // closure
-	sink(len(m))               // interface boxing of a non-pointer int
-	grow()                     // non-hot callee whose facts say it allocates
+	sink(len(m))                      // interface boxing of a non-pointer int
+	grow()                            // non-hot callee whose facts say it allocates
 	_, _, _, _ = p, n, b, back
 	return f()
 }

@@ -1,0 +1,64 @@
+// stream.go (the bad fixture's handoff path) moves a range between
+// replicas in-process: the coordinator reads the source replica and
+// applies to the destination directly, so no stream message ever
+// crosses the network and a partition can never sever the transfer.
+package cluster
+
+import "sort"
+
+// replica is a fixture stand-in for a node's delivery-layer state.
+type replica struct{ rows map[uint64]uint64 }
+
+// apply is the replica's data-path write.
+func (r *replica) apply(key, val uint64) { r.rows[key] = val }
+
+// read is the replica's data-path read.
+func (r *replica) read(key uint64) (uint64, bool) {
+	v, ok := r.rows[key]
+	return v, ok
+}
+
+// scan is the replica's data-path range scan.
+func (r *replica) scan(start uint64, limit int) int {
+	n := 0
+	for k := range r.rows {
+		if k >= start && n < limit {
+			n++
+		}
+	}
+	return n
+}
+
+// rangeKeys freezes the replica's keys in a range.
+func (r *replica) rangeKeys(lo, hi uint64) []uint64 {
+	var keys []uint64
+	for k := range r.rows {
+		if k > lo && k <= hi {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// park is not a data-path method; calling it anywhere is fine.
+func (r *replica) park() {}
+
+// streamRange bypasses the transport on every leg of the handoff:
+// freeze, pull, and apply all happen in-process.
+func (c *Coordinator) streamRange(src, dest *replica, lo, hi uint64) int {
+	moved := 0
+	for _, key := range src.rangeKeys(lo, hi) {
+		if v, ok := src.read(key); ok {
+			dest.apply(key, v)
+			moved++
+		}
+	}
+	src.park()
+	return moved
+}
+
+// rangeSize bypasses the transport on the catch-up sizing path.
+func (c *Coordinator) rangeSize(src *replica, start uint64) int {
+	return src.scan(start, 1<<20)
+}

@@ -27,3 +27,25 @@ func (c *Coordinator) Put(key, val uint64) {
 		c.send(i, message{key: key, val: val})
 	}
 }
+
+// sendStream models the network hop for a handoff leg: the message
+// travels to the node and is handled by the delivery layer.
+func (c *Coordinator) sendStream(r *replica, m streamMsg) (uint64, bool) {
+	return deliverStream(r, m)
+}
+
+// streamRange moves a range one message leg at a time: every pull and
+// every applied chunk crosses the transport, so a partition between
+// src and dest severs the stream exactly as it would a client write.
+func (c *Coordinator) streamRange(src, dest *replica, keys []uint64) int {
+	moved := 0
+	for _, key := range keys {
+		v, ok := c.sendStream(src, streamMsg{pull: true, key: key})
+		if !ok {
+			continue
+		}
+		c.sendStream(dest, streamMsg{key: key, val: v})
+		moved++
+	}
+	return moved
+}

@@ -37,3 +37,31 @@ func deliver(e *Engine, m message) (uint64, bool) {
 	}
 	return 0, false
 }
+
+// replica is a fixture stand-in for a node's delivery-layer state.
+type replica struct{ rows map[uint64]uint64 }
+
+// apply is the replica's data-path write.
+func (r *replica) apply(key, val uint64) { r.rows[key] = val }
+
+// read is the replica's data-path read.
+func (r *replica) read(key uint64) (uint64, bool) {
+	v, ok := r.rows[key]
+	return v, ok
+}
+
+// streamMsg is one leg of a range handoff travelling as a message.
+type streamMsg struct {
+	pull     bool
+	key, val uint64
+}
+
+// deliverStream handles a stream message at its destination replica —
+// pulls read here, pushed chunks apply here, and nowhere else.
+func deliverStream(r *replica, m streamMsg) (uint64, bool) {
+	if m.pull {
+		return r.read(m.key)
+	}
+	r.apply(m.key, m.val)
+	return 0, false
+}

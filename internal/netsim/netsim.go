@@ -151,6 +151,40 @@ func New(opts Options) (*Network, error) {
 // Nodes returns the node endpoint count.
 func (nw *Network) Nodes() int { return nw.n }
 
+// AddEndpoint grows the network by one node endpoint (elastic
+// scale-out) and returns its id. Existing link state — conditions,
+// partitions, FIFO watermarks, per-link counters — is preserved; the
+// new endpoint's links start healthy. No fate draws are consumed, so
+// growth never perturbs the seeded message stream.
+func (nw *Network) AddEndpoint() int {
+	oldN := nw.n
+	id := oldN
+	nw.n++
+	m := nw.n + 1
+	links := make([]link, m*m)
+	for from := Coordinator; from < oldN; from++ {
+		for to := Coordinator; to < oldN; to++ {
+			links[(from+1)*m+(to+1)] = nw.links[(from+1)*(oldN+1)+(to+1)]
+		}
+	}
+	nw.links = links
+	nw.handlers = append(nw.handlers, nil)
+	if nw.o.reg != nil {
+		for other := Coordinator; other < nw.n; other++ {
+			if other == id {
+				continue
+			}
+			out := &nw.links[nw.idx(id, other)]
+			out.delivered = nw.o.reg.Counter(linkCounterName(id, other, "delivered"))
+			out.dropped = nw.o.reg.Counter(linkCounterName(id, other, "dropped"))
+			in := &nw.links[nw.idx(other, id)]
+			in.delivered = nw.o.reg.Counter(linkCounterName(other, id, "delivered"))
+			in.dropped = nw.o.reg.Counter(linkCounterName(other, id, "dropped"))
+		}
+	}
+	return id
+}
+
 // Stats returns the lifetime totals.
 func (nw *Network) Stats() Stats { return nw.stats }
 

@@ -1,0 +1,208 @@
+package ring
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func build(t *testing.T, seed int64, vnodes int, members []int) *Ring {
+	t.Helper()
+	r := New(seed, vnodes)
+	for _, m := range members {
+		if err := r.AddNode(m); err != nil {
+			t.Fatalf("AddNode(%d): %v", m, err)
+		}
+	}
+	return r
+}
+
+func ids(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// TestOwnersDistinctAtAnyTopology: at every topology along a random
+// join/leave walk, every key resolves to exactly min(RF, members)
+// distinct owners, all of them current members.
+func TestOwnersDistinctAtAnyTopology(t *testing.T) {
+	const rf = 3
+	r := build(t, 42, 8, ids(4))
+	rng := rand.New(rand.NewSource(7))
+	next := 4
+	for step := 0; step < 30; step++ {
+		if r.Size() > rf && rng.Float64() < 0.4 {
+			ms := r.Members()
+			if err := r.RemoveNode(ms[rng.Intn(len(ms))]); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := r.AddNode(next); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		}
+		want := rf
+		if r.Size() < rf {
+			want = r.Size()
+		}
+		for key := uint64(0); key < 500; key++ {
+			owners := r.OwnersOf(key, rf)
+			if len(owners) != want {
+				t.Fatalf("step %d: key %d has %d owners, want %d", step, key, len(owners), want)
+			}
+			seen := map[int]bool{}
+			for _, o := range owners {
+				if seen[o] {
+					t.Fatalf("step %d: key %d repeats owner %d: %v", step, key, o, owners)
+				}
+				seen[o] = true
+				if !r.HasMember(o) {
+					t.Fatalf("step %d: key %d owned by non-member %d", step, key, o)
+				}
+			}
+		}
+	}
+}
+
+// TestJoinMovesMinimalRanges: adding one member only ever inserts that
+// member into a key's owner set (displacing exactly one previous
+// owner); keys the newcomer does not own keep their exact owner list.
+func TestJoinMovesMinimalRanges(t *testing.T) {
+	const rf = 3
+	before := build(t, 99, 8, ids(8))
+	after := before.Clone()
+	const joined = 8
+	if err := after.AddNode(joined); err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for key := uint64(0); key < 4000; key++ {
+		old := before.OwnersOf(key, rf)
+		now := after.OwnersOf(key, rf)
+		gained, lost := diff(now, old), diff(old, now)
+		if len(gained) == 0 {
+			if !reflect.DeepEqual(old, now) {
+				t.Fatalf("key %d changed owners %v -> %v without involving the joiner", key, old, now)
+			}
+			continue
+		}
+		moved++
+		if len(gained) != 1 || gained[0] != joined || len(lost) != 1 {
+			t.Fatalf("key %d moved %v -> %v: gained %v lost %v, want exactly the joiner in", key, old, now, gained, lost)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("joiner took over no keys at all")
+	}
+	// The joiner's take should be in the ballpark of its fair share
+	// (1/9 of key-replica placements), not a wholesale reshuffle.
+	if frac := float64(moved) / 4000; frac > 3.0*float64(rf)/9 {
+		t.Fatalf("join moved %.1f%% of keys — not a minimal rebalance", 100*frac)
+	}
+}
+
+// TestLeaveMovesMinimalRanges is the mirror property for removal.
+func TestLeaveMovesMinimalRanges(t *testing.T) {
+	const rf = 3
+	before := build(t, 99, 8, ids(8))
+	after := before.Clone()
+	const gone = 5
+	if err := after.RemoveNode(gone); err != nil {
+		t.Fatal(err)
+	}
+	for key := uint64(0); key < 4000; key++ {
+		old := before.OwnersOf(key, rf)
+		now := after.OwnersOf(key, rf)
+		gained, lost := diff(now, old), diff(old, now)
+		if len(lost) == 0 {
+			if !reflect.DeepEqual(old, now) {
+				t.Fatalf("key %d changed owners %v -> %v without involving the leaver", key, old, now)
+			}
+			continue
+		}
+		if len(lost) != 1 || lost[0] != gone || len(gained) != 1 {
+			t.Fatalf("key %d moved %v -> %v: gained %v lost %v, want exactly the leaver out", key, old, now, gained, lost)
+		}
+	}
+}
+
+// TestSameSeedByteIdenticalTokens: the token assignment is a pure
+// function of (seed, members, vnodes) — join order does not matter —
+// and different seeds produce different assignments.
+func TestSameSeedByteIdenticalTokens(t *testing.T) {
+	a := build(t, 1234, 16, []int{0, 1, 2, 3, 4, 5})
+	b := build(t, 1234, 16, []int{5, 3, 1, 0, 2, 4})
+	if !reflect.DeepEqual(a.Tokens(), b.Tokens()) {
+		t.Fatal("same seed and member set produced different token assignments")
+	}
+	// Leave-then-rejoin restores the identical ring.
+	if err := b.RemoveNode(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddNode(2); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Tokens(), b.Tokens()) {
+		t.Fatal("leave+rejoin changed the token assignment")
+	}
+	c := build(t, 1235, 16, []int{0, 1, 2, 3, 4, 5})
+	if reflect.DeepEqual(a.Tokens(), c.Tokens()) {
+		t.Fatal("different seeds produced identical token assignments")
+	}
+}
+
+// TestOwnershipMatchesArcBoundaries: ownership is piecewise-constant
+// between token positions, and an arc's representative position (its
+// Hi endpoint) resolves to the same owners as every interior point.
+func TestOwnershipMatchesArcBoundaries(t *testing.T) {
+	r := build(t, 7, 4, ids(5))
+	bs := r.Boundaries(nil)
+	for i := 1; i < len(bs); i++ {
+		lo, hi := bs[i-1], bs[i]
+		if hi-lo < 4 {
+			continue
+		}
+		iv := Interval{Lo: lo, Hi: hi}
+		mid := lo + (hi-lo)/2
+		if !iv.Contains(mid) || !iv.Contains(hi) || iv.Contains(lo) {
+			t.Fatalf("interval (%d,%d] membership wrong", lo, hi)
+		}
+		at := r.OwnersAt(nil, hi, 3)
+		in := r.OwnersAt(nil, mid, 3)
+		if !reflect.DeepEqual(at, in) {
+			t.Fatalf("arc (%d,%d]: owners at hi %v != owners at mid %v", lo, hi, at, in)
+		}
+	}
+	// Wrap arc: a point past the last token owns like the first token.
+	wrap := Interval{Lo: bs[len(bs)-1], Hi: bs[0]}
+	if !wrap.Contains(bs[len(bs)-1]+1) || !wrap.Contains(bs[0]) {
+		t.Fatal("wrap interval membership wrong")
+	}
+	past := r.OwnersAt(nil, bs[len(bs)-1]+1, 3)
+	first := r.OwnersAt(nil, bs[0], 3)
+	if !reflect.DeepEqual(past, first) {
+		t.Fatalf("wrap arc owners %v != first-token owners %v", past, first)
+	}
+}
+
+// diff returns the elements of a not present in b, in a's order.
+func diff(a, b []int) []int {
+	var out []int
+	for _, x := range a {
+		found := false
+		for _, y := range b {
+			if x == y {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, x)
+		}
+	}
+	return out
+}
